@@ -1,0 +1,222 @@
+//! Generic worklist fixpoint solver over the supergraph.
+
+use std::collections::BTreeSet;
+
+use crate::domain::Domain;
+use crate::icfg::{IEdge, IEdgeKind, Icfg, NodeId};
+
+/// A forward dataflow problem over an [`Icfg`].
+///
+/// The solver computes, for every node, the least fixpoint of
+///
+/// ```text
+/// in(n)  = ⊔ { edge(e, out(src(e))) | e ∈ preds(n) }   (⊔ boundary at entry)
+/// out(n) = transfer(n, in(n))
+/// ```
+///
+/// with widening applied at back-edge targets.
+pub trait Transfer {
+    /// The abstract state attached to node boundaries.
+    type State: Domain;
+
+    /// The state holding at the task entry.
+    fn boundary(&self) -> Self::State;
+
+    /// Transfer through the instructions of a node's block.
+    fn transfer(&mut self, icfg: &Icfg, node: NodeId, input: &Self::State) -> Self::State;
+
+    /// Transfer along an edge (e.g. branch refinement). Returning `None`
+    /// marks the edge infeasible: nothing is propagated.
+    ///
+    /// The default propagates the state unchanged.
+    fn edge(&mut self, icfg: &Icfg, edge: &IEdge, state: &Self::State) -> Option<Self::State> {
+        let _ = (icfg, edge);
+        Some(state.clone())
+    }
+}
+
+/// The result of a fixpoint computation: per-node entry/exit states.
+/// `None` means the node was found unreachable.
+#[derive(Clone, Debug)]
+pub struct Fixpoint<S> {
+    ins: Vec<Option<S>>,
+    outs: Vec<Option<S>>,
+    /// Edges proven infeasible by the edge transfer (never propagated a
+    /// state in the final fixpoint).
+    pub infeasible_edges: Vec<crate::icfg::IEdgeId>,
+    /// Number of node evaluations performed (for the scaling experiment).
+    pub evaluations: u64,
+}
+
+impl<S> Fixpoint<S> {
+    /// The state at a node's entry, if reachable.
+    pub fn input(&self, n: NodeId) -> Option<&S> {
+        self.ins[n.index()].as_ref()
+    }
+
+    /// The state at a node's exit, if reachable.
+    pub fn output(&self, n: NodeId) -> Option<&S> {
+        self.outs[n.index()].as_ref()
+    }
+}
+
+/// Runs the worklist algorithm to a fixpoint.
+///
+/// Nodes are processed in reverse post-order priority. Widening is
+/// applied at targets of loop back edges after `widen_delay` joins to
+/// preserve precision on the peeled iterations.
+pub fn solve<T: Transfer>(icfg: &Icfg, transfer: &mut T, widen_delay: u32) -> Fixpoint<T::State> {
+    let n = icfg.nodes().len();
+    let mut ins: Vec<Option<T::State>> = vec![None; n];
+    let mut outs: Vec<Option<T::State>> = vec![None; n];
+    let mut join_count: Vec<u32> = vec![0; n];
+    let mut evaluations: u64 = 0;
+
+    // Widening points: targets of back edges (and of any retreating edge
+    // by RPO, to be safe with return-edge cycles).
+    let mut widen_at = vec![false; n];
+    for e in icfg.edges() {
+        let retreating = icfg.rpo_index(e.to) <= icfg.rpo_index(e.from);
+        if retreating || matches!(e.kind, IEdgeKind::Intra { back_edge_of: Some(_), .. }) {
+            widen_at[e.to.index()] = true;
+        }
+    }
+
+    // Worklist ordered by RPO index (BTreeSet as a priority queue).
+    let mut work: BTreeSet<(u32, NodeId)> = BTreeSet::new();
+    let entry = icfg.entry();
+    ins[entry.index()] = Some(transfer.boundary());
+    work.insert((icfg.rpo_index(entry), entry));
+
+    let mut edge_fired = vec![false; icfg.edges().len()];
+
+    while let Some(&(prio, node)) = work.iter().next() {
+        work.remove(&(prio, node));
+        let input = match &ins[node.index()] {
+            Some(s) => s.clone(),
+            None => continue,
+        };
+        evaluations += 1;
+        let out = transfer.transfer(icfg, node, &input);
+        let out_changed = match &mut outs[node.index()] {
+            Some(prev) => prev.join_from(&out),
+            slot @ None => {
+                *slot = Some(out);
+                true
+            }
+        };
+        if !out_changed && evaluations > 1 {
+            // Re-evaluation did not grow the output: successors already
+            // saw everything this node can produce.
+            continue;
+        }
+        let out_state = outs[node.index()].clone().expect("just set");
+        for e in icfg.succs(node) {
+            let propagated = match transfer.edge(icfg, &e, &out_state) {
+                Some(s) => s,
+                None => continue,
+            };
+            edge_fired[e.id.index()] = true;
+            let ti = e.to.index();
+            let changed = match &mut ins[ti] {
+                Some(prev) => {
+                    join_count[ti] += 1;
+                    if widen_at[ti] && join_count[ti] > widen_delay {
+                        prev.widen_from(&propagated)
+                    } else {
+                        prev.join_from(&propagated)
+                    }
+                }
+                slot @ None => {
+                    *slot = Some(propagated);
+                    true
+                }
+            };
+            if changed {
+                work.insert((icfg.rpo_index(e.to), e.to));
+            }
+        }
+    }
+
+    let infeasible_edges = icfg
+        .edges()
+        .iter()
+        .filter(|e| !edge_fired[e.id.index()] && outs[e.from.index()].is_some())
+        .map(|e| e.id)
+        .collect();
+
+    Fixpoint { ins, outs, infeasible_edges, evaluations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::VivuConfig;
+    use crate::domain::tests::Bits;
+    use crate::icfg::Icfg;
+    use stamp_cfg::CfgBuilder;
+    use stamp_isa::asm::assemble;
+
+    /// Collects the set of visited block start addresses (as bit indices)
+    /// — a reachability analysis.
+    struct Reach;
+
+    impl Transfer for Reach {
+        type State = Bits;
+
+        fn boundary(&self) -> Bits {
+            Bits(1)
+        }
+
+        fn transfer(&mut self, icfg: &Icfg, node: NodeId, input: &Bits) -> Bits {
+            let _ = icfg;
+            Bits(input.0 | (1 << (node.index() + 1).min(63)))
+        }
+    }
+
+    #[test]
+    fn reaches_fixpoint_on_loop() {
+        let src = ".text\nmain: li r1, 4\nloop: addi r1, r1, -1\nbnez r1, loop\nhalt\n";
+        let p = assemble(src).unwrap();
+        let cfg = CfgBuilder::new(&p).build().unwrap();
+        let icfg = Icfg::build(&cfg, &VivuConfig::default()).unwrap();
+        let fp = solve(&icfg, &mut Reach, 2);
+        // Every reachable node has a state, and the exit sees the entry bit.
+        for nd in icfg.nodes() {
+            assert!(fp.input(nd.id).is_some(), "node {:?} unreachable", nd.id);
+        }
+        let exit = icfg.exits()[0];
+        assert_eq!(fp.input(exit).unwrap().0 & 1, 1);
+        assert!(fp.evaluations >= icfg.nodes().len() as u64);
+    }
+
+    #[test]
+    fn infeasible_edges_reported() {
+        struct KillFall;
+        impl Transfer for KillFall {
+            type State = Bits;
+            fn boundary(&self) -> Bits {
+                Bits(1)
+            }
+            fn transfer(&mut self, _i: &Icfg, _n: NodeId, s: &Bits) -> Bits {
+                s.clone()
+            }
+            fn edge(&mut self, icfg: &Icfg, e: &IEdge, s: &Bits) -> Option<Bits> {
+                // Refuse the fall-through edge out of the entry block.
+                if e.from == icfg.entry() {
+                    if let IEdgeKind::Intra { cfg_edge, .. } = e.kind {
+                        let _ = cfg_edge;
+                        return None;
+                    }
+                }
+                Some(s.clone())
+            }
+        }
+        let src = ".text\nmain: beq r0, r0, t\nf: halt\nt: halt\n";
+        let p = assemble(src).unwrap();
+        let cfg = CfgBuilder::new(&p).build().unwrap();
+        let icfg = Icfg::build(&cfg, &VivuConfig::default()).unwrap();
+        let fp = solve(&icfg, &mut KillFall, 2);
+        assert_eq!(fp.infeasible_edges.len(), 2);
+    }
+}

@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the exact ILP solver on IPET-shaped problems.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stamp_ilp::{CmpOp, LpProblem};
+
+/// Builds a chain-of-diamonds flow problem with `n` diamonds — the
+/// structural skeleton of an IPET instance.
+fn diamond_chain(n: usize) -> LpProblem {
+    let mut lp = LpProblem::new();
+    let source = lp.add_var("source", 0);
+    lp.add_constraint([(source, 1)], CmpOp::Eq, 1);
+    let mut incoming = source;
+    for i in 0..n {
+        let left = lp.add_var(format!("l{i}"), 3 + (i % 5) as i64);
+        let right = lp.add_var(format!("r{i}"), 7 - (i % 3) as i64);
+        let out = lp.add_var(format!("o{i}"), 1);
+        // split: incoming = left + right; join: left + right = out.
+        lp.add_constraint([(incoming, 1), (left, -1), (right, -1)], CmpOp::Eq, 0);
+        lp.add_constraint([(left, 1), (right, 1), (out, -1)], CmpOp::Eq, 0);
+        incoming = out;
+    }
+    lp
+}
+
+/// A loop-bound-style instance: `n` nested counters with multiplying
+/// bounds.
+fn loop_nest(n: usize) -> LpProblem {
+    let mut lp = LpProblem::new();
+    let entry = lp.add_var("entry", 0);
+    lp.add_constraint([(entry, 1)], CmpOp::Eq, 1);
+    let mut outer = entry;
+    for i in 0..n {
+        let body = lp.add_var(format!("body{i}"), 2 + i as i64);
+        // body ≤ 10 × outer.
+        lp.add_constraint([(body, 1), (outer, -10)], CmpOp::Le, 0);
+        outer = body;
+    }
+    lp
+}
+
+fn ilp_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ilp");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    for n in [4usize, 16, 48] {
+        let lp = diamond_chain(n);
+        group.bench_with_input(BenchmarkId::new("diamond_chain", n), &lp, |bench, lp| {
+            bench.iter(|| lp.maximize_integer().expect("solvable").objective)
+        });
+    }
+    for n in [2usize, 4, 8] {
+        let lp = loop_nest(n);
+        group.bench_with_input(BenchmarkId::new("loop_nest", n), &lp, |bench, lp| {
+            bench.iter(|| lp.maximize_integer().expect("solvable").objective)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ilp_bench);
+criterion_main!(benches);

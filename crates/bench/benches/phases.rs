@@ -1,0 +1,91 @@
+//! Criterion benchmarks of the analysis phases on corpus tasks
+//! (experiment E6 companion: "reasonable time").
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stamp_ai::{Icfg, VivuConfig};
+use stamp_cache::CacheAnalysis;
+use stamp_cfg::CfgBuilder;
+use stamp_core::{AnalysisConfig, WcetAnalysis};
+use stamp_hw::HwConfig;
+use stamp_loopbound::{LoopBoundAnalysis, LoopBoundOptions};
+use stamp_pipeline::PipelineAnalysis;
+use stamp_suite::benchmarks;
+use stamp_value::{ValueAnalysis, ValueOptions};
+
+fn full_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_pipeline");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    for name in ["fibcall", "crc", "insertsort", "matmult", "switchcase"] {
+        let b = benchmarks().into_iter().find(|b| b.name == name).unwrap();
+        let program = b.program();
+        let ann = b.annotations();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &program, |bench, p| {
+            bench.iter(|| {
+                WcetAnalysis::new(p)
+                    .config(AnalysisConfig::default())
+                    .annotations(ann.clone())
+                    .run()
+                    .expect("analysis")
+                    .wcet
+            })
+        });
+    }
+    group.finish();
+}
+
+fn individual_phases(c: &mut Criterion) {
+    let b = benchmarks().into_iter().find(|b| b.name == "matmult").unwrap();
+    let program = b.program();
+    let hw = HwConfig::default();
+    let cfg = CfgBuilder::new(&program).build().unwrap();
+    let icfg = Icfg::build(&cfg, &VivuConfig::default()).unwrap();
+    let va = ValueAnalysis::run(&program, &hw, &cfg, &icfg, &ValueOptions::default());
+    let ca = CacheAnalysis::run(&hw, &cfg, &icfg, &va);
+    let pa = PipelineAnalysis::run(&hw, &cfg, &icfg, &ca, &va);
+    let lb = LoopBoundAnalysis::run(&program, &cfg, &icfg, &va, &LoopBoundOptions::default());
+
+    let mut group = c.benchmark_group("phases_matmult");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.bench_function("cfg_building", |bench| {
+        bench.iter(|| CfgBuilder::new(&program).build().unwrap().blocks().len())
+    });
+    group.bench_function("context_expansion", |bench| {
+        bench.iter(|| Icfg::build(&cfg, &VivuConfig::default()).unwrap().nodes().len())
+    });
+    group.bench_function("value_analysis", |bench| {
+        bench.iter(|| {
+            ValueAnalysis::run(&program, &hw, &cfg, &icfg, &ValueOptions::default())
+                .precision_summary()
+                .total()
+        })
+    });
+    group.bench_function("loop_bounds", |bench| {
+        bench.iter(|| {
+            LoopBoundAnalysis::run(&program, &cfg, &icfg, &va, &LoopBoundOptions::default())
+                .bounds()
+                .len()
+        })
+    });
+    group.bench_function("cache_analysis", |bench| {
+        bench.iter(|| CacheAnalysis::run(&hw, &cfg, &icfg, &va).fetch_stats().total())
+    });
+    group.bench_function("pipeline_analysis", |bench| {
+        bench.iter(|| PipelineAnalysis::run(&hw, &cfg, &icfg, &ca, &va).times().len())
+    });
+    group.bench_function("path_analysis_ilp", |bench| {
+        bench.iter(|| {
+            stamp_path::analyze(&cfg, &icfg, &va, &lb, &pa, &Default::default())
+                .expect("path")
+                .wcet
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, full_pipeline, individual_phases);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion series: analysis time vs. program size (experiment E6,
+//! "figure" — plot time against instruction count).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stamp_core::WcetAnalysis;
+use stamp_isa::asm::assemble;
+use stamp_suite::{generate, GenConfig};
+
+fn scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_vs_size");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    for constructs in [2usize, 8, 24, 48] {
+        // Deterministic program per size class.
+        let mut rng = StdRng::seed_from_u64(42 + constructs as u64);
+        let src = generate(&mut rng, &GenConfig { constructs, ..GenConfig::default() });
+        let program = assemble(&src).expect("generated");
+        let insns = program.insn_count();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{insns}_insns")),
+            &program,
+            |bench, p| bench.iter(|| WcetAnalysis::new(p).run().expect("analysis").wcet),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scaling);
+criterion_main!(benches);

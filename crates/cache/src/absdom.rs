@@ -1,0 +1,482 @@
+//! The must/may/persistence abstract cache domains.
+
+use std::collections::BTreeMap;
+
+use stamp_hw::CacheConfig;
+
+/// One abstract cache set: a map from resident line address to an age
+/// bound. `Top` (may analysis only) means "any line may be present at
+/// any age".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum SetState {
+    Map(BTreeMap<u32, u8>),
+    Top,
+}
+
+/// The **must** cache: ages are *upper* bounds valid in every execution.
+/// Membership guarantees a hit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MustCache {
+    config: CacheConfig,
+    sets: Vec<BTreeMap<u32, u8>>,
+}
+
+impl MustCache {
+    /// An empty must cache (nothing guaranteed).
+    pub fn new(config: CacheConfig) -> MustCache {
+        MustCache { config, sets: vec![BTreeMap::new(); config.sets() as usize] }
+    }
+
+    /// Returns `true` if the line containing `addr` hits in every
+    /// execution.
+    pub fn definitely_cached(&self, addr: u32) -> bool {
+        let line = self.config.line_addr(addr);
+        self.sets[self.config.set_index(addr) as usize].contains_key(&line)
+    }
+
+    /// Applies one access to the line containing `addr`
+    /// (Ferdinand's must update).
+    pub fn access(&mut self, addr: u32) {
+        let a = self.config.assoc() as u8;
+        let line = self.config.line_addr(addr);
+        let set = &mut self.sets[self.config.set_index(addr) as usize];
+        let z_age = set.get(&line).copied().unwrap_or(a);
+        let keys: Vec<u32> = set.keys().copied().collect();
+        for y in keys {
+            if y == line {
+                continue;
+            }
+            let age = set[&y];
+            if age < z_age {
+                if age + 1 >= a {
+                    set.remove(&y);
+                } else {
+                    set.insert(y, age + 1);
+                }
+            }
+        }
+        set.insert(line, 0);
+    }
+
+    /// Applies an access whose line is only known to lie in `lines`
+    /// (join over the possibilities).
+    pub fn access_any(&mut self, lines: &[u32]) {
+        match lines {
+            [] => {}
+            [one] => self.access(*one),
+            _ => {
+                let mut acc: Option<MustCache> = None;
+                for &l in lines {
+                    let mut c = self.clone();
+                    c.access(l);
+                    acc = Some(match acc {
+                        None => c,
+                        Some(mut p) => {
+                            p.join_from(&c);
+                            p
+                        }
+                    });
+                }
+                *self = acc.expect("non-empty lines");
+            }
+        }
+    }
+
+    /// Sound treatment of an access with an unbounded address set that
+    /// may touch the given cache sets (`None` = all sets): every line
+    /// ages as if displaced.
+    pub fn clobber(&mut self, set_indices: Option<&[u32]>) {
+        let a = self.config.assoc() as u8;
+        let all: Vec<u32> = (0..self.config.sets()).collect();
+        for &si in set_indices.unwrap_or(&all) {
+            let set = &mut self.sets[si as usize];
+            let keys: Vec<u32> = set.keys().copied().collect();
+            for y in keys {
+                let age = set[&y];
+                if age + 1 >= a {
+                    set.remove(&y);
+                } else {
+                    set.insert(y, age + 1);
+                }
+            }
+        }
+    }
+
+    /// Lattice join (set intersection, maximum ages). Returns `true` if
+    /// `self` changed.
+    pub fn join_from(&mut self, other: &MustCache) -> bool {
+        let mut changed = false;
+        for (s, o) in self.sets.iter_mut().zip(other.sets.iter()) {
+            let keys: Vec<u32> = s.keys().copied().collect();
+            for k in keys {
+                match o.get(&k) {
+                    None => {
+                        s.remove(&k);
+                        changed = true;
+                    }
+                    Some(&oa) => {
+                        let sa = s[&k];
+                        if oa > sa {
+                            s.insert(k, oa);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// Partial order: `self ⊑ other` iff `self` guarantees everything
+    /// `other` does.
+    pub fn le(&self, other: &MustCache) -> bool {
+        self.sets.iter().zip(other.sets.iter()).all(|(s, o)| {
+            o.iter().all(|(k, &oa)| s.get(k).is_some_and(|&sa| sa <= oa))
+        })
+    }
+}
+
+/// The **may** cache: ages are *lower* bounds over all executions in
+/// which the line is cached. Absence guarantees a miss.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MayCache {
+    config: CacheConfig,
+    sets: Vec<SetState>,
+}
+
+impl MayCache {
+    /// An empty may cache (everything is a guaranteed miss initially).
+    pub fn new(config: CacheConfig) -> MayCache {
+        MayCache {
+            config,
+            sets: vec![SetState::Map(BTreeMap::new()); config.sets() as usize],
+        }
+    }
+
+    /// Returns `true` if the line containing `addr` may be cached.
+    pub fn possibly_cached(&self, addr: u32) -> bool {
+        let line = self.config.line_addr(addr);
+        match &self.sets[self.config.set_index(addr) as usize] {
+            SetState::Map(m) => m.contains_key(&line),
+            SetState::Top => true,
+        }
+    }
+
+    /// Applies one access (Ferdinand's may update).
+    pub fn access(&mut self, addr: u32) {
+        let a = self.config.assoc() as u8;
+        let line = self.config.line_addr(addr);
+        let set = &mut self.sets[self.config.set_index(addr) as usize];
+        let m = match set {
+            SetState::Map(m) => m,
+            SetState::Top => return, // stays ⊤ (still sound)
+        };
+        let z_age = m.get(&line).copied().unwrap_or(a);
+        let keys: Vec<u32> = m.keys().copied().collect();
+        for y in keys {
+            if y == line {
+                continue;
+            }
+            let age = m[&y];
+            // Ages are lower bounds: y provably ages only when it is
+            // provably younger than z in every execution, i.e. when
+            // its lower bound lies strictly below z's.
+            if age < z_age {
+                if age + 1 >= a {
+                    m.remove(&y);
+                } else {
+                    m.insert(y, age + 1);
+                }
+            }
+        }
+        m.insert(line, 0);
+    }
+
+    /// Access with a small set of candidate lines: union of outcomes.
+    pub fn access_any(&mut self, lines: &[u32]) {
+        match lines {
+            [] => {}
+            [one] => self.access(*one),
+            _ => {
+                let mut acc: Option<MayCache> = None;
+                for &l in lines {
+                    let mut c = self.clone();
+                    c.access(l);
+                    acc = Some(match acc {
+                        None => c,
+                        Some(mut p) => {
+                            p.join_from(&c);
+                            p
+                        }
+                    });
+                }
+                *self = acc.expect("non-empty lines");
+            }
+        }
+    }
+
+    /// Unbounded access: the touched sets may afterwards contain anything.
+    pub fn clobber(&mut self, set_indices: Option<&[u32]>) {
+        let all: Vec<u32> = (0..self.config.sets()).collect();
+        for &si in set_indices.unwrap_or(&all) {
+            self.sets[si as usize] = SetState::Top;
+        }
+    }
+
+    /// Lattice join (set union, minimum ages).
+    pub fn join_from(&mut self, other: &MayCache) -> bool {
+        let mut changed = false;
+        for (s, o) in self.sets.iter_mut().zip(other.sets.iter()) {
+            match (&mut *s, o) {
+                (SetState::Top, _) => {}
+                (slot, SetState::Top) => {
+                    *slot = SetState::Top;
+                    changed = true;
+                }
+                (SetState::Map(sm), SetState::Map(om)) => {
+                    for (&k, &oa) in om {
+                        match sm.get(&k) {
+                            None => {
+                                sm.insert(k, oa);
+                                changed = true;
+                            }
+                            Some(&sa) if oa < sa => {
+                                sm.insert(k, oa);
+                                changed = true;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// Partial order: fewer possibilities ⊑ more possibilities.
+    pub fn le(&self, other: &MayCache) -> bool {
+        self.sets.iter().zip(other.sets.iter()).all(|(s, o)| match (s, o) {
+            (_, SetState::Top) => true,
+            (SetState::Top, SetState::Map(_)) => false,
+            (SetState::Map(sm), SetState::Map(om)) => {
+                sm.iter().all(|(k, &sa)| om.get(k).is_some_and(|&oa| oa <= sa))
+            }
+        })
+    }
+}
+
+/// The **persistence** cache: like the must cache, but evicted lines
+/// saturate at the associativity instead of disappearing, so "was loaded
+/// and never evicted since" is visible.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PersCache {
+    config: CacheConfig,
+    sets: Vec<BTreeMap<u32, u8>>,
+}
+
+impl PersCache {
+    /// An empty persistence cache.
+    pub fn new(config: CacheConfig) -> PersCache {
+        PersCache { config, sets: vec![BTreeMap::new(); config.sets() as usize] }
+    }
+
+    /// Returns `true` if the line was loaded before and has provably
+    /// never been evicted (age bound below associativity).
+    pub fn persistent(&self, addr: u32) -> bool {
+        let line = self.config.line_addr(addr);
+        self.sets[self.config.set_index(addr) as usize]
+            .get(&line)
+            .is_some_and(|&a| a < self.config.assoc() as u8)
+    }
+
+    /// Applies one access (must-style update with saturation).
+    pub fn access(&mut self, addr: u32) {
+        let a = self.config.assoc() as u8;
+        let line = self.config.line_addr(addr);
+        let set = &mut self.sets[self.config.set_index(addr) as usize];
+        let z_age = set.get(&line).copied().unwrap_or(a);
+        let keys: Vec<u32> = set.keys().copied().collect();
+        for y in keys {
+            if y == line {
+                continue;
+            }
+            let age = set[&y];
+            if age < z_age {
+                set.insert(y, (age + 1).min(a));
+            }
+        }
+        set.insert(line, 0);
+    }
+
+    /// Access with several candidate lines.
+    pub fn access_any(&mut self, lines: &[u32]) {
+        match lines {
+            [] => {}
+            [one] => self.access(*one),
+            _ => {
+                let mut acc: Option<PersCache> = None;
+                for &l in lines {
+                    let mut c = self.clone();
+                    c.access(l);
+                    acc = Some(match acc {
+                        None => c,
+                        Some(mut p) => {
+                            p.join_from(&c);
+                            p
+                        }
+                    });
+                }
+                *self = acc.expect("non-empty lines");
+            }
+        }
+    }
+
+    /// Unbounded access: saturate everything in the touched sets.
+    pub fn clobber(&mut self, set_indices: Option<&[u32]>) {
+        let a = self.config.assoc() as u8;
+        let all: Vec<u32> = (0..self.config.sets()).collect();
+        for &si in set_indices.unwrap_or(&all) {
+            for (_, age) in self.sets[si as usize].iter_mut() {
+                *age = a;
+            }
+        }
+    }
+
+    /// Lattice join (union, maximum ages — absence means "never loaded",
+    /// which is *below* any recorded age).
+    pub fn join_from(&mut self, other: &PersCache) -> bool {
+        let mut changed = false;
+        for (s, o) in self.sets.iter_mut().zip(other.sets.iter()) {
+            for (&k, &oa) in o {
+                match s.get(&k) {
+                    None => {
+                        s.insert(k, oa);
+                        changed = true;
+                    }
+                    Some(&sa) if oa > sa => {
+                        s.insert(k, oa);
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        changed
+    }
+
+    /// Partial order.
+    pub fn le(&self, other: &PersCache) -> bool {
+        self.sets.iter().zip(other.sets.iter()).all(|(s, o)| {
+            s.iter().all(|(k, &sa)| o.get(k).is_some_and(|&oa| sa <= oa))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg2way() -> CacheConfig {
+        CacheConfig::new(1, 2, 16) // one 2-way set for easy reasoning
+    }
+
+    #[test]
+    fn must_guarantees_after_access() {
+        let mut m = MustCache::new(cfg2way());
+        assert!(!m.definitely_cached(0x00));
+        m.access(0x00);
+        assert!(m.definitely_cached(0x00));
+        m.access(0x10);
+        assert!(m.definitely_cached(0x00) && m.definitely_cached(0x10));
+        m.access(0x20); // evicts the oldest guarantee (0x00)
+        assert!(!m.definitely_cached(0x00));
+        assert!(m.definitely_cached(0x20));
+    }
+
+    #[test]
+    fn must_join_is_intersection_with_max_age() {
+        let mut a = MustCache::new(cfg2way());
+        a.access(0x00); // age 0
+        let mut b = MustCache::new(cfg2way());
+        b.access(0x00);
+        b.access(0x10); // 0x00 at age 1 in b
+        let mut j = a.clone();
+        assert!(j.join_from(&b));
+        assert!(j.definitely_cached(0x00));
+        assert!(!j.definitely_cached(0x10)); // only in b
+        // Before the eviction test, a (age 0) refines j (age 1).
+        assert!(a.le(&j));
+        assert!(!j.le(&a));
+        // One more access evicts 0x00 (its joined age is the max, 1).
+        j.access(0x20);
+        assert!(!j.definitely_cached(0x00));
+    }
+
+    #[test]
+    fn may_absence_is_definite_miss() {
+        let mut m = MayCache::new(cfg2way());
+        assert!(!m.possibly_cached(0x00));
+        m.access(0x00);
+        m.access(0x10);
+        m.access(0x20); // 0x00 has provable age 2 ≥ assoc → out
+        assert!(!m.possibly_cached(0x00));
+        assert!(m.possibly_cached(0x10) && m.possibly_cached(0x20));
+    }
+
+    #[test]
+    fn may_join_is_union_with_min_age() {
+        let mut a = MayCache::new(cfg2way());
+        a.access(0x00);
+        let mut b = MayCache::new(cfg2way());
+        b.access(0x10);
+        assert!(a.join_from(&b));
+        assert!(a.possibly_cached(0x00) && a.possibly_cached(0x10));
+    }
+
+    #[test]
+    fn may_clobber_makes_everything_possible() {
+        let mut m = MayCache::new(cfg2way());
+        m.clobber(None);
+        assert!(m.possibly_cached(0xdead_beef & !0xf));
+        // Further accesses keep it sound (still ⊤).
+        m.access(0x40);
+        assert!(m.possibly_cached(0x12340));
+    }
+
+    #[test]
+    fn must_clobber_ages_everything() {
+        let mut m = MustCache::new(cfg2way());
+        m.access(0x00);
+        m.access(0x10);
+        m.clobber(None);
+        // Previous MRU is now age 1; the other is evicted.
+        assert!(m.definitely_cached(0x10));
+        assert!(!m.definitely_cached(0x00));
+    }
+
+    #[test]
+    fn persistence_survives_capacity_pressure_tracking() {
+        let mut p = PersCache::new(cfg2way());
+        p.access(0x00);
+        p.access(0x10);
+        assert!(p.persistent(0x00));
+        p.access(0x20); // 0x00 saturates (may be evicted)
+        assert!(!p.persistent(0x00));
+        assert!(p.persistent(0x20) && p.persistent(0x10));
+        // Re-access resets.
+        p.access(0x00);
+        assert!(p.persistent(0x00));
+    }
+
+    #[test]
+    fn access_any_joins_possibilities() {
+        let mut m = MustCache::new(cfg2way());
+        m.access_any(&[0x00, 0x10]);
+        // Neither line is guaranteed (the other may have been loaded).
+        assert!(!m.definitely_cached(0x00));
+        assert!(!m.definitely_cached(0x10));
+        let mut may = MayCache::new(cfg2way());
+        may.access_any(&[0x00, 0x10]);
+        assert!(may.possibly_cached(0x00) && may.possibly_cached(0x10));
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based soundness of the abstract caches against the concrete
+//! LRU reference: for random access sequences,
+//!
+//! * must-cache membership ⇒ concretely cached (hit guaranteed);
+//! * concretely cached ⇒ may-cache membership;
+//! * persistence: a persistent line misses at most once in total.
+
+use proptest::prelude::*;
+use stamp_cache::{MayCache, MustCache, PersCache};
+use stamp_hw::CacheConfig;
+use stamp_sim::LruCache;
+
+fn geometry() -> impl Strategy<Value = CacheConfig> {
+    prop_oneof![
+        Just(CacheConfig::new(1, 2, 16)),
+        Just(CacheConfig::new(2, 2, 16)),
+        Just(CacheConfig::new(4, 1, 16)),
+        Just(CacheConfig::new(2, 4, 32)),
+    ]
+}
+
+/// Addresses drawn from a small pool so that conflicts actually happen.
+fn accesses() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec((0u32..12).prop_map(|i| i * 16), 1..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn must_and_may_bracket_concrete(config in geometry(), seq in accesses()) {
+        let mut concrete = LruCache::new(config);
+        let mut must = MustCache::new(config);
+        let mut may = MayCache::new(config);
+        for &addr in &seq {
+            // Check the invariants *before* each access (classification
+            // uses the pre-state).
+            prop_assert!(
+                !must.definitely_cached(addr) || concrete.probe(addr),
+                "must says hit but concrete misses at {addr:#x}"
+            );
+            prop_assert!(
+                !concrete.probe(addr) || may.possibly_cached(addr),
+                "concrete has {addr:#x} but may says definite miss"
+            );
+            concrete.access(addr);
+            must.access(addr);
+            may.access(addr);
+        }
+        // Invariants hold for every line afterwards, too.
+        for line in (0u32..12).map(|i| i * 16) {
+            prop_assert!(!must.definitely_cached(line) || concrete.probe(line));
+            prop_assert!(!concrete.probe(line) || may.possibly_cached(line));
+        }
+    }
+
+    #[test]
+    fn join_preserves_bracketing(config in geometry(), seq1 in accesses(), seq2 in accesses()) {
+        // Simulate a control-flow join: the abstract join must bracket
+        // both concrete branches.
+        let mut c1 = LruCache::new(config);
+        let mut c2 = LruCache::new(config);
+        let mut must1 = MustCache::new(config);
+        let mut must2 = MustCache::new(config);
+        let mut may1 = MayCache::new(config);
+        let mut may2 = MayCache::new(config);
+        for &a in &seq1 { c1.access(a); must1.access(a); may1.access(a); }
+        for &a in &seq2 { c2.access(a); must2.access(a); may2.access(a); }
+        must1.join_from(&must2);
+        may1.join_from(&may2);
+        for line in (0u32..12).map(|i| i * 16) {
+            if must1.definitely_cached(line) {
+                prop_assert!(c1.probe(line) && c2.probe(line),
+                    "joined must guarantees {line:#x} but a branch misses it");
+            }
+            if c1.probe(line) || c2.probe(line) {
+                prop_assert!(may1.possibly_cached(line),
+                    "{line:#x} cached in a branch but joined may denies it");
+            }
+        }
+    }
+
+    #[test]
+    fn persistence_bounds_ps_classified_misses(config in geometry(), seq in accesses()) {
+        // The guarantee the WCET pricing relies on: among the accesses
+        // that the persistence analysis classifies as persistent (age
+        // below associativity in the PRE-state), each line misses at
+        // most once per execution. This is exactly the budget charged by
+        // `ps_extra_cycles`.
+        let mut concrete = LruCache::new(config);
+        let mut pers = PersCache::new(config);
+        let mut ps_misses: std::collections::HashMap<u32, u32> = Default::default();
+        for &addr in &seq {
+            let line = config.line_addr(addr);
+            let classified_ps = pers.persistent(line);
+            let hit = concrete.access(addr);
+            if classified_ps && !hit {
+                *ps_misses.entry(line).or_insert(0) += 1;
+            }
+            pers.access(addr);
+        }
+        for (line, misses) in ps_misses {
+            prop_assert!(
+                misses <= 1,
+                "line {line:#x} missed {misses} times at persistent-classified accesses"
+            );
+        }
+    }
+
+    #[test]
+    fn clobber_is_sound_for_unknown_accesses(
+        config in geometry(),
+        seq in accesses(),
+        surprise in (0u32..12).prop_map(|i| i * 16),
+    ) {
+        // An unknown access abstracted by clobber() must cover any
+        // concrete choice of accessed line.
+        let mut concrete = LruCache::new(config);
+        let mut must = MustCache::new(config);
+        for &a in &seq {
+            concrete.access(a);
+            must.access(a);
+        }
+        concrete.access(surprise); // the concrete unknown access
+        must.clobber(None);
+        for line in (0u32..12).map(|i| i * 16) {
+            prop_assert!(
+                !must.definitely_cached(line) || concrete.probe(line),
+                "after clobber, must guarantees {line:#x} which {surprise:#x} evicted"
+            );
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! The WCET analyzer pipeline (the aiT equivalent).
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use stamp_ai::{Icfg, VivuConfig};
+use stamp_cfg::CfgBuilder;
+use stamp_cache::CacheAnalysis;
+use stamp_hw::HwConfig;
+use stamp_isa::Program;
+use stamp_loopbound::{LoopBoundAnalysis, LoopBoundOptions};
+use stamp_path::{PathOptions, WcetResult};
+use stamp_pipeline::PipelineAnalysis;
+use stamp_value::{ValueAnalysis, ValueOptions};
+
+use crate::annot::Annotations;
+use crate::error::AnalysisError;
+use crate::report::WcetReport;
+
+/// Configuration of the analyzer pipeline.
+#[derive(Clone, Debug)]
+pub struct AnalysisConfig {
+    /// The processor model.
+    pub hw: HwConfig,
+    /// VIVU context settings.
+    pub vivu: VivuConfig,
+    /// Value-analysis settings (domain selection, widening).
+    pub value: ValueOptions,
+    /// Use infeasible-path facts in the ILP (E4 ablation switch).
+    pub use_infeasible: bool,
+    /// Maximum CFG ↔ value-analysis iterations for indirect jumps.
+    pub max_cfg_iterations: usize,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> AnalysisConfig {
+        AnalysisConfig {
+            hw: HwConfig::default(),
+            vivu: VivuConfig::default(),
+            value: ValueOptions::default(),
+            use_infeasible: true,
+            max_cfg_iterations: 4,
+        }
+    }
+}
+
+/// The WCET analyzer. Build with [`WcetAnalysis::new`], configure with
+/// the builder methods, then [`WcetAnalysis::run`].
+///
+/// See the crate documentation for an end-to-end example.
+pub struct WcetAnalysis<'p> {
+    program: &'p Program,
+    config: AnalysisConfig,
+    annotations: Annotations,
+}
+
+impl<'p> WcetAnalysis<'p> {
+    /// Creates an analyzer for `program` with the default configuration.
+    pub fn new(program: &'p Program) -> WcetAnalysis<'p> {
+        WcetAnalysis {
+            program,
+            config: AnalysisConfig::default(),
+            annotations: Annotations::new(),
+        }
+    }
+
+    /// Replaces the whole configuration.
+    pub fn config(mut self, config: AnalysisConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the hardware model.
+    pub fn hw(mut self, hw: HwConfig) -> Self {
+        self.config.hw = hw;
+        self
+    }
+
+    /// Sets the VIVU context configuration.
+    pub fn vivu(mut self, vivu: VivuConfig) -> Self {
+        self.config.vivu = vivu;
+        self
+    }
+
+    /// Sets the value-analysis options.
+    pub fn value_options(mut self, value: ValueOptions) -> Self {
+        self.config.value = value;
+        self
+    }
+
+    /// Enables or disables infeasible-path pruning in the ILP.
+    pub fn use_infeasible(mut self, on: bool) -> Self {
+        self.config.use_infeasible = on;
+        self
+    }
+
+    /// Attaches annotations.
+    pub fn annotations(mut self, annotations: Annotations) -> Self {
+        self.annotations = annotations;
+        self
+    }
+
+    /// Runs all phases and produces the report.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisError`]: irreducible or recursive control flow,
+    /// unresolved indirect jumps, missing loop bounds.
+    pub fn run(&self) -> Result<WcetReport, AnalysisError> {
+        let program = self.program;
+        let cfg_opts = &self.config;
+        let mut phases: Vec<(String, f64)> = Vec::new();
+        let clock = |phases: &mut Vec<(String, f64)>, name: &str, t: Instant| {
+            phases.push((name.to_string(), t.elapsed().as_secs_f64()));
+        };
+
+        // ---- Phase 1+2 iterated: CFG building ↔ value analysis.
+        let mut extra: BTreeMap<u32, Vec<u32>> = self.annotations.resolved_indirects(program);
+        let mut iteration = 0;
+        let (cfg, icfg, va) = loop {
+            iteration += 1;
+            let t = Instant::now();
+            let mut builder = CfgBuilder::new(program);
+            for (a, ts) in &extra {
+                builder.indirect_targets(*a, ts.iter().copied());
+            }
+            let cfg = builder.build()?;
+            clock(&mut phases, "cfg building", t);
+
+            let t = Instant::now();
+            let icfg = Icfg::build(&cfg, &cfg_opts.vivu)?;
+            clock(&mut phases, "context expansion", t);
+
+            let t = Instant::now();
+            let va = ValueAnalysis::run(program, &cfg_opts.hw, &cfg, &icfg, &cfg_opts.value);
+            clock(&mut phases, "value analysis", t);
+
+            if cfg.unresolved_indirects().is_empty() {
+                break (cfg, icfg, va);
+            }
+            // Feed resolved targets back into CFG reconstruction.
+            let mut progress = false;
+            for (&addr, targets) in va.indirect_targets() {
+                let slot = extra.entry(addr).or_default();
+                for &t in targets {
+                    if !slot.contains(&t) {
+                        slot.push(t);
+                        progress = true;
+                    }
+                }
+            }
+            if !progress || iteration >= cfg_opts.max_cfg_iterations {
+                return Err(AnalysisError::UnresolvedIndirects {
+                    addrs: cfg.unresolved_indirects().to_vec(),
+                });
+            }
+        };
+
+        // ---- Phase 3: loop bounds.
+        let t = Instant::now();
+        let lb_opts = LoopBoundOptions {
+            annotations: self.annotations.resolved_loop_bounds(program),
+            ..LoopBoundOptions::default()
+        };
+        let lb = LoopBoundAnalysis::run(program, &cfg, &icfg, &va, &lb_opts);
+        clock(&mut phases, "loop bound analysis", t);
+
+        // ---- Phase 4: cache analysis.
+        let t = Instant::now();
+        let ca = CacheAnalysis::run(&cfg_opts.hw, &cfg, &icfg, &va);
+        clock(&mut phases, "cache analysis", t);
+
+        // ---- Phase 5: pipeline analysis.
+        let t = Instant::now();
+        let pa = PipelineAnalysis::run(&cfg_opts.hw, &cfg, &icfg, &ca, &va);
+        clock(&mut phases, "pipeline analysis", t);
+
+        // ---- Phase 6: path analysis (IPET).
+        let t = Instant::now();
+        let path_opts = PathOptions { use_infeasible: cfg_opts.use_infeasible };
+        let result: WcetResult = stamp_path::analyze(&cfg, &icfg, &va, &lb, &pa, &path_opts)?;
+        clock(&mut phases, "path analysis (ILP)", t);
+
+        Ok(WcetReport::assemble(
+            program, &cfg, &icfg, &va, &lb, &ca, &pa, &result, phases,
+        ))
+    }
+}

@@ -1,0 +1,95 @@
+//! The unified analysis error type.
+
+use std::error::Error;
+use std::fmt;
+
+use stamp_ai::IcfgError;
+use stamp_cfg::CfgError;
+use stamp_path::PathError;
+use stamp_stack::StackError;
+
+/// Any failure of the analyzer pipeline, with the phase that raised it.
+#[derive(Clone, Debug)]
+pub enum AnalysisError {
+    /// CFG reconstruction failed.
+    Cfg(CfgError),
+    /// Supergraph expansion failed (e.g. recursion).
+    Icfg(IcfgError),
+    /// Indirect jumps remained unresolved after the CFG ↔ value-analysis
+    /// iteration; annotations are required.
+    UnresolvedIndirects {
+        /// Addresses of the unresolved jumps.
+        addrs: Vec<u32>,
+    },
+    /// Path analysis failed (e.g. a loop without a bound).
+    Path(PathError),
+    /// Stack analysis failed.
+    Stack(StackError),
+    /// A symbol named in the API does not exist in the program.
+    UnknownSymbol {
+        /// The missing symbol.
+        name: String,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Cfg(e) => write!(f, "CFG reconstruction: {e}"),
+            AnalysisError::Icfg(e) => write!(f, "context expansion: {e}"),
+            AnalysisError::UnresolvedIndirects { addrs } => {
+                write!(f, "unresolved indirect jumps at ")?;
+                for (i, a) in addrs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a:#010x}")?;
+                }
+                write!(f, "; add indirect-target annotations")
+            }
+            AnalysisError::Path(e) => write!(f, "path analysis: {e}"),
+            AnalysisError::Stack(e) => write!(f, "stack analysis: {e}"),
+            AnalysisError::UnknownSymbol { name } => {
+                write!(f, "unknown symbol `{name}`")
+            }
+        }
+    }
+}
+
+impl Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AnalysisError::Cfg(e) => Some(e),
+            AnalysisError::Icfg(e) => Some(e),
+            AnalysisError::Path(e) => Some(e),
+            AnalysisError::Stack(e) => Some(e),
+            AnalysisError::UnresolvedIndirects { .. } | AnalysisError::UnknownSymbol { .. } => {
+                None
+            }
+        }
+    }
+}
+
+impl From<CfgError> for AnalysisError {
+    fn from(e: CfgError) -> AnalysisError {
+        AnalysisError::Cfg(e)
+    }
+}
+
+impl From<IcfgError> for AnalysisError {
+    fn from(e: IcfgError) -> AnalysisError {
+        AnalysisError::Icfg(e)
+    }
+}
+
+impl From<PathError> for AnalysisError {
+    fn from(e: PathError) -> AnalysisError {
+        AnalysisError::Path(e)
+    }
+}
+
+impl From<StackError> for AnalysisError {
+    fn from(e: StackError) -> AnalysisError {
+        AnalysisError::Stack(e)
+    }
+}

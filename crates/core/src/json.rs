@@ -1,0 +1,114 @@
+//! A minimal JSON value writer (keeps `serde_json` out of the allowed
+//! dependency set; reports are small and flat).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Any number (rendered without trailing zeros for integers).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with deterministic (sorted) key order.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Convenience integer constructor.
+    pub fn int(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+
+    /// Convenience string constructor.
+    pub fn str(v: impl Into<String>) -> Json {
+        Json::Str(v.into())
+    }
+
+    /// Convenience object constructor.
+    pub fn obj(entries: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Json::Str(s) => {
+                f.write_str("\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => f.write_str("\\\"")?,
+                        '\\' => f.write_str("\\\\")?,
+                        '\n' => f.write_str("\\n")?,
+                        '\t' => f.write_str("\\t")?,
+                        '\r' => f.write_str("\\r")?,
+                        c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                f.write_str("\"")
+            }
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(map) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{}:{v}", Json::Str(k.clone()))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_values() {
+        let j = Json::obj([
+            ("wcet", Json::int(1234)),
+            ("name", Json::str("fib\"call")),
+            ("phases", Json::Arr(vec![Json::int(1), Json::Num(2.5), Json::Null])),
+            ("ok", Json::Bool(true)),
+        ]);
+        assert_eq!(
+            j.to_string(),
+            r#"{"name":"fib\"call","ok":true,"phases":[1,2.5,null],"wcet":1234}"#
+        );
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        assert_eq!(Json::str("a\nb\u{1}").to_string(), "\"a\\nb\\u0001\"");
+    }
+}

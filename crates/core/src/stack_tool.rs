@@ -1,0 +1,160 @@
+//! The StackAnalyzer product: per-task worst-case stack bounds.
+
+use std::collections::BTreeMap;
+
+use stamp_ai::{Icfg, IcfgError, VivuConfig};
+use stamp_cfg::CfgBuilder;
+use stamp_hw::HwConfig;
+use stamp_isa::Program;
+use stamp_stack::{FunctionStack, StackOptions};
+use stamp_value::{ValueAnalysis, ValueOptions};
+
+use crate::annot::Annotations;
+use crate::error::AnalysisError;
+use crate::json::Json;
+
+/// Result of a stack analysis.
+#[derive(Clone, Debug)]
+pub struct StackReport {
+    /// Worst-case stack usage of the task in bytes.
+    pub bound: u32,
+    /// Which analysis produced the bound: `"precise"` (supergraph replay)
+    /// or `"callgraph"` (compositional, used for recursive tasks).
+    pub mode: &'static str,
+    /// Per-function breakdown (callgraph mode only).
+    pub per_function: BTreeMap<String, FunctionStack>,
+}
+
+impl StackReport {
+    /// Machine-readable JSON rendering.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("stack_bound", Json::int(self.bound as u64)),
+            ("mode", Json::str(self.mode)),
+            (
+                "functions",
+                Json::Obj(
+                    self.per_function
+                        .iter()
+                        .map(|(n, f)| {
+                            (
+                                n.clone(),
+                                Json::obj([
+                                    ("local", Json::int(f.local as u64)),
+                                    ("usage", Json::int(f.usage as u64)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The stack analyzer. Prefers the precise supergraph mode and falls
+/// back to the compositional call-graph mode when the task is recursive
+/// (which then requires recursion-depth annotations).
+///
+/// # Example
+///
+/// ```
+/// use stamp_isa::asm::assemble;
+/// use stamp_core::StackAnalysis;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = assemble(".text\nmain: addi sp, sp, -64\naddi sp, sp, 64\nhalt\n")?;
+/// let report = StackAnalysis::new(&p).run()?;
+/// assert_eq!(report.bound, 64);
+/// # Ok(())
+/// # }
+/// ```
+pub struct StackAnalysis<'p> {
+    program: &'p Program,
+    hw: HwConfig,
+    annotations: Annotations,
+}
+
+impl<'p> StackAnalysis<'p> {
+    /// Creates a stack analyzer with the default hardware model.
+    pub fn new(program: &'p Program) -> StackAnalysis<'p> {
+        StackAnalysis { program, hw: HwConfig::default(), annotations: Annotations::new() }
+    }
+
+    /// Sets the hardware model (memory map / stack top).
+    pub fn hw(mut self, hw: HwConfig) -> Self {
+        self.hw = hw;
+        self
+    }
+
+    /// Attaches annotations (recursion depths, indirect targets).
+    pub fn annotations(mut self, annotations: Annotations) -> Self {
+        self.annotations = annotations;
+        self
+    }
+
+    /// Analyzes the task at the program's entry point.
+    pub fn run(&self) -> Result<StackReport, AnalysisError> {
+        self.run_program(self.program)
+    }
+
+    /// Analyzes the task whose entry is the given symbol (for multi-task
+    /// images, one task per OSEK task entry).
+    pub fn run_task(&self, entry_symbol: &str) -> Result<StackReport, AnalysisError> {
+        let addr = self.program.symbols.addr_of(entry_symbol).ok_or_else(|| {
+            AnalysisError::UnknownSymbol { name: entry_symbol.to_string() }
+        })?;
+        let mut program = self.program.clone();
+        program.entry = addr;
+        self.run_program(&program)
+    }
+
+    fn run_program(&self, program: &Program) -> Result<StackReport, AnalysisError> {
+        let mut builder = CfgBuilder::new(program);
+        for (a, ts) in self.annotations.resolved_indirects(program) {
+            builder.indirect_targets(a, ts);
+        }
+        let cfg = builder.build()?;
+
+        match Icfg::build(&cfg, &VivuConfig::default()) {
+            Ok(icfg) => {
+                let va = ValueAnalysis::run(
+                    program,
+                    &self.hw,
+                    &cfg,
+                    &icfg,
+                    &ValueOptions::default(),
+                );
+                let precise = stamp_stack::analyze_icfg(program, &self.hw, &cfg, &icfg, &va)?;
+                // The callgraph mode also provides the per-function table.
+                let breakdown = stamp_stack::analyze_callgraph(
+                    program,
+                    &cfg,
+                    &StackOptions {
+                        recursion_depths: self.annotations.resolved_recursion(program),
+                    },
+                )
+                .map(|r| r.per_function)
+                .unwrap_or_default();
+                Ok(StackReport {
+                    bound: precise.total,
+                    mode: "precise",
+                    per_function: breakdown,
+                })
+            }
+            // Recursion: fall back to the compositional mode.
+            Err(IcfgError::CallDepthExceeded { .. } | IcfgError::ContextExplosion { .. }) => {
+                let opts = StackOptions {
+                    recursion_depths: self.annotations.resolved_recursion(program),
+                };
+                let r = stamp_stack::analyze_callgraph(program, &cfg, &opts)?;
+                Ok(StackReport {
+                    bound: r.total,
+                    mode: "callgraph",
+                    per_function: r.per_function,
+                })
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Cache geometry.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one set-associative LRU cache.
+///
+/// All three parameters must be powers of two. Addresses map to sets by
+/// `(addr / line_bytes) % sets`; the tag is the remaining high bits.
+///
+/// # Example
+///
+/// ```
+/// use stamp_hw::CacheConfig;
+///
+/// let c = CacheConfig::new(32, 2, 16); // 1 KiB, 2-way, 16-byte lines
+/// assert_eq!(c.size_bytes(), 1024);
+/// assert_eq!(c.set_index(0x40), 4);
+/// assert_eq!(c.line_addr(0x47), 0x40);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheConfig {
+    sets: u32,
+    assoc: u32,
+    line_bytes: u32,
+}
+
+impl CacheConfig {
+    /// Creates a cache geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or not a power of two, or if
+    /// `line_bytes < 4`.
+    pub fn new(sets: u32, assoc: u32, line_bytes: u32) -> CacheConfig {
+        assert!(sets.is_power_of_two(), "sets must be a power of two, got {sets}");
+        assert!(assoc.is_power_of_two(), "assoc must be a power of two, got {assoc}");
+        assert!(
+            line_bytes.is_power_of_two() && line_bytes >= 4,
+            "line_bytes must be a power of two ≥ 4, got {line_bytes}"
+        );
+        CacheConfig { sets, assoc, line_bytes }
+    }
+
+    /// Number of sets.
+    pub fn sets(self) -> u32 {
+        self.sets
+    }
+
+    /// Associativity (ways per set).
+    pub fn assoc(self) -> u32 {
+        self.assoc
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(self) -> u32 {
+        self.line_bytes
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(self) -> u32 {
+        self.sets * self.assoc * self.line_bytes
+    }
+
+    /// The set index of an address.
+    pub fn set_index(self, addr: u32) -> u32 {
+        (addr / self.line_bytes) % self.sets
+    }
+
+    /// The address of the first byte of the line containing `addr`
+    /// (tag and set index combined — a unique line identifier).
+    pub fn line_addr(self, addr: u32) -> u32 {
+        addr & !(self.line_bytes - 1)
+    }
+
+    /// Iterates over the distinct line addresses touched by an access of
+    /// `len` bytes starting at `addr` (1 or 2 lines for aligned scalar
+    /// accesses).
+    pub fn lines_touched(self, addr: u32, len: u32) -> impl Iterator<Item = u32> {
+        let first = self.line_addr(addr);
+        let last = self.line_addr(addr + len.max(1) - 1);
+        let lb = self.line_bytes;
+        (0..=(last.wrapping_sub(first) / lb)).map(move |i| first + i * lb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let c = CacheConfig::new(64, 4, 32);
+        assert_eq!(c.size_bytes(), 8192);
+        assert_eq!(c.set_index(0), 0);
+        assert_eq!(c.set_index(32), 1);
+        assert_eq!(c.set_index(64 * 32), 0); // wraps around
+        assert_eq!(c.line_addr(0x1234), 0x1220);
+    }
+
+    #[test]
+    fn lines_touched_spans_boundary() {
+        let c = CacheConfig::new(32, 2, 16);
+        let v: Vec<u32> = c.lines_touched(0x0e, 4).collect();
+        assert_eq!(v, vec![0x00, 0x10]);
+        let v: Vec<u32> = c.lines_touched(0x10, 4).collect();
+        assert_eq!(v, vec![0x10]);
+        let v: Vec<u32> = c.lines_touched(0x10, 1).collect();
+        assert_eq!(v, vec![0x10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_sets_panics() {
+        let _ = CacheConfig::new(3, 2, 16);
+    }
+}

@@ -1,0 +1,134 @@
+//! # stamp-hw — the EVA32 processor and memory-system model
+//!
+//! This crate pins down the *microarchitectural contract* shared by the
+//! cycle-accurate simulator (`stamp-sim`) and all static analyses
+//! (`stamp-cache`, `stamp-pipeline`, …). It plays the role of the
+//! processor manual from which both an aiT timing model and a reference
+//! board would be derived — except that here both sides provably agree,
+//! because they read the same [`HwConfig`].
+//!
+//! The model (see DESIGN.md for rationale):
+//!
+//! * scalar in-order 5-stage pipeline with an **additive stall model**:
+//!   every instruction costs 1 issue cycle plus stalls for I-cache misses,
+//!   multi-cycle EX ops, D-cache load misses, taken control transfers and
+//!   the load-use hazard;
+//! * separate I and D caches, set-associative with true LRU replacement;
+//!   loads allocate, stores are write-around (they never touch the cache)
+//!   and retire through a write buffer at zero stall cycles;
+//! * a flat memory map: ROM (code + constants) and RAM (data, bss, stack;
+//!   the stack grows down from the top of RAM).
+//!
+//! # Example
+//!
+//! ```
+//! use stamp_hw::HwConfig;
+//!
+//! let hw = HwConfig::default();
+//! let dc = hw.dcache.unwrap();
+//! assert_eq!(dc.size_bytes(), 1024);
+//! assert_eq!(dc.set_index(0x1000_0040), dc.set_index(0x1000_0040 + dc.size_bytes()));
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+mod cache;
+mod map;
+mod timing;
+
+pub use cache::CacheConfig;
+pub use map::{MemoryMap, Region};
+pub use timing::Timing;
+
+/// Complete hardware configuration: caches, memory map and timing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HwConfig {
+    /// Instruction cache, or `None` for uncached instruction fetch
+    /// (every fetch pays the miss penalty).
+    pub icache: Option<CacheConfig>,
+    /// Data cache, or `None` for uncached data accesses.
+    pub dcache: Option<CacheConfig>,
+    /// Memory map.
+    pub mem: MemoryMap,
+    /// Timing parameters.
+    pub timing: Timing,
+}
+
+impl Default for HwConfig {
+    /// The reference configuration used throughout the test suite:
+    /// 1 KiB 2-way 16 B-line I and D caches, 10-cycle miss penalties,
+    /// 2-cycle taken-branch penalty, 4-cycle multiply, 12-cycle divide.
+    fn default() -> HwConfig {
+        HwConfig {
+            icache: Some(CacheConfig::new(32, 2, 16)),
+            dcache: Some(CacheConfig::new(32, 2, 16)),
+            mem: MemoryMap::default(),
+            timing: Timing::default(),
+        }
+    }
+}
+
+impl HwConfig {
+    /// A configuration without caches: every fetch and load pays the miss
+    /// penalty. Useful as the "all-miss" baseline in experiments.
+    pub fn no_cache() -> HwConfig {
+        HwConfig { icache: None, dcache: None, ..HwConfig::default() }
+    }
+
+    /// A configuration with an ideal (never-stalling) memory system:
+    /// each instruction costs 1 cycle plus EX stalls and branch
+    /// penalties. Useful for isolating path-analysis behaviour.
+    pub fn ideal() -> HwConfig {
+        HwConfig {
+            icache: None,
+            dcache: None,
+            mem: MemoryMap::default(),
+            timing: Timing { i_miss_penalty: 0, d_miss_penalty: 0, ..Timing::default() },
+        }
+    }
+
+    /// Returns the default configuration with both caches resized to
+    /// `total_bytes` (same 2-way/16 B geometry). Used by the cache-size
+    /// sweep experiment (E9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_bytes` is not a power of two ≥ 32.
+    pub fn with_cache_bytes(total_bytes: u32) -> HwConfig {
+        assert!(
+            total_bytes.is_power_of_two() && total_bytes >= 32,
+            "cache size must be a power of two ≥ 32, got {total_bytes}"
+        );
+        let sets = (total_bytes / (2 * 16)).max(1);
+        let cfg = CacheConfig::new(sets, 2, 16);
+        HwConfig { icache: Some(cfg), dcache: Some(cfg), ..HwConfig::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_consistent() {
+        let hw = HwConfig::default();
+        assert_eq!(hw.icache.unwrap().size_bytes(), 1024);
+        assert_eq!(hw.mem.stack_top() % 4, 0);
+    }
+
+    #[test]
+    fn cache_sweep_sizes() {
+        for bytes in [64, 256, 1024, 4096] {
+            let hw = HwConfig::with_cache_bytes(bytes);
+            assert_eq!(hw.dcache.unwrap().size_bytes(), bytes);
+        }
+    }
+
+    #[test]
+    fn ideal_has_no_memory_stalls() {
+        let hw = HwConfig::ideal();
+        assert!(hw.icache.is_none());
+        assert_eq!(hw.timing.i_miss_penalty, 0);
+        assert_eq!(hw.timing.d_miss_penalty, 0);
+    }
+}

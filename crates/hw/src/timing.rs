@@ -1,0 +1,79 @@
+//! Pipeline timing parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Timing parameters of the additive-stall pipeline model.
+///
+/// The cost of one retired instruction is
+///
+/// ```text
+/// 1                       (issue)
+/// + i_miss_penalty        if the fetch misses the I-cache
+/// + (mul_latency - 1)     for mul/mulh
+/// + (div_latency - 1)     for div/rem
+/// + d_miss_penalty        if a load misses the D-cache
+/// + branch_penalty        if the instruction is a taken control transfer
+/// + 1                     load-use hazard (see [`Timing::load_use_hazard`])
+/// ```
+///
+/// Stores never stall (write buffer, write-around).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timing {
+    /// Extra cycles for an instruction fetch that misses the I-cache
+    /// (also the flat fetch cost when no I-cache is configured).
+    pub i_miss_penalty: u32,
+    /// Extra cycles for a load that misses the D-cache
+    /// (also the flat load cost when no D-cache is configured).
+    pub d_miss_penalty: u32,
+    /// Extra cycles for every *taken* branch, jump, call and return
+    /// (pipeline refill).
+    pub branch_penalty: u32,
+    /// Total EX-stage occupancy of `mul`/`mulh` (≥ 1).
+    pub mul_latency: u32,
+    /// Total EX-stage occupancy of `div`/`rem` (≥ 1).
+    pub div_latency: u32,
+    /// When `true`, an instruction that reads the destination register of
+    /// the *immediately preceding* load stalls one cycle. This hazard
+    /// crosses basic-block boundaries, so the pipeline analysis must track
+    /// it as abstract state.
+    pub load_use_hazard: bool,
+}
+
+impl Default for Timing {
+    fn default() -> Timing {
+        Timing {
+            i_miss_penalty: 10,
+            d_miss_penalty: 10,
+            branch_penalty: 2,
+            mul_latency: 4,
+            div_latency: 12,
+            load_use_hazard: true,
+        }
+    }
+}
+
+impl Timing {
+    /// Extra EX cycles (beyond the issue cycle) of the given ALU class.
+    pub fn ex_stall(&self, is_mul: bool, is_div: bool) -> u32 {
+        if is_mul {
+            self.mul_latency.saturating_sub(1)
+        } else if is_div {
+            self.div_latency.saturating_sub(1)
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ex_stall_from_latency() {
+        let t = Timing::default();
+        assert_eq!(t.ex_stall(false, false), 0);
+        assert_eq!(t.ex_stall(true, false), 3);
+        assert_eq!(t.ex_stall(false, true), 11);
+    }
+}

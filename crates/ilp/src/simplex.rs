@@ -1,0 +1,165 @@
+//! Two-phase primal simplex on exact rationals.
+
+use crate::model::IlpError;
+use crate::rational::Rat;
+
+/// A standard-form LP: maximize `c·x` s.t. `A x = b`, `x ≥ 0`, `b ≥ 0`,
+/// where artificial variables have already been appended by the caller.
+pub(crate) struct Standard {
+    /// Constraint matrix, one row per constraint.
+    pub a: Vec<Vec<Rat>>,
+    /// Right-hand side (non-negative).
+    pub b: Vec<Rat>,
+    /// Objective coefficients (length = total columns).
+    pub c: Vec<Rat>,
+    /// Columns that are artificial variables (for phase 1).
+    pub artificials: Vec<usize>,
+    /// Initial basis: one basic column per row.
+    pub basis: Vec<usize>,
+}
+
+pub(crate) struct SimplexResult {
+    pub objective: Rat,
+    /// Value per column.
+    pub values: Vec<Rat>,
+}
+
+/// Runs two-phase simplex.
+pub(crate) fn solve(mut s: Standard) -> Result<SimplexResult, IlpError> {
+    let cols = s.c.len();
+    let rows = s.a.len();
+    debug_assert!(s.basis.len() == rows);
+
+    // ----- Phase 1: minimize sum of artificials (maximize the negation).
+    if !s.artificials.is_empty() {
+        let mut c1 = vec![Rat::ZERO; cols];
+        for &j in &s.artificials {
+            c1[j] = -Rat::ONE;
+        }
+        let obj = run(&mut s.a, &mut s.b, &c1, &mut s.basis)?;
+        if obj < Rat::ZERO {
+            return Err(IlpError::Infeasible);
+        }
+        // Drive any artificial still in the basis out (degenerate case):
+        // pivot on any non-artificial column with a nonzero entry.
+        for r in 0..rows {
+            let bc = s.basis[r];
+            if s.artificials.contains(&bc) {
+                let pivot_col = (0..cols)
+                    .find(|j| !s.artificials.contains(j) && !s.a[r][*j].is_zero());
+                if let Some(j) = pivot_col {
+                    pivot(&mut s.a, &mut s.b, r, j);
+                    s.basis[r] = j;
+                }
+                // If the whole row is zero it is redundant; leave it.
+            }
+        }
+        // Remove artificial columns from consideration in phase 2 by
+        // forcing their objective coefficients to stay zero and never
+        // selecting them (they are zeroed below).
+        for &j in &s.artificials {
+            for row in s.a.iter_mut() {
+                row[j] = Rat::ZERO;
+            }
+        }
+    }
+
+    // ----- Phase 2: maximize the real objective.
+    let objective = run(&mut s.a, &mut s.b, &s.c, &mut s.basis)?;
+    let mut values = vec![Rat::ZERO; cols];
+    for (r, &bc) in s.basis.iter().enumerate() {
+        values[bc] = s.b[r];
+    }
+    Ok(SimplexResult { objective, values })
+}
+
+/// Primal simplex iterations with Bland's rule. Returns the objective
+/// value; `a`, `b`, `basis` are updated in place.
+fn run(
+    a: &mut [Vec<Rat>],
+    b: &mut [Rat],
+    c: &[Rat],
+    basis: &mut [usize],
+) -> Result<Rat, IlpError> {
+    let rows = a.len();
+    let cols = c.len();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        if iterations > 50_000 {
+            return Err(IlpError::IterationLimit);
+        }
+        // Reduced costs: r_j = c_j − c_B · B⁻¹A_j (tableau is kept in
+        // B⁻¹A form, so the dot product is over basic rows).
+        // Bland's rule: entering column = smallest j with r_j > 0.
+        let mut entering = None;
+        for j in 0..cols {
+            if basis.contains(&j) {
+                continue;
+            }
+            let mut rj = c[j];
+            for r in 0..rows {
+                rj = rj - c[basis[r]] * a[r][j];
+            }
+            if rj.is_positive() {
+                entering = Some(j);
+                break;
+            }
+        }
+        let Some(j) = entering else {
+            // Optimal: objective = c_B · b.
+            let mut obj = Rat::ZERO;
+            for r in 0..rows {
+                obj = obj + c[basis[r]] * b[r];
+            }
+            return Ok(obj);
+        };
+        // Ratio test (Bland: smallest basis index on ties).
+        let mut leave: Option<(usize, Rat)> = None;
+        for r in 0..rows {
+            if a[r][j].is_positive() {
+                let ratio = b[r] / a[r][j];
+                let better = match &leave {
+                    None => true,
+                    Some((lr, lratio)) => {
+                        ratio < *lratio || (ratio == *lratio && basis[r] < basis[*lr])
+                    }
+                };
+                if better {
+                    leave = Some((r, ratio));
+                }
+            }
+        }
+        let Some((r, _)) = leave else {
+            return Err(IlpError::Unbounded);
+        };
+        pivot(a, b, r, j);
+        basis[r] = j;
+    }
+}
+
+/// Gauss-Jordan pivot on `(row, col)`.
+fn pivot(a: &mut [Vec<Rat>], b: &mut [Rat], row: usize, col: usize) {
+    let p = a[row][col];
+    debug_assert!(!p.is_zero());
+    let cols = a[row].len();
+    for j in 0..cols {
+        a[row][j] = a[row][j] / p;
+    }
+    b[row] = b[row] / p;
+    for r in 0..a.len() {
+        if r == row {
+            continue;
+        }
+        let f = a[r][col];
+        if f.is_zero() {
+            continue;
+        }
+        for j in 0..cols {
+            let v = a[row][j] * f;
+            a[r][j] = a[r][j] - v;
+        }
+        let v = b[row] * f;
+        b[r] = b[r] - v;
+    }
+}

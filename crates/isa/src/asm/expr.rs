@@ -1,0 +1,246 @@
+//! Constant expressions in assembler operands (`label+4`, `0x10`, `N*1`…).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use super::AsmError;
+
+/// An atom of an operand expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Atom {
+    /// A numeric literal.
+    Num(i64),
+    /// A symbol reference (label or `.equ` constant).
+    Sym(String),
+}
+
+/// A sum/difference of atoms, e.g. `table + 8` or `end - start`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Expr {
+    /// Signed terms; the expression value is the sum of `sign * atom`.
+    pub terms: Vec<(i64, Atom)>,
+    /// Source line, for error messages.
+    pub line: u32,
+}
+
+impl Expr {
+    /// A constant expression.
+    pub fn num(v: i64, line: u32) -> Expr {
+        Expr { terms: vec![(1, Atom::Num(v))], line }
+    }
+
+    /// A single-symbol expression.
+    pub fn sym(name: impl Into<String>, line: u32) -> Expr {
+        Expr { terms: vec![(1, Atom::Sym(name.into()))], line }
+    }
+
+    /// Returns the constant value if the expression references no symbols.
+    pub fn as_const(&self) -> Option<i64> {
+        let mut total = 0i64;
+        for (sign, atom) in &self.terms {
+            match atom {
+                Atom::Num(v) => total += sign * v,
+                Atom::Sym(_) => return None,
+            }
+        }
+        Some(total)
+    }
+
+    /// Evaluates the expression against a symbol table.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the first undefined symbol.
+    pub fn eval(&self, symbols: &BTreeMap<String, i64>) -> Result<i64, AsmError> {
+        let mut total = 0i64;
+        for (sign, atom) in &self.terms {
+            let v = match atom {
+                Atom::Num(v) => *v,
+                Atom::Sym(name) => *symbols.get(name).ok_or_else(|| {
+                    AsmError::new(self.line, format!("undefined symbol `{name}`"))
+                })?,
+            };
+            total = total.wrapping_add(sign.wrapping_mul(v));
+        }
+        Ok(total)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (sign, atom)) in self.terms.iter().enumerate() {
+            if i > 0 || *sign < 0 {
+                f.write_str(if *sign < 0 { "-" } else { "+" })?;
+            }
+            match atom {
+                Atom::Num(v) => write!(f, "{v}")?,
+                Atom::Sym(s) => f.write_str(s)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses an expression of the form `atom (('+'|'-') atom)*`.
+///
+/// Atoms are decimal literals, `0x`/`0b` literals, `'c'` character
+/// literals, or identifiers. A leading `-` negates the first atom.
+pub fn parse_expr(s: &str, line: u32) -> Result<Expr, AsmError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(AsmError::new(line, "empty expression"));
+    }
+    let bytes = s.as_bytes();
+    let mut terms = Vec::new();
+    let mut i = 0usize;
+    let mut sign = 1i64;
+    // Optional leading sign.
+    if bytes[0] == b'-' {
+        sign = -1;
+        i = 1;
+    } else if bytes[0] == b'+' {
+        i = 1;
+    }
+    loop {
+        // Parse one atom starting at i.
+        let start = i;
+        if i >= bytes.len() {
+            return Err(AsmError::new(line, format!("malformed expression `{s}`")));
+        }
+        if bytes[i] == b'\'' {
+            // Character literal.
+            let rest = &s[i + 1..];
+            let (ch, consumed) = parse_char(rest, line)?;
+            terms.push((sign, Atom::Num(ch as i64)));
+            i += 1 + consumed;
+            if i >= bytes.len() || bytes[i] != b'\'' {
+                return Err(AsmError::new(line, "unterminated character literal"));
+            }
+            i += 1;
+        } else {
+            while i < bytes.len() && bytes[i] != b'+' && bytes[i] != b'-' {
+                i += 1;
+            }
+            let tok = s[start..i].trim();
+            if tok.is_empty() {
+                return Err(AsmError::new(line, format!("malformed expression `{s}`")));
+            }
+            terms.push((sign, parse_atom(tok, line)?));
+        }
+        // Operator or end.
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            break;
+        }
+        sign = match bytes[i] {
+            b'+' => 1,
+            b'-' => -1,
+            _ => return Err(AsmError::new(line, format!("malformed expression `{s}`"))),
+        };
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+    }
+    Ok(Expr { terms, line })
+}
+
+fn parse_atom(tok: &str, line: u32) -> Result<Atom, AsmError> {
+    let first = tok.chars().next().unwrap();
+    if first.is_ascii_digit() {
+        let v = parse_number(tok)
+            .ok_or_else(|| AsmError::new(line, format!("bad numeric literal `{tok}`")))?;
+        Ok(Atom::Num(v))
+    } else if first == '_' || first.is_ascii_alphabetic() || first == '.' {
+        Ok(Atom::Sym(tok.to_string()))
+    } else {
+        Err(AsmError::new(line, format!("bad expression atom `{tok}`")))
+    }
+}
+
+fn parse_char(rest: &str, line: u32) -> Result<(u8, usize), AsmError> {
+    let mut chars = rest.chars();
+    match chars.next() {
+        Some('\\') => {
+            let c = chars
+                .next()
+                .ok_or_else(|| AsmError::new(line, "unterminated escape"))?;
+            let b = match c {
+                'n' => b'\n',
+                't' => b'\t',
+                'r' => b'\r',
+                '0' => 0,
+                '\\' => b'\\',
+                '\'' => b'\'',
+                '"' => b'"',
+                _ => return Err(AsmError::new(line, format!("unknown escape `\\{c}`"))),
+            };
+            Ok((b, 2))
+        }
+        Some(c) if c.is_ascii() => Ok((c as u8, 1)),
+        _ => Err(AsmError::new(line, "bad character literal")),
+    }
+}
+
+/// Parses `123`, `0x7f`, `0b101` (no sign).
+pub fn parse_number(tok: &str) -> Option<i64> {
+    if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        i64::from_str_radix(&hex.replace('_', ""), 16).ok()
+    } else if let Some(bin) = tok.strip_prefix("0b").or_else(|| tok.strip_prefix("0B")) {
+        i64::from_str_radix(&bin.replace('_', ""), 2).ok()
+    } else {
+        tok.replace('_', "").parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_str(s: &str, syms: &[(&str, i64)]) -> i64 {
+        let map: BTreeMap<String, i64> =
+            syms.iter().map(|(n, v)| (n.to_string(), *v)).collect();
+        parse_expr(s, 1).unwrap().eval(&map).unwrap()
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(eval_str("42", &[]), 42);
+        assert_eq!(eval_str("-42", &[]), -42);
+        assert_eq!(eval_str("0x10", &[]), 16);
+        assert_eq!(eval_str("0b101", &[]), 5);
+        assert_eq!(eval_str("1_000", &[]), 1000);
+        assert_eq!(eval_str("'A'", &[]), 65);
+        assert_eq!(eval_str("'\\n'", &[]), 10);
+    }
+
+    #[test]
+    fn sums_and_symbols() {
+        assert_eq!(eval_str("a+4", &[("a", 0x100)]), 0x104);
+        assert_eq!(eval_str("end - start", &[("end", 32), ("start", 8)]), 24);
+        assert_eq!(eval_str("a + b - 1", &[("a", 1), ("b", 2)]), 2);
+    }
+
+    #[test]
+    fn const_detection() {
+        assert_eq!(parse_expr("3+4", 1).unwrap().as_const(), Some(7));
+        assert_eq!(parse_expr("x+4", 1).unwrap().as_const(), None);
+    }
+
+    #[test]
+    fn undefined_symbol_is_error() {
+        let e = parse_expr("nosuch", 7).unwrap();
+        let err = e.eval(&BTreeMap::new()).unwrap_err();
+        assert!(err.to_string().contains("nosuch"));
+        assert!(err.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(parse_expr("", 1).is_err());
+        assert!(parse_expr("1 ++", 1).is_err());
+        assert!(parse_expr("$x", 1).is_err());
+    }
+}

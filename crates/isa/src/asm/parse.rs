@@ -1,0 +1,569 @@
+//! Line-level parsing: source text → assembler statements.
+
+use crate::{AluOp, Cond, Insn, MemWidth, Reg};
+
+use super::expr::{parse_expr, Expr};
+use super::AsmError;
+
+/// Which output section a `.text`/`.data`/… directive selects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub(super) enum SectionSel {
+    Text,
+    RoData,
+    Data,
+    Bss,
+}
+
+/// Raw data emitted by a directive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(super) enum DataItem {
+    Word(Vec<Expr>),
+    Half(Vec<Expr>),
+    Byte(Vec<Expr>),
+    Space(u32),
+    Align(u32),
+    Ascii(Vec<u8>),
+}
+
+/// One machine-instruction slot, possibly with unresolved expressions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(super) enum Slot {
+    /// Fully resolved instruction.
+    Fixed(Insn),
+    /// ALU-immediate with a symbolic immediate.
+    AluImm { op: AluOp, rd: Reg, rs1: Reg, imm: Expr },
+    /// `lui` with a symbolic 16-bit immediate.
+    Lui { rd: Reg, imm: Expr },
+    /// `rd = hi16(expr) << 16` — first half of `la`.
+    LuiHi { rd: Reg, value: Expr },
+    /// `rd = rs | lo16(expr)` — second half of `la`.
+    OriLo { rd: Reg, rs: Reg, value: Expr },
+    /// Load with symbolic offset.
+    Load { width: MemWidth, signed: bool, rd: Reg, base: Reg, offset: Expr },
+    /// Store with symbolic offset.
+    Store { width: MemWidth, src: Reg, base: Reg, offset: Expr },
+    /// Conditional branch to an absolute target expression.
+    Branch { cond: Cond, rs1: Reg, rs2: Reg, target: Expr },
+    /// `j` (link = false) or `jal`/`call` (link = true) to a target.
+    Jump { target: Expr, link: bool },
+    /// Indirect jump with symbolic offset.
+    Jalr { rd: Reg, rs1: Reg, offset: Expr },
+}
+
+/// A parsed statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(super) enum Stmt {
+    Label { name: String, line: u32 },
+    Section(SectionSel),
+    Equ { name: String, value: Expr },
+    Data { item: DataItem, line: u32 },
+    Entry { name: String, line: u32 },
+    /// `li` is expanded by the driver, which knows `.equ` constants.
+    Li { rd: Reg, value: Expr, line: u32 },
+    Insn { slots: Vec<Slot>, line: u32 },
+}
+
+/// Parses one source line into zero or more statements.
+pub(super) fn parse_line(raw: &str, line: u32) -> Result<Vec<Stmt>, AsmError> {
+    let text = strip_comment(raw);
+    let mut rest = text.trim();
+    let mut out = Vec::new();
+
+    // Leading labels: `name:`.
+    while let Some(colon) = find_label_colon(rest) {
+        let name = rest[..colon].trim();
+        if !is_ident(name) {
+            return Err(AsmError::new(line, format!("bad label `{name}`")));
+        }
+        out.push(Stmt::Label { name: name.to_string(), line });
+        rest = rest[colon + 1..].trim();
+    }
+    if rest.is_empty() {
+        return Ok(out);
+    }
+
+    if let Some(dir) = rest.strip_prefix('.') {
+        out.extend(parse_directive(dir, line)?);
+    } else {
+        out.push(parse_insn(rest, line)?);
+    }
+    Ok(out)
+}
+
+/// Strips `;`, `#`, and `//` comments, respecting string literals.
+fn strip_comment(s: &str) -> &str {
+    let bytes = s.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => in_str = !in_str,
+            b'\\' if in_str => i += 1,
+            b';' | b'#' if !in_str => return &s[..i],
+            b'/' if !in_str && bytes.get(i + 1) == Some(&b'/') => return &s[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    s
+}
+
+/// Finds the colon ending a leading label, if the line starts with one.
+fn find_label_colon(s: &str) -> Option<usize> {
+    let colon = s.find(':')?;
+    let head = &s[..colon];
+    if !head.is_empty() && is_ident(head.trim()) {
+        Some(colon)
+    } else {
+        None
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == '.' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+fn parse_directive(dir: &str, line: u32) -> Result<Vec<Stmt>, AsmError> {
+    let (name, args) = match dir.find(char::is_whitespace) {
+        Some(i) => (&dir[..i], dir[i..].trim()),
+        None => (dir, ""),
+    };
+    let exprs = |args: &str| -> Result<Vec<Expr>, AsmError> {
+        split_operands(args).iter().map(|a| parse_expr(a, line)).collect()
+    };
+    let stmt = match name {
+        "text" => Stmt::Section(SectionSel::Text),
+        "rodata" => Stmt::Section(SectionSel::RoData),
+        "data" => Stmt::Section(SectionSel::Data),
+        "bss" => Stmt::Section(SectionSel::Bss),
+        "word" => Stmt::Data { item: DataItem::Word(exprs(args)?), line },
+        "half" => Stmt::Data { item: DataItem::Half(exprs(args)?), line },
+        "byte" => Stmt::Data { item: DataItem::Byte(exprs(args)?), line },
+        "space" | "skip" => {
+            let n = parse_expr(args, line)?
+                .as_const()
+                .filter(|&n| (0..=(1 << 24)).contains(&n))
+                .ok_or_else(|| AsmError::new(line, ".space requires a constant size"))?;
+            Stmt::Data { item: DataItem::Space(n as u32), line }
+        }
+        "align" => {
+            let n = parse_expr(args, line)?
+                .as_const()
+                .filter(|&n| n > 0 && (n as u64).is_power_of_two() && n <= 4096)
+                .ok_or_else(|| {
+                    AsmError::new(line, ".align requires a power-of-two byte count")
+                })?;
+            Stmt::Data { item: DataItem::Align(n as u32), line }
+        }
+        "ascii" | "asciiz" | "string" => {
+            let mut bytes = parse_string(args, line)?;
+            if name != "ascii" {
+                bytes.push(0);
+            }
+            Stmt::Data { item: DataItem::Ascii(bytes), line }
+        }
+        "equ" | "set" => {
+            let ops = split_operands(args);
+            if ops.len() != 2 || !is_ident(&ops[0]) {
+                return Err(AsmError::new(line, ".equ expects `name, value`"));
+            }
+            Stmt::Equ { name: ops[0].clone(), value: parse_expr(&ops[1], line)? }
+        }
+        "entry" => {
+            if !is_ident(args) {
+                return Err(AsmError::new(line, ".entry expects a symbol"));
+            }
+            Stmt::Entry { name: args.to_string(), line }
+        }
+        "global" | "globl" => return Ok(Vec::new()), // informational only
+        _ => return Err(AsmError::new(line, format!("unknown directive `.{name}`"))),
+    };
+    Ok(vec![stmt])
+}
+
+fn parse_string(s: &str, line: u32) -> Result<Vec<u8>, AsmError> {
+    let s = s.trim();
+    let inner = s
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| AsmError::new(line, "expected a double-quoted string"))?;
+    let mut out = Vec::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            let e = chars
+                .next()
+                .ok_or_else(|| AsmError::new(line, "unterminated escape"))?;
+            out.push(match e {
+                'n' => b'\n',
+                't' => b'\t',
+                'r' => b'\r',
+                '0' => 0,
+                '\\' => b'\\',
+                '"' => b'"',
+                _ => return Err(AsmError::new(line, format!("unknown escape `\\{e}`"))),
+            });
+        } else if c.is_ascii() {
+            out.push(c as u8);
+        } else {
+            return Err(AsmError::new(line, "non-ASCII character in string"));
+        }
+    }
+    Ok(out)
+}
+
+/// Splits an operand list on top-level commas.
+fn split_operands(s: &str) -> Vec<String> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut start = 0;
+    let bytes = s.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'(' if !in_str => depth += 1,
+            b')' if !in_str => depth -= 1,
+            b',' if !in_str && depth == 0 => {
+                out.push(s[start..i].trim().to_string());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(s[start..].trim().to_string());
+    out
+}
+
+struct Ops<'a> {
+    mnemonic: &'a str,
+    ops: Vec<String>,
+    line: u32,
+}
+
+impl Ops<'_> {
+    fn expect(&self, n: usize) -> Result<(), AsmError> {
+        if self.ops.len() == n {
+            Ok(())
+        } else {
+            Err(AsmError::new(
+                self.line,
+                format!("`{}` expects {n} operand(s), got {}", self.mnemonic, self.ops.len()),
+            ))
+        }
+    }
+
+    fn reg(&self, i: usize) -> Result<Reg, AsmError> {
+        self.ops[i]
+            .parse::<Reg>()
+            .map_err(|_| AsmError::new(self.line, format!("expected register, got `{}`", self.ops[i])))
+    }
+
+    fn expr(&self, i: usize) -> Result<Expr, AsmError> {
+        parse_expr(&self.ops[i], self.line)
+    }
+
+    /// Parses a memory operand `offset(base)`, `(base)` or `expr` (base r0).
+    fn mem(&self, i: usize) -> Result<(Expr, Reg), AsmError> {
+        let s = self.ops[i].trim();
+        if let Some(open) = s.rfind('(') {
+            let close = s
+                .rfind(')')
+                .filter(|&c| c > open)
+                .ok_or_else(|| AsmError::new(self.line, "unbalanced memory operand"))?;
+            let base: Reg = s[open + 1..close]
+                .trim()
+                .parse()
+                .map_err(|_| AsmError::new(self.line, "bad base register"))?;
+            let off = s[..open].trim();
+            let offset = if off.is_empty() {
+                Expr::num(0, self.line)
+            } else {
+                parse_expr(off, self.line)?
+            };
+            Ok((offset, base))
+        } else {
+            Ok((parse_expr(s, self.line)?, Reg::ZERO))
+        }
+    }
+}
+
+fn parse_insn(text: &str, line: u32) -> Result<Stmt, AsmError> {
+    let (mnemonic, args) = match text.find(char::is_whitespace) {
+        Some(i) => (&text[..i], text[i..].trim()),
+        None => (text, ""),
+    };
+    let mnemonic_lc = mnemonic.to_ascii_lowercase();
+    let o = Ops { mnemonic: &mnemonic_lc, ops: split_operands(args), line };
+
+    let alu = |m: &str| -> Option<AluOp> {
+        AluOp::ALL.iter().copied().find(|op| op.mnemonic() == m)
+    };
+    let cond = |m: &str| -> Option<Cond> {
+        Cond::ALL.iter().copied().find(|c| format!("b{}", c.suffix()) == m)
+    };
+
+    let slots: Vec<Slot> = match mnemonic_lc.as_str() {
+        // Register ALU: `add rd, rs1, rs2`.
+        m if alu(m).is_some() => {
+            o.expect(3)?;
+            vec![Slot::Fixed(Insn::Alu {
+                op: alu(m).unwrap(),
+                rd: o.reg(0)?,
+                rs1: o.reg(1)?,
+                rs2: o.reg(2)?,
+            })]
+        }
+        // Immediate ALU: `addi rd, rs1, imm`.
+        m if m.ends_with('i') && alu(&m[..m.len() - 1]).is_some_and(|op| op.has_imm_form()) => {
+            o.expect(3)?;
+            let op = alu(&m[..m.len() - 1]).unwrap();
+            vec![Slot::AluImm { op, rd: o.reg(0)?, rs1: o.reg(1)?, imm: o.expr(2)? }]
+        }
+        "lui" => {
+            o.expect(2)?;
+            vec![Slot::Lui { rd: o.reg(0)?, imm: o.expr(1)? }]
+        }
+        "lb" | "lbu" | "lh" | "lhu" | "lw" => {
+            o.expect(2)?;
+            let (width, signed) = match mnemonic_lc.as_str() {
+                "lb" => (MemWidth::B, true),
+                "lbu" => (MemWidth::B, false),
+                "lh" => (MemWidth::H, true),
+                "lhu" => (MemWidth::H, false),
+                _ => (MemWidth::W, true),
+            };
+            let (offset, base) = o.mem(1)?;
+            vec![Slot::Load { width, signed, rd: o.reg(0)?, base, offset }]
+        }
+        "sb" | "sh" | "sw" => {
+            o.expect(2)?;
+            let width = match mnemonic_lc.as_str() {
+                "sb" => MemWidth::B,
+                "sh" => MemWidth::H,
+                _ => MemWidth::W,
+            };
+            let (offset, base) = o.mem(1)?;
+            vec![Slot::Store { width, src: o.reg(0)?, base, offset }]
+        }
+        // Branches: `beq rs1, rs2, target`.
+        m if cond(m).is_some() => {
+            o.expect(3)?;
+            vec![Slot::Branch {
+                cond: cond(m).unwrap(),
+                rs1: o.reg(0)?,
+                rs2: o.reg(1)?,
+                target: o.expr(2)?,
+            }]
+        }
+        // Reversed-operand branch pseudos.
+        "bgt" | "ble" | "bgtu" | "bleu" => {
+            o.expect(3)?;
+            let c = match mnemonic_lc.as_str() {
+                "bgt" => Cond::Lt,
+                "ble" => Cond::Ge,
+                "bgtu" => Cond::Ltu,
+                _ => Cond::Geu,
+            };
+            vec![Slot::Branch { cond: c, rs1: o.reg(1)?, rs2: o.reg(0)?, target: o.expr(2)? }]
+        }
+        // Compare-against-zero branch pseudos.
+        "beqz" | "bnez" | "bltz" | "bgez" | "blez" | "bgtz" => {
+            o.expect(2)?;
+            let rs = o.reg(0)?;
+            let target = o.expr(1)?;
+            let (c, rs1, rs2) = match mnemonic_lc.as_str() {
+                "beqz" => (Cond::Eq, rs, Reg::ZERO),
+                "bnez" => (Cond::Ne, rs, Reg::ZERO),
+                "bltz" => (Cond::Lt, rs, Reg::ZERO),
+                "bgez" => (Cond::Ge, rs, Reg::ZERO),
+                "blez" => (Cond::Ge, Reg::ZERO, rs),
+                _ => (Cond::Lt, Reg::ZERO, rs),
+            };
+            vec![Slot::Branch { cond: c, rs1, rs2, target }]
+        }
+        "j" | "b" => {
+            o.expect(1)?;
+            vec![Slot::Jump { target: o.expr(0)?, link: false }]
+        }
+        "jal" | "call" => {
+            o.expect(1)?;
+            vec![Slot::Jump { target: o.expr(0)?, link: true }]
+        }
+        "jalr" => match o.ops.len() {
+            1 => vec![Slot::Fixed(Insn::Jalr { rd: Reg::LR, rs1: o.reg(0)?, offset: 0 })],
+            2 => vec![Slot::Jalr { rd: o.reg(0)?, rs1: o.reg(1)?, offset: Expr::num(0, line) }],
+            3 => vec![Slot::Jalr { rd: o.reg(0)?, rs1: o.reg(1)?, offset: o.expr(2)? }],
+            n => {
+                return Err(AsmError::new(line, format!("`jalr` expects 1-3 operands, got {n}")))
+            }
+        },
+        "ret" => {
+            o.expect(0)?;
+            vec![Slot::Fixed(Insn::Jalr { rd: Reg::ZERO, rs1: Reg::LR, offset: 0 })]
+        }
+        "halt" => {
+            o.expect(0)?;
+            vec![Slot::Fixed(Insn::Halt)]
+        }
+        "nop" => {
+            o.expect(0)?;
+            vec![Slot::Fixed(Insn::nop())]
+        }
+        "mov" | "mv" => {
+            o.expect(2)?;
+            vec![Slot::Fixed(Insn::AluImm {
+                op: AluOp::Add,
+                rd: o.reg(0)?,
+                rs1: o.reg(1)?,
+                imm: 0,
+            })]
+        }
+        "neg" => {
+            o.expect(2)?;
+            vec![Slot::Fixed(Insn::Alu {
+                op: AluOp::Sub,
+                rd: o.reg(0)?,
+                rs1: Reg::ZERO,
+                rs2: o.reg(1)?,
+            })]
+        }
+        "seqz" => {
+            o.expect(2)?;
+            vec![Slot::Fixed(Insn::AluImm {
+                op: AluOp::Sltu,
+                rd: o.reg(0)?,
+                rs1: o.reg(1)?,
+                imm: 1,
+            })]
+        }
+        "snez" => {
+            o.expect(2)?;
+            vec![Slot::Fixed(Insn::Alu {
+                op: AluOp::Sltu,
+                rd: o.reg(0)?,
+                rs1: Reg::ZERO,
+                rs2: o.reg(1)?,
+            })]
+        }
+        "li" => {
+            o.expect(2)?;
+            return Ok(Stmt::Li { rd: o.reg(0)?, value: o.expr(1)?, line });
+        }
+        "la" => {
+            o.expect(2)?;
+            let rd = o.reg(0)?;
+            let value = o.expr(1)?;
+            vec![Slot::LuiHi { rd, value: value.clone() }, Slot::OriLo { rd, rs: rd, value }]
+        }
+        other => return Err(AsmError::new(line, format!("unknown mnemonic `{other}`"))),
+    };
+    Ok(Stmt::Insn { slots, line })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_comments() {
+        let stmts = parse_line("loop: add r1, r2, r3 ; comment", 3).unwrap();
+        assert_eq!(stmts.len(), 2);
+        assert!(matches!(&stmts[0], Stmt::Label { name, .. } if name == "loop"));
+        assert!(matches!(&stmts[1], Stmt::Insn { slots, .. } if slots.len() == 1));
+    }
+
+    #[test]
+    fn comment_only_line() {
+        assert!(parse_line("  # nothing here", 1).unwrap().is_empty());
+        assert!(parse_line("// nothing", 1).unwrap().is_empty());
+        assert!(parse_line("", 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn memory_operands() {
+        let s = parse_line("lw r1, -8(sp)", 1).unwrap();
+        match &s[0] {
+            Stmt::Insn { slots, .. } => match &slots[0] {
+                Slot::Load { base, offset, .. } => {
+                    assert_eq!(*base, Reg::SP);
+                    assert_eq!(offset.as_const(), Some(-8));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+        // Bare (reg) means offset 0.
+        let s = parse_line("sw r2, (r5)", 1).unwrap();
+        match &s[0] {
+            Stmt::Insn { slots, .. } => match &slots[0] {
+                Slot::Store { base, offset, .. } => {
+                    assert_eq!(*base, Reg::new(5));
+                    assert_eq!(offset.as_const(), Some(0));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn la_expands_to_two_slots() {
+        let s = parse_line("la r4, buffer", 1).unwrap();
+        match &s[0] {
+            Stmt::Insn { slots, .. } => assert_eq!(slots.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn branch_pseudos_reverse_operands() {
+        let s = parse_line("bgt r1, r2, somewhere", 1).unwrap();
+        match &s[0] {
+            Stmt::Insn { slots, .. } => match &slots[0] {
+                Slot::Branch { cond, rs1, rs2, .. } => {
+                    assert_eq!(*cond, Cond::Lt);
+                    assert_eq!(*rs1, Reg::new(2));
+                    assert_eq!(*rs2, Reg::new(1));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn directives() {
+        assert!(matches!(
+            parse_line(".text", 1).unwrap()[0],
+            Stmt::Section(SectionSel::Text)
+        ));
+        let s = parse_line(".word 1, 2, table+4", 1).unwrap();
+        match &s[0] {
+            Stmt::Data { item: DataItem::Word(es), .. } => assert_eq!(es.len(), 3),
+            other => panic!("{other:?}"),
+        }
+        let s = parse_line(".asciiz \"hi\\n\"", 1).unwrap();
+        match &s[0] {
+            Stmt::Data { item: DataItem::Ascii(b), .. } => assert_eq!(b, &[b'h', b'i', b'\n', 0]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_line("frobnicate r1", 42).unwrap_err();
+        assert!(err.to_string().contains("line 42"));
+        assert!(parse_line("add r1, r2", 1).is_err()); // wrong arity
+        assert!(parse_line(".align 3", 1).is_err()); // not a power of two
+    }
+}

@@ -1,0 +1,363 @@
+//! Binary encoding and decoding of EVA32 instructions.
+//!
+//! Every instruction is one little-endian 32-bit word with the opcode in
+//! bits `[31:24]`. The formats are:
+//!
+//! ```text
+//! R:  | op:8 | rd:4 | rs1:4 | rs2:4 | 0:12   |   register ALU
+//! I:  | op:8 | rd:4 | rs1:4 | imm:16        |   ALU-immediate, lui, loads, jalr
+//! S:  | op:8 | src:4 | base:4 | imm:16      |   stores
+//! B:  | op:8 | rs1:4 | rs2:4 | imm:16       |   branches (imm in words)
+//! J:  | op:8 | imm:24                       |   j, jal (imm in words)
+//! H:  | 0:32                                |   halt
+//! ```
+//!
+//! Decoding is *strict*: reserved bits must be zero and unknown opcodes are
+//! rejected, so that CFG reconstruction reliably detects when it has
+//! wandered into data.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{sext16, sext24, AluOp, Cond, Insn, MemWidth, Reg};
+
+/// Error produced when an instruction cannot be encoded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The immediate is outside the representable range of the format.
+    ImmediateRange { insn: String, imm: i64 },
+    /// The ALU operation has no immediate form (`mul`, `div`, …).
+    NoImmediateForm { op: AluOp },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmediateRange { insn, imm } => {
+                write!(f, "immediate {imm} out of range in `{insn}`")
+            }
+            EncodeError::NoImmediateForm { op } => {
+                write!(f, "`{}` has no immediate form", op.mnemonic())
+            }
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+/// Error produced when a word does not decode to a valid instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode byte is not assigned.
+    UnknownOpcode { word: u32, opcode: u8 },
+    /// Bits that must be zero were set.
+    ReservedBits { word: u32 },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode { word, opcode } => {
+                write!(f, "unknown opcode {opcode:#04x} in word {word:#010x}")
+            }
+            DecodeError::ReservedBits { word } => {
+                write!(f, "reserved bits set in word {word:#010x}")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+mod op {
+    pub const HALT: u8 = 0x00;
+    pub const ALU_BASE: u8 = 0x01; // 0x01..=0x0e in AluOp::ALL order
+    pub const ALUI_BASE: u8 = 0x10; // add,and,or,xor,sll,srl,sra,slt,sltu
+    pub const LUI: u8 = 0x19;
+    pub const LB: u8 = 0x20;
+    pub const LBU: u8 = 0x21;
+    pub const LH: u8 = 0x22;
+    pub const LHU: u8 = 0x23;
+    pub const LW: u8 = 0x24;
+    pub const SB: u8 = 0x28;
+    pub const SH: u8 = 0x29;
+    pub const SW: u8 = 0x2a;
+    pub const BRANCH_BASE: u8 = 0x30; // 0x30..=0x35 in Cond::ALL order
+    pub const J: u8 = 0x38;
+    pub const JAL: u8 = 0x39;
+    pub const JALR: u8 = 0x3a;
+}
+
+/// Order of ALU ops with an immediate form, defining `ALUI_BASE + n`.
+const ALUI_ORDER: [AluOp; 9] = [
+    AluOp::Add,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Sll,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Slt,
+    AluOp::Sltu,
+];
+
+fn check_simm16(insn: &Insn, imm: i32) -> Result<u32, EncodeError> {
+    if (-0x8000..=0x7fff).contains(&imm) {
+        Ok((imm as u32) & 0xffff)
+    } else {
+        Err(EncodeError::ImmediateRange { insn: insn.to_string(), imm: imm as i64 })
+    }
+}
+
+fn check_uimm16(insn: &Insn, imm: i32) -> Result<u32, EncodeError> {
+    if (0..=0xffff).contains(&imm) {
+        Ok(imm as u32)
+    } else {
+        Err(EncodeError::ImmediateRange { insn: insn.to_string(), imm: imm as i64 })
+    }
+}
+
+/// Encodes an instruction to its 32-bit binary representation.
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] when an immediate does not fit its field or the
+/// operation has no immediate form.
+///
+/// # Example
+///
+/// ```
+/// use stamp_isa::codec::{decode, encode};
+/// use stamp_isa::Insn;
+///
+/// let word = encode(&Insn::Halt)?;
+/// assert_eq!(word, 0);
+/// assert_eq!(decode(word)?, Insn::Halt);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn encode(insn: &Insn) -> Result<u32, EncodeError> {
+    let w = match *insn {
+        Insn::Halt => 0,
+        Insn::Alu { op, rd, rs1, rs2 } => {
+            let opc = op::ALU_BASE + AluOp::ALL.iter().position(|&o| o == op).unwrap() as u8;
+            field(opc, rd, rs1) | (rs2.index() as u32) << 12
+        }
+        Insn::AluImm { op, rd, rs1, imm } => {
+            let idx = ALUI_ORDER
+                .iter()
+                .position(|&o| o == op)
+                .ok_or(EncodeError::NoImmediateForm { op })?;
+            let enc_imm = if op.is_shift() {
+                if !(0..=31).contains(&imm) {
+                    return Err(EncodeError::ImmediateRange {
+                        insn: insn.to_string(),
+                        imm: imm as i64,
+                    });
+                }
+                imm as u32
+            } else if op.imm_zero_extends() {
+                check_uimm16(insn, imm)?
+            } else {
+                check_simm16(insn, imm)?
+            };
+            field(op::ALUI_BASE + idx as u8, rd, rs1) | enc_imm
+        }
+        Insn::Lui { rd, imm } => field(op::LUI, rd, Reg::ZERO) | imm as u32,
+        Insn::Load { width, signed, rd, base, offset } => {
+            let opc = match (width, signed) {
+                (MemWidth::B, true) => op::LB,
+                (MemWidth::B, false) => op::LBU,
+                (MemWidth::H, true) => op::LH,
+                (MemWidth::H, false) => op::LHU,
+                (MemWidth::W, _) => op::LW,
+            };
+            field(opc, rd, base) | check_simm16(insn, offset)?
+        }
+        Insn::Store { width, src, base, offset } => {
+            let opc = match width {
+                MemWidth::B => op::SB,
+                MemWidth::H => op::SH,
+                MemWidth::W => op::SW,
+            };
+            field(opc, src, base) | check_simm16(insn, offset)?
+        }
+        Insn::Branch { cond, rs1, rs2, offset } => {
+            let opc =
+                op::BRANCH_BASE + Cond::ALL.iter().position(|&c| c == cond).unwrap() as u8;
+            field(opc, rs1, rs2) | check_simm16(insn, offset)?
+        }
+        Insn::Jump { offset } => jfmt(op::J, insn, offset)?,
+        Insn::Jal { offset } => jfmt(op::JAL, insn, offset)?,
+        Insn::Jalr { rd, rs1, offset } => field(op::JALR, rd, rs1) | check_simm16(insn, offset)?,
+    };
+    Ok(w)
+}
+
+fn field(opc: u8, a: Reg, b: Reg) -> u32 {
+    (opc as u32) << 24 | (a.index() as u32) << 20 | (b.index() as u32) << 16
+}
+
+fn jfmt(opc: u8, insn: &Insn, offset: i32) -> Result<u32, EncodeError> {
+    if (-(1 << 23)..(1 << 23)).contains(&offset) {
+        Ok((opc as u32) << 24 | (offset as u32) & 0x00ff_ffff)
+    } else {
+        Err(EncodeError::ImmediateRange { insn: insn.to_string(), imm: offset as i64 })
+    }
+}
+
+/// Decodes a 32-bit word into an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for unassigned opcodes or set reserved bits;
+/// see the module documentation for why decoding is strict.
+pub fn decode(word: u32) -> Result<Insn, DecodeError> {
+    let opcode = (word >> 24) as u8;
+    let rd = Reg::from_bits(word >> 20);
+    let rs1 = Reg::from_bits(word >> 16);
+    let rs2 = Reg::from_bits(word >> 12);
+    let imm16 = (word & 0xffff) as u16;
+    let reserved = |ok: bool| {
+        if ok {
+            Ok(())
+        } else {
+            Err(DecodeError::ReservedBits { word })
+        }
+    };
+
+    let insn = match opcode {
+        op::HALT => {
+            reserved(word == 0)?;
+            Insn::Halt
+        }
+        o if (op::ALU_BASE..op::ALU_BASE + 14).contains(&o) => {
+            reserved(word & 0xfff == 0)?;
+            let op = AluOp::ALL[(o - op::ALU_BASE) as usize];
+            Insn::Alu { op, rd, rs1, rs2 }
+        }
+        o if (op::ALUI_BASE..op::ALUI_BASE + 9).contains(&o) => {
+            let op = ALUI_ORDER[(o - op::ALUI_BASE) as usize];
+            let imm = if op.is_shift() {
+                reserved(imm16 < 32)?;
+                imm16 as i32
+            } else if op.imm_zero_extends() {
+                imm16 as i32
+            } else {
+                sext16(imm16)
+            };
+            Insn::AluImm { op, rd, rs1, imm }
+        }
+        op::LUI => {
+            reserved(word & 0x000f_0000 == 0)?;
+            Insn::Lui { rd, imm: imm16 }
+        }
+        op::LB | op::LBU | op::LH | op::LHU | op::LW => {
+            let (width, signed) = match opcode {
+                op::LB => (MemWidth::B, true),
+                op::LBU => (MemWidth::B, false),
+                op::LH => (MemWidth::H, true),
+                op::LHU => (MemWidth::H, false),
+                _ => (MemWidth::W, true),
+            };
+            Insn::Load { width, signed, rd, base: rs1, offset: sext16(imm16) }
+        }
+        op::SB | op::SH | op::SW => {
+            let width = match opcode {
+                op::SB => MemWidth::B,
+                op::SH => MemWidth::H,
+                _ => MemWidth::W,
+            };
+            Insn::Store { width, src: rd, base: rs1, offset: sext16(imm16) }
+        }
+        o if (op::BRANCH_BASE..op::BRANCH_BASE + 6).contains(&o) => {
+            let cond = Cond::ALL[(o - op::BRANCH_BASE) as usize];
+            Insn::Branch { cond, rs1: rd, rs2: rs1, offset: sext16(imm16) }
+        }
+        op::J => Insn::Jump { offset: sext24(word) },
+        op::JAL => Insn::Jal { offset: sext24(word) },
+        op::JALR => Insn::Jalr { rd, rs1, offset: sext16(imm16) },
+        _ => return Err(DecodeError::UnknownOpcode { word, opcode }),
+    };
+    Ok(insn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(i: Insn) {
+        let w = encode(&i).unwrap_or_else(|e| panic!("encode {i}: {e}"));
+        let d = decode(w).unwrap_or_else(|e| panic!("decode {i} ({w:#010x}): {e}"));
+        assert_eq!(i, d, "round trip of {i}");
+    }
+
+    #[test]
+    fn roundtrip_representative_instructions() {
+        let r = Reg::new;
+        for i in [
+            Insn::Halt,
+            Insn::Alu { op: AluOp::Add, rd: r(1), rs1: r(2), rs2: r(3) },
+            Insn::Alu { op: AluOp::Rem, rd: r(15), rs1: r(14), rs2: r(13) },
+            Insn::AluImm { op: AluOp::Add, rd: r(1), rs1: r(2), imm: -32768 },
+            Insn::AluImm { op: AluOp::Or, rd: r(1), rs1: r(2), imm: 0xffff },
+            Insn::AluImm { op: AluOp::Sll, rd: r(1), rs1: r(2), imm: 31 },
+            Insn::AluImm { op: AluOp::Sltu, rd: r(9), rs1: r(0), imm: 42 },
+            Insn::Lui { rd: r(5), imm: 0xdead },
+            Insn::Load { width: MemWidth::H, signed: false, rd: r(4), base: r(13), offset: -4 },
+            Insn::Load { width: MemWidth::W, signed: true, rd: r(4), base: r(0), offset: 256 },
+            Insn::Store { width: MemWidth::B, src: r(7), base: r(8), offset: 17 },
+            Insn::Branch { cond: Cond::Geu, rs1: r(3), rs2: r(4), offset: -100 },
+            Insn::Jump { offset: -(1 << 23) },
+            Insn::Jal { offset: (1 << 23) - 1 },
+            Insn::Jalr { rd: r(0), rs1: Reg::LR, offset: 0 },
+        ] {
+            roundtrip(i);
+        }
+    }
+
+    #[test]
+    fn immediate_range_checked() {
+        let i = Insn::AluImm { op: AluOp::Add, rd: Reg::new(1), rs1: Reg::new(1), imm: 0x8000 };
+        assert!(matches!(encode(&i), Err(EncodeError::ImmediateRange { .. })));
+        let i = Insn::AluImm { op: AluOp::Or, rd: Reg::new(1), rs1: Reg::new(1), imm: -1 };
+        assert!(matches!(encode(&i), Err(EncodeError::ImmediateRange { .. })));
+        let i = Insn::AluImm { op: AluOp::Sll, rd: Reg::new(1), rs1: Reg::new(1), imm: 32 };
+        assert!(matches!(encode(&i), Err(EncodeError::ImmediateRange { .. })));
+    }
+
+    #[test]
+    fn no_imm_form_for_mul() {
+        let i = Insn::AluImm { op: AluOp::Mul, rd: Reg::new(1), rs1: Reg::new(1), imm: 3 };
+        assert_eq!(encode(&i), Err(EncodeError::NoImmediateForm { op: AluOp::Mul }));
+    }
+
+    #[test]
+    fn strict_decode_rejects_garbage() {
+        // Unknown opcode.
+        assert!(matches!(decode(0xff00_0000), Err(DecodeError::UnknownOpcode { .. })));
+        // HALT with stray bits.
+        assert!(matches!(decode(0x0000_0001), Err(DecodeError::ReservedBits { .. })));
+        // R-format with nonzero reserved low bits.
+        let add = encode(&Insn::Alu {
+            op: AluOp::Add,
+            rd: Reg::new(1),
+            rs1: Reg::new(2),
+            rs2: Reg::new(3),
+        })
+        .unwrap();
+        assert!(matches!(decode(add | 1), Err(DecodeError::ReservedBits { .. })));
+    }
+
+    #[test]
+    fn branch_operand_order_is_preserved() {
+        let i = Insn::Branch { cond: Cond::Lt, rs1: Reg::new(3), rs2: Reg::new(9), offset: 5 };
+        let d = decode(encode(&i).unwrap()).unwrap();
+        match d {
+            Insn::Branch { rs1, rs2, .. } => {
+                assert_eq!(rs1, Reg::new(3));
+                assert_eq!(rs2, Reg::new(9));
+            }
+            other => panic!("unexpected decode: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! # stamp-isa — the EVA32 instruction-set architecture
+//!
+//! This crate defines **EVA32**, the 32-bit embedded RISC architecture that
+//! every other `stamp` crate analyses or executes. It plays the role that a
+//! real target ISA (PowerPC, ARM, C16x, …) plays for AbsInt's aiT and
+//! StackAnalyzer: analyses in `stamp` consume only the *binary image*
+//! produced here, and must reconstruct everything else (control flow,
+//! register values, loop bounds) from the machine code.
+//!
+//! The crate provides:
+//!
+//! * [`Reg`] — the sixteen architectural registers (`r0` is hard-wired to
+//!   zero, `r13` is the stack pointer `sp`, `r14` the link register `lr`);
+//! * [`Insn`] — the decoded instruction set (ALU, loads/stores, branches,
+//!   jumps, calls) with static properties used by the analyses
+//!   ([`Insn::def`], [`Insn::uses`], [`Insn::flow`]);
+//! * [`codec`] — the fixed-width 32-bit binary encoding
+//!   ([`encode`](codec::encode) / [`decode`](codec::decode));
+//! * [`Program`] — a linked binary image (sections, symbols, entry point);
+//! * [`asm`] — a two-pass assembler turning EVA32 assembly text into a
+//!   [`Program`].
+//!
+//! # Example
+//!
+//! ```
+//! use stamp_isa::asm::assemble;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = assemble(
+//!     r#"
+//!         .text
+//!     main:
+//!         li   r1, 10
+//!         li   r2, 0
+//!     loop:
+//!         add  r2, r2, r1
+//!         addi r1, r1, -1
+//!         bne  r1, r0, loop
+//!         halt
+//!     "#,
+//! )?;
+//! let insn = program.decode_at(program.entry)?;
+//! assert_eq!(insn.to_string(), "addi r1, r0, 10");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+pub mod codec;
+mod insn;
+mod program;
+mod reg;
+
+pub use insn::{AluOp, Cond, Flow, Insn, MemWidth, RegSet};
+pub use program::{Program, Section, SectionKind, SymbolTable};
+pub use reg::Reg;
+
+/// Size of every EVA32 instruction in bytes.
+pub const INSN_BYTES: u32 = 4;
+
+/// Sign-extend the low 16 bits of `v` to 32 bits.
+#[inline]
+pub fn sext16(v: u16) -> i32 {
+    v as i16 as i32
+}
+
+/// Sign-extend the low 24 bits of `v` to 32 bits.
+#[inline]
+pub fn sext24(v: u32) -> i32 {
+    ((v << 8) as i32) >> 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sext16_extends_sign() {
+        assert_eq!(sext16(0x7fff), 0x7fff);
+        assert_eq!(sext16(0x8000), -0x8000);
+        assert_eq!(sext16(0xffff), -1);
+    }
+
+    #[test]
+    fn sext24_extends_sign() {
+        assert_eq!(sext24(0x7f_ffff), 0x7f_ffff);
+        assert_eq!(sext24(0x80_0000), -0x80_0000);
+        assert_eq!(sext24(0xff_ffff), -1);
+    }
+}

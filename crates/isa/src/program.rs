@@ -1,0 +1,343 @@
+//! Linked binary program images.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::codec::{decode, DecodeError};
+use crate::{Insn, MemWidth};
+
+/// The kind of a program section, determining where it is placed and
+/// whether its contents are known statically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SectionKind {
+    /// Executable code in ROM.
+    Text,
+    /// Read-only data in ROM. Contents are constant at run time, so the
+    /// value analysis may fold loads from this section.
+    RoData,
+    /// Initialized read-write data, loaded into RAM at reset.
+    Data,
+    /// Zero-initialized read-write data (occupies RAM, no image bytes).
+    Bss,
+}
+
+impl SectionKind {
+    /// Returns `true` if the section lives in (read-only) ROM.
+    pub fn is_rom(self) -> bool {
+        matches!(self, SectionKind::Text | SectionKind::RoData)
+    }
+}
+
+/// A contiguous program section.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Section {
+    /// Section name (`.text`, `.rodata`, `.data`, `.bss`).
+    pub name: String,
+    /// Base address.
+    pub base: u32,
+    /// Placement and mutability class.
+    pub kind: SectionKind,
+    /// Image bytes. Empty for [`SectionKind::Bss`].
+    pub data: Vec<u8>,
+    /// Size in bytes (equals `data.len()` except for `.bss`).
+    pub size: u32,
+}
+
+impl Section {
+    /// Returns `true` if `addr` lies inside the section.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.base && (addr - self.base) < self.size
+    }
+
+    /// End address (exclusive).
+    pub fn end(&self) -> u32 {
+        self.base + self.size
+    }
+}
+
+/// Bidirectional symbol table of a program image.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SymbolTable {
+    by_name: BTreeMap<String, u32>,
+    by_addr: BTreeMap<u32, String>,
+}
+
+impl SymbolTable {
+    /// Creates an empty symbol table.
+    pub fn new() -> SymbolTable {
+        SymbolTable::default()
+    }
+
+    /// Records `name` at `addr`. The first name registered for an address
+    /// wins for reverse lookups.
+    pub fn insert(&mut self, name: impl Into<String>, addr: u32) {
+        let name = name.into();
+        self.by_addr.entry(addr).or_insert_with(|| name.clone());
+        self.by_name.insert(name, addr);
+    }
+
+    /// Address of `name`, if defined.
+    pub fn addr_of(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Symbol defined exactly at `addr`, if any.
+    pub fn name_at(&self, addr: u32) -> Option<&str> {
+        self.by_addr.get(&addr).map(String::as_str)
+    }
+
+    /// The nearest symbol at or before `addr`, with the offset from it.
+    pub fn nearest(&self, addr: u32) -> Option<(&str, u32)> {
+        self.by_addr
+            .range(..=addr)
+            .next_back()
+            .map(|(&a, n)| (n.as_str(), addr - a))
+    }
+
+    /// Iterates over `(name, addr)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.by_name.iter().map(|(n, &a)| (n.as_str(), a))
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    /// Returns `true` if no symbols are defined.
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+
+    /// Formats `addr` as `symbol+offset` (or hex if no symbol precedes it).
+    pub fn format_addr(&self, addr: u32) -> String {
+        match self.nearest(addr) {
+            Some((name, 0)) => name.to_string(),
+            Some((name, off)) => format!("{name}+{off:#x}"),
+            None => format!("{addr:#010x}"),
+        }
+    }
+}
+
+/// A linked EVA32 binary image: sections, symbols and an entry point.
+///
+/// This is the *only* input the analyses receive, mirroring how aiT and
+/// StackAnalyzer operate on executables rather than source code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    /// Address of the first instruction of the analyzed task.
+    pub entry: u32,
+    /// All sections, in ascending base-address order.
+    pub sections: Vec<Section>,
+    /// Symbol table (labels from the assembler).
+    pub symbols: SymbolTable,
+}
+
+impl Program {
+    /// Creates a program from raw parts, sorting sections by base address.
+    pub fn new(entry: u32, mut sections: Vec<Section>, symbols: SymbolTable) -> Program {
+        sections.sort_by_key(|s| s.base);
+        Program { entry, sections, symbols }
+    }
+
+    /// The section containing `addr`, if any.
+    pub fn section_at(&self, addr: u32) -> Option<&Section> {
+        self.sections.iter().find(|s| s.contains(addr))
+    }
+
+    /// Returns `true` if `addr` points into executable code.
+    pub fn is_code(&self, addr: u32) -> bool {
+        self.section_at(addr).is_some_and(|s| s.kind == SectionKind::Text)
+    }
+
+    /// Reads one *initial-image* byte. For `.bss` this is 0; for unmapped
+    /// addresses `None`.
+    pub fn initial_byte(&self, addr: u32) -> Option<u8> {
+        let s = self.section_at(addr)?;
+        let off = (addr - s.base) as usize;
+        Some(s.data.get(off).copied().unwrap_or(0))
+    }
+
+    /// Reads a little-endian value of `width` from the initial image.
+    /// Returns `None` if any byte is unmapped.
+    pub fn initial_value(&self, addr: u32, width: MemWidth) -> Option<u32> {
+        let mut v: u32 = 0;
+        for i in 0..width.bytes() {
+            v |= (self.initial_byte(addr.wrapping_add(i))? as u32) << (8 * i);
+        }
+        Some(v)
+    }
+
+    /// Reads a value that is guaranteed constant at run time (i.e. from a
+    /// ROM section). Used by the value analysis to fold loads from jump
+    /// tables and constant data.
+    pub fn rom_value(&self, addr: u32, width: MemWidth) -> Option<u32> {
+        let s = self.section_at(addr)?;
+        if !s.kind.is_rom() || !s.contains(addr + width.bytes() - 1) {
+            return None;
+        }
+        self.initial_value(addr, width)
+    }
+
+    /// Decodes the instruction at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `addr` is not word-aligned code or the word does
+    /// not decode.
+    pub fn decode_at(&self, addr: u32) -> Result<Insn, ProgramError> {
+        if addr % 4 != 0 {
+            return Err(ProgramError::Unaligned { addr });
+        }
+        if !self.is_code(addr) {
+            return Err(ProgramError::NotCode { addr });
+        }
+        let word = self
+            .initial_value(addr, MemWidth::W)
+            .ok_or(ProgramError::NotCode { addr })?;
+        decode(word).map_err(|source| ProgramError::Decode { addr, source })
+    }
+
+    /// The address range `[start, end)` of the text section.
+    pub fn text_range(&self) -> (u32, u32) {
+        self.sections
+            .iter()
+            .find(|s| s.kind == SectionKind::Text)
+            .map(|s| (s.base, s.end()))
+            .unwrap_or((0, 0))
+    }
+
+    /// Total number of instructions in the text section.
+    pub fn insn_count(&self) -> usize {
+        let (s, e) = self.text_range();
+        ((e - s) / 4) as usize
+    }
+
+    /// Iterates over `(addr, insn)` for all decodable words in `.text`.
+    pub fn insns(&self) -> impl Iterator<Item = (u32, Insn)> + '_ {
+        let (s, e) = self.text_range();
+        (s..e).step_by(4).filter_map(|a| self.decode_at(a).ok().map(|i| (a, i)))
+    }
+}
+
+/// Errors raised when reading instructions from a [`Program`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgramError {
+    /// Address is not 4-byte aligned.
+    Unaligned { addr: u32 },
+    /// Address does not point into an executable section.
+    NotCode { addr: u32 },
+    /// The word at the address does not decode to an instruction.
+    Decode { addr: u32, source: DecodeError },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Unaligned { addr } => {
+                write!(f, "unaligned instruction address {addr:#010x}")
+            }
+            ProgramError::NotCode { addr } => {
+                write!(f, "address {addr:#010x} is not executable code")
+            }
+            ProgramError::Decode { addr, source } => {
+                write!(f, "at {addr:#010x}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProgramError::Decode { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode;
+
+    fn tiny_program() -> Program {
+        let insns = [Insn::nop(), Insn::Halt];
+        let mut data = Vec::new();
+        for i in &insns {
+            data.extend_from_slice(&encode(i).unwrap().to_le_bytes());
+        }
+        let text = Section {
+            name: ".text".into(),
+            base: 0,
+            kind: SectionKind::Text,
+            size: data.len() as u32,
+            data,
+        };
+        let rodata = Section {
+            name: ".rodata".into(),
+            base: 0x100,
+            kind: SectionKind::RoData,
+            data: vec![0x78, 0x56, 0x34, 0x12],
+            size: 4,
+        };
+        let bss = Section {
+            name: ".bss".into(),
+            base: 0x1000_0000,
+            kind: SectionKind::Bss,
+            data: Vec::new(),
+            size: 64,
+        };
+        let mut symbols = SymbolTable::new();
+        symbols.insert("main", 0);
+        symbols.insert("table", 0x100);
+        Program::new(0, vec![text, rodata, bss], symbols)
+    }
+
+    #[test]
+    fn decode_at_entry() {
+        let p = tiny_program();
+        assert_eq!(p.decode_at(0).unwrap(), Insn::nop());
+        assert_eq!(p.decode_at(4).unwrap(), Insn::Halt);
+    }
+
+    #[test]
+    fn decode_rejects_non_code() {
+        let p = tiny_program();
+        assert!(matches!(p.decode_at(2), Err(ProgramError::Unaligned { .. })));
+        assert!(matches!(p.decode_at(0x100), Err(ProgramError::NotCode { .. })));
+        assert!(matches!(p.decode_at(0x4000), Err(ProgramError::NotCode { .. })));
+    }
+
+    #[test]
+    fn rom_value_reads_rodata_not_bss() {
+        let p = tiny_program();
+        assert_eq!(p.rom_value(0x100, MemWidth::W), Some(0x1234_5678));
+        assert_eq!(p.rom_value(0x100, MemWidth::H), Some(0x5678));
+        assert_eq!(p.rom_value(0x103, MemWidth::B), Some(0x12));
+        // Straddles the end of the section.
+        assert_eq!(p.rom_value(0x102, MemWidth::W), None);
+        // .bss is not ROM even though its initial value is known.
+        assert_eq!(p.rom_value(0x1000_0000, MemWidth::W), None);
+        assert_eq!(p.initial_value(0x1000_0000, MemWidth::W), Some(0));
+    }
+
+    #[test]
+    fn symbol_formatting() {
+        let p = tiny_program();
+        assert_eq!(p.symbols.format_addr(0), "main");
+        assert_eq!(p.symbols.format_addr(0x104), "table+0x4");
+        assert_eq!(p.symbols.addr_of("table"), Some(0x100));
+        assert_eq!(p.symbols.name_at(0x100), Some("table"));
+        assert_eq!(p.symbols.nearest(0x2), Some(("main", 2)));
+    }
+
+    #[test]
+    fn insns_iterator_covers_text() {
+        let p = tiny_program();
+        let v: Vec<_> = p.insns().collect();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[1], (4, Insn::Halt));
+        assert_eq!(p.insn_count(), 2);
+    }
+}

@@ -1,0 +1,140 @@
+//! Architectural registers of EVA32.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the sixteen EVA32 general-purpose registers.
+///
+/// Register `r0` always reads as zero and ignores writes. By software
+/// convention `r13` is the stack pointer ([`Reg::SP`]) and `r14` the link
+/// register ([`Reg::LR`]); the hardware treats them like any other register
+/// except that `jal` implicitly writes `lr`.
+///
+/// # Example
+///
+/// ```
+/// use stamp_isa::Reg;
+///
+/// let sp: Reg = "sp".parse()?;
+/// assert_eq!(sp, Reg::SP);
+/// assert_eq!(sp.index(), 13);
+/// # Ok::<(), stamp_isa::asm::AsmError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hard-wired zero register `r0`.
+    pub const ZERO: Reg = Reg(0);
+    /// The stack pointer `r13`.
+    pub const SP: Reg = Reg(13);
+    /// The link register `r14`, written by `jal`/`jalr`.
+    pub const LR: Reg = Reg(14);
+    /// Number of architectural registers.
+    pub const COUNT: usize = 16;
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 16`.
+    #[inline]
+    pub fn new(index: u8) -> Reg {
+        assert!(index < 16, "register index out of range: {index}");
+        Reg(index)
+    }
+
+    /// Creates a register from the low 4 bits of `bits` (used by the decoder).
+    #[inline]
+    pub(crate) fn from_bits(bits: u32) -> Reg {
+        Reg((bits & 0xf) as u8)
+    }
+
+    /// Returns the register index in `0..16`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns `true` for the hard-wired zero register.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over all sixteen registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..16).map(|i| Reg(i))
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Reg::SP => f.write_str("sp"),
+            Reg::LR => f.write_str("lr"),
+            Reg(n) => write!(f, "r{n}"),
+        }
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl FromStr for Reg {
+    type Err = crate::asm::AsmError;
+
+    fn from_str(s: &str) -> Result<Reg, Self::Err> {
+        let err = || crate::asm::AsmError::new(0, format!("unknown register `{s}`"));
+        match s {
+            "zero" => return Ok(Reg::ZERO),
+            "sp" => return Ok(Reg::SP),
+            "lr" | "ra" => return Ok(Reg::LR),
+            _ => {}
+        }
+        let rest = s.strip_prefix('r').ok_or_else(err)?;
+        let n: u8 = rest.parse().map_err(|_| err())?;
+        if n < 16 {
+            Ok(Reg(n))
+        } else {
+            Err(err())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aliases_resolve() {
+        assert_eq!("zero".parse::<Reg>().unwrap(), Reg::ZERO);
+        assert_eq!("sp".parse::<Reg>().unwrap(), Reg::new(13));
+        assert_eq!("lr".parse::<Reg>().unwrap(), Reg::new(14));
+        assert_eq!("r7".parse::<Reg>().unwrap(), Reg::new(7));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!("r16".parse::<Reg>().is_err());
+        assert!("x3".parse::<Reg>().is_err());
+        assert!("r".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    fn display_uses_aliases() {
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::LR.to_string(), "lr");
+        assert_eq!(Reg::new(3).to_string(), "r3");
+        assert_eq!(Reg::ZERO.to_string(), "r0");
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn new_panics_out_of_range() {
+        let _ = Reg::new(16);
+    }
+}

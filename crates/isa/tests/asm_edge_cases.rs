@@ -1,0 +1,197 @@
+//! Assembler edge cases: diagnostics, layout rules, and pseudo-expansion
+//! corner cases.
+
+use stamp_isa::asm::{assemble, assemble_with, AsmOptions};
+use stamp_isa::{AluOp, Insn, MemWidth, Reg};
+
+fn err_of(src: &str) -> String {
+    assemble(src).unwrap_err().to_string()
+}
+
+#[test]
+fn diagnostics_name_the_line() {
+    assert!(err_of(".text\nmain: frob r1\n").contains("line 2"));
+    assert!(err_of(".text\nmain: nop\n\n\nbad r1, r2\n").contains("line 5"));
+}
+
+#[test]
+fn branch_out_of_range_reported() {
+    // Build a branch to a label > 32767 words away.
+    let mut src = String::from(".text\nmain: beq r0, r0, far\n");
+    src.push_str(".align 16\n");
+    for _ in 0..33000 {
+        src.push_str("nop\n");
+    }
+    src.push_str("far: halt\n");
+    let err = err_of(&src);
+    assert!(err.contains("out of range"), "{err}");
+}
+
+#[test]
+fn immediate_range_diagnostics() {
+    assert!(err_of(".text\nmain: addi r1, r1, 40000\n").contains("out of range"));
+    assert!(err_of(".text\nmain: andi r1, r1, -1\n").contains("out of range"));
+    assert!(err_of(".text\nmain: slli r1, r1, 32\n").contains("out of range"));
+    assert!(err_of(".text\nmain: lui r1, 0x10000\n").contains("range"));
+}
+
+#[test]
+fn li_accepts_full_32bit_range() {
+    let p = assemble(
+        ".text\nmain: li r1, -2147483648\nli r2, 4294967295\nli r3, 0\nhalt\n",
+    )
+    .unwrap();
+    // -2^31 = 0x80000000: lui only.
+    assert_eq!(p.decode_at(0).unwrap(), Insn::Lui { rd: Reg::new(1), imm: 0x8000 });
+    // 0xffffffff fits signed 16 (-1): single addi.
+    assert_eq!(
+        p.decode_at(4).unwrap(),
+        Insn::AluImm { op: AluOp::Add, rd: Reg::new(2), rs1: Reg::ZERO, imm: -1 }
+    );
+    assert!(err_of(".text\nmain: li r1, 4294967296\n").contains("out of 32-bit range"));
+}
+
+#[test]
+fn equ_chains_and_expressions() {
+    let p = assemble(
+        "\
+        .equ A, 4\n\
+        .equ B, A + 4\n\
+        .equ C, B - A\n\
+        .text\nmain: li r1, C\nhalt\n",
+    )
+    .unwrap();
+    assert_eq!(
+        p.decode_at(0).unwrap(),
+        Insn::AluImm { op: AluOp::Add, rd: Reg::new(1), rs1: Reg::ZERO, imm: 4 }
+    );
+    // Forward .equ references are rejected (defined in file order).
+    assert!(err_of(".equ X, Y\n.equ Y, 1\n.text\nmain: halt\n").contains("undefined"));
+}
+
+#[test]
+fn data_directives_layout() {
+    let p = assemble(
+        "\
+        .text\nmain: halt\n\
+        .data\n\
+        a: .byte 1, 2\n\
+        .align 4\n\
+        b: .half 0x1234\n\
+        c: .asciiz \"ok\"\n\
+        .align 8\n\
+        d: .word 9\n\
+        e:\n",
+    )
+    .unwrap();
+    let sym = |n: &str| p.symbols.addr_of(n).unwrap();
+    assert_eq!(sym("a"), 0x1000_0000);
+    assert_eq!(sym("b"), 0x1000_0004); // aligned
+    assert_eq!(sym("c"), 0x1000_0006);
+    assert_eq!(sym("d"), 0x1000_0010); // 'ok\0' then align 8
+    assert_eq!(sym("e"), 0x1000_0014);
+    assert_eq!(p.initial_value(sym("b"), MemWidth::H), Some(0x1234));
+    assert_eq!(p.initial_value(sym("c"), MemWidth::B), Some(b'o' as u32));
+}
+
+#[test]
+fn bss_takes_no_image_bytes() {
+    let p = assemble(
+        ".text\nmain: halt\n.data\nx: .word 1\n.bss\nbig: .space 4096\nend_:\n",
+    )
+    .unwrap();
+    let bss = p.sections.iter().find(|s| s.name == ".bss").unwrap();
+    assert_eq!(bss.size, 4096);
+    assert!(bss.data.is_empty());
+    // Initial value of bss is zero.
+    let big = p.symbols.addr_of("big").unwrap();
+    assert_eq!(p.initial_value(big, MemWidth::W), Some(0));
+    // Data directives with bytes are rejected in .bss.
+    assert!(err_of(".text\nmain: halt\n.bss\nv: .word 1\n").contains(".bss"));
+}
+
+#[test]
+fn rodata_is_rom_data_is_not() {
+    let p = assemble(
+        ".text\nmain: halt\n.rodata\nk: .word 7\n.data\nv: .word 8\n",
+    )
+    .unwrap();
+    let k = p.symbols.addr_of("k").unwrap();
+    let v = p.symbols.addr_of("v").unwrap();
+    assert_eq!(p.rom_value(k, MemWidth::W), Some(7));
+    assert_eq!(p.rom_value(v, MemWidth::W), None); // RAM: not constant
+    assert_eq!(p.initial_value(v, MemWidth::W), Some(8));
+}
+
+#[test]
+fn custom_layout_moves_sections() {
+    let opts = AsmOptions { text_base: 0x100, data_base: 0x1008_0000 };
+    let p = assemble_with(
+        ".text\nmain: j main\n.rodata\nt: .word main\n.data\nv: .word t\n",
+        &opts,
+    )
+    .unwrap();
+    assert_eq!(p.entry, 0x100);
+    let t = p.symbols.addr_of("t").unwrap();
+    assert!(t >= 0x104 && t % 16 == 0);
+    assert_eq!(p.rom_value(t, MemWidth::W), Some(0x100)); // points at main
+    assert_eq!(p.symbols.addr_of("v"), Some(0x1008_0000));
+}
+
+#[test]
+fn comment_styles_and_blank_labels() {
+    let p = assemble(
+        "\
+        ; full-line comment\n\
+        # another\n\
+        // and another\n\
+        .text\n\
+        main:\n\
+        only_label_line:\n\
+        nop ; trailing\n\
+        halt # trailing\n",
+    )
+    .unwrap();
+    assert_eq!(p.insn_count(), 2);
+    assert_eq!(p.symbols.addr_of("only_label_line"), Some(0));
+}
+
+#[test]
+fn string_escapes_and_hash_in_string() {
+    let p = assemble(".text\nmain: halt\n.rodata\ns: .ascii \"a#b;c\\\"d\\n\"\n").unwrap();
+    let s = p.symbols.addr_of("s").unwrap();
+    let bytes: Vec<u8> = (0..8).map(|i| p.initial_byte(s + i).unwrap()).collect();
+    assert_eq!(&bytes, b"a#b;c\"d\n");
+}
+
+#[test]
+fn jalr_forms() {
+    let p = assemble(".text\nmain: jalr r5\njalr r1, r5\njalr r1, r5, 8\nhalt\n").unwrap();
+    assert_eq!(
+        p.decode_at(0).unwrap(),
+        Insn::Jalr { rd: Reg::LR, rs1: Reg::new(5), offset: 0 }
+    );
+    assert_eq!(
+        p.decode_at(4).unwrap(),
+        Insn::Jalr { rd: Reg::new(1), rs1: Reg::new(5), offset: 0 }
+    );
+    assert_eq!(
+        p.decode_at(8).unwrap(),
+        Insn::Jalr { rd: Reg::new(1), rs1: Reg::new(5), offset: 8 }
+    );
+}
+
+#[test]
+fn entry_fallbacks() {
+    // No main/_start/.entry: entry = start of .text.
+    let p = assemble(".text\nstart_here: halt\n").unwrap();
+    assert_eq!(p.entry, 0);
+    // _start works as a fallback.
+    let p = assemble(".text\nnop\n_start: halt\n").unwrap();
+    assert_eq!(p.entry, 4);
+}
+
+#[test]
+fn missing_text_section_rejected() {
+    assert!(err_of(".data\nv: .word 1\n").contains(".text"));
+}

@@ -1,0 +1,128 @@
+//! Property-based round-trip of the binary codec and assembler text.
+
+use proptest::prelude::*;
+use stamp_isa::codec::{decode, encode};
+use stamp_isa::{AluOp, Cond, Insn, MemWidth, Reg};
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg::new)
+}
+
+fn insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        Just(Insn::Halt),
+        (0usize..AluOp::ALL.len(), reg(), reg(), reg()).prop_map(|(op, rd, rs1, rs2)| {
+            Insn::Alu { op: AluOp::ALL[op], rd, rs1, rs2 }
+        }),
+        // Arithmetic immediates: sign-extended range.
+        (reg(), reg(), -0x8000i32..=0x7fff).prop_map(|(rd, rs1, imm)| Insn::AluImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm
+        }),
+        // Logical immediates: zero-extended range.
+        (reg(), reg(), 0i32..=0xffff).prop_map(|(rd, rs1, imm)| Insn::AluImm {
+            op: AluOp::Or,
+            rd,
+            rs1,
+            imm
+        }),
+        // Shift immediates.
+        (reg(), reg(), 0i32..=31).prop_map(|(rd, rs1, imm)| Insn::AluImm {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            imm
+        }),
+        (reg(), any::<u16>()).prop_map(|(rd, imm)| Insn::Lui { rd, imm }),
+        (reg(), reg(), -0x8000i32..=0x7fff, 0usize..5).prop_map(|(rd, base, offset, w)| {
+            let (width, signed) = [
+                (MemWidth::B, true),
+                (MemWidth::B, false),
+                (MemWidth::H, true),
+                (MemWidth::H, false),
+                (MemWidth::W, true),
+            ][w];
+            Insn::Load { width, signed, rd, base, offset }
+        }),
+        (reg(), reg(), -0x8000i32..=0x7fff, 0usize..3).prop_map(|(src, base, offset, w)| {
+            Insn::Store {
+                width: [MemWidth::B, MemWidth::H, MemWidth::W][w],
+                src,
+                base,
+                offset,
+            }
+        }),
+        (0usize..6, reg(), reg(), -0x8000i32..=0x7fff).prop_map(|(c, rs1, rs2, offset)| {
+            Insn::Branch { cond: Cond::ALL[c], rs1, rs2, offset }
+        }),
+        (-(1i32 << 23)..(1i32 << 23)).prop_map(|offset| Insn::Jump { offset }),
+        (-(1i32 << 23)..(1i32 << 23)).prop_map(|offset| Insn::Jal { offset }),
+        (reg(), reg(), -0x8000i32..=0x7fff).prop_map(|(rd, rs1, offset)| Insn::Jalr {
+            rd,
+            rs1,
+            offset
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    #[test]
+    fn encode_decode_roundtrip(i in insn()) {
+        let word = encode(&i).expect("generated instructions are encodable");
+        let back = decode(word).expect("decodes");
+        prop_assert_eq!(i, back);
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        // Arbitrary words either decode or produce a structured error.
+        let _ = decode(word);
+    }
+
+    #[test]
+    fn decode_encode_is_identity_on_valid_words(word in any::<u32>()) {
+        if let Ok(i) = decode(word) {
+            let re = encode(&i).expect("decoded instructions re-encode");
+            prop_assert_eq!(word, re, "{:?}", i);
+        }
+    }
+
+    #[test]
+    fn static_properties_are_consistent(i in insn()) {
+        // def() never returns r0; uses() has at most 2 registers.
+        if let Some(d) = i.def() {
+            prop_assert!(!d.is_zero());
+        }
+        prop_assert!(i.uses().iter().count() <= 2);
+        // Control-flow classification agrees with terminator-ness.
+        let term = i.is_terminator();
+        let seq = matches!(i.flow(0x1000), stamp_isa::Flow::Seq);
+        let is_call = matches!(
+            i.flow(0x1000),
+            stamp_isa::Flow::Call { .. } | stamp_isa::Flow::IndirectCall
+        );
+        let is_linkish = matches!(i, Insn::Jal { .. } | Insn::Jalr { .. });
+        if seq {
+            prop_assert!(!term || is_linkish);
+        } else {
+            prop_assert!(term || is_call);
+        }
+    }
+}
+
+/// The disassembly shown in reports must be stable and parseable-looking
+/// (no panics, non-empty) for every instruction.
+#[test]
+fn display_is_total() {
+    use proptest::strategy::{Strategy as _, ValueTree};
+    use proptest::test_runner::TestRunner;
+    let mut runner = TestRunner::deterministic();
+    for _ in 0..512 {
+        let i = insn().new_tree(&mut runner).unwrap().current();
+        assert!(!i.to_string().is_empty());
+    }
+}

@@ -1,0 +1,523 @@
+//! # stamp-path — path analysis by implicit path enumeration (IPET)
+//!
+//! The final phase of the paper's pipeline: "path analysis determines a
+//! worst-case execution path of the program" using "integer linear
+//! programming".
+//!
+//! One ILP variable counts the traversals of each supergraph edge. Flow
+//! conservation ties edge counts to block counts, the loop-bound analysis
+//! contributes `Σ back-edges ≤ (bound−1) · Σ entries` per loop instance,
+//! and the value analysis contributes `x_e = 0` for infeasible edges
+//! ("their execution time does not contribute to the overall WCET … and
+//! need not be determined in the first place"). The objective maximizes
+//!
+//! ```text
+//! Σ_nodes time(node)·count(node) + Σ_edges penalty(edge)·x_edge
+//! ```
+//!
+//! which the exact solver in `stamp-ilp` turns into the WCET bound and a
+//! witness assignment of worst-case execution counts.
+//!
+//! # Example
+//!
+//! See `stamp-core`, which wires all phases together; this crate's tests
+//! verify WCET bounds against the cycle-accurate simulator.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use stamp_ai::{Frame, IEdgeId, IEdgeKind, Icfg, NodeId};
+use stamp_cfg::{BlockId, Cfg};
+use stamp_ilp::{CmpOp, IlpError, LpProblem, VarId};
+use stamp_loopbound::LoopBoundAnalysis;
+use stamp_pipeline::PipelineAnalysis;
+use stamp_value::ValueAnalysis;
+
+/// Errors from the path analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PathError {
+    /// A loop instance has no bound (neither computed nor annotated);
+    /// the ILP would be unbounded.
+    MissingLoopBound {
+        /// Address of the loop header's first instruction.
+        header_addr: u32,
+    },
+    /// The CFG still contains unresolved indirect jumps.
+    UnresolvedIndirect {
+        /// Address of the indirect jump.
+        addr: u32,
+    },
+    /// The underlying ILP failed.
+    Ilp(IlpError),
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::MissingLoopBound { header_addr } => write!(
+                f,
+                "no loop bound for the loop headed at {header_addr:#010x}; add an annotation"
+            ),
+            PathError::UnresolvedIndirect { addr } => write!(
+                f,
+                "unresolved indirect jump at {addr:#010x}; add a target annotation"
+            ),
+            PathError::Ilp(e) => write!(f, "path ILP failed: {e}"),
+        }
+    }
+}
+
+impl Error for PathError {}
+
+impl From<IlpError> for PathError {
+    fn from(e: IlpError) -> PathError {
+        PathError::Ilp(e)
+    }
+}
+
+/// Options for [`analyze`].
+#[derive(Clone, Copy, Debug)]
+pub struct PathOptions {
+    /// Pin value-analysis-infeasible edges to zero (disable for the E4
+    /// ablation).
+    pub use_infeasible: bool,
+}
+
+impl Default for PathOptions {
+    fn default() -> PathOptions {
+        PathOptions { use_infeasible: true }
+    }
+}
+
+/// The WCET bound together with its witness counts.
+#[derive(Clone, Debug)]
+pub struct WcetResult {
+    /// The worst-case execution time bound in cycles.
+    pub wcet: u64,
+    /// Worst-case traversal count per supergraph edge.
+    pub edge_counts: HashMap<IEdgeId, u64>,
+    /// Worst-case execution count per supergraph node.
+    pub node_counts: HashMap<NodeId, u64>,
+    /// Size of the ILP (variables, constraints) — reported as analysis
+    /// statistics.
+    pub ilp_size: (usize, usize),
+}
+
+impl WcetResult {
+    /// Worst-case execution counts aggregated per basic block (summed
+    /// over contexts) — comparable with the simulator's per-address
+    /// execution counts.
+    pub fn block_counts(&self, icfg: &Icfg) -> HashMap<BlockId, u64> {
+        let mut m = HashMap::new();
+        for (&n, &c) in &self.node_counts {
+            *m.entry(icfg.node(n).block).or_insert(0) += c;
+        }
+        m
+    }
+
+    /// A concrete worst-case path (block/context sequence), reconstructed
+    /// from the edge counts by an Euler-style walk. Intended for reports;
+    /// truncated to `limit` nodes.
+    pub fn worst_path(&self, icfg: &Icfg, limit: usize) -> Vec<NodeId> {
+        let mut remaining: HashMap<IEdgeId, u64> = self.edge_counts.clone();
+        let mut path = vec![icfg.entry()];
+        let mut cur = icfg.entry();
+        while path.len() < limit {
+            // Prefer the outgoing edge with the largest remaining count.
+            let next = icfg
+                .succs(cur)
+                .filter(|e| remaining.get(&e.id).copied().unwrap_or(0) > 0)
+                .max_by_key(|e| remaining[&e.id]);
+            match next {
+                Some(e) => {
+                    *remaining.get_mut(&e.id).expect("present") -= 1;
+                    path.push(e.to);
+                    cur = e.to;
+                }
+                None => break,
+            }
+        }
+        path
+    }
+}
+
+/// Runs the IPET path analysis.
+///
+/// # Errors
+///
+/// See [`PathError`]; in particular every loop instance must carry a
+/// bound.
+pub fn analyze(
+    cfg: &Cfg,
+    icfg: &Icfg,
+    va: &ValueAnalysis,
+    lb: &LoopBoundAnalysis,
+    pa: &PipelineAnalysis,
+    options: &PathOptions,
+) -> Result<WcetResult, PathError> {
+    if let Some(&addr) = cfg.unresolved_indirects().first() {
+        return Err(PathError::UnresolvedIndirect { addr });
+    }
+
+    let mut lp = LpProblem::new();
+
+    // One variable per supergraph edge, plus a virtual source and one
+    // sink per exit node.
+    let mut evar: HashMap<IEdgeId, VarId> = HashMap::new();
+    for e in icfg.edges() {
+        // Objective: entering a node costs the node's time; traversing a
+        // taken transfer costs the penalty.
+        let t = pa.time(e.to).unwrap_or(0);
+        let coeff = t + pa.edge_penalty(cfg, icfg, e);
+        let v = lp.add_var(format!("e{}", e.id.index()), coeff as i64);
+        evar.insert(e.id, v);
+    }
+    let entry_time = pa.time(icfg.entry()).unwrap_or(0);
+    let source = lp.add_var("source", entry_time as i64);
+    let mut sinks: HashMap<NodeId, VarId> = HashMap::new();
+    for &x in icfg.exits() {
+        sinks.insert(x, lp.add_var(format!("sink{}", x.index()), 0));
+    }
+
+    // Source fires exactly once.
+    lp.add_constraint([(source, 1)], CmpOp::Eq, 1);
+
+    // Flow conservation at every node.
+    for nd in icfg.nodes() {
+        let mut terms: Vec<(VarId, i64)> = Vec::new();
+        for e in icfg.preds(nd.id) {
+            terms.push((evar[&e.id], 1));
+        }
+        if nd.id == icfg.entry() {
+            terms.push((source, 1));
+        }
+        for e in icfg.succs(nd.id) {
+            terms.push((evar[&e.id], -1));
+        }
+        if let Some(&sink) = sinks.get(&nd.id) {
+            terms.push((sink, -1));
+        }
+        lp.add_constraint(terms, CmpOp::Eq, 0);
+    }
+
+    // At most one task exit in total (the task stops at the first halt).
+    let sink_terms: Vec<(VarId, i64)> = sinks.values().map(|&v| (v, 1)).collect();
+    if !sink_terms.is_empty() {
+        lp.add_constraint(sink_terms, CmpOp::Eq, 1);
+    }
+
+    // Loop bounds per loop instance.
+    let mut instances: HashMap<(BlockId, Vec<Frame>), (Vec<IEdgeId>, Vec<IEdgeId>)> =
+        HashMap::new();
+    for e in icfg.edges() {
+        let to = icfg.node(e.to);
+        // Instance key: target context with the loop's own trailing frame
+        // stripped (matching `stamp-loopbound`).
+        let header = to.block;
+        let is_back_of_header =
+            matches!(e.kind, IEdgeKind::Intra { back_edge_of: Some(h), .. } if h == header);
+        let header_has_loop = lb
+            .bounds()
+            .keys()
+            .any(|(h, _)| *h == header)
+            || lb.unbounded().iter().any(|(h, _)| *h == header);
+        if !header_has_loop {
+            continue;
+        }
+        let ctx = icfg.ctxs().get(to.ctx);
+        let mut frames = ctx.frames().to_vec();
+        if matches!(frames.last(), Some(Frame::Loop { header: h, .. }) if *h == header) {
+            frames.pop();
+        }
+        let entry = instances.entry((header, frames)).or_default();
+        if is_back_of_header {
+            entry.1.push(e.id);
+        } else {
+            entry.0.push(e.id);
+        }
+    }
+    let infeasible_set: std::collections::HashSet<IEdgeId> =
+        va.infeasible_edges().iter().copied().collect();
+    for ((header, frames), (entries, backs)) in &instances {
+        if backs.is_empty() {
+            continue;
+        }
+        let bound = match lb.bound(*header, frames) {
+            Some(b) => b,
+            None => {
+                // A bound is unnecessary when the instance is provably
+                // never entered: pin its flow to zero instead. (This is
+                // a genuine reachability fact, so it applies even when
+                // infeasible-path *path constraints* are ablated.)
+                let unreachable = entries.iter().all(|e| {
+                    infeasible_set.contains(e)
+                        || va.entry_state(icfg.edge(*e).from).is_none()
+                });
+                if unreachable {
+                    for e in entries.iter().chain(backs.iter()) {
+                        lp.add_constraint([(evar[e], 1)], CmpOp::Le, 0);
+                    }
+                    continue;
+                }
+                return Err(PathError::MissingLoopBound {
+                    header_addr: cfg.block(*header).start,
+                });
+            }
+        };
+        // Σ backs − (bound−1) · Σ entries ≤ 0.
+        let mut terms: Vec<(VarId, i64)> = Vec::new();
+        for b in backs {
+            terms.push((evar[b], 1));
+        }
+        let k = (bound.saturating_sub(1)).min(i64::MAX as u64) as i64;
+        for en in entries {
+            terms.push((evar[en], -k));
+        }
+        lp.add_constraint(terms, CmpOp::Le, 0);
+    }
+
+    // Infeasible edges.
+    if options.use_infeasible {
+        for &e in va.infeasible_edges() {
+            lp.add_constraint([(evar[&e], 1)], CmpOp::Le, 0);
+        }
+    }
+
+    let size = (lp.num_vars(), lp.num_constraints());
+    let sol = lp.maximize_integer()?;
+
+    let mut edge_counts = HashMap::new();
+    for (eid, var) in &evar {
+        let c = sol.values[var.0].max(0) as u64;
+        if c > 0 {
+            edge_counts.insert(*eid, c);
+        }
+    }
+    let mut node_counts: HashMap<NodeId, u64> = HashMap::new();
+    for nd in icfg.nodes() {
+        let mut c: u64 = 0;
+        for e in icfg.preds(nd.id) {
+            c += edge_counts.get(&e.id).copied().unwrap_or(0);
+        }
+        if nd.id == icfg.entry() {
+            c += 1; // the source edge
+        }
+        if c > 0 {
+            node_counts.insert(nd.id, c);
+        }
+    }
+
+    Ok(WcetResult {
+        // Persistent lines may each miss once over the whole task; the
+        // pipeline analysis priced those accesses as hits and exposes
+        // the one-time budget here.
+        wcet: sol.objective.max(0) as u64 + pa.ps_extra_cycles(),
+        edge_counts,
+        node_counts,
+        ilp_size: size,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stamp_ai::VivuConfig;
+    use stamp_cache::CacheAnalysis;
+    use stamp_cfg::CfgBuilder;
+    use stamp_hw::HwConfig;
+    use stamp_isa::asm::assemble;
+    use stamp_loopbound::LoopBoundOptions;
+    use stamp_sim::Simulator;
+    use stamp_value::ValueOptions;
+
+    fn wcet_of(src: &str, hw: &HwConfig) -> (stamp_isa::Program, WcetResult) {
+        let p = assemble(src).expect("assembles");
+        let cfg = CfgBuilder::new(&p).build().expect("builds");
+        let icfg = Icfg::build(&cfg, &VivuConfig::default()).expect("expands");
+        let va = ValueAnalysis::run(&p, hw, &cfg, &icfg, &ValueOptions::default());
+        let lb = LoopBoundAnalysis::run(&p, &cfg, &icfg, &va, &LoopBoundOptions::default());
+        let ca = CacheAnalysis::run(hw, &cfg, &icfg, &va);
+        let pa = PipelineAnalysis::run(hw, &cfg, &icfg, &ca, &va);
+        let res = analyze(&cfg, &icfg, &va, &lb, &pa, &PathOptions::default())
+            .expect("path analysis");
+        (p, res)
+    }
+
+    #[test]
+    fn straight_line_wcet_is_exact() {
+        let src = ".text\nmain: li r1, 3\nmul r2, r1, r1\nhalt\n";
+        for hw in [HwConfig::ideal(), HwConfig::default()] {
+            let (p, res) = wcet_of(src, &hw);
+            let mut sim = Simulator::new(&p, &hw);
+            let c = sim.run(1000).unwrap().cycles;
+            assert_eq!(res.wcet, c, "hw {hw:?}");
+        }
+    }
+
+    #[test]
+    fn counted_loop_wcet_is_exact_under_ideal_timing() {
+        let src = ".text\nmain: li r1, 10\nloop: addi r1, r1, -1\nbnez r1, loop\nhalt\n";
+        let hw = HwConfig::ideal();
+        let (p, res) = wcet_of(src, &hw);
+        let mut sim = Simulator::new(&p, &hw);
+        let c = sim.run(10_000).unwrap().cycles;
+        assert_eq!(res.wcet, c);
+    }
+
+    #[test]
+    fn loop_wcet_sound_and_tight_with_caches() {
+        let src = ".text\nmain: li r1, 25\nloop: addi r1, r1, -1\nbnez r1, loop\nhalt\n";
+        let hw = HwConfig::default();
+        let (p, res) = wcet_of(src, &hw);
+        let mut sim = Simulator::new(&p, &hw);
+        let c = sim.run(10_000).unwrap().cycles;
+        assert!(res.wcet >= c, "unsound: {} < {}", res.wcet, c);
+        assert!(
+            res.wcet <= c + 24,
+            "loose: bound {} vs simulated {} (cold-start slack only)",
+            res.wcet,
+            c
+        );
+    }
+
+    #[test]
+    fn branchy_max_path_found() {
+        // Two arms with different costs: WCET takes the expensive arm
+        // (12 cycles of divs) even though inputs are unknown.
+        let src = "\
+            .text
+            main: beq r2, r0, cheap
+                  div r3, r4, r5
+                  halt
+            cheap:
+                  addi r3, r0, 1
+                  halt
+        ";
+        let hw = HwConfig::ideal();
+        let (p, res) = wcet_of(src, &hw);
+        // Simulate both arms, WCET must cover the worse one exactly.
+        let mut worst = 0;
+        for r2 in [0u32, 1] {
+            let mut sim = Simulator::new(&p, &hw);
+            sim.set_reg(stamp_isa::Reg::new(2), r2);
+            worst = worst.max(sim.run(100).unwrap().cycles);
+        }
+        assert_eq!(res.wcet, worst);
+    }
+
+    #[test]
+    fn infeasible_path_excluded() {
+        // The expensive arm is dead: r1 is always 3.
+        let src = "\
+            .text
+            main: li r1, 3
+                  bne r1, r0, cheap
+                  div r3, r4, r5
+                  div r3, r4, r5
+                  halt
+            cheap:
+                  addi r3, r0, 1
+                  halt
+        ";
+        let hw = HwConfig::ideal();
+        let (p, res) = wcet_of(src, &hw);
+        let mut sim = Simulator::new(&p, &hw);
+        let c = sim.run(100).unwrap().cycles;
+        assert_eq!(res.wcet, c, "pruning should make the bound exact");
+
+        // Without infeasibility facts the bound inflates.
+        let cfg = CfgBuilder::new(&p).build().unwrap();
+        let icfg = Icfg::build(&cfg, &VivuConfig::default()).unwrap();
+        let va = ValueAnalysis::run(&p, &hw, &cfg, &icfg, &ValueOptions::default());
+        let lb = LoopBoundAnalysis::run(&p, &cfg, &icfg, &va, &LoopBoundOptions::default());
+        let ca = CacheAnalysis::run(&hw, &cfg, &icfg, &va);
+        let pa = PipelineAnalysis::run(&hw, &cfg, &icfg, &ca, &va);
+        let loose = analyze(
+            &cfg,
+            &icfg,
+            &va,
+            &lb,
+            &pa,
+            &PathOptions { use_infeasible: false },
+        )
+        .unwrap();
+        assert!(loose.wcet > res.wcet);
+    }
+
+    #[test]
+    fn nested_loop_counts_multiply() {
+        let src = "\
+            .text
+            main:  li r1, 3
+            outer: li r2, 4
+            inner: addi r2, r2, -1
+                   bnez r2, inner
+                   addi r1, r1, -1
+                   bnez r1, outer
+                   halt
+        ";
+        let hw = HwConfig::ideal();
+        let (p, res) = wcet_of(src, &hw);
+        let mut sim = Simulator::new(&p, &hw);
+        let c = sim.run(10_000).unwrap().cycles;
+        assert_eq!(res.wcet, c);
+        // The inner body runs 12 times in the worst case.
+        let cfg = CfgBuilder::new(&p).build().unwrap();
+        let icfg = Icfg::build(&cfg, &VivuConfig::default()).unwrap();
+        let inner = cfg.block_at(p.symbols.addr_of("inner").unwrap()).unwrap();
+        let total: u64 = res
+            .block_counts(&icfg)
+            .iter()
+            .filter(|(&b, _)| b == inner)
+            .map(|(_, &c)| c)
+            .sum();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn call_costs_included() {
+        let src = "\
+            .text
+            main: call f
+                  call f
+                  halt
+            f:    div r1, r2, r3
+                  ret
+        ";
+        let hw = HwConfig::ideal();
+        let (p, res) = wcet_of(src, &hw);
+        let mut sim = Simulator::new(&p, &hw);
+        let c = sim.run(1000).unwrap().cycles;
+        assert_eq!(res.wcet, c);
+    }
+
+    #[test]
+    fn missing_bound_is_reported() {
+        // Data-dependent loop without annotation.
+        let src = ".text\nmain: lw r1, 0(r2)\nloop: srli r1, r1, 1\nbnez r1, loop\nhalt\n";
+        let p = assemble(src).unwrap();
+        let hw = HwConfig::ideal();
+        let cfg = CfgBuilder::new(&p).build().unwrap();
+        let icfg = Icfg::build(&cfg, &VivuConfig::default()).unwrap();
+        let va = ValueAnalysis::run(&p, &hw, &cfg, &icfg, &ValueOptions::default());
+        let lb = LoopBoundAnalysis::run(&p, &cfg, &icfg, &va, &LoopBoundOptions::default());
+        let ca = CacheAnalysis::run(&hw, &cfg, &icfg, &va);
+        let pa = PipelineAnalysis::run(&hw, &cfg, &icfg, &ca, &va);
+        let err = analyze(&cfg, &icfg, &va, &lb, &pa, &PathOptions::default()).unwrap_err();
+        assert!(matches!(err, PathError::MissingLoopBound { .. }));
+    }
+
+    #[test]
+    fn worst_path_reconstruction() {
+        let src = ".text\nmain: li r1, 2\nloop: addi r1, r1, -1\nbnez r1, loop\nhalt\n";
+        let hw = HwConfig::ideal();
+        let (p, res) = wcet_of(src, &hw);
+        let cfg = CfgBuilder::new(&p).build().unwrap();
+        let icfg = Icfg::build(&cfg, &VivuConfig::default()).unwrap();
+        let path = res.worst_path(&icfg, 100);
+        assert_eq!(path.first(), Some(&icfg.entry()));
+        // Path visits: entry, loop×2, halt = 4 nodes.
+        assert_eq!(path.len(), 4);
+    }
+}

@@ -1,0 +1,108 @@
+//! Abstract pipeline states.
+
+use std::collections::BTreeSet;
+
+use stamp_ai::Domain;
+use stamp_isa::Reg;
+
+/// One concrete pipeline state at a block boundary: the load-use hazard
+/// window (destination of an immediately preceding load, if any).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PipeState {
+    /// Destination register of the load that retired last, if the last
+    /// retired instruction was a load.
+    pub pending_load: Option<Reg>,
+}
+
+impl PipeState {
+    /// The reset state (no pending load).
+    pub fn clean() -> PipeState {
+        PipeState::default()
+    }
+}
+
+/// A set of possible pipeline states — the abstract domain of the
+/// pipeline analysis. Join is set union; the set is bounded by the
+/// number of registers + 1, so chains are finite.
+///
+/// # Example
+///
+/// ```
+/// use stamp_pipeline::{PipeSet, PipeState};
+/// use stamp_ai::Domain;
+///
+/// let mut a = PipeSet::of(PipeState::clean());
+/// let b = PipeSet::of(PipeState { pending_load: Some(stamp_isa::Reg::new(3)) });
+/// assert!(a.join_from(&b));
+/// assert_eq!(a.iter().count(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct PipeSet(BTreeSet<PipeState>);
+
+impl PipeSet {
+    /// The empty set (unreachable).
+    pub fn empty() -> PipeSet {
+        PipeSet::default()
+    }
+
+    /// A singleton set.
+    pub fn of(s: PipeState) -> PipeSet {
+        let mut set = BTreeSet::new();
+        set.insert(s);
+        PipeSet(set)
+    }
+
+    /// The set of all pipeline states (used as a sound fallback for
+    /// blocks the analyses could not reach).
+    pub fn universe() -> PipeSet {
+        let mut set = BTreeSet::new();
+        set.insert(PipeState::clean());
+        for r in Reg::all() {
+            set.insert(PipeState { pending_load: Some(r) });
+        }
+        PipeSet(set)
+    }
+
+    /// Inserts a state.
+    pub fn insert(&mut self, s: PipeState) {
+        self.0.insert(s);
+    }
+
+    /// Iterates over the member states.
+    pub fn iter(&self) -> impl Iterator<Item = &PipeState> {
+        self.0.iter()
+    }
+
+    /// Returns `true` if no states are possible.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Domain for PipeSet {
+    fn join_from(&mut self, other: &PipeSet) -> bool {
+        let before = self.0.len();
+        self.0.extend(other.0.iter().copied());
+        self.0.len() != before
+    }
+
+    fn le(&self, other: &PipeSet) -> bool {
+        self.0.is_subset(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_union() {
+        let mut a = PipeSet::of(PipeState::clean());
+        let b = PipeSet::of(PipeState { pending_load: Some(Reg::new(1)) });
+        assert!(a.join_from(&b));
+        assert!(!a.join_from(&b));
+        assert!(b.le(&a));
+        assert!(!a.le(&b));
+        assert_eq!(a.iter().count(), 2);
+    }
+}

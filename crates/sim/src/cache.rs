@@ -1,0 +1,145 @@
+//! Concrete set-associative LRU cache.
+
+use stamp_hw::CacheConfig;
+
+/// A concrete LRU cache holding line addresses.
+///
+/// Each set is a recency-ordered list (index 0 = most recently used).
+/// This is the reference implementation that the abstract must/may caches
+/// in `stamp-cache` over-approximate.
+///
+/// # Example
+///
+/// ```
+/// use stamp_hw::CacheConfig;
+/// use stamp_sim::LruCache;
+///
+/// let mut c = LruCache::new(CacheConfig::new(1, 2, 16)); // one 2-way set
+/// assert!(!c.access(0x00)); // miss
+/// assert!(!c.access(0x10)); // miss
+/// assert!(c.access(0x00));  // hit
+/// assert!(!c.access(0x20)); // miss, evicts 0x10
+/// assert!(!c.access(0x10)); // miss again
+/// ```
+#[derive(Clone, Debug)]
+pub struct LruCache {
+    config: CacheConfig,
+    /// `sets[s]` is the recency-ordered list of resident line addresses.
+    sets: Vec<Vec<u32>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl LruCache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> LruCache {
+        LruCache { config, sets: vec![Vec::new(); config.sets() as usize], hits: 0, misses: 0 }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Performs one access to the line containing `addr`. Returns `true`
+    /// on a hit. On a miss the line is allocated, evicting the LRU way.
+    pub fn access(&mut self, addr: u32) -> bool {
+        let line = self.config.line_addr(addr);
+        let set = &mut self.sets[self.config.set_index(addr) as usize];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            set.remove(pos);
+            set.insert(0, line);
+            self.hits += 1;
+            true
+        } else {
+            set.insert(0, line);
+            set.truncate(self.config.assoc() as usize);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Returns `true` if the line containing `addr` is resident, without
+    /// updating recency or statistics.
+    pub fn probe(&self, addr: u32) -> bool {
+        let line = self.config.line_addr(addr);
+        self.sets[self.config.set_index(addr) as usize].contains(&line)
+    }
+
+    /// The age (0 = most recently used) of the line containing `addr`,
+    /// if resident.
+    pub fn age_of(&self, addr: u32) -> Option<u32> {
+        let line = self.config.line_addr(addr);
+        self.sets[self.config.set_index(addr) as usize]
+            .iter()
+            .position(|&l| l == line)
+            .map(|p| p as u32)
+    }
+
+    /// Empties the cache (statistics are kept).
+    pub fn invalidate(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Number of hits recorded so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of misses recorded so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = LruCache::new(CacheConfig::new(1, 2, 16));
+        c.access(0x00);
+        c.access(0x10);
+        c.access(0x00); // refresh 0x00 → LRU is 0x10
+        c.access(0x20); // evict 0x10
+        assert!(c.probe(0x00));
+        assert!(!c.probe(0x10));
+        assert!(c.probe(0x20));
+        assert_eq!(c.age_of(0x20), Some(0));
+        assert_eq!(c.age_of(0x00), Some(1));
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = LruCache::new(CacheConfig::new(2, 1, 16));
+        c.access(0x00); // set 0
+        c.access(0x10); // set 1
+        assert!(c.probe(0x00));
+        assert!(c.probe(0x10));
+        c.access(0x20); // set 0 again, evicts 0x00
+        assert!(!c.probe(0x00));
+        assert!(c.probe(0x10));
+    }
+
+    #[test]
+    fn same_line_offsets_hit() {
+        let mut c = LruCache::new(CacheConfig::new(32, 2, 16));
+        assert!(!c.access(0x100));
+        assert!(c.access(0x104));
+        assert!(c.access(0x10f));
+        assert!(!c.access(0x110));
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn invalidate_empties() {
+        let mut c = LruCache::new(CacheConfig::new(32, 2, 16));
+        c.access(0x40);
+        c.invalidate();
+        assert!(!c.probe(0x40));
+    }
+}

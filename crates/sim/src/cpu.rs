@@ -1,0 +1,358 @@
+//! Architectural (functional) execution of EVA32 instructions.
+
+use std::fmt;
+
+use stamp_hw::{MemoryMap, Region};
+use stamp_isa::{AluOp, Insn, MemWidth, Program, Reg};
+
+/// A run-time fault raised by the architecture.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Fetch from an address that is not decodable code.
+    BadFetch { pc: u32, reason: String },
+    /// Data access to an unmapped address.
+    Unmapped { pc: u32, addr: u32 },
+    /// Data access that is not naturally aligned.
+    Unaligned { pc: u32, addr: u32, width: MemWidth },
+    /// Store to read-only memory.
+    RomWrite { pc: u32, addr: u32 },
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::BadFetch { pc, reason } => write!(f, "bad fetch at {pc:#010x}: {reason}"),
+            Fault::Unmapped { pc, addr } => {
+                write!(f, "unmapped access to {addr:#010x} at pc {pc:#010x}")
+            }
+            Fault::Unaligned { pc, addr, width } => write!(
+                f,
+                "unaligned {}-byte access to {addr:#010x} at pc {pc:#010x}",
+                width.bytes()
+            ),
+            Fault::RomWrite { pc, addr } => {
+                write!(f, "store to ROM address {addr:#010x} at pc {pc:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+/// Flat concrete memory: a ROM image and a RAM image.
+#[derive(Clone)]
+pub struct Memory {
+    map: MemoryMap,
+    rom: Vec<u8>,
+    ram: Vec<u8>,
+}
+
+impl Memory {
+    /// Builds memory from a program image: sections are copied into their
+    /// regions, `.bss` is zeroed (RAM starts all-zero).
+    pub fn load(program: &Program, map: &MemoryMap) -> Memory {
+        let mut mem = Memory {
+            map: *map,
+            rom: vec![0; map.rom_size as usize],
+            ram: vec![0; map.ram_size as usize],
+        };
+        for s in &program.sections {
+            for (i, &b) in s.data.iter().enumerate() {
+                let addr = s.base + i as u32;
+                match map.region(addr) {
+                    Region::Rom => mem.rom[(addr - map.rom_base) as usize] = b,
+                    Region::Ram => mem.ram[(addr - map.ram_base) as usize] = b,
+                    Region::Unmapped => {}
+                }
+            }
+        }
+        mem
+    }
+
+    /// Reads one byte (no alignment rules at byte granularity).
+    pub fn read_byte(&self, addr: u32) -> Option<u8> {
+        match self.map.region(addr) {
+            Region::Rom => Some(self.rom[(addr - self.map.rom_base) as usize]),
+            Region::Ram => Some(self.ram[(addr - self.map.ram_base) as usize]),
+            Region::Unmapped => None,
+        }
+    }
+
+    /// Reads a little-endian value of the given width.
+    pub fn read(&self, addr: u32, width: MemWidth) -> Option<u32> {
+        let mut v = 0u32;
+        for i in 0..width.bytes() {
+            v |= (self.read_byte(addr.wrapping_add(i))? as u32) << (8 * i);
+        }
+        Some(v)
+    }
+
+    /// Writes a little-endian value into RAM. Returns `false` if any byte
+    /// is outside RAM.
+    pub fn write(&mut self, addr: u32, width: MemWidth, value: u32) -> bool {
+        for i in 0..width.bytes() {
+            let a = addr.wrapping_add(i);
+            if self.map.region(a) != Region::Ram {
+                return false;
+            }
+            self.ram[(a - self.map.ram_base) as usize] = (value >> (8 * i)) as u8;
+        }
+        true
+    }
+
+    /// Overwrites a RAM region with raw bytes (used to inject task inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is not entirely inside RAM.
+    pub fn write_ram_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            let a = addr + i as u32;
+            assert_eq!(self.map.region(a), Region::Ram, "address {a:#x} not in RAM");
+            self.ram[(a - self.map.ram_base) as usize] = b;
+        }
+    }
+
+    /// The memory map this memory was built with.
+    pub fn map(&self) -> &MemoryMap {
+        &self.map
+    }
+}
+
+/// Architectural CPU state: program counter and register file.
+#[derive(Clone, Debug)]
+pub struct Cpu {
+    /// Program counter.
+    pub pc: u32,
+    regs: [u32; Reg::COUNT],
+}
+
+/// The architectural outcome of one instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepEffect {
+    /// Continue at the (possibly transferred) next pc; `taken` is true for
+    /// taken control transfers; `mem_addr` is the data address accessed.
+    Continue { taken: bool, mem_addr: Option<u32> },
+    /// The task executed `halt`.
+    Halted,
+}
+
+impl Cpu {
+    /// Creates a CPU with all registers zero except `sp`, which is set to
+    /// `stack_top`, starting at `entry`.
+    pub fn new(entry: u32, stack_top: u32) -> Cpu {
+        let mut regs = [0u32; Reg::COUNT];
+        regs[Reg::SP.index()] = stack_top;
+        Cpu { pc: entry, regs }
+    }
+
+    /// Reads a register (`r0` is always 0).
+    #[inline]
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register (writes to `r0` are discarded).
+    #[inline]
+    pub fn set_reg(&mut self, r: Reg, v: u32) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Executes one already-decoded instruction, updating registers,
+    /// memory and the pc.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Fault`] on unmapped, misaligned or read-only accesses.
+    pub fn step(&mut self, insn: &Insn, mem: &mut Memory) -> Result<StepEffect, Fault> {
+        let pc = self.pc;
+        let mut next = pc.wrapping_add(4);
+        let mut taken = false;
+        let mut mem_addr = None;
+
+        match *insn {
+            Insn::Alu { op, rd, rs1, rs2 } => {
+                let v = alu(op, self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, v);
+            }
+            Insn::AluImm { op, rd, rs1, imm } => {
+                let v = alu(op, self.reg(rs1), imm as u32);
+                self.set_reg(rd, v);
+            }
+            Insn::Lui { rd, imm } => self.set_reg(rd, (imm as u32) << 16),
+            Insn::Load { width, signed, rd, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as u32);
+                check_align(pc, addr, width)?;
+                let raw = mem.read(addr, width).ok_or(Fault::Unmapped { pc, addr })?;
+                let v = extend(raw, width, signed);
+                self.set_reg(rd, v);
+                mem_addr = Some(addr);
+            }
+            Insn::Store { width, src, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as u32);
+                check_align(pc, addr, width)?;
+                if !mem.write(addr, width, self.reg(src)) {
+                    return Err(match mem.map().region(addr) {
+                        Region::Rom => Fault::RomWrite { pc, addr },
+                        _ => Fault::Unmapped { pc, addr },
+                    });
+                }
+                mem_addr = Some(addr);
+            }
+            Insn::Branch { cond, rs1, rs2, offset } => {
+                if cond.eval(self.reg(rs1), self.reg(rs2)) {
+                    next = pc.wrapping_add((offset as u32).wrapping_mul(4));
+                    taken = true;
+                }
+            }
+            Insn::Jump { offset } => {
+                next = pc.wrapping_add((offset as u32).wrapping_mul(4));
+                taken = true;
+            }
+            Insn::Jal { offset } => {
+                self.set_reg(Reg::LR, pc.wrapping_add(4));
+                next = pc.wrapping_add((offset as u32).wrapping_mul(4));
+                taken = true;
+            }
+            Insn::Jalr { rd, rs1, offset } => {
+                let target = self.reg(rs1).wrapping_add(offset as u32) & !3;
+                self.set_reg(rd, pc.wrapping_add(4));
+                next = target;
+                taken = true;
+            }
+            Insn::Halt => return Ok(StepEffect::Halted),
+        }
+
+        self.pc = next;
+        Ok(StepEffect::Continue { taken, mem_addr })
+    }
+}
+
+fn check_align(pc: u32, addr: u32, width: MemWidth) -> Result<(), Fault> {
+    if addr % width.bytes() != 0 {
+        Err(Fault::Unaligned { pc, addr, width })
+    } else {
+        Ok(())
+    }
+}
+
+fn extend(raw: u32, width: MemWidth, signed: bool) -> u32 {
+    match (width, signed) {
+        (MemWidth::B, true) => raw as u8 as i8 as i32 as u32,
+        (MemWidth::H, true) => raw as u16 as i16 as i32 as u32,
+        _ => raw,
+    }
+}
+
+/// The EVA32 ALU — delegates to [`AluOp::eval`], the single source of
+/// truth shared with the value analysis.
+pub(crate) fn alu(op: AluOp, a: u32, b: u32) -> u32 {
+    op.eval(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stamp_isa::asm::assemble;
+
+    fn mem_for(src: &str) -> (Memory, Program) {
+        let p = assemble(src).expect("assembles");
+        let map = MemoryMap::default();
+        (Memory::load(&p, &map), p)
+    }
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(alu(AluOp::Add, u32::MAX, 1), 0);
+        assert_eq!(alu(AluOp::Sub, 0, 1), u32::MAX);
+        assert_eq!(alu(AluOp::Sll, 1, 33), 2); // amount masked to 5 bits
+        assert_eq!(alu(AluOp::Sra, 0x8000_0000, 31), u32::MAX);
+        assert_eq!(alu(AluOp::Srl, 0x8000_0000, 31), 1);
+        assert_eq!(alu(AluOp::Slt, u32::MAX, 0), 1); // -1 < 0 signed
+        assert_eq!(alu(AluOp::Sltu, u32::MAX, 0), 0);
+        assert_eq!(alu(AluOp::Div, 7, 0), u32::MAX);
+        assert_eq!(alu(AluOp::Rem, 7, 0), 7);
+        assert_eq!(alu(AluOp::Div, i32::MIN as u32, u32::MAX), i32::MIN as u32);
+        assert_eq!(alu(AluOp::Mulh, 0x8000_0000, 0x8000_0000), 0x4000_0000);
+    }
+
+    #[test]
+    fn memory_loads_sections() {
+        let (mem, p) = mem_for(".text\nmain: halt\n.data\nv: .word 0xdeadbeef\n");
+        let v = p.symbols.addr_of("v").unwrap();
+        assert_eq!(mem.read(v, MemWidth::W), Some(0xdead_beef));
+        assert_eq!(mem.read(v, MemWidth::B), Some(0xef));
+    }
+
+    #[test]
+    fn store_to_rom_faults() {
+        let (mut mem, _p) = mem_for(".text\nmain: halt\n");
+        let mut cpu = Cpu::new(0, MemoryMap::default().stack_top());
+        let st = Insn::Store { width: MemWidth::W, src: Reg::new(1), base: Reg::ZERO, offset: 16 };
+        let err = cpu.step(&st, &mut mem).unwrap_err();
+        assert!(matches!(err, Fault::RomWrite { addr: 16, .. }));
+    }
+
+    #[test]
+    fn unaligned_access_faults() {
+        let (mut mem, _p) = mem_for(".text\nmain: halt\n");
+        let mut cpu = Cpu::new(0, MemoryMap::default().stack_top());
+        cpu.set_reg(Reg::new(1), 0x1000_0001);
+        let ld = Insn::Load {
+            width: MemWidth::W,
+            signed: true,
+            rd: Reg::new(2),
+            base: Reg::new(1),
+            offset: 0,
+        };
+        assert!(matches!(cpu.step(&ld, &mut mem), Err(Fault::Unaligned { .. })));
+    }
+
+    #[test]
+    fn sign_extension_on_byte_load() {
+        let (mut mem, _p) = mem_for(".text\nmain: halt\n");
+        mem.write_ram_bytes(0x1000_0000, &[0xff]);
+        let mut cpu = Cpu::new(0, MemoryMap::default().stack_top());
+        cpu.set_reg(Reg::new(1), 0x1000_0000);
+        let lb = Insn::Load {
+            width: MemWidth::B,
+            signed: true,
+            rd: Reg::new(2),
+            base: Reg::new(1),
+            offset: 0,
+        };
+        cpu.step(&lb, &mut mem).unwrap();
+        assert_eq!(cpu.reg(Reg::new(2)), u32::MAX);
+        let lbu = Insn::Load {
+            width: MemWidth::B,
+            signed: false,
+            rd: Reg::new(3),
+            base: Reg::new(1),
+            offset: 0,
+        };
+        cpu.step(&lbu, &mut mem).unwrap();
+        assert_eq!(cpu.reg(Reg::new(3)), 0xff);
+    }
+
+    #[test]
+    fn jalr_clears_low_bits_and_links() {
+        let (mut mem, _p) = mem_for(".text\nmain: halt\n");
+        let mut cpu = Cpu::new(0x100, MemoryMap::default().stack_top());
+        cpu.set_reg(Reg::new(5), 0x203);
+        let j = Insn::Jalr { rd: Reg::LR, rs1: Reg::new(5), offset: 1 };
+        cpu.step(&j, &mut mem).unwrap();
+        assert_eq!(cpu.pc, 0x204);
+        assert_eq!(cpu.reg(Reg::LR), 0x104);
+    }
+
+    #[test]
+    fn writes_to_r0_discarded() {
+        let (mut mem, _p) = mem_for(".text\nmain: halt\n");
+        let mut cpu = Cpu::new(0, MemoryMap::default().stack_top());
+        let i = Insn::AluImm { op: AluOp::Add, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 42 };
+        cpu.step(&i, &mut mem).unwrap();
+        assert_eq!(cpu.reg(Reg::ZERO), 0);
+    }
+}

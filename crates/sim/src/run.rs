@@ -1,0 +1,435 @@
+//! The timed simulator: functional execution + caches + pipeline timing.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use stamp_hw::HwConfig;
+use stamp_isa::{Insn, Program, Reg};
+
+use crate::cache::LruCache;
+use crate::cpu::{Cpu, Fault, Memory, StepEffect};
+
+/// Why a run stopped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The task executed `halt`.
+    Halted,
+    /// The instruction budget was exhausted before `halt`.
+    LimitReached,
+}
+
+/// Timing and behaviour statistics of one simulated run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Why the run stopped.
+    pub status: RunStatus,
+    /// Total cycles under the additive-stall model.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub retired: u64,
+    /// Maximum observed stack usage in bytes (`stack_top - min(sp)`).
+    pub max_stack: u32,
+    /// I-cache hits/misses (0 if uncached).
+    pub i_hits: u64,
+    /// I-cache misses.
+    pub i_misses: u64,
+    /// D-cache load hits (stores never touch the cache).
+    pub d_hits: u64,
+    /// D-cache load misses.
+    pub d_misses: u64,
+    /// Taken control transfers.
+    pub taken: u64,
+    /// Load-use hazard stalls.
+    pub hazards: u64,
+    /// Per-instruction-address execution counts (used to cross-check the
+    /// path analysis's worst-case counts).
+    pub exec_counts: BTreeMap<u32, u64>,
+}
+
+/// Simulation error: a run-time fault of the program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimError {
+    /// The fault raised by the architecture.
+    pub fault: Fault,
+    /// Instructions retired before the fault.
+    pub retired: u64,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "after {} instructions: {}", self.retired, self.fault)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A cycle-accurate EVA32 simulator for one task.
+///
+/// See the crate documentation for the timing model. Typical use: build,
+/// optionally inject inputs with [`Simulator::write_ram`], then
+/// [`Simulator::run`].
+pub struct Simulator {
+    hw: HwConfig,
+    program: Program,
+    cpu: Cpu,
+    mem: Memory,
+    icache: Option<LruCache>,
+    dcache: Option<LruCache>,
+    /// Destination of the previously retired instruction when it was a
+    /// load (the load-use hazard window).
+    pending_load: Option<Reg>,
+    decoded: BTreeMap<u32, Insn>,
+}
+
+impl Simulator {
+    /// Creates a simulator with the program image loaded and the CPU at
+    /// the program entry, `sp` = top of RAM.
+    pub fn new(program: &Program, hw: &HwConfig) -> Simulator {
+        let mem = Memory::load(program, &hw.mem);
+        let cpu = Cpu::new(program.entry, hw.mem.stack_top());
+        Simulator {
+            hw: *hw,
+            program: program.clone(),
+            cpu,
+            mem,
+            icache: hw.icache.map(LruCache::new),
+            dcache: hw.dcache.map(LruCache::new),
+            pending_load: None,
+            decoded: BTreeMap::new(),
+        }
+    }
+
+    /// Resets CPU, memory and caches to the initial state.
+    pub fn reset(&mut self) {
+        self.mem = Memory::load(&self.program, &self.hw.mem);
+        self.cpu = Cpu::new(self.program.entry, self.hw.mem.stack_top());
+        self.icache = self.hw.icache.map(LruCache::new);
+        self.dcache = self.hw.dcache.map(LruCache::new);
+        self.pending_load = None;
+    }
+
+    /// Reads a register of the current CPU state.
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.cpu.reg(r)
+    }
+
+    /// Writes a register of the current CPU state (for test setup).
+    pub fn set_reg(&mut self, r: Reg, v: u32) {
+        self.cpu.set_reg(r, v);
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.cpu.pc
+    }
+
+    /// Reads simulated memory.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Injects raw bytes into RAM (task inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is not entirely inside RAM.
+    pub fn write_ram(&mut self, addr: u32, bytes: &[u8]) {
+        self.mem.write_ram_bytes(addr, bytes);
+    }
+
+    /// Runs until `halt`, a fault, or `max_insns` retired instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the program faults (unmapped access,
+    /// store to ROM, unaligned access, undecodable fetch).
+    pub fn run(&mut self, max_insns: u64) -> Result<RunResult, SimError> {
+        let timing = self.hw.timing;
+        let stack_top = self.hw.mem.stack_top();
+        let mut res = RunResult {
+            status: RunStatus::LimitReached,
+            cycles: 0,
+            retired: 0,
+            max_stack: stack_top.saturating_sub(self.cpu.reg(Reg::SP)),
+            i_hits: 0,
+            i_misses: 0,
+            d_hits: 0,
+            d_misses: 0,
+            taken: 0,
+            hazards: 0,
+            exec_counts: BTreeMap::new(),
+        };
+
+        while res.retired < max_insns {
+            let pc = self.cpu.pc;
+
+            // Fetch through the I-cache.
+            let insn = match self.decoded.get(&pc) {
+                Some(i) => *i,
+                None => {
+                    let i = self.program.decode_at(pc).map_err(|e| SimError {
+                        fault: Fault::BadFetch { pc, reason: e.to_string() },
+                        retired: res.retired,
+                    })?;
+                    self.decoded.insert(pc, i);
+                    i
+                }
+            };
+            let mut cost = 1u64;
+            match &mut self.icache {
+                Some(ic) => {
+                    if ic.access(pc) {
+                        res.i_hits += 1;
+                    } else {
+                        res.i_misses += 1;
+                        cost += timing.i_miss_penalty as u64;
+                    }
+                }
+                None => cost += timing.i_miss_penalty as u64,
+            }
+
+            // EX stalls for multi-cycle units.
+            if let Insn::Alu { op, .. } = insn {
+                cost += timing.ex_stall(op.is_mul(), op.is_div()) as u64;
+            }
+
+            // Load-use hazard: previous instruction was a load whose
+            // destination this instruction reads.
+            if timing.load_use_hazard {
+                if let Some(dest) = self.pending_load {
+                    if insn.uses().contains(dest) {
+                        cost += 1;
+                        res.hazards += 1;
+                    }
+                }
+            }
+
+            // Execute architecturally.
+            let effect = self.cpu.step(&insn, &mut self.mem).map_err(|fault| SimError {
+                fault,
+                retired: res.retired,
+            })?;
+
+            // D-cache timing for loads (stores are write-around, 0 stall).
+            if let StepEffect::Continue { mem_addr: Some(addr), .. } = effect {
+                if insn.is_load() {
+                    match &mut self.dcache {
+                        Some(dc) => {
+                            if dc.access(addr) {
+                                res.d_hits += 1;
+                            } else {
+                                res.d_misses += 1;
+                                cost += timing.d_miss_penalty as u64;
+                            }
+                        }
+                        None => cost += timing.d_miss_penalty as u64,
+                    }
+                }
+            }
+
+            // Branch penalty for taken control transfers.
+            if let StepEffect::Continue { taken: true, .. } = effect {
+                res.taken += 1;
+                cost += timing.branch_penalty as u64;
+            }
+
+            self.pending_load = match insn {
+                Insn::Load { .. } => insn.def(),
+                _ => None,
+            };
+
+            res.cycles += cost;
+            res.retired += 1;
+            *res.exec_counts.entry(pc).or_insert(0) += 1;
+            res.max_stack = res.max_stack.max(stack_top.saturating_sub(self.cpu.reg(Reg::SP)));
+
+            if effect == StepEffect::Halted {
+                res.status = RunStatus::Halted;
+                break;
+            }
+        }
+        Ok(res)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stamp_isa::asm::assemble;
+
+    fn run_src(src: &str, hw: &HwConfig) -> (Simulator, RunResult) {
+        let p = assemble(src).expect("assembles");
+        let mut sim = Simulator::new(&p, hw);
+        let res = sim.run(1_000_000).expect("no fault");
+        (sim, res)
+    }
+
+    #[test]
+    fn straight_line_ideal_timing() {
+        // ideal(): 1 cycle per instruction, +2 per taken transfer.
+        let (_, res) = run_src(".text\nmain: nop\nnop\nnop\nhalt\n", &HwConfig::ideal());
+        assert_eq!(res.status, RunStatus::Halted);
+        assert_eq!(res.retired, 4);
+        assert_eq!(res.cycles, 4);
+    }
+
+    #[test]
+    fn taken_branch_penalty() {
+        let src = ".text\nmain: j skip\nskip: nop\nhalt\n";
+        let (_, res) = run_src(src, &HwConfig::ideal());
+        // j (1+2) + nop 1 + halt 1 = 5.
+        assert_eq!(res.cycles, 5);
+        assert_eq!(res.taken, 1);
+    }
+
+    #[test]
+    fn untaken_branch_costs_one() {
+        let src = ".text\nmain: beq r0, r1, main\nhalt\n";
+        let mut p = Simulator::new(&assemble(src).unwrap(), &HwConfig::ideal());
+        p.set_reg(Reg::new(1), 7); // branch not taken
+        let res = p.run(100).unwrap();
+        assert_eq!(res.cycles, 2);
+        assert_eq!(res.taken, 0);
+    }
+
+    #[test]
+    fn mul_div_latency() {
+        let src = ".text\nmain: mul r1, r2, r3\ndiv r4, r5, r6\nhalt\n";
+        let (_, res) = run_src(src, &HwConfig::ideal());
+        // mul: 1+3, div: 1+11, halt: 1.
+        assert_eq!(res.cycles, 4 + 12 + 1);
+    }
+
+    #[test]
+    fn load_use_hazard_stalls_once() {
+        let hw = HwConfig::ideal();
+        // lw then immediately use → +1; lw then unrelated then use → no stall.
+        let src = "\
+            .text\nmain: la r1, v\nlw r2, 0(r1)\nadd r3, r2, r2\nhalt\n.data\nv: .word 5\n";
+        let (_, res) = run_src(src, &hw);
+        // la(2) + lw(1) + add(1+1 hazard) + halt(1) = 6.
+        assert_eq!(res.hazards, 1);
+        assert_eq!(res.cycles, 6);
+
+        let src2 = "\
+            .text\nmain: la r1, v\nlw r2, 0(r1)\nnop\nadd r3, r2, r2\nhalt\n.data\nv: .word 5\n";
+        let (_, res2) = run_src(src2, &hw);
+        assert_eq!(res2.hazards, 0);
+    }
+
+    #[test]
+    fn icache_hits_on_loop() {
+        let hw = HwConfig::default();
+        let src = "\
+            .text\nmain: li r1, 8\nloop: addi r1, r1, -1\nbnez r1, loop\nhalt\n";
+        let (_, res) = run_src(src, &hw);
+        // The two-instruction loop occupies one or two lines; after the
+        // first iteration everything hits.
+        assert!(res.i_misses <= 2, "i_misses = {}", res.i_misses);
+        assert!(res.i_hits >= 14, "i_hits = {}", res.i_hits);
+    }
+
+    #[test]
+    fn dcache_reuse_hits() {
+        let hw = HwConfig::default();
+        let src = "\
+            .text
+            main: la r1, buf
+            lw r2, 0(r1)      ; miss
+            lw r3, 4(r1)      ; hit (same 16-byte line)
+            lw r4, 0(r1)      ; hit
+            halt
+            .data
+            buf: .word 1, 2, 3, 4
+        ";
+        let (_, res) = run_src(src, &hw);
+        assert_eq!(res.d_misses, 1);
+        assert_eq!(res.d_hits, 2);
+    }
+
+    #[test]
+    fn stack_watermark_tracks_sp() {
+        let src = "\
+            .text
+            main: addi sp, sp, -32
+            addi sp, sp, -16
+            addi sp, sp, 48
+            halt
+        ";
+        let (_, res) = run_src(src, &HwConfig::ideal());
+        assert_eq!(res.max_stack, 48);
+    }
+
+    #[test]
+    fn fault_reports_position() {
+        let src = ".text\nmain: lw r1, 0(r2)\nhalt\n";
+        let p = assemble(src).unwrap();
+        let mut sim = Simulator::new(&p, &HwConfig::default());
+        sim.set_reg(Reg::new(2), 0x7000_0000);
+        let err = sim.run(10).unwrap_err();
+        assert!(matches!(err.fault, Fault::Unmapped { .. }));
+    }
+
+    #[test]
+    fn exec_counts_match_loop_iterations() {
+        let src = ".text\nmain: li r1, 5\nloop: addi r1, r1, -1\nbnez r1, loop\nhalt\n";
+        let (_, res) = run_src(src, &HwConfig::ideal());
+        assert_eq!(res.exec_counts[&4], 5); // addi executed 5 times
+        assert_eq!(res.exec_counts[&8], 5); // bnez executed 5 times
+    }
+
+    #[test]
+    fn limit_reached_on_infinite_loop() {
+        let src = ".text\nmain: j main\n";
+        let p = assemble(src).unwrap();
+        let mut sim = Simulator::new(&p, &HwConfig::ideal());
+        let res = sim.run(100).unwrap();
+        assert_eq!(res.status, RunStatus::LimitReached);
+        assert_eq!(res.retired, 100);
+    }
+
+    #[test]
+    fn timing_decomposes_into_recorded_stalls() {
+        // For programs without mul/div, the additive model is an exact
+        // identity over the recorded statistics:
+        // cycles = retired + 10·i_misses + 10·d_misses + 2·taken + hazards.
+        let src = "\
+            .text
+            main: li r1, 6
+                  la r2, buf
+            loop: lw r3, 0(r2)
+                  add r4, r3, r3     ; hazard
+                  sw r4, 4(r2)
+                  addi r1, r1, -1
+                  bnez r1, loop
+                  beq r1, r0, out
+                  nop
+            out:  halt
+            .data
+            buf:  .space 16
+        ";
+        let hw = HwConfig::default();
+        let (_, res) = run_src(src, &hw);
+        let t = hw.timing;
+        let expected = res.retired
+            + t.i_miss_penalty as u64 * res.i_misses
+            + t.d_miss_penalty as u64 * res.d_misses
+            + t.branch_penalty as u64 * res.taken
+            + res.hazards;
+        assert_eq!(res.cycles, expected);
+        assert!(res.hazards >= 6, "load-use hazard fires each iteration");
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let src = ".text\nmain: li r1, 9\nhalt\n";
+        let p = assemble(src).unwrap();
+        let mut sim = Simulator::new(&p, &HwConfig::default());
+        sim.run(10).unwrap();
+        assert_eq!(sim.reg(Reg::new(1)), 9);
+        sim.reset();
+        assert_eq!(sim.reg(Reg::new(1)), 0);
+        let res = sim.run(10).unwrap();
+        assert_eq!(res.status, RunStatus::Halted);
+    }
+}

@@ -1,0 +1,71 @@
+//! Properties of the OSEK preemption-chain computation.
+
+use proptest::prelude::*;
+use stamp_stack::{OsekSystem, Task};
+
+fn tasks() -> impl Strategy<Value = Vec<Task>> {
+    prop::collection::vec(
+        (1u32..8, 0u32..512, any::<bool>()).prop_map(|(prio, stack, pre)| Task {
+            name: format!("t{prio}_{stack}"),
+            priority: prio,
+            stack_bound: stack,
+            preemptable: pre,
+        }),
+        0..10,
+    )
+}
+
+/// Brute force: enumerate all admissible chains (strictly increasing
+/// priorities, all but the last preemptable) and take the max sum.
+fn brute_force(tasks: &[Task]) -> u32 {
+    fn extend(tasks: &[Task], current_sum: u64, min_prio: u32, best: &mut u64) {
+        for t in tasks {
+            if t.priority > min_prio {
+                let total = current_sum + t.stack_bound as u64;
+                *best = (*best).max(total);
+                if t.preemptable {
+                    extend(tasks, total, t.priority, best);
+                }
+            }
+        }
+    }
+    let mut best = 0u64;
+    extend(tasks, 0, 0, &mut best);
+    best as u32
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn system_bound_matches_brute_force(ts in tasks()) {
+        let sys = OsekSystem::new(ts.clone());
+        prop_assert_eq!(sys.system_bound(), brute_force(&ts));
+    }
+
+    #[test]
+    fn system_bound_never_exceeds_naive(ts in tasks()) {
+        let sys = OsekSystem::new(ts);
+        prop_assert!(sys.system_bound() <= sys.naive_bound());
+    }
+
+    #[test]
+    fn adding_a_task_is_monotone(ts in tasks(), extra in (1u32..8, 0u32..512)) {
+        let base = OsekSystem::new(ts.clone()).system_bound();
+        let mut more = ts;
+        more.push(Task::new("extra", extra.0, extra.1));
+        prop_assert!(OsekSystem::new(more).system_bound() >= base);
+    }
+
+    #[test]
+    fn making_a_task_non_preemptable_never_raises_the_bound(ts in tasks(), idx in any::<prop::sample::Index>()) {
+        if ts.is_empty() {
+            return Ok(());
+        }
+        let i = idx.index(ts.len());
+        let base = OsekSystem::new(ts.clone()).system_bound();
+        let mut locked = ts;
+        locked[i].preemptable = false;
+        prop_assert!(OsekSystem::new(locked).system_bound() <= base);
+    }
+}

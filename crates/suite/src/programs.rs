@@ -1,0 +1,654 @@
+//! The benchmark corpus.
+//!
+//! Each task is written the way an embedded compiler would emit it
+//! (explicit frames, compare-then-branch idioms, table lookups) so the
+//! analyses face realistic code shapes: counted and data-dependent
+//! loops, nested loops with triangular bounds, jump tables, constant
+//! modes guarding dead paths, recursion, and deep call chains.
+
+use crate::Benchmark;
+
+/// Returns the full benchmark corpus.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "fibcall",
+            description: "iterative Fibonacci (simple counted loop)",
+            source: FIBCALL,
+            loop_annotations: &[],
+            recursion: &[],
+            input: None,
+            max_insns: 100_000,
+            supports_wcet: true,
+        },
+        Benchmark {
+            name: "insertsort",
+            description: "insertion sort of 10 words (triangular nested loop, data exits)",
+            source: INSERTSORT,
+            loop_annotations: &[],
+            recursion: &[],
+            input: Some(("arr", 40)),
+            max_insns: 100_000,
+            supports_wcet: true,
+        },
+        Benchmark {
+            name: "bsort",
+            description: "bubble sort of 12 words (n² nested loops, swaps)",
+            source: BSORT,
+            loop_annotations: &[],
+            recursion: &[],
+            input: Some(("arr", 48)),
+            max_insns: 200_000,
+            supports_wcet: true,
+        },
+        Benchmark {
+            name: "matmult",
+            description: "5×5 matrix multiply (3-deep loop nest, strided arrays)",
+            source: MATMULT,
+            loop_annotations: &[],
+            recursion: &[],
+            input: Some(("amat", 100)),
+            max_insns: 500_000,
+            supports_wcet: true,
+        },
+        Benchmark {
+            name: "crc",
+            description: "table-driven CRC over 16 bytes (masked ROM table lookups)",
+            source: CRC,
+            loop_annotations: &[],
+            recursion: &[],
+            input: Some(("msg", 16)),
+            max_insns: 100_000,
+            supports_wcet: true,
+        },
+        Benchmark {
+            name: "fir",
+            description: "8-tap FIR filter over 16 samples (MAC loop, ROM coefficients)",
+            source: FIR,
+            loop_annotations: &[],
+            recursion: &[],
+            input: Some(("samples", 64)),
+            max_insns: 200_000,
+            supports_wcet: true,
+        },
+        Benchmark {
+            name: "bs",
+            description: "binary search in a 16-entry ROM table (annotated halving loop)",
+            source: BS,
+            loop_annotations: &[("bsloop", 8)],
+            recursion: &[],
+            input: Some(("key", 4)),
+            max_insns: 10_000,
+            supports_wcet: true,
+        },
+        Benchmark {
+            name: "cnt",
+            description: "count and sum positive matrix entries (data-dependent branches)",
+            source: CNT,
+            loop_annotations: &[],
+            recursion: &[],
+            input: Some(("mat", 64)),
+            max_insns: 100_000,
+            supports_wcet: true,
+        },
+        Benchmark {
+            name: "switchcase",
+            description: "jump-table state machine over 8 opcode bytes (indirect jumps)",
+            source: SWITCHCASE,
+            loop_annotations: &[],
+            recursion: &[],
+            input: Some(("inp", 8)),
+            max_insns: 50_000,
+            supports_wcet: true,
+        },
+        Benchmark {
+            name: "prime",
+            description: "trial-division primality test (div/rem latency, annotated loop)",
+            source: PRIME,
+            loop_annotations: &[("ploop", 16)],
+            recursion: &[],
+            input: None,
+            max_insns: 50_000,
+            supports_wcet: true,
+        },
+        Benchmark {
+            name: "statemate",
+            description: "mode-guarded state machine with provably dead branches",
+            source: STATEMATE,
+            loop_annotations: &[],
+            recursion: &[],
+            input: Some(("sensors", 48)),
+            max_insns: 100_000,
+            supports_wcet: true,
+        },
+        Benchmark {
+            name: "nested",
+            description: "four-level call chain with stack frames and a leaf loop",
+            source: NESTED,
+            loop_annotations: &[],
+            recursion: &[],
+            input: None,
+            max_insns: 50_000,
+            supports_wcet: true,
+        },
+        Benchmark {
+            name: "arraysum",
+            description: "sum a 256-word array (stride-4 addresses over a cache-filling range)",
+            source: ARRAYSUM,
+            loop_annotations: &[],
+            recursion: &[],
+            input: Some(("arr", 1024)),
+            max_insns: 50_000,
+            supports_wcet: true,
+        },
+        Benchmark {
+            name: "fdct",
+            description: "fixed-point 8-point DCT butterfly (straight-line mul-heavy)",
+            source: FDCT,
+            loop_annotations: &[],
+            recursion: &[],
+            input: Some(("blk", 32)),
+            max_insns: 50_000,
+            supports_wcet: true,
+        },
+        Benchmark {
+            name: "ns",
+            description: "3-level nested search with data-dependent early exit",
+            source: NS,
+            loop_annotations: &[],
+            recursion: &[],
+            input: Some(("cube", 64)),
+            max_insns: 200_000,
+            supports_wcet: true,
+        },
+        Benchmark {
+            name: "memcpy",
+            description: "pointer-range copy loop (relational end−p bound over unknown base)",
+            source: MEMCPY,
+            loop_annotations: &[],
+            recursion: &[],
+            input: Some(("off", 4)),
+            max_insns: 50_000,
+            supports_wcet: true,
+        },
+        Benchmark {
+            name: "fac",
+            description: "recursive factorial (stack analysis with recursion annotation)",
+            source: FAC,
+            loop_annotations: &[],
+            recursion: &[("fac", 11)],
+            input: None,
+            max_insns: 50_000,
+            supports_wcet: false,
+        },
+    ]
+}
+
+const FIBCALL: &str = r#"
+        .text
+main:   li   r1, 30             ; n
+        li   r2, 0              ; fib(0)
+        li   r3, 1              ; fib(1)
+fib_loop:
+        add  r4, r2, r3
+        mov  r2, r3
+        mov  r3, r4
+        addi r1, r1, -1
+        bnez r1, fib_loop
+        halt
+"#;
+
+const INSERTSORT: &str = r#"
+        .equ N, 10
+        .text
+main:   li   r5, 1              ; i = 1
+        la   r10, arr
+outer:  slli r6, r5, 2
+        add  r6, r10, r6
+        lw   r7, 0(r6)          ; key = arr[i]
+        mov  r8, r5             ; j = i
+inner:  beqz r8, ins            ; j == 0 -> insert
+        slli r9, r8, 2
+        add  r9, r10, r9
+        lw   r11, -4(r9)        ; arr[j-1]
+        ble  r11, r7, ins       ; arr[j-1] <= key -> insert
+        sw   r11, 0(r9)         ; arr[j] = arr[j-1]
+        addi r8, r8, -1
+        j    inner
+ins:    slli r9, r8, 2
+        add  r9, r10, r9
+        sw   r7, 0(r9)          ; arr[j] = key
+        addi r5, r5, 1
+        slti r12, r5, N
+        bnez r12, outer
+        halt
+        .data
+arr:    .space 40
+"#;
+
+const BSORT: &str = r#"
+        .equ N, 12
+        .text
+main:   li   r1, N
+        addi r1, r1, -1         ; i = N-1
+        la   r10, arr
+outer:  li   r2, 0              ; j = 0
+inner:  slli r3, r2, 2
+        add  r3, r10, r3
+        lw   r4, 0(r3)
+        lw   r5, 4(r3)
+        ble  r4, r5, noswap
+        sw   r5, 0(r3)
+        sw   r4, 4(r3)
+noswap: addi r2, r2, 1
+        blt  r2, r1, inner      ; j < i
+        addi r1, r1, -1
+        bnez r1, outer
+        halt
+        .data
+arr:    .space 48
+"#;
+
+const MATMULT: &str = r#"
+        .equ N, 5
+        .text
+main:   li   r1, 0              ; i
+iloop:  li   r2, 0              ; j
+jloop:  li   r3, 0              ; k
+        li   r9, 0              ; acc
+kloop:  li   r4, N
+        mul  r5, r1, r4
+        add  r5, r5, r3         ; i*N + k
+        slli r5, r5, 2
+        la   r6, amat
+        add  r6, r6, r5
+        lw   r7, 0(r6)          ; A[i][k]
+        mul  r5, r3, r4
+        add  r5, r5, r2         ; k*N + j
+        slli r5, r5, 2
+        la   r6, bmat
+        add  r6, r6, r5
+        lw   r8, 0(r6)          ; B[k][j]
+        mul  r7, r7, r8
+        add  r9, r9, r7
+        addi r3, r3, 1
+        slti r12, r3, N
+        bnez r12, kloop
+        li   r4, N
+        mul  r5, r1, r4
+        add  r5, r5, r2         ; i*N + j
+        slli r5, r5, 2
+        la   r6, cmat
+        add  r6, r6, r5
+        sw   r9, 0(r6)          ; C[i][j] = acc
+        addi r2, r2, 1
+        slti r12, r2, N
+        bnez r12, jloop
+        addi r1, r1, 1
+        slti r12, r1, N
+        bnez r12, iloop
+        halt
+        .rodata
+bmat:   .word 1, 2, 3, 4, 5
+        .word 6, 7, 8, 9, 10
+        .word 11, 12, 13, 14, 15
+        .word 2, 4, 6, 8, 10
+        .word 1, 3, 5, 7, 9
+        .data
+amat:   .space 100
+cmat:   .space 100
+"#;
+
+const CRC: &str = r#"
+        .equ LEN, 16
+        .text
+main:   li   r1, 0              ; idx
+        li   r2, 0              ; crc
+        la   r10, msg
+        la   r11, crctab
+cloop:  add  r3, r10, r1
+        lbu  r4, 0(r3)          ; msg[idx]
+        xor  r5, r2, r4
+        andi r5, r5, 0x3f       ; 64-entry table
+        slli r5, r5, 2
+        add  r6, r11, r5
+        lw   r2, 0(r6)          ; crc = crctab[(crc ^ b) & 63]
+        addi r1, r1, 1
+        slti r12, r1, LEN
+        bnez r12, cloop
+        halt
+        .rodata
+crctab: .word 7, 60, 113, 166, 219, 16, 69, 122
+        .word 175, 228, 25, 78, 131, 184, 237, 34
+        .word 87, 140, 193, 246, 43, 96, 149, 202
+        .word 255, 52, 105, 158, 211, 8, 61, 114
+        .word 167, 220, 17, 70, 123, 176, 229, 26
+        .word 79, 132, 185, 238, 35, 88, 141, 194
+        .word 247, 44, 97, 150, 203, 0, 53, 106
+        .word 159, 212, 9, 62, 115, 168, 221, 18
+        .data
+msg:    .space 16
+"#;
+
+const FIR: &str = r#"
+        .equ TAPS, 8
+        .text
+main:   li   r1, 0              ; n
+oloop:  li   r2, 0              ; k
+        li   r9, 0              ; acc
+floop:  add  r3, r1, r2
+        slli r3, r3, 2
+        la   r4, samples
+        add  r4, r4, r3
+        lw   r5, 0(r4)          ; x[n+k]
+        slli r6, r2, 2
+        la   r7, coef
+        add  r7, r7, r6
+        lw   r8, 0(r7)          ; h[k]
+        mul  r5, r5, r8
+        add  r9, r9, r5
+        addi r2, r2, 1
+        slti r12, r2, TAPS
+        bnez r12, floop
+        slli r3, r1, 2
+        la   r4, output
+        add  r4, r4, r3
+        sw   r9, 0(r4)
+        addi r1, r1, 1
+        slti r12, r1, 9         ; LEN - TAPS + 1
+        bnez r12, oloop
+        halt
+        .rodata
+coef:   .word 3, -5, 7, 11, -13, 17, -19, 23
+        .data
+samples: .space 64
+output: .space 36
+"#;
+
+const BS: &str = r#"
+        .text
+main:   la   r1, key
+        lw   r2, 0(r1)          ; search key (input)
+        li   r3, 0              ; lo
+        li   r4, 15             ; hi
+        li   r9, -1             ; result index
+bsloop: bgt  r3, r4, done
+        add  r5, r3, r4
+        srli r5, r5, 1          ; mid
+        slli r6, r5, 2
+        la   r7, table
+        add  r7, r7, r6
+        lw   r8, 0(r7)
+        beq  r8, r2, found
+        blt  r8, r2, right
+        addi r4, r5, -1         ; hi = mid - 1
+        j    bsloop
+right:  addi r3, r5, 1          ; lo = mid + 1
+        j    bsloop
+found:  mov  r9, r5
+done:   halt
+        .rodata
+table:  .word 2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53
+        .data
+key:    .space 4
+"#;
+
+const CNT: &str = r#"
+        .text
+main:   li   r1, 0              ; idx
+        li   r2, 0              ; count of positives
+        li   r3, 0              ; sum of positives
+        la   r10, mat
+cloop:  slli r4, r1, 2
+        add  r4, r10, r4
+        lw   r5, 0(r4)
+        blez r5, skip
+        addi r2, r2, 1
+        add  r3, r3, r5
+skip:   addi r1, r1, 1
+        slti r12, r1, 16
+        bnez r12, cloop
+        halt
+        .data
+mat:    .space 64
+"#;
+
+const SWITCHCASE: &str = r#"
+        .text
+main:   li   r1, 0              ; idx
+        li   r6, 1              ; state
+        la   r10, inp
+        la   r11, jtab
+sloop:  add  r2, r10, r1
+        lbu  r3, 0(r2)          ; opcode
+        andi r3, r3, 3          ; 4 cases
+        slli r3, r3, 2
+        add  r4, r11, r3
+        lw   r5, 0(r4)          ; handler address from ROM table
+        jalr r0, r5, 0          ; computed jump
+case0:  addi r6, r6, 1
+        j    snext
+case1:  mul  r6, r6, r6
+        j    snext
+case2:  addi r6, r6, -1
+        j    snext
+case3:  xor  r6, r6, r1
+snext:  addi r1, r1, 1
+        slti r12, r1, 8
+        bnez r12, sloop
+        halt
+        .rodata
+jtab:   .word case0, case1, case2, case3
+        .data
+inp:    .space 8
+"#;
+
+const PRIME: &str = r#"
+        .text
+main:   li   r1, 229            ; candidate
+        li   r2, 2              ; divisor
+        li   r9, 1              ; assume prime
+ploop:  mul  r3, r2, r2
+        bgt  r3, r1, done       ; d*d > n: no divisor found
+        rem  r4, r1, r2
+        beqz r4, notp
+        addi r2, r2, 1
+        j    ploop
+notp:   li   r9, 0
+done:   halt
+"#;
+
+const STATEMATE: &str = r#"
+        .text
+main:   li   r7, 2              ; mode register: constant 2
+        li   r1, 0
+        li   r5, 0
+        la   r10, sensors
+mloop:  slli r2, r1, 2
+        add  r2, r10, r2
+        lw   r3, 0(r2)          ; sensor reading
+        beq  r7, r0, m0         ; mode 0? provably never
+        slti r4, r7, 2
+        bnez r4, m1             ; mode 1? provably never
+        add  r5, r5, r3         ; mode-2 path (the only live one)
+        j    mnext
+m0:     div  r5, r5, r3         ; dead, expensive
+        div  r5, r5, r3
+        j    mnext
+m1:     mul  r5, r5, r3         ; dead, expensive
+        mul  r5, r5, r3
+        mul  r5, r5, r3
+mnext:  addi r1, r1, 1
+        slti r12, r1, 12
+        bnez r12, mloop
+        halt
+        .data
+sensors: .space 48
+"#;
+
+const NESTED: &str = r#"
+        .text
+main:   addi sp, sp, -16
+        call l1
+        addi sp, sp, 16
+        halt
+l1:     addi sp, sp, -24
+        sw   lr, 0(sp)
+        call l2
+        lw   lr, 0(sp)
+        addi sp, sp, 24
+        ret
+l2:     addi sp, sp, -32
+        sw   lr, 0(sp)
+        call l3
+        lw   lr, 0(sp)
+        addi sp, sp, 32
+        ret
+l3:     addi sp, sp, -40
+        li   r1, 6
+l3lp:   addi r1, r1, -1
+        bnez r1, l3lp
+        addi sp, sp, 40
+        ret
+"#;
+
+const ARRAYSUM: &str = r#"
+        .equ N, 256
+        .text
+main:   li   r1, 0              ; i
+        li   r6, 0              ; sum
+        la   r2, arr
+sloop:  slli r3, r1, 2
+        add  r3, r2, r3
+        lw   r4, 0(r3)
+        add  r6, r6, r4
+        addi r1, r1, 1
+        slti r5, r1, N
+        bnez r5, sloop
+        halt
+        .data
+arr:    .space 1024
+"#;
+
+const FDCT: &str = r#"
+        .text
+main:   la   r10, blk
+        ; two butterfly stages over 8 input words, unrolled per pair
+        li   r12, 0             ; pair offset 0, 8, 16, 24
+stage:  add  r1, r10, r12
+        lw   r2, 0(r1)          ; a
+        lw   r3, 4(r1)          ; b
+        add  r4, r2, r3         ; s = a + b
+        sub  r5, r2, r3         ; d = a - b
+        li   r6, 181            ; ~ sqrt(2)/2 in Q8
+        mul  r5, r5, r6
+        srai r5, r5, 8
+        sw   r4, 0(r1)
+        sw   r5, 4(r1)
+        addi r12, r12, 8
+        slti r7, r12, 32
+        bnez r7, stage
+        ; recombine stage (straight line, multiplier heavy)
+        lw   r1, 0(r10)
+        lw   r2, 8(r10)
+        mul  r3, r1, r2
+        lw   r4, 16(r10)
+        mul  r3, r3, r4
+        lw   r5, 24(r10)
+        add  r3, r3, r5
+        sw   r3, 0(r10)
+        halt
+        .data
+blk:    .space 32
+"#;
+
+const NS: &str = r#"
+        .equ N, 4
+        .text
+main:   li   r1, 0              ; i
+        la   r10, cube
+        li   r9, 400            ; target value (rarely present)
+iloop:  li   r2, 0              ; j
+jloop:  li   r3, 0              ; k
+kloop:  ; idx = (i*N + j)*N + k
+        li   r4, N
+        mul  r5, r1, r4
+        add  r5, r5, r2
+        mul  r5, r5, r4
+        add  r5, r5, r3
+        slli r5, r5, 2
+        add  r5, r10, r5
+        lw   r6, 0(r5)
+        andi r6, r6, 0x1ff
+        beq  r6, r9, found      ; early exit on hit
+        addi r3, r3, 1
+        slti r7, r3, N
+        bnez r7, kloop
+        addi r2, r2, 1
+        slti r7, r2, N
+        bnez r7, jloop
+        addi r1, r1, 1
+        slti r7, r1, N
+        bnez r7, iloop
+        li   r8, 0              ; not found
+        halt
+found:  li   r8, 1
+        halt
+        .data
+cube:   .space 64
+"#;
+
+const MEMCPY: &str = r#"
+        .text
+main:   la   r9, off
+        lw   r9, 0(r9)          ; unknown input word
+        andi r9, r9, 0x1c       ; source offset 0..28, word aligned
+        la   r1, buf
+        add  r1, r1, r9         ; p   = buf + off
+        addi r2, r1, 64         ; end = p + 64   (relational bound)
+        la   r3, dst
+copy:   lw   r4, 0(r1)
+        sw   r4, 0(r3)
+        addi r1, r1, 4
+        addi r3, r3, 4
+        blt  r1, r2, copy
+        halt
+        .data
+off:    .space 4
+buf:    .space 96
+dst:    .space 64
+"#;
+
+const FAC: &str = r#"
+        .text
+main:   li   r1, 10
+        call fac
+        halt
+fac:    addi sp, sp, -8
+        sw   lr, 4(sp)
+        beqz r1, base
+        sw   r1, 0(sp)
+        addi r1, r1, -1
+        call fac
+        lw   r2, 0(sp)
+        mul  r9, r9, r2
+        j    fout
+base:   li   r9, 1
+fout:   lw   lr, 4(sp)
+        addi sp, sp, 8
+        ret
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_covers_the_feature_matrix() {
+        let all = benchmarks();
+        assert!(all.iter().any(|b| !b.supports_wcet), "a recursive task");
+        assert!(all.iter().any(|b| !b.loop_annotations.is_empty()), "annotated loops");
+        assert!(all.iter().any(|b| b.source.contains("jalr")), "indirect jumps");
+        assert!(all.iter().any(|b| b.input.is_none()), "deterministic tasks");
+    }
+}

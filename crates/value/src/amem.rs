@@ -1,0 +1,298 @@
+//! Abstract memory: a finite map of known RAM words.
+
+use std::collections::BTreeMap;
+
+use stamp_isa::MemWidth;
+
+use crate::interval::SInt;
+
+/// Abstract RAM contents at word granularity.
+///
+/// Absent addresses are unknown (⊤) — RAM starts completely unknown, as
+/// the analysis must hold for *all inputs* ("results valid for every
+/// program run and all inputs"). Knowledge accumulates through stores at
+/// (sufficiently) known addresses; reads from ROM are handled separately
+/// by the transfer function, since ROM contents are constant.
+///
+/// The map uses word-aligned addresses as keys. Sub-word stores are
+/// merged into the containing word when everything relevant is constant;
+/// otherwise they conservatively invalidate it.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AMem {
+    words: BTreeMap<u32, SInt>,
+}
+
+impl AMem {
+    /// Completely unknown memory.
+    pub fn unknown() -> AMem {
+        AMem::default()
+    }
+
+    /// Number of words with non-⊤ knowledge.
+    pub fn known_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Reads an access of `width` at the *constant* word-aligned-or-not
+    /// address `addr`. Returns ⊤ when nothing is known.
+    pub fn read(&self, addr: u32, width: MemWidth) -> SInt {
+        let word_addr = addr & !3;
+        let within = addr & 3;
+        let word = match self.words.get(&word_addr) {
+            Some(v) => *v,
+            None => return SInt::top(),
+        };
+        match width {
+            MemWidth::W => word,
+            MemWidth::H | MemWidth::B => match word.is_const() {
+                Some(w) => {
+                    let shift = 8 * within;
+                    let mask = if width == MemWidth::H { 0xffff } else { 0xff };
+                    SInt::cst((w >> shift) & mask)
+                }
+                // A non-constant word still bounds its sub-fields only
+                // loosely; give up rather than track bit slices.
+                None => SInt::top(),
+            },
+        }
+    }
+
+    /// Reads a range of possible addresses: the join over all members.
+    /// Falls back to ⊤ when the set is large.
+    pub fn read_range(&self, addrs: &SInt, width: MemWidth) -> SInt {
+        if let Some(a) = addrs.is_const() {
+            return self.read(a, width);
+        }
+        if addrs.count() <= 64 {
+            let mut acc: Option<SInt> = None;
+            for a in addrs.iter() {
+                let v = self.read(a, width);
+                acc = Some(match acc {
+                    None => v,
+                    Some(prev) => prev.join(&v),
+                });
+                if acc.as_ref().is_some_and(SInt::is_top) {
+                    break;
+                }
+            }
+            acc.unwrap_or_else(SInt::top)
+        } else {
+            SInt::top()
+        }
+    }
+
+    /// Stores `value` of `width` at the constant address `addr`
+    /// (strong update).
+    pub fn write(&mut self, addr: u32, width: MemWidth, value: &SInt) {
+        let word_addr = addr & !3;
+        let within = addr & 3;
+        match width {
+            MemWidth::W => {
+                if value.is_top() {
+                    self.words.remove(&word_addr);
+                } else {
+                    self.words.insert(word_addr, *value);
+                }
+            }
+            MemWidth::H | MemWidth::B => {
+                let old = self.words.get(&word_addr).copied();
+                let merged = match (old.and_then(|o| o.is_const()), value.is_const()) {
+                    (Some(o), Some(v)) => {
+                        let shift = 8 * within;
+                        let mask: u32 = if width == MemWidth::H { 0xffff } else { 0xff };
+                        Some(SInt::cst((o & !(mask << shift)) | ((v & mask) << shift)))
+                    }
+                    _ => None,
+                };
+                match merged {
+                    Some(m) => {
+                        self.words.insert(word_addr, m);
+                    }
+                    None => {
+                        self.words.remove(&word_addr);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Weak update over a *range* of possible store addresses: all words
+    /// the store might touch lose their knowledge (or, when the range is
+    /// small, are joined with the stored value).
+    pub fn write_range(&mut self, addrs: &SInt, width: MemWidth, value: &SInt) {
+        if let Some(a) = addrs.is_const() {
+            self.write(a, width, value);
+            return;
+        }
+        if addrs.is_top() {
+            self.words.clear();
+            return;
+        }
+        if addrs.count() <= 64 && width == MemWidth::W {
+            // Weak update: join the stored value into each candidate.
+            for a in addrs.iter() {
+                let word_addr = a & !3;
+                if let Some(old) = self.words.get(&word_addr).copied() {
+                    let joined = old.join(value);
+                    if joined.is_top() {
+                        self.words.remove(&word_addr);
+                    } else {
+                        self.words.insert(word_addr, joined);
+                    }
+                }
+                // Unknown stays unknown — already ⊤.
+            }
+            return;
+        }
+        // Invalidate every word in the touched byte range.
+        let first = addrs.lo() & !3;
+        let last = (addrs.hi().saturating_add(width.bytes() - 1)) | 3;
+        let doomed: Vec<u32> = self.words.range(first..=last).map(|(&a, _)| a).collect();
+        for a in doomed {
+            self.words.remove(&a);
+        }
+    }
+
+    /// Lattice join: keep only words known on both sides (pointwise join).
+    /// Returns `true` if `self` changed.
+    pub fn join_from(&mut self, other: &AMem) -> bool {
+        let mut changed = false;
+        let keys: Vec<u32> = self.words.keys().copied().collect();
+        for k in keys {
+            match other.words.get(&k) {
+                None => {
+                    self.words.remove(&k);
+                    changed = true;
+                }
+                Some(ov) => {
+                    let sv = self.words[&k];
+                    let j = sv.join(ov);
+                    if j != sv {
+                        changed = true;
+                        if j.is_top() {
+                            self.words.remove(&k);
+                        } else {
+                            self.words.insert(k, j);
+                        }
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// Widening: like join but with per-word interval widening.
+    pub fn widen_from(&mut self, other: &AMem, thresholds: &[u32]) -> bool {
+        let mut changed = false;
+        let keys: Vec<u32> = self.words.keys().copied().collect();
+        for k in keys {
+            match other.words.get(&k) {
+                None => {
+                    self.words.remove(&k);
+                    changed = true;
+                }
+                Some(ov) => {
+                    let sv = self.words[&k];
+                    if !ov.subset_of(&sv) {
+                        let w = sv.widen(ov, thresholds);
+                        changed = true;
+                        if w.is_top() {
+                            self.words.remove(&k);
+                        } else {
+                            self.words.insert(k, w);
+                        }
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// Partial-order test (`self ⊑ other` means `self` knows at least as
+    /// much: every word known in `other` is at least as precisely known
+    /// in `self`).
+    pub fn le(&self, other: &AMem) -> bool {
+        other.words.iter().all(|(k, ov)| {
+            self.words.get(k).is_some_and(|sv| sv.subset_of(ov))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_unknown() {
+        let m = AMem::unknown();
+        assert!(m.read(0x1000_0000, MemWidth::W).is_top());
+        assert_eq!(m.known_words(), 0);
+    }
+
+    #[test]
+    fn strong_update_roundtrip() {
+        let mut m = AMem::unknown();
+        m.write(0x1000_0010, MemWidth::W, &SInt::cst(42));
+        assert_eq!(m.read(0x1000_0010, MemWidth::W).is_const(), Some(42));
+        assert_eq!(m.read(0x1000_0010, MemWidth::B).is_const(), Some(42));
+        assert_eq!(m.read(0x1000_0011, MemWidth::B).is_const(), Some(0));
+    }
+
+    #[test]
+    fn subword_store_merges_constants() {
+        let mut m = AMem::unknown();
+        m.write(0x1000_0000, MemWidth::W, &SInt::cst(0x1122_3344));
+        m.write(0x1000_0001, MemWidth::B, &SInt::cst(0xaa));
+        assert_eq!(m.read(0x1000_0000, MemWidth::W).is_const(), Some(0x1122_aa44));
+        // Non-constant sub-word store invalidates the word.
+        m.write(0x1000_0002, MemWidth::H, &SInt::range(0, 5));
+        assert!(m.read(0x1000_0000, MemWidth::W).is_top());
+    }
+
+    #[test]
+    fn range_write_invalidates_only_touched_words() {
+        let mut m = AMem::unknown();
+        m.write(0x1000_0000, MemWidth::W, &SInt::cst(1));
+        m.write(0x1000_0100, MemWidth::W, &SInt::cst(2));
+        // A store somewhere in [0x10000000, 0x10000080] with a large range.
+        m.write_range(&SInt::strided(0x1000_0000, 0x1000_0080, 1), MemWidth::W, &SInt::top());
+        assert!(m.read(0x1000_0000, MemWidth::W).is_top());
+        assert_eq!(m.read(0x1000_0100, MemWidth::W).is_const(), Some(2));
+    }
+
+    #[test]
+    fn small_range_write_is_weak_join() {
+        let mut m = AMem::unknown();
+        m.write(0x1000_0000, MemWidth::W, &SInt::cst(4));
+        m.write(0x1000_0004, MemWidth::W, &SInt::cst(4));
+        m.write_range(&SInt::strided(0x1000_0000, 0x1000_0004, 4), MemWidth::W, &SInt::cst(8));
+        let v = m.read(0x1000_0000, MemWidth::W);
+        assert!(v.contains(4) && v.contains(8));
+    }
+
+    #[test]
+    fn read_range_joins_values() {
+        let mut m = AMem::unknown();
+        m.write(0x1000_0000, MemWidth::W, &SInt::cst(10));
+        m.write(0x1000_0004, MemWidth::W, &SInt::cst(20));
+        let v = m.read_range(&SInt::strided(0x1000_0000, 0x1000_0004, 4), MemWidth::W);
+        assert!(v.contains(10) && v.contains(20));
+        assert_eq!(v.count(), 2);
+        // Huge ranges degrade to ⊤.
+        assert!(m.read_range(&SInt::range(0x1000_0000, 0x100f_0000), MemWidth::W).is_top());
+    }
+
+    #[test]
+    fn join_drops_one_sided_knowledge() {
+        let mut a = AMem::unknown();
+        a.write(0x1000_0000, MemWidth::W, &SInt::cst(1));
+        a.write(0x1000_0004, MemWidth::W, &SInt::cst(2));
+        let mut b = AMem::unknown();
+        b.write(0x1000_0000, MemWidth::W, &SInt::cst(3));
+        assert!(a.join_from(&b));
+        let v = a.read(0x1000_0000, MemWidth::W);
+        assert!(v.contains(1) && v.contains(3));
+        assert!(a.read(0x1000_0004, MemWidth::W).is_top());
+        assert!(b.le(&a));
+    }
+}

@@ -1,0 +1,459 @@
+//! The value-analysis driver: fixpoint + result collection.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::rc::Rc;
+
+use stamp_ai::{solve, CtxId, Fixpoint, IEdgeId, Icfg, NodeId};
+use stamp_cfg::Cfg;
+use stamp_hw::HwConfig;
+use stamp_isa::{Flow, Insn, MemWidth, Program};
+
+use crate::interval::{DomainKind, SInt};
+use crate::state::AState;
+use crate::transfer::ValueTransfer;
+
+/// Options for [`ValueAnalysis::run`].
+#[derive(Clone, Debug)]
+pub struct ValueOptions {
+    /// Which member of the value-domain hierarchy to use (E7 ablation).
+    pub domain: DomainKind,
+    /// Number of joins at a widening point before widening kicks in.
+    pub widen_delay: u32,
+    /// Address sets with at most this many members count as "determined"
+    /// in the precision statistics (paper: "only a few indirect accesses
+    /// cannot be determined exactly"). Indirect-jump target enumeration
+    /// uses a separate fixed limit of 64.
+    pub small_set: u64,
+}
+
+impl Default for ValueOptions {
+    fn default() -> ValueOptions {
+        ValueOptions { domain: DomainKind::Strided, widen_delay: 2, small_set: 4096 }
+    }
+}
+
+/// The address information of one memory-accessing instruction in one
+/// context.
+#[derive(Clone, Debug)]
+pub struct AccessInfo {
+    /// The abstract address set.
+    pub addrs: SInt,
+    /// Access width.
+    pub width: MemWidth,
+    /// `true` for loads.
+    pub is_load: bool,
+}
+
+/// Outcome of a conditional branch in one context.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BranchOutcome {
+    /// The condition always holds — the fall-through edge is dead.
+    AlwaysTaken,
+    /// The condition never holds — the taken edge is dead.
+    NeverTaken,
+    /// Both directions are possible.
+    Unknown,
+}
+
+/// Results of the value analysis over the supergraph.
+///
+/// See the crate documentation for the role each field plays in the
+/// downstream analyses.
+pub struct ValueAnalysis {
+    fixpoint: Fixpoint<AState>,
+    accesses: HashMap<(u32, CtxId), AccessInfo>,
+    branches: HashMap<(u32, CtxId), BranchOutcome>,
+    indirect_targets: BTreeMap<u32, BTreeSet<u32>>,
+    unresolved: Vec<(u32, CtxId)>,
+    options: ValueOptions,
+    /// Solver node evaluations (scaling experiment).
+    pub evaluations: u64,
+}
+
+/// Precision statistics for experiment E3.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrecisionSummary {
+    /// Accesses with a single possible address.
+    pub exact: usize,
+    /// Accesses with a small bounded address set.
+    pub bounded: usize,
+    /// Accesses with large or unknown address sets.
+    pub unknown: usize,
+}
+
+impl PrecisionSummary {
+    /// Total number of classified accesses.
+    pub fn total(&self) -> usize {
+        self.exact + self.bounded + self.unknown
+    }
+}
+
+impl ValueAnalysis {
+    /// Runs the value analysis.
+    pub fn run(
+        program: &Program,
+        hw: &HwConfig,
+        cfg: &Cfg,
+        icfg: &Icfg,
+        options: &ValueOptions,
+    ) -> ValueAnalysis {
+        let thresholds = Rc::new(collect_thresholds(program, hw));
+        let mut transfer =
+            ValueTransfer::new(program, hw, cfg, options.domain, Rc::clone(&thresholds));
+        let fixpoint = solve(icfg, &mut transfer, options.widen_delay);
+
+        // Post-pass: replay each node to collect per-instruction facts.
+        let mut accesses = HashMap::new();
+        let mut branches = HashMap::new();
+        let mut indirect_targets: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+        let mut unresolved = Vec::new();
+        let (text_lo, text_hi) = program.text_range();
+
+        for node in icfg.nodes() {
+            let Some(input) = fixpoint.input(node.id) else { continue };
+            let block = cfg.block(node.block);
+            let mut s = input.clone();
+            for &(addr, insn) in &block.insns {
+                match insn {
+                    Insn::Load { width, base, offset, .. } => {
+                        let addrs = s.reg(base).add_i32(offset);
+                        accesses.insert(
+                            (addr, node.ctx),
+                            AccessInfo { addrs, width, is_load: true },
+                        );
+                    }
+                    Insn::Store { width, base, offset, .. } => {
+                        let addrs = s.reg(base).add_i32(offset);
+                        accesses.insert(
+                            (addr, node.ctx),
+                            AccessInfo { addrs, width, is_load: false },
+                        );
+                    }
+                    Insn::Branch { cond, rs1, rs2, .. } => {
+                        let (a, b) = (s.reg(rs1), s.reg(rs2));
+                        let taken_possible = SInt::refine(cond, &a, &b).is_some();
+                        let fall_possible = SInt::refine(cond.negate(), &a, &b).is_some();
+                        let outcome = match (taken_possible, fall_possible) {
+                            (true, false) => BranchOutcome::AlwaysTaken,
+                            (false, true) => BranchOutcome::NeverTaken,
+                            _ => BranchOutcome::Unknown,
+                        };
+                        branches.insert((addr, node.ctx), outcome);
+                    }
+                    Insn::Jalr { .. }
+                        if matches!(insn.flow(addr), Flow::IndirectJump | Flow::IndirectCall) =>
+                    {
+                        let transfer_ref = ValueTransfer::new(
+                            program,
+                            hw,
+                            cfg,
+                            options.domain,
+                            Rc::clone(&thresholds),
+                        );
+                        let targets =
+                            transfer_ref.jalr_targets(&s, &insn).expect("jalr has targets");
+                        let in_text = targets.lo() >= text_lo && targets.hi() < text_hi;
+                        if in_text && targets.count() <= 64 {
+                            indirect_targets
+                                .entry(addr)
+                                .or_default()
+                                .extend(targets.iter());
+                        } else {
+                            unresolved.push((addr, node.ctx));
+                        }
+                    }
+                    _ => {}
+                }
+                let transfer_ref = ValueTransfer::new(
+                    program,
+                    hw,
+                    cfg,
+                    options.domain,
+                    Rc::clone(&thresholds),
+                );
+                transfer_ref.step(&mut s, addr, &insn);
+            }
+        }
+
+        let evaluations = fixpoint.evaluations;
+        ValueAnalysis {
+            fixpoint,
+            accesses,
+            branches,
+            indirect_targets,
+            unresolved,
+            options: options.clone(),
+            evaluations,
+        }
+    }
+
+    /// The abstract state at a node's entry (per block × context).
+    pub fn entry_state(&self, node: NodeId) -> Option<&AState> {
+        self.fixpoint.input(node)
+    }
+
+    /// The abstract state after a node.
+    pub fn exit_state(&self, node: NodeId) -> Option<&AState> {
+        self.fixpoint.output(node)
+    }
+
+    /// Supergraph edges the analysis proved infeasible ("certain paths
+    /// … are never executed").
+    pub fn infeasible_edges(&self) -> &[IEdgeId] {
+        &self.fixpoint.infeasible_edges
+    }
+
+    /// Per-(instruction, context) memory-access address sets.
+    pub fn accesses(&self) -> &HashMap<(u32, CtxId), AccessInfo> {
+        &self.accesses
+    }
+
+    /// The address set of the access at `addr` in context `ctx`.
+    pub fn access(&self, addr: u32, ctx: CtxId) -> Option<&AccessInfo> {
+        self.accesses.get(&(addr, ctx))
+    }
+
+    /// Per-(branch, context) condition outcomes.
+    pub fn branches(&self) -> &HashMap<(u32, CtxId), BranchOutcome> {
+        &self.branches
+    }
+
+    /// Resolved targets of indirect jumps/calls, for feeding back into
+    /// [`stamp_cfg::CfgBuilder::indirect_targets`].
+    pub fn indirect_targets(&self) -> &BTreeMap<u32, BTreeSet<u32>> {
+        &self.indirect_targets
+    }
+
+    /// Indirect jumps whose target sets could not be bounded; these
+    /// require annotations, as in aiT.
+    pub fn unresolved_indirects(&self) -> &[(u32, CtxId)] {
+        &self.unresolved
+    }
+
+    /// Classification of all data accesses by address precision (E3).
+    pub fn precision_summary(&self) -> PrecisionSummary {
+        let mut s = PrecisionSummary::default();
+        for info in self.accesses.values() {
+            if info.addrs.is_const().is_some() {
+                s.exact += 1;
+            } else if info.addrs.count() <= self.options.small_set {
+                s.bounded += 1;
+            } else {
+                s.unknown += 1;
+            }
+        }
+        s
+    }
+
+    /// Count of branch instances decided to be constant (E4).
+    pub fn constant_branches(&self) -> usize {
+        self.branches
+            .values()
+            .filter(|o| !matches!(o, BranchOutcome::Unknown))
+            .count()
+    }
+}
+
+/// Builds the widening-threshold ladder: immediates appearing in the
+/// program (and their neighbours), section boundaries, and the stack top.
+/// Widened intervals jump onto this ladder instead of straight to ±∞,
+/// which keeps loop-counter and address ranges useful.
+fn collect_thresholds(program: &Program, hw: &HwConfig) -> Vec<u32> {
+    let mut t: BTreeSet<u32> = BTreeSet::new();
+    t.insert(0);
+    for (_, insn) in program.insns() {
+        match insn {
+            Insn::AluImm { imm, .. } => {
+                let v = imm as u32;
+                t.insert(v);
+                t.insert(v.wrapping_add(1));
+                t.insert(v.wrapping_sub(1));
+            }
+            Insn::Lui { imm, .. } => {
+                t.insert((imm as u32) << 16);
+            }
+            _ => {}
+        }
+    }
+    for s in &program.sections {
+        t.insert(s.base);
+        t.insert(s.end());
+    }
+    t.insert(hw.mem.stack_top());
+    t.insert(hw.mem.ram_base);
+    t.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stamp_ai::VivuConfig;
+    use stamp_cfg::CfgBuilder;
+    use stamp_isa::asm::assemble;
+    use stamp_isa::Reg;
+
+    fn analyze(src: &str) -> (Program, Cfg, Icfg, ValueAnalysis) {
+        let p = assemble(src).expect("assembles");
+        let hw = HwConfig::default();
+        let cfg = CfgBuilder::new(&p).build().expect("builds");
+        let icfg = Icfg::build(&cfg, &VivuConfig::default()).expect("expands");
+        let va = ValueAnalysis::run(&p, &hw, &cfg, &icfg, &ValueOptions::default());
+        (p, cfg, icfg, va)
+    }
+
+    #[test]
+    fn constants_propagate_through_calls() {
+        let src = "\
+            .text
+            main: li r1, 5
+                  call double
+                  halt
+            double: add r2, r1, r1
+                  ret
+        ";
+        let (_p, _cfg, icfg, va) = analyze(src);
+        let exit = icfg.exits()[0];
+        let s = va.entry_state(exit).unwrap();
+        assert_eq!(s.reg(Reg::new(2)).is_const(), Some(10));
+    }
+
+    #[test]
+    fn loop_counter_bounded_by_refinement() {
+        let src = "\
+            .text
+            main: li r1, 0
+            loop: addi r1, r1, 1
+                  blt r1, r2, cont      ; r2 unknown — but exit refines
+            cont: bne r1, r3, next
+            next: slti r4, r1, 100
+                  blt r1, r4, loop
+                  halt
+        ";
+        // Mostly a smoke test: analysis terminates with tops involved.
+        let (_p, _cfg, icfg, va) = analyze(src);
+        assert!(va.entry_state(icfg.exits()[0]).is_some());
+    }
+
+    #[test]
+    fn counted_loop_exit_value_is_exact() {
+        let src = "\
+            .text
+            main: li r1, 10
+            loop: addi r1, r1, -1
+                  bnez r1, loop
+                  halt
+        ";
+        let (_p, _cfg, icfg, va) = analyze(src);
+        let exit = icfg.exits()[0];
+        let s = va.entry_state(exit).unwrap();
+        // After the loop, refinement of `bnez` pins r1 to 0.
+        assert_eq!(s.reg(Reg::new(1)).is_const(), Some(0));
+    }
+
+    #[test]
+    fn dead_branch_detected() {
+        // r1 = 3 always, so `beq r1, r0, dead` never fires.
+        let src = "\
+            .text
+            main: li r1, 3
+                  beq r1, r0, dead
+                  halt
+            dead: mul r9, r9, r9
+                  halt
+        ";
+        let (_p, _cfg, icfg, va) = analyze(src);
+        assert_eq!(va.constant_branches(), 1);
+        assert!(!va.infeasible_edges().is_empty());
+        // The dead block is unreachable in the fixpoint.
+        let dead_nodes: Vec<_> = icfg
+            .nodes()
+            .iter()
+            .filter(|n| va.entry_state(n.id).is_none())
+            .collect();
+        assert!(!dead_nodes.is_empty());
+    }
+
+    #[test]
+    fn array_walk_has_strided_addresses() {
+        let src = "\
+            .text
+            main: li r1, 0            ; i = 0
+                  la r2, arr
+            loop: slli r3, r1, 2
+                  add r3, r2, r3
+                  lw r4, 0(r3)        ; arr[i]
+                  addi r1, r1, 1
+                  slti r5, r1, 10
+                  bnez r5, loop
+                  halt
+            .data
+            arr:  .space 40
+        ";
+        let (p, _cfg, _icfg, va) = analyze(src);
+        let arr = p.symbols.addr_of("arr").unwrap();
+        // Find the load's access info in some context.
+        let loads: Vec<&AccessInfo> =
+            va.accesses().values().filter(|a| a.is_load).collect();
+        assert!(!loads.is_empty());
+        for info in loads {
+            assert!(info.addrs.lo() >= arr, "{} under arr", info.addrs);
+            assert!(
+                info.addrs.hi() <= arr + 36,
+                "addr {} beyond arr[9] ({:#x})",
+                info.addrs,
+                arr + 36
+            );
+            if info.addrs.is_const().is_none() {
+                assert_eq!(info.addrs.stride(), 4, "stride retained: {}", info.addrs);
+            }
+        }
+    }
+
+    #[test]
+    fn jump_table_resolved_from_rom() {
+        let src = "\
+            .text
+            main: li r1, 1            ; selector ∈ {0,1,2} after masking
+                  andi r1, r1, 3
+                  slti r2, r1, 3
+                  bnez r2, ok
+                  halt
+            ok:   slli r2, r1, 2
+                  la r3, table
+                  add r3, r3, r2
+                  lw r4, 0(r3)
+                  jalr r0, r4, 0
+            c0:   halt
+            c1:   halt
+            c2:   halt
+            .rodata
+            table: .word c0, c1, c2
+        ";
+        let (p, _cfg, _icfg, va) = analyze(src);
+        // The jalr targets should be resolved (li makes it exactly c1,
+        // but even the masked range folds through the ROM table).
+        assert!(!va.indirect_targets().is_empty());
+        let targets: Vec<u32> =
+            va.indirect_targets().values().next().unwrap().iter().copied().collect();
+        let c1 = p.symbols.addr_of("c1").unwrap();
+        assert!(targets.contains(&c1));
+    }
+
+    #[test]
+    fn precision_summary_counts() {
+        let src = "\
+            .text
+            main: la r1, v
+                  lw r2, 0(r1)        ; exact
+                  lw r3, 0(r2)        ; unknown (r2 is input data)
+                  halt
+            .data
+            v:    .word 0
+        ";
+        let (_p, _cfg, _icfg, va) = analyze(src);
+        let s = va.precision_summary();
+        assert_eq!(s.exact, 1);
+        assert_eq!(s.unknown, 1);
+        assert_eq!(s.total(), 2);
+    }
+}

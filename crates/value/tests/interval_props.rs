@@ -1,0 +1,189 @@
+//! Property-based soundness of the strided-interval domain: every
+//! abstract operation over-approximates its concrete counterpart, and
+//! the lattice operations satisfy their laws.
+
+use proptest::prelude::*;
+use stamp_isa::{AluOp, Cond};
+use stamp_value::SInt;
+
+/// Generates an arbitrary well-formed strided interval together with a
+/// concrete member.
+fn sint_with_member() -> impl Strategy<Value = (SInt, u32)> {
+    // Build from (lo, count, stride) to keep the set small enough to
+    // pick members, with occasional extreme anchors.
+    (
+        prop_oneof![
+            0u32..1000,
+            0x1000_0000u32..0x1000_1000,
+            0x7fff_ff00u32..0x8000_0100,
+            0xffff_ff00u32..=0xffff_ffff,
+        ],
+        0u64..40,
+        prop_oneof![Just(1u32), Just(2), Just(4), Just(8), 1u32..40],
+        any::<prop::sample::Index>(),
+    )
+        .prop_map(|(lo, count, stride, pick)| {
+            let stride = stride.max(1);
+            let max_count = ((u32::MAX - lo) as u64 / stride as u64).min(count);
+            let hi = lo + (max_count as u32) * stride;
+            let v = SInt::strided(lo, hi, stride);
+            let k = pick.index(v.count() as usize) as u32;
+            let member = lo + k * stride.min(v.stride().max(1));
+            // Ensure membership even after normalization.
+            let member = if v.contains(member) { member } else { v.lo() };
+            (v, member)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn join_contains_both((a, x) in sint_with_member(), (b, y) in sint_with_member()) {
+        let j = a.join(&b);
+        prop_assert!(j.contains(x), "join {j} lost {x} from {a}");
+        prop_assert!(j.contains(y), "join {j} lost {y} from {b}");
+        prop_assert!(a.subset_of(&j) && b.subset_of(&j));
+    }
+
+    #[test]
+    fn meet_overapproximates_intersection((a, x) in sint_with_member(), (b, _) in sint_with_member()) {
+        if b.contains(x) {
+            let m = a.meet(&b);
+            prop_assert!(m.is_some(), "meet empty but {x} in both {a} and {b}");
+            prop_assert!(m.unwrap().contains(x), "meet {} lost {x}", m.unwrap());
+        }
+    }
+
+    #[test]
+    fn widen_covers_join((a, x) in sint_with_member(), (b, y) in sint_with_member()) {
+        let thresholds = [0u32, 16, 256, 65536, 0x1000_0000];
+        let w = a.widen(&b, &thresholds);
+        prop_assert!(w.contains(x), "widen {w} lost {x} of {a}");
+        prop_assert!(w.contains(y), "widen {w} lost {y} of {b}");
+    }
+
+    #[test]
+    fn alu_ops_sound((a, x) in sint_with_member(), (b, y) in sint_with_member()) {
+        // Every binary ALU operation: concrete result ∈ abstract result.
+        for op in AluOp::ALL {
+            let abs = match op {
+                AluOp::Add => a.add(&b),
+                AluOp::Sub => a.sub(&b),
+                AluOp::And => a.and(&b),
+                AluOp::Or => a.or(&b),
+                AluOp::Xor => a.xor(&b),
+                AluOp::Sll => a.sll(&b),
+                AluOp::Srl => a.srl(&b),
+                AluOp::Sra => a.sra(&b),
+                AluOp::Slt => a.slt(&b),
+                AluOp::Sltu => a.sltu(&b),
+                AluOp::Mul => a.mul(&b),
+                AluOp::Mulh => SInt::top(),
+                AluOp::Div => a.div(&b),
+                AluOp::Rem => a.rem(&b),
+            };
+            let conc = op.eval(x, y);
+            prop_assert!(
+                abs.contains(conc),
+                "{op:?}: {x} op {y} = {conc:#x} not in {abs} (from {a}, {b})"
+            );
+        }
+    }
+
+    #[test]
+    fn add_i32_sound((a, x) in sint_with_member(), k in -5000i32..5000) {
+        let abs = a.add_i32(k);
+        let conc = x.wrapping_add(k as u32);
+        prop_assert!(abs.contains(conc), "{x} + {k} = {conc:#x} not in {abs}");
+    }
+
+    #[test]
+    fn align4_sound((a, x) in sint_with_member()) {
+        prop_assert!(a.align4().contains(x & !3));
+    }
+
+    #[test]
+    fn refine_keeps_satisfying_pairs((a, x) in sint_with_member(), (b, y) in sint_with_member()) {
+        for cond in Cond::ALL {
+            if cond.eval(x, y) {
+                match SInt::refine(cond, &a, &b) {
+                    None => prop_assert!(
+                        false,
+                        "refine({cond:?}) claims infeasible but {x} {cond:?} {y} holds"
+                    ),
+                    Some((ra, rb)) => {
+                        prop_assert!(ra.contains(x), "refined {ra} lost lhs {x:#x}");
+                        prop_assert!(rb.contains(y), "refined {rb} lost rhs {y:#x}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_and_iter_agree((a, _) in sint_with_member()) {
+        if a.count() <= 512 {
+            let items: Vec<u32> = a.iter().collect();
+            prop_assert_eq!(items.len() as u64, a.count());
+            prop_assert!(items.iter().all(|&v| a.contains(v)));
+            // Ascending, on-grid.
+            prop_assert!(items.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn subset_of_is_a_partial_order((a, _) in sint_with_member(), (b, _) in sint_with_member()) {
+        prop_assert!(a.subset_of(&a));
+        if a.subset_of(&b) && b.subset_of(&a) {
+            // Antisymmetry up to representation: same bounds.
+            prop_assert_eq!(a.lo(), b.lo());
+            prop_assert_eq!(a.hi(), b.hi());
+        }
+        let j = a.join(&b);
+        prop_assert!(a.subset_of(&j) && b.subset_of(&j));
+    }
+}
+
+/// Exhaustive mini-universe check: all operations over every interval of
+/// a tiny value space, compared against concrete set semantics.
+#[test]
+fn exhaustive_small_universe() {
+    let mut sets: Vec<SInt> = Vec::new();
+    for lo in 0u32..8 {
+        for hi in lo..8 {
+            for stride in 1..=4u32 {
+                sets.push(SInt::strided(lo, hi, stride));
+            }
+        }
+    }
+    for a in &sets {
+        for b in &sets {
+            let sum = a.add(b);
+            let diff = a.sub(b);
+            let prod = a.mul(b);
+            for x in a.iter() {
+                for y in b.iter() {
+                    assert!(sum.contains(x.wrapping_add(y)), "{a}+{b} misses {x}+{y}");
+                    assert!(diff.contains(x.wrapping_sub(y)), "{a}-{b} misses {x}-{y}");
+                    assert!(prod.contains(x.wrapping_mul(y)), "{a}*{b} misses {x}*{y}");
+                }
+            }
+            // Meet is exact on this tiny universe up to over-approximation:
+            // it must contain the true intersection.
+            match a.meet(b) {
+                Some(m) => {
+                    for x in a.iter().filter(|x| b.contains(*x)) {
+                        assert!(m.contains(x), "meet({a},{b}) = {m} misses {x}");
+                    }
+                }
+                None => {
+                    assert!(
+                        a.iter().all(|x| !b.contains(x)),
+                        "meet({a},{b}) empty but intersection is not"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Hardware dimensioning with static WCET bounds (experiment E9): sweep
+//! the cache size and watch the WCET bound respond — "precise stack
+//! usage and timing predictions enable the most cost-efficient hardware
+//! to be chosen" (paper §4).
+//!
+//! ```sh
+//! cargo run --example cache_tuning [benchmark-name]
+//! ```
+
+use stamp::{HwConfig, WcetAnalysis};
+use stamp_suite::benchmarks;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "matmult".to_string());
+    let bench = benchmarks()
+        .into_iter()
+        .find(|b| b.name == name && b.supports_wcet)
+        .unwrap_or_else(|| {
+            eprintln!("unknown or recursive benchmark `{name}`");
+            std::process::exit(1);
+        });
+    let program = bench.program();
+
+    println!("WCET bound of `{name}` vs. cache size (I+D, 2-way, 16 B lines)");
+    println!("{:>12} {:>12} {:>10}", "cache bytes", "WCET cycles", "vs 4 KiB");
+    let mut results = Vec::new();
+    for bytes in [64u32, 128, 256, 512, 1024, 2048, 4096] {
+        let hw = HwConfig::with_cache_bytes(bytes);
+        let report = WcetAnalysis::new(&program)
+            .hw(hw)
+            .annotations(bench.annotations())
+            .run()?;
+        results.push((bytes, report.wcet));
+    }
+    let best = results.last().map(|&(_, w)| w).unwrap_or(1);
+    for (bytes, wcet) in &results {
+        println!("{bytes:>12} {wcet:>12} {:>9.2}x", *wcet as f64 / best as f64);
+    }
+    println!(
+        "\nno cache at all: {} cycles",
+        WcetAnalysis::new(&program)
+            .hw(HwConfig::no_cache())
+            .annotations(bench.annotations())
+            .run()?
+            .wcet
+    );
+    println!("pick the smallest size whose bound still meets the deadline.");
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Quickstart: assemble a task, bound its WCET and stack, print the
+//! aiT-style report.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use stamp::{assemble, StackAnalysis, WcetAnalysis};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small control task: scale a sensor buffer and accumulate.
+    let program = assemble(
+        r#"
+            .equ N, 32
+            .text
+        main:
+            addi sp, sp, -16        ; frame
+            li   r1, 0              ; i
+            li   r6, 0              ; acc
+            la   r2, buf
+        loop:
+            slli r3, r1, 2
+            add  r3, r2, r3
+            lw   r4, 0(r3)          ; buf[i]
+            mul  r4, r4, r5
+            add  r6, r6, r4
+            addi r1, r1, 1
+            slti r7, r1, N
+            bnez r7, loop
+            addi sp, sp, 16
+            halt
+            .data
+        buf:
+            .space 128
+        "#,
+    )?;
+
+    let wcet = WcetAnalysis::new(&program).run()?;
+    println!("{}", wcet.render(&program));
+
+    let stack = StackAnalysis::new(&program).run()?;
+    println!("worst-case stack usage: {} bytes ({} mode)", stack.bound, stack.mode);
+
+    Ok(())
+}

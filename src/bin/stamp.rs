@@ -1,0 +1,189 @@
+//! The `stamp` command-line tool: WCET and stack analysis of EVA32
+//! assembly files, plus disassembly and simulation.
+//!
+//! ```text
+//! stamp wcet   task.s [--no-cache|--ideal] [--loop-bound SYM=N]... [--json] [--dot out.dot]
+//! stamp stack  task.s [--entry SYM] [--recursion SYM=N]...
+//! stamp disasm task.s
+//! stamp run    task.s [--max-insns N]
+//! ```
+
+use std::process::ExitCode;
+
+use stamp::{assemble, Annotations, HwConfig, Simulator, StackAnalysis, WcetAnalysis};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("stamp: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  \
+     stamp wcet   <task.s> [--no-cache|--ideal] [--loop-bound SYM=N]... [--json] [--dot FILE]\n  \
+     stamp stack  <task.s> [--entry SYM] [--recursion SYM=N]...\n  \
+     stamp disasm <task.s>\n  \
+     stamp run    <task.s> [--max-insns N]"
+        .to_string()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (cmd, rest) = args.split_first().ok_or_else(usage)?;
+    match cmd.as_str() {
+        "wcet" => wcet(rest),
+        "stack" => stack(rest),
+        "disasm" => disasm(rest),
+        "run" => simulate(rest),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn load(path: &str) -> Result<stamp::Program, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    assemble(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Parses `SYM=N`.
+fn sym_eq_n(s: &str) -> Result<(String, u64), String> {
+    let (sym, n) = s.split_once('=').ok_or_else(|| format!("expected SYM=N, got `{s}`"))?;
+    let n: u64 = n.parse().map_err(|_| format!("bad count in `{s}`"))?;
+    Ok((sym.to_string(), n))
+}
+
+fn wcet(args: &[String]) -> Result<(), String> {
+    let mut file = None;
+    let mut hw = HwConfig::default();
+    let mut ann = Annotations::new();
+    let mut json = false;
+    let mut dot: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--no-cache" => hw = HwConfig::no_cache(),
+            "--ideal" => hw = HwConfig::ideal(),
+            "--json" => json = true,
+            "--dot" => dot = Some(it.next().ok_or("--dot needs a file")?.clone()),
+            "--loop-bound" => {
+                let (sym, n) = sym_eq_n(it.next().ok_or("--loop-bound needs SYM=N")?)?;
+                ann = ann.loop_bound(sym, n);
+            }
+            f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let program = load(&file.ok_or_else(usage)?)?;
+    let report = WcetAnalysis::new(&program)
+        .hw(hw)
+        .annotations(ann)
+        .run()
+        .map_err(|e| e.to_string())?;
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{}", report.render(&program));
+    }
+    if let Some(path) = dot {
+        std::fs::write(&path, report.to_dot()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote annotated CFG to {path}");
+    }
+    Ok(())
+}
+
+fn stack(args: &[String]) -> Result<(), String> {
+    let mut file = None;
+    let mut entry: Option<String> = None;
+    let mut ann = Annotations::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--entry" => entry = Some(it.next().ok_or("--entry needs a symbol")?.clone()),
+            "--recursion" => {
+                let (sym, n) = sym_eq_n(it.next().ok_or("--recursion needs SYM=N")?)?;
+                ann = ann.recursion_depth(sym, n as u32);
+            }
+            f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let program = load(&file.ok_or_else(usage)?)?;
+    let analysis = StackAnalysis::new(&program).annotations(ann);
+    let report = match &entry {
+        Some(sym) => analysis.run_task(sym),
+        None => analysis.run(),
+    }
+    .map_err(|e| e.to_string())?;
+    println!(
+        "worst-case stack usage{}: {} bytes ({} mode)",
+        entry.map(|e| format!(" of task `{e}`")).unwrap_or_default(),
+        report.bound,
+        report.mode
+    );
+    for (name, f) in &report.per_function {
+        println!("  {name:<20} local {:>5}  with callees {:>5}", f.local, f.usage);
+    }
+    Ok(())
+}
+
+fn disasm(args: &[String]) -> Result<(), String> {
+    let file = args.first().ok_or_else(usage)?;
+    let program = load(file)?;
+    let (lo, hi) = program.text_range();
+    println!("; entry: {} ({:#010x})", program.symbols.format_addr(program.entry), program.entry);
+    for addr in (lo..hi).step_by(4) {
+        if let Some(name) = program.symbols.name_at(addr) {
+            println!("{name}:");
+        }
+        match program.decode_at(addr) {
+            Ok(insn) => println!("  {addr:#010x}:  {insn}"),
+            Err(e) => println!("  {addr:#010x}:  <not code: {e}>"),
+        }
+    }
+    for s in &program.sections {
+        if !s.kind.is_rom() || s.name == ".text" {
+            continue;
+        }
+        println!("\n; section {} at {:#010x} ({} bytes)", s.name, s.base, s.size);
+    }
+    Ok(())
+}
+
+fn simulate(args: &[String]) -> Result<(), String> {
+    let mut file = None;
+    let mut max_insns: u64 = 10_000_000;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--max-insns" => {
+                max_insns = it
+                    .next()
+                    .ok_or("--max-insns needs a number")?
+                    .parse()
+                    .map_err(|_| "bad --max-insns value")?;
+            }
+            f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let program = load(&file.ok_or_else(usage)?)?;
+    let hw = HwConfig::default();
+    let mut sim = Simulator::new(&program, &hw);
+    let res = sim.run(max_insns).map_err(|e| e.to_string())?;
+    println!("status:        {:?}", res.status);
+    println!("cycles:        {}", res.cycles);
+    println!("instructions:  {}", res.retired);
+    println!("max stack:     {} bytes", res.max_stack);
+    println!(
+        "I-cache:       {} hits / {} misses    D-cache: {} hits / {} misses",
+        res.i_hits, res.i_misses, res.d_hits, res.d_misses
+    );
+    Ok(())
+}

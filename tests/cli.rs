@@ -1,0 +1,115 @@
+//! End-to-end tests of the `stamp` command-line tool.
+
+use std::process::Command;
+
+fn stamp(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_stamp"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn write_task(name: &str, src: &str) -> String {
+    let path = std::env::temp_dir().join(name);
+    std::fs::write(&path, src).expect("writable temp dir");
+    path.to_string_lossy().into_owned()
+}
+
+const TASK: &str = "\
+        .text
+main:   addi sp, sp, -32
+        li   r1, 10
+loop:   addi r1, r1, -1
+        bnez r1, loop
+        addi sp, sp, 32
+        halt
+";
+
+#[test]
+fn wcet_command_reports_bound() {
+    let path = write_task("cli_wcet.s", TASK);
+    let (ok, stdout, stderr) = stamp(&["wcet", &path]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("WCET bound:"), "{stdout}");
+    assert!(stdout.contains("loop bounds"), "{stdout}");
+}
+
+#[test]
+fn wcet_json_and_dot_outputs() {
+    let path = write_task("cli_json.s", TASK);
+    let dot = std::env::temp_dir().join("cli_out.dot");
+    let (ok, stdout, stderr) =
+        stamp(&["wcet", &path, "--json", "--dot", &dot.to_string_lossy()]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.trim_start().starts_with('{'), "{stdout}");
+    assert!(stdout.contains("\"wcet\":"), "{stdout}");
+    let dot_text = std::fs::read_to_string(&dot).expect("dot written");
+    assert!(dot_text.starts_with("digraph cfg {"));
+}
+
+#[test]
+fn stack_command_reports_bound() {
+    let path = write_task("cli_stack.s", TASK);
+    let (ok, stdout, stderr) = stamp(&["stack", &path]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("32 bytes"), "{stdout}");
+}
+
+#[test]
+fn run_command_simulates() {
+    let path = write_task("cli_run.s", TASK);
+    let (ok, stdout, stderr) = stamp(&["run", &path]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("Halted"), "{stdout}");
+    assert!(stdout.contains("cycles:"), "{stdout}");
+}
+
+#[test]
+fn disasm_command_lists_instructions() {
+    let path = write_task("cli_disasm.s", TASK);
+    let (ok, stdout, stderr) = stamp(&["disasm", &path]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("main:"), "{stdout}");
+    assert!(stdout.contains("addi sp, sp, -32"), "{stdout}");
+    assert!(stdout.contains("halt"), "{stdout}");
+}
+
+#[test]
+fn loop_bound_flag_feeds_annotation() {
+    // A data-dependent loop that needs an annotation.
+    let src = "\
+        .text
+main:   la   r1, v
+        lw   r1, 0(r1)
+loop:   srli r1, r1, 1
+        bnez r1, loop
+        halt
+        .data
+v:      .space 4
+";
+    let path = write_task("cli_annot.s", src);
+    let (ok, _, stderr) = stamp(&["wcet", &path]);
+    assert!(!ok, "should fail without annotation");
+    assert!(stderr.contains("loop bound") || stderr.contains("annotation"), "{stderr}");
+    let (ok, stdout, stderr) = stamp(&["wcet", &path, "--loop-bound", "loop=33"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("≤ 33 iterations"), "{stdout}");
+}
+
+#[test]
+fn bad_usage_is_reported() {
+    let (ok, _, stderr) = stamp(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"), "{stderr}");
+    let (ok, _, stderr) = stamp(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+    let (ok, _, stderr) = stamp(&["wcet", "/nonexistent/file.s"]);
+    assert!(!ok);
+    assert!(stderr.contains("file.s"), "{stderr}");
+}

@@ -1,0 +1,105 @@
+//! Property-based soundness (experiment E0): for randomly generated,
+//! structurally terminating programs, on random inputs,
+//!
+//! * simulated cycles ≤ WCET bound,
+//! * simulated stack watermark ≤ stack bound,
+//! * final concrete register values lie in the value analysis's abstract
+//!   exit state.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stamp::ai::{Icfg, VivuConfig};
+use stamp::cfg::CfgBuilder;
+use stamp::value::{ValueAnalysis, ValueOptions};
+use stamp::{assemble, HwConfig, Simulator, StackAnalysis, WcetAnalysis};
+use stamp_isa::Reg;
+use stamp_suite::{generate, GenConfig};
+
+fn run_one(seed: u64, hw: &HwConfig) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let src = generate(&mut rng, &GenConfig::default());
+    let program = assemble(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+
+    let wcet = WcetAnalysis::new(&program)
+        .hw(*hw)
+        .run()
+        .unwrap_or_else(|e| panic!("seed {seed}: wcet analysis: {e}\n{src}"));
+    let stack = StackAnalysis::new(&program)
+        .hw(*hw)
+        .run()
+        .unwrap_or_else(|e| panic!("seed {seed}: stack analysis: {e}"));
+
+    let scratch = program.symbols.addr_of("scratch").expect("scratch symbol");
+    for input_round in 0..6 {
+        let mut sim = Simulator::new(&program, hw);
+        let bytes: Vec<u8> = (0..128).map(|_| rng.gen()).collect();
+        sim.write_ram(scratch, &bytes);
+        let res = sim
+            .run(5_000_000)
+            .unwrap_or_else(|e| panic!("seed {seed} round {input_round}: fault {e}"));
+        assert!(
+            res.cycles <= wcet.wcet,
+            "seed {seed} round {input_round}: UNSOUND WCET — simulated {} > bound {}\n{src}",
+            res.cycles,
+            wcet.wcet
+        );
+        assert!(
+            res.max_stack <= stack.bound,
+            "seed {seed} round {input_round}: UNSOUND stack — simulated {} > bound {}",
+            res.max_stack,
+            stack.bound
+        );
+
+        // Value-analysis containment at task exit: the halted pc's block
+        // exit state (joined over contexts) must contain the concrete
+        // register file.
+        let cfg = CfgBuilder::new(&program).build().unwrap();
+        let icfg = Icfg::build(&cfg, &VivuConfig::default()).unwrap();
+        let va = ValueAnalysis::run(&program, hw, &cfg, &icfg, &ValueOptions::default());
+        let halt_block = cfg.block_containing(sim.pc()).expect("halted inside a block");
+        for r in Reg::all() {
+            let concrete = sim.reg(r);
+            let contained = icfg.nodes_of_block(halt_block).iter().any(|&n| {
+                va.exit_state(n).is_some_and(|s| s.reg(r).contains(concrete))
+            });
+            assert!(
+                contained,
+                "seed {seed}: register {r} = {concrete:#x} outside every abstract exit state\n{src}"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_programs_standard_hw() {
+    for seed in 0..12 {
+        run_one(seed, &HwConfig::default());
+    }
+}
+
+#[test]
+fn random_programs_no_cache() {
+    for seed in 100..106 {
+        run_one(seed, &HwConfig::no_cache());
+    }
+}
+
+#[test]
+fn random_programs_bigger_shapes() {
+    let cfg = GenConfig { constructs: 10, max_depth: 2, functions: 3, ..GenConfig::default() };
+    let hw = HwConfig::default();
+    for seed in 200..206 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let src = generate(&mut rng, &cfg);
+        let program = assemble(&src).unwrap();
+        let wcet = WcetAnalysis::new(&program).hw(hw).run().unwrap();
+        let scratch = program.symbols.addr_of("scratch").unwrap();
+        for _ in 0..3 {
+            let mut sim = Simulator::new(&program, &hw);
+            let bytes: Vec<u8> = (0..128).map(|_| rng.gen()).collect();
+            sim.write_ram(scratch, &bytes);
+            let res = sim.run(5_000_000).unwrap();
+            assert!(res.cycles <= wcet.wcet, "seed {seed}: {} > {}", res.cycles, wcet.wcet);
+        }
+    }
+}

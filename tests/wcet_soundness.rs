@@ -1,0 +1,108 @@
+//! Experiment E0/E1 gate: for every benchmark, the WCET bound must cover
+//! every observed execution, and stay within a sane tightness envelope.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stamp::{HwConfig, StackAnalysis, WcetAnalysis};
+use stamp_suite::benchmarks;
+
+/// Simulated cycles never exceed the WCET bound, on any tested input.
+#[test]
+fn wcet_bounds_are_sound_across_corpus() {
+    let hw = HwConfig::default();
+    let mut rng = StdRng::seed_from_u64(0xE1);
+    for b in benchmarks().iter().filter(|b| b.supports_wcet) {
+        let program = b.program();
+        let report = WcetAnalysis::new(&program)
+            .hw(hw)
+            .annotations(b.annotations())
+            .run()
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let (observed, _) = b.worst_observed(&program, &hw, 25, &mut rng);
+        assert!(
+            report.wcet >= observed,
+            "{}: UNSOUND — bound {} < observed {}",
+            b.name,
+            report.wcet,
+            observed
+        );
+        // Tightness envelope: the corpus is built so the bound stays
+        // within 2× of the worst observation (most are far tighter).
+        assert!(
+            report.wcet <= observed * 2,
+            "{}: bound {} looser than 2x observed {}",
+            b.name,
+            report.wcet,
+            observed
+        );
+    }
+}
+
+/// Same soundness property under different hardware models.
+#[test]
+fn wcet_bounds_sound_without_caches() {
+    let mut rng = StdRng::seed_from_u64(0xE2);
+    for hw in [HwConfig::no_cache(), HwConfig::ideal()] {
+        for name in ["fibcall", "insertsort", "crc", "statemate"] {
+            let b = benchmarks().into_iter().find(|b| b.name == name).unwrap();
+            let program = b.program();
+            let report = WcetAnalysis::new(&program)
+                .hw(hw)
+                .annotations(b.annotations())
+                .run()
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let (observed, _) = b.worst_observed(&program, &hw, 10, &mut rng);
+            assert!(
+                report.wcet >= observed,
+                "{name}: bound {} < observed {} under {hw:?}",
+                report.wcet,
+                observed
+            );
+        }
+    }
+}
+
+/// Stack bounds cover the observed stack watermark (and are exact for
+/// this corpus).
+#[test]
+fn stack_bounds_are_sound_and_exact() {
+    let hw = HwConfig::default();
+    let mut rng = StdRng::seed_from_u64(0xE3);
+    for b in benchmarks() {
+        let program = b.program();
+        let report = StackAnalysis::new(&program)
+            .hw(hw)
+            .annotations(b.annotations())
+            .run()
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let (_, observed_stack) = b.worst_observed(&program, &hw, 10, &mut rng);
+        assert!(
+            report.bound >= observed_stack,
+            "{}: stack bound {} < observed {}",
+            b.name,
+            report.bound,
+            observed_stack
+        );
+        // Every benchmark's stack behaviour is input-independent, so the
+        // bound should be exact.
+        assert_eq!(
+            report.bound, observed_stack,
+            "{}: stack bound {} != observed {}",
+            b.name, report.bound, observed_stack
+        );
+    }
+}
+
+/// The worst-case counts reported by IPET agree with the simulator on a
+/// deterministic benchmark (fibcall has a single path).
+#[test]
+fn ipet_counts_match_simulation_on_single_path_task() {
+    let hw = HwConfig::default();
+    let b = benchmarks().into_iter().find(|b| b.name == "fibcall").unwrap();
+    let program = b.program();
+    let report = WcetAnalysis::new(&program).hw(hw).run().unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let (observed, _) = b.worst_observed(&program, &hw, 1, &mut rng);
+    // Single-path program: bound is exact.
+    assert_eq!(report.wcet, observed, "fibcall is single-path; bound must be exact");
+}
