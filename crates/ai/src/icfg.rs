@@ -476,11 +476,10 @@ impl<'c> Builder<'c> {
             let b = self.cfg.block(nd.block);
             match b.exit_flow() {
                 stamp_isa::Flow::Halt => exits.push(nd.id),
-                stamp_isa::Flow::Return => {
-                    if self.ctxs.get(nd.ctx).call_depth() == 0 {
+                stamp_isa::Flow::Return
+                    if self.ctxs.get(nd.ctx).call_depth() == 0 => {
                         exits.push(nd.id);
                     }
-                }
                 _ => {}
             }
         }

@@ -108,8 +108,7 @@ fn e4_infeasible_paths() {
     for name in ["statemate", "insertsort", "switchcase", "crc", "matmult"] {
         let b = benchmarks().into_iter().find(|b| b.name == name).unwrap();
         let pruned = analyze(&b, AnalysisConfig::default());
-        let mut cfg = AnalysisConfig::default();
-        cfg.use_infeasible = false;
+        let cfg = AnalysisConfig { use_infeasible: false, ..AnalysisConfig::default() };
         let loose = analyze(&b, cfg);
         let saved = 100.0 * (loose.wcet as f64 - pruned.wcet as f64) / loose.wcet as f64;
         println!(
@@ -129,8 +128,10 @@ fn e5_cache_classification(hw: &HwConfig) {
         // All-miss: analyze against a cache-less model. Because the flat
         // penalty covers both hit and miss costs of the real hardware,
         // this is exactly the sound bound one gets without cache analysis.
-        let mut allmiss_cfg = AnalysisConfig::default();
-        allmiss_cfg.hw = HwConfig { icache: None, dcache: None, ..*hw };
+        let allmiss_cfg = AnalysisConfig {
+            hw: HwConfig { icache: None, dcache: None, ..*hw },
+            ..AnalysisConfig::default()
+        };
         let allmiss = analyze(b, allmiss_cfg);
         let (f, d) = (r.fetch_stats, r.data_stats);
         println!(
@@ -180,8 +181,10 @@ fn e7_domain_ablation() {
         let b = benchmarks().into_iter().find(|b| b.name == name).unwrap();
         let mut row = format!("| {name} |");
         for domain in [DomainKind::Const, DomainKind::Interval, DomainKind::Strided] {
-            let mut cfg = AnalysisConfig::default();
-            cfg.value = ValueOptions { domain, ..ValueOptions::default() };
+            let cfg = AnalysisConfig {
+                value: ValueOptions { domain, ..ValueOptions::default() },
+                ..AnalysisConfig::default()
+            };
             match try_analyze(&b, cfg) {
                 Ok(r) => row.push_str(&format!(" {} |", r.wcet)),
                 Err(_) => row.push_str(" fails (no loop bound) |"),
@@ -251,8 +254,10 @@ fn e9_cache_sweep() {
         let mut row = format!("| {bytes} |");
         for name in ["matmult", "fir", "bsort"] {
             let b = benchmarks().into_iter().find(|b| b.name == name).unwrap();
-            let mut cfg = AnalysisConfig::default();
-            cfg.hw = HwConfig::with_cache_bytes(bytes);
+            let cfg = AnalysisConfig {
+                hw: HwConfig::with_cache_bytes(bytes),
+                ..AnalysisConfig::default()
+            };
             let r = analyze(&b, cfg);
             row.push_str(&format!(" {} |", r.wcet));
         }
@@ -262,8 +267,7 @@ fn e9_cache_sweep() {
     let mut row = String::from("| none |");
     for name in ["matmult", "fir", "bsort"] {
         let b = benchmarks().into_iter().find(|b| b.name == name).unwrap();
-        let mut cfg = AnalysisConfig::default();
-        cfg.hw = HwConfig::no_cache();
+        let cfg = AnalysisConfig { hw: HwConfig::no_cache(), ..AnalysisConfig::default() };
         row.push_str(&format!(" {} |", analyze(&b, cfg).wcet));
     }
     println!("{row}");
@@ -277,8 +281,10 @@ fn e10_vivu_ablation() {
     for name in ["fibcall", "insertsort", "bsort", "matmult", "crc"] {
         let b = benchmarks().into_iter().find(|b| b.name == name).unwrap();
         let full = analyze(&b, AnalysisConfig::default());
-        let mut cfg = AnalysisConfig::default();
-        cfg.vivu = VivuConfig::no_unrolling();
+        let cfg = AnalysisConfig {
+            vivu: VivuConfig::no_unrolling(),
+            ..AnalysisConfig::default()
+        };
         let flat = analyze(&b, cfg);
         println!(
             "| {} | {} | {} | {}/{} |",

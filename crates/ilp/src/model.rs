@@ -376,7 +376,8 @@ mod tests {
     /// Brute-force check of B&B on small random-ish instances.
     #[test]
     fn bb_matches_brute_force() {
-        let cases: Vec<(Vec<i64>, Vec<(Vec<i64>, i64)>)> = vec![
+        type Case = (Vec<i64>, Vec<(Vec<i64>, i64)>);
+        let cases: Vec<Case> = vec![
             (vec![3, 4], vec![(vec![1, 2], 7), (vec![3, 1], 9)]),
             (vec![5, 1, 2], vec![(vec![2, 1, 1], 8), (vec![1, 3, 1], 7)]),
             (vec![1, 1, 1], vec![(vec![1, 1, 1], 4)]),
@@ -405,12 +406,12 @@ mod tests {
                     best = best.max(val);
                 }
                 // Next point in the box [0, 20]^n.
-                for i in 0..n {
-                    x[i] += 1;
-                    if x[i] <= 20 {
+                for digit in x.iter_mut() {
+                    *digit += 1;
+                    if *digit <= 20 {
                         continue 'outer;
                     }
-                    x[i] = 0;
+                    *digit = 0;
                 }
                 break;
             }

@@ -142,24 +142,23 @@ fn run(
 fn pivot(a: &mut [Vec<Rat>], b: &mut [Rat], row: usize, col: usize) {
     let p = a[row][col];
     debug_assert!(!p.is_zero());
-    let cols = a[row].len();
-    for j in 0..cols {
-        a[row][j] = a[row][j] / p;
+    for v in a[row].iter_mut() {
+        *v = *v / p;
     }
     b[row] = b[row] / p;
-    for r in 0..a.len() {
+    let prow = a[row].clone();
+    let brow = b[row];
+    for (r, arow) in a.iter_mut().enumerate() {
         if r == row {
             continue;
         }
-        let f = a[r][col];
+        let f = arow[col];
         if f.is_zero() {
             continue;
         }
-        for j in 0..cols {
-            let v = a[row][j] * f;
-            a[r][j] = a[r][j] - v;
+        for (dst, &pv) in arow.iter_mut().zip(&prow) {
+            *dst = *dst - pv * f;
         }
-        let v = b[row] * f;
-        b[r] = b[r] - v;
+        b[r] = b[r] - brow * f;
     }
 }

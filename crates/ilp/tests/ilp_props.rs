@@ -44,12 +44,12 @@ fn brute_force(ilp: &SmallIlp) -> i64 {
         if feasible {
             best = best.max(ilp.objective.iter().zip(&x).map(|(a, b)| a * b).sum());
         }
-        for i in 0..n {
-            x[i] += 1;
-            if x[i] <= 25 {
+        for digit in x.iter_mut() {
+            *digit += 1;
+            if *digit <= 25 {
                 continue 'outer;
             }
-            x[i] = 0;
+            *digit = 0;
         }
         break;
     }

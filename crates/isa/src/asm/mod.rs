@@ -433,7 +433,7 @@ fn emit_data(
                 buf.push(eval_to(e, 8)? as u8);
             }
         }
-        DataItem::Space(n) => buf.extend(std::iter::repeat(0u8).take(*n as usize)),
+        DataItem::Space(n) => buf.extend(std::iter::repeat_n(0u8, *n as usize)),
         DataItem::Ascii(bytes) => buf.extend_from_slice(bytes),
         DataItem::Align(_) => {} // padding handled by offset bookkeeping
     }
@@ -504,7 +504,7 @@ mod tests {
             .unwrap();
         // 1 + 2 + 1 (0x70000 = lui only) + 1 instructions.
         assert_eq!(p.insn_count(), 5);
-        assert_eq!(p.decode_at(4 * 1).unwrap(), Insn::Lui { rd: Reg::new(2), imm: 0x1234 });
+        assert_eq!(p.decode_at(4).unwrap(), Insn::Lui { rd: Reg::new(2), imm: 0x1234 });
         assert_eq!(p.decode_at(4 * 3).unwrap(), Insn::Lui { rd: Reg::new(3), imm: 0x7 });
     }
 

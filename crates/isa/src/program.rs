@@ -186,7 +186,7 @@ impl Program {
     /// Returns an error if `addr` is not word-aligned code or the word does
     /// not decode.
     pub fn decode_at(&self, addr: u32) -> Result<Insn, ProgramError> {
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             return Err(ProgramError::Unaligned { addr });
         }
         if !self.is_code(addr) {

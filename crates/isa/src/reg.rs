@@ -64,7 +64,7 @@ impl Reg {
 
     /// Iterates over all sixteen registers in index order.
     pub fn all() -> impl Iterator<Item = Reg> {
-        (0..16).map(|i| Reg(i))
+        (0..16).map(Reg)
     }
 }
 

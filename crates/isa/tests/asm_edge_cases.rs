@@ -133,7 +133,7 @@ fn custom_layout_moves_sections() {
     .unwrap();
     assert_eq!(p.entry, 0x100);
     let t = p.symbols.addr_of("t").unwrap();
-    assert!(t >= 0x104 && t % 16 == 0);
+    assert!(t >= 0x104 && t.is_multiple_of(16));
     assert_eq!(p.rom_value(t, MemWidth::W), Some(0x100)); // points at main
     assert_eq!(p.symbols.addr_of("v"), Some(0x1008_0000));
 }

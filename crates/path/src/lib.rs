@@ -207,9 +207,11 @@ pub fn analyze(
         lp.add_constraint(sink_terms, CmpOp::Eq, 1);
     }
 
-    // Loop bounds per loop instance.
-    let mut instances: HashMap<(BlockId, Vec<Frame>), (Vec<IEdgeId>, Vec<IEdgeId>)> =
-        HashMap::new();
+    // Loop bounds per loop instance: (header, stripped context) →
+    // (entry edges, back edges).
+    type LoopInstanceKey = (BlockId, Vec<Frame>);
+    type LoopInstanceEdges = (Vec<IEdgeId>, Vec<IEdgeId>);
+    let mut instances: HashMap<LoopInstanceKey, LoopInstanceEdges> = HashMap::new();
     for e in icfg.edges() {
         let to = icfg.node(e.to);
         // Instance key: target context with the loop's own trailing frame

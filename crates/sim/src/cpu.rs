@@ -231,7 +231,7 @@ impl Cpu {
 }
 
 fn check_align(pc: u32, addr: u32, width: MemWidth) -> Result<(), Fault> {
-    if addr % width.bytes() != 0 {
+    if !addr.is_multiple_of(width.bytes()) {
         Err(Fault::Unaligned { pc, addr, width })
     } else {
         Ok(())

@@ -158,7 +158,7 @@ impl SInt {
     pub fn contains(&self, v: u32) -> bool {
         v >= self.lo
             && v <= self.hi
-            && (self.stride == 0 || (v - self.lo) % self.stride == 0)
+            && (self.stride == 0 || (v - self.lo).is_multiple_of(self.stride))
     }
 
     /// Iterates the members (ascending). Intended for small sets — check
@@ -177,8 +177,8 @@ impl SInt {
             return true;
         }
         // Every element must satisfy other's congruence.
-        (self.lo - other.lo) % other.stride == 0
-            && (self.stride % other.stride == 0 || self.stride == 0)
+        (self.lo - other.lo).is_multiple_of(other.stride)
+            && (self.stride.is_multiple_of(other.stride) || self.stride == 0)
     }
 
     // ------------------------------------------------------ lattice ops
@@ -251,7 +251,7 @@ impl SInt {
         }
         let (s1, s2) = (self.stride, other.stride);
         let g = gcd(s1, s2);
-        if (self.lo.abs_diff(other.lo)) % g != 0 {
+        if !(self.lo.abs_diff(other.lo)).is_multiple_of(g) {
             return None; // incompatible congruences
         }
         // Try the exact combined congruence (CRT); fall back to gcd.
@@ -423,7 +423,7 @@ impl SInt {
         match amount.is_const() {
             Some(k) => {
                 let k = k & 31;
-                let s = if self.stride > 0 && self.stride % (1u32 << k.min(31)) == 0 {
+                let s = if self.stride > 0 && self.stride.is_multiple_of(1u32 << k.min(31)) {
                     self.stride >> k
                 } else {
                     1
@@ -510,7 +510,7 @@ impl SInt {
         let hi = self.hi & !3;
         let s = if self.stride == 0 {
             0
-        } else if self.stride % 4 == 0 && self.lo % 4 == 0 {
+        } else if self.stride.is_multiple_of(4) && self.lo.is_multiple_of(4) {
             self.stride
         } else {
             4

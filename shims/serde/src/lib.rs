@@ -1,0 +1,33 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io. This workspace
+//! only ever *derives* `Serialize`/`Deserialize` (on the hardware
+//! configuration types in `stamp_hw`) and never actually serializes
+//! through serde — report output goes through the hand-written JSON
+//! writer in `stamp_core::json`. So the traits here are pure markers,
+//! and the derives (from the sibling `serde_derive` shim) emit empty
+//! impls. Swapping in real serde later is a one-line Cargo.toml change;
+//! no source file needs to change.
+
+/// Marker: the type declares itself serializable.
+pub trait Serialize {}
+
+/// Marker: the type declares itself deserializable.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+impl_markers!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, String, char);
+
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}

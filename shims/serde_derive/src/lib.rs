@@ -1,0 +1,116 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real derives generate full (de)serialization impls; the shim's
+//! `serde` traits are empty markers, so these derives only need to name
+//! the type. Parsing is a hand-rolled scan of the token stream (syn and
+//! quote are equally unavailable offline): find the identifier after
+//! `struct`/`enum`/`union`, collect any generic parameter names, and
+//! emit an empty impl.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// The deriving type's name and its generic parameter idents (lifetimes
+/// and type params; bounds and where-clauses are not supported — the
+/// workspace only derives on plain structs and enums).
+fn parse_type_header(input: TokenStream) -> (String, Vec<String>) {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        let TokenTree::Ident(ident) = &tt else {
+            continue;
+        };
+        let kw = ident.to_string();
+        if kw != "struct" && kw != "enum" && kw != "union" {
+            continue;
+        }
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            panic!("serde_derive shim: expected a type name after `{kw}`");
+        };
+        let mut generics = Vec::new();
+        let mut rest = iter.peekable();
+        if matches!(&rest.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            rest.next();
+            let mut depth = 1usize;
+            let mut expecting_param = true;
+            // `->` in a bound like `F: Fn() -> u32` must not close the
+            // generics list, so remember the previous punct char.
+            let mut prev_punct: Option<char> = None;
+            while depth > 0 {
+                let tt = rest.next();
+                let this_punct = match &tt {
+                    Some(TokenTree::Punct(p)) => Some(p.as_char()),
+                    _ => None,
+                };
+                let after_dash = prev_punct == Some('-');
+                prev_punct = this_punct;
+                match tt {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                    Some(TokenTree::Punct(p)) if p.as_char() == '>' && after_dash => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                        expecting_param = true;
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '\'' && depth == 1 => {
+                        if expecting_param {
+                            if let Some(TokenTree::Ident(lt)) = rest.next() {
+                                generics.push(format!("'{lt}"));
+                                expecting_param = false;
+                            }
+                        }
+                    }
+                    Some(TokenTree::Ident(id)) if depth == 1 => {
+                        if expecting_param {
+                            if id.to_string() == "const" {
+                                panic!(
+                                    "serde_derive shim: const generics are not supported \
+                                     (deriving on `{name}`); derive by hand or extend the shim"
+                                );
+                            }
+                            generics.push(id.to_string());
+                            expecting_param = false;
+                        }
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' && depth == 1 => {
+                        // Skip bounds until the next top-level comma.
+                        expecting_param = false;
+                    }
+                    Some(_) => {}
+                    None => panic!("serde_derive shim: unbalanced generics on `{name}`"),
+                }
+            }
+        }
+        return (name.to_string(), generics);
+    }
+    panic!("serde_derive shim: no struct/enum/union found in derive input")
+}
+
+fn empty_impl(input: TokenStream, trait_head: &str, extra_param: Option<&str>) -> TokenStream {
+    let (name, generics) = parse_type_header(input);
+    let mut params: Vec<String> = Vec::new();
+    if let Some(p) = extra_param {
+        params.push(p.to_string());
+    }
+    params.extend(generics.iter().cloned());
+    let impl_generics = if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", params.join(", "))
+    };
+    let ty_generics = if generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", generics.join(", "))
+    };
+    format!("impl{impl_generics} {trait_head} for {name}{ty_generics} {{}}")
+        .parse()
+        .expect("serde_derive shim: generated impl must parse")
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "::serde::Serialize", None)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "::serde::Deserialize<'de>", Some("'de"))
+}

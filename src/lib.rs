@@ -8,8 +8,10 @@
 //! interpretation and integer linear programming.
 //!
 //! This crate is the facade: it re-exports the entire workspace. Start
-//! with [`WcetAnalysis`] and [`StackAnalysis`]; see DESIGN.md for the
-//! architecture and EXPERIMENTS.md for the evaluation.
+//! with [`WcetAnalysis`] and [`StackAnalysis`]; see `DESIGN.md` at the
+//! workspace root for the crate DAG and analysis phases, and
+//! `cargo run --release -p stamp_bench --bin experiments` for the
+//! paper's evaluation tables.
 //!
 //! # Quickstart
 //!

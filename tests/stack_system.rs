@@ -1,7 +1,7 @@
 //! Whole-system stack analysis (experiments E2/E8): per-task bounds,
 //! recursion handling, and the OSEK preemption-chain computation.
 
-use stamp::{assemble, Annotations, HwConfig, OsekSystem, Simulator, StackAnalysis, Task};
+use stamp::{assemble, HwConfig, OsekSystem, Simulator, StackAnalysis, Task};
 
 /// A multi-task ECU image: three tasks sharing helper functions.
 const ECU_IMAGE: &str = r#"

@@ -1,0 +1,45 @@
+//! Workspace smoke test: pins the public facade API on the quickstart
+//! program from `src/lib.rs`, so the doctest's contract is also
+//! enforced by a plain integration test (doctests are easy to skip in
+//! filtered runs; this one is not).
+
+use stamp::{assemble, StackAnalysis, WcetAnalysis};
+
+const QUICKSTART: &str = r#"
+        .text
+    main:
+        addi sp, sp, -32        ; reserve a frame
+        li   r1, 100
+    loop:
+        addi r1, r1, -1
+        bnez r1, loop
+        addi sp, sp, 32
+        halt
+    "#;
+
+#[test]
+fn quickstart_wcet_and_stack_bounds() {
+    let program = assemble(QUICKSTART).expect("quickstart program assembles");
+
+    let wcet = WcetAnalysis::new(&program).run().expect("WCET analysis runs");
+    // 100 loop iterations of at least one cycle each.
+    assert!(
+        wcet.wcet >= 100,
+        "WCET bound {} can't cover the 100-iteration loop",
+        wcet.wcet
+    );
+
+    let stack = StackAnalysis::new(&program).run().expect("stack analysis runs");
+    assert_eq!(stack.bound, 32, "frame is exactly 32 bytes");
+}
+
+#[test]
+fn facade_reexports_are_wired() {
+    // The flat re-exports and the module re-exports must agree: the
+    // same analysis through `stamp::analyzer` (stamp_core) gives the
+    // same bound as through the flat facade names.
+    let program = assemble(QUICKSTART).unwrap();
+    let flat = WcetAnalysis::new(&program).run().unwrap().wcet;
+    let module = stamp::analyzer::WcetAnalysis::new(&program).run().unwrap().wcet;
+    assert_eq!(flat, module);
+}
