@@ -11,6 +11,17 @@
 ///
 /// The framework calls `join_from`/`widen_from` in place and uses the
 /// returned *changed* flag to drive the worklist.
+///
+/// # Cloning contract
+///
+/// The solver materializes one owned state per node entry, and
+/// transfer functions typically clone their input once per evaluation,
+/// so `Clone` sits on the hot path. Domains are expected to make it
+/// cheap through structural sharing (`Rc`-backed copy-on-write of their
+/// bulky parts, as `AState`'s abstract memory and the abstract caches
+/// do); a shared component also lets `join_from` detect the
+/// self-join/no-op case by pointer identity and return `false` without
+/// touching the data.
 pub trait Domain: Clone {
     /// Joins `other` into `self`; returns `true` if `self` changed.
     fn join_from(&mut self, other: &Self) -> bool;

@@ -1,0 +1,144 @@
+//! Differential properties of the indexed worklist solver.
+//!
+//! The production solver (`solve`: RPO bucket queue, copy-on-write edge
+//! propagation, no re-join round-trip) must be observationally identical
+//! to the retained naive reference solver (`solve_reference`) — same
+//! per-node entry/exit states, same `evaluations` count, same
+//! infeasible-edge set — on randomly generated programs from
+//! `stamp_suite`, under two transfer functions:
+//!
+//! * a chaotic finite-lattice transfer with edge-dependent kills, which
+//!   stresses worklist ordering and the infeasible-edge bookkeeping;
+//! * the real value analysis (`ValueTransfer`), which stresses widening,
+//!   branch refinement and the copy-on-write `AState` representation.
+
+use std::borrow::Cow;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stamp_ai::{
+    solve, solve_reference, Domain, IEdge, IEdgeKind, Icfg, NodeId, Transfer, VivuConfig,
+};
+use stamp_cfg::CfgBuilder;
+use stamp_hw::HwConfig;
+use stamp_isa::asm::assemble;
+use stamp_suite::{generate, GenConfig};
+use stamp_value::{DomainKind, ValueTransfer};
+
+/// A small powerset domain over `u64` (finite chains, joins = union).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+struct Bits(u64);
+
+impl Domain for Bits {
+    fn join_from(&mut self, other: &Self) -> bool {
+        let before = self.0;
+        self.0 |= other.0;
+        self.0 != before
+    }
+
+    fn le(&self, other: &Self) -> bool {
+        self.0 & !other.0 == 0
+    }
+}
+
+/// A transfer with node-dependent generation and edge-dependent kills:
+/// every node ORs in a node-specific bit, and edges whose id hits a
+/// seed-selected residue class are declared infeasible. Nothing about it
+/// is monotone-friendly beyond what the framework requires, which makes
+/// it a good order-sensitivity probe.
+struct Chaotic {
+    seed: u64,
+}
+
+impl Transfer for Chaotic {
+    type State = Bits;
+
+    fn boundary(&self) -> Bits {
+        Bits(1)
+    }
+
+    fn transfer(&mut self, _icfg: &Icfg, node: NodeId, input: &Bits) -> Bits {
+        Bits(input.0 | 1 << (node.index() % 63) | self.seed & 0xF0)
+    }
+
+    fn edge<'s>(&mut self, _icfg: &Icfg, e: &IEdge, s: &'s Bits) -> Option<Cow<'s, Bits>> {
+        if e.id.index() as u64 % 7 == self.seed % 7 {
+            return None;
+        }
+        // Exercise both Cow variants: refine (owned) on back edges,
+        // pass-through (borrowed) everywhere else.
+        if matches!(e.kind, IEdgeKind::Intra { back_edge_of: Some(_), .. }) {
+            Some(Cow::Owned(Bits(s.0 | 1 << 62)))
+        } else {
+            Some(Cow::Borrowed(s))
+        }
+    }
+}
+
+fn build_icfg(src: &str) -> Option<Icfg> {
+    let p = assemble(src).ok()?;
+    let cfg = CfgBuilder::new(&p).build().ok()?;
+    Icfg::build(&cfg, &VivuConfig::default()).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn chaotic_transfer_matches_reference(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let src = generate(&mut rng, &GenConfig::default());
+        let Some(icfg) = build_icfg(&src) else { return Ok(()) };
+        for widen_delay in [0u32, 2] {
+            let fp = solve(&icfg, &mut Chaotic { seed }, widen_delay);
+            let rf = solve_reference(&icfg, &mut Chaotic { seed }, widen_delay);
+            prop_assert!(
+                fp.equivalent(&rf),
+                "solver divergence on seed {seed} (widen_delay {widen_delay}): \
+                 {} vs {} evaluations, {:?} vs {:?} infeasible",
+                fp.evaluations,
+                rf.evaluations,
+                fp.infeasible_edges,
+                rf.infeasible_edges,
+            );
+        }
+    }
+
+    #[test]
+    fn value_analysis_matches_reference(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let src = generate(&mut rng, &GenConfig::default());
+        let Ok(program) = assemble(&src) else { return Ok(()) };
+        let Ok(cfg) = CfgBuilder::new(&program).build() else { return Ok(()) };
+        let Ok(icfg) = Icfg::build(&cfg, &VivuConfig::default()) else { return Ok(()) };
+        let hw = HwConfig::default();
+        let thresholds = Rc::new(vec![0, 16, 256, hw.mem.stack_top()]);
+        let mut t1 =
+            ValueTransfer::new(&program, &hw, &cfg, DomainKind::Strided, Rc::clone(&thresholds));
+        let mut t2 =
+            ValueTransfer::new(&program, &hw, &cfg, DomainKind::Strided, Rc::clone(&thresholds));
+        let fp = solve(&icfg, &mut t1, 2);
+        let rf = solve_reference(&icfg, &mut t2, 2);
+        prop_assert!(
+            fp.equivalent(&rf),
+            "value-analysis divergence on seed {seed}: {} vs {} evaluations",
+            fp.evaluations,
+            rf.evaluations,
+        );
+    }
+}
+
+#[test]
+fn equivalence_oracle_rejects_differences() {
+    // `Fixpoint::equivalent` must actually discriminate: perturbing the
+    // transfer changes the fixpoint and the oracle must notice.
+    let src = ".text\nmain: li r1, 4\nloop: addi r1, r1, -1\nbnez r1, loop\nhalt\n";
+    let icfg = build_icfg(src).expect("builds");
+    let a = solve(&icfg, &mut Chaotic { seed: 1 }, 2);
+    let b = solve(&icfg, &mut Chaotic { seed: 2 }, 2);
+    assert!(!a.equivalent(&b), "different kills must differ");
+    let c = solve_reference(&icfg, &mut Chaotic { seed: 1 }, 2);
+    assert!(a.equivalent(&c));
+}

@@ -1,0 +1,480 @@
+//! The analysis-kernel benchmark: measures wall time, solver
+//! `evaluations` and result invariants of the whole corpus, the
+//! per-phase breakdown on `matmult`, and the E6 scaling series, then
+//! writes the machine-readable `BENCH_kernel.json`.
+//!
+//! ```sh
+//! cargo run -p stamp_bench --release --bin kernel_bench -- --out BENCH_kernel.json
+//! ```
+//!
+//! Flags:
+//!
+//! * `--quick`      — best of two repetitions per workload instead of
+//!   seven (CI smoke mode);
+//! * `--check`      — compare WCET/stack bounds, `evaluations` and cache
+//!   classification counts against the pinned values in
+//!   [`stamp_bench::pins`], exiting non-zero on any drift;
+//! * `--out PATH`   — where to write the JSON (default `BENCH_kernel.json`);
+//! * `--print-pins` — regenerate the source of the pin table.
+//!
+//! The emitted JSON carries a `before` section: wall times recorded with
+//! this same harness at the pre-refactor kernel (commit 848c9d7, full
+//! `State::clone`-per-edge solver, `BTreeMap` cache sets), so the file
+//! documents the measured speedup, not an assertion of one.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stamp_bench::pins::{self, CorpusPin};
+use stamp_core::{AnalysisConfig, Json, StackAnalysis, WcetAnalysis, WcetReport};
+use stamp_isa::asm::assemble;
+use stamp_suite::{benchmarks, generate, GenConfig};
+
+/// Wall times recorded at the pre-refactor kernel (commit 848c9d7) with
+/// this harness in `--full` mode on the same machine that produced the
+/// committed `BENCH_kernel.json`. Times in milliseconds, best of 7.
+mod baseline {
+    pub const COMMIT: &str = "848c9d7";
+    pub const CORPUS_MS: &[(&str, f64)] = &[
+        ("fibcall", 0.129),
+        ("insertsort", 2.232),
+        ("bsort", 1.971),
+        ("matmult", 5.822),
+        ("crc", 0.280),
+        ("fir", 0.936),
+        ("bs", 1.362),
+        ("cnt", 0.437),
+        ("switchcase", 0.914),
+        ("prime", 0.502),
+        ("statemate", 1.091),
+        ("nested", 0.483),
+        ("arraysum", 0.966),
+        ("fdct", 0.177),
+        ("ns", 12.896),
+        ("memcpy", 0.237),
+    ];
+    pub const SCALING_MS: &[(usize, f64)] = &[
+        (2, 1.441),
+        (4, 0.844),
+        (8, 9.230),
+        (16, 10.432),
+        (32, 321.593),
+        (64, 1770.884),
+    ];
+    pub const PHASES_MS: &[(&str, f64)] = &[
+        ("cfg_building", 0.005),
+        ("context_expansion", 0.017),
+        ("value_analysis", 0.056),
+        ("loop_bounds", 0.009),
+        ("cache_analysis", 0.767),
+        ("pipeline_analysis", 0.011),
+        ("path_analysis_ilp", 4.770),
+    ];
+}
+
+struct Args {
+    quick: bool,
+    check: bool,
+    print_pins: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        check: false,
+        print_pins: false,
+        out: "BENCH_kernel.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--check" => args.check = true,
+            "--print-pins" => args.print_pins = true,
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Best-of-`reps` wall time of `f`, in milliseconds, plus the last result.
+fn best_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        last = Some(r);
+    }
+    (best, last.expect("at least one rep"))
+}
+
+struct CorpusRow {
+    pin: CorpusPin,
+    best_ms: f64,
+    phase_ms: Vec<(String, f64)>,
+}
+
+fn corpus_row(name: &'static str, reps: usize) -> CorpusRow {
+    let b = benchmarks().into_iter().find(|b| b.name == name).expect("benchmark");
+    let program = b.program();
+    let stack = StackAnalysis::new(&program)
+        .annotations(b.annotations())
+        .run()
+        .expect("stack analysis")
+        .bound;
+    if !b.supports_wcet {
+        return CorpusRow {
+            pin: CorpusPin { name, wcet: None, stack, evaluations: 0, fetch: [0; 4], data: [0; 4] },
+            best_ms: 0.0,
+            phase_ms: Vec::new(),
+        };
+    }
+    let run = || -> WcetReport {
+        WcetAnalysis::new(&program)
+            .config(AnalysisConfig::default())
+            .annotations(b.annotations())
+            .run()
+            .expect("wcet analysis")
+    };
+    let (best, report) = best_ms(reps, run);
+    let mut phase_ms: Vec<(String, f64)> = Vec::new();
+    for p in &report.phases {
+        match phase_ms.iter_mut().find(|(n, _)| *n == p.name) {
+            Some((_, s)) => *s += p.seconds * 1e3,
+            None => phase_ms.push((p.name.clone(), p.seconds * 1e3)),
+        }
+    }
+    let (f, d) = (report.fetch_stats, report.data_stats);
+    CorpusRow {
+        pin: CorpusPin {
+            name,
+            wcet: Some(report.wcet),
+            stack,
+            evaluations: report.evaluations,
+            fetch: [f.hit, f.miss, f.persistent, f.unclassified],
+            data: [d.hit, d.miss, d.persistent, d.unclassified],
+        },
+        best_ms: best,
+        phase_ms,
+    }
+}
+
+struct ScalingRow {
+    constructs: usize,
+    insns: usize,
+    nodes: usize,
+    evaluations: u64,
+    best_ms: f64,
+}
+
+fn scaling_rows(reps: usize) -> Vec<ScalingRow> {
+    // Same seed discipline as experiment E6: one rng across the series.
+    let mut rng = StdRng::seed_from_u64(0xE6);
+    let mut rows = Vec::new();
+    for constructs in [2usize, 4, 8, 16, 32, 64] {
+        let cfg = GenConfig { constructs, functions: 2, ..GenConfig::default() };
+        let src = generate(&mut rng, &cfg);
+        let program = assemble(&src).expect("generated");
+        let (best, report) =
+            best_ms(reps, || WcetAnalysis::new(&program).run().expect("analysis"));
+        rows.push(ScalingRow {
+            constructs,
+            insns: report.insns,
+            nodes: report.nodes,
+            evaluations: report.evaluations,
+            best_ms: best,
+        });
+    }
+    rows
+}
+
+/// Per-phase wall times on `matmult` (the criterion `phases` bench,
+/// replayed here so the numbers land in the JSON).
+fn phase_rows(reps: usize) -> Vec<(&'static str, f64)> {
+    use stamp_ai::{Icfg, VivuConfig};
+    use stamp_cache::CacheAnalysis;
+    use stamp_cfg::CfgBuilder;
+    use stamp_hw::HwConfig;
+    use stamp_loopbound::{LoopBoundAnalysis, LoopBoundOptions};
+    use stamp_pipeline::PipelineAnalysis;
+    use stamp_value::{ValueAnalysis, ValueOptions};
+
+    let b = benchmarks().into_iter().find(|b| b.name == "matmult").expect("matmult");
+    let program = b.program();
+    let hw = HwConfig::default();
+    let cfg = CfgBuilder::new(&program).build().expect("cfg");
+    let icfg = Icfg::build(&cfg, &VivuConfig::default()).expect("icfg");
+    let va = ValueAnalysis::run(&program, &hw, &cfg, &icfg, &ValueOptions::default());
+    let ca = CacheAnalysis::run(&hw, &cfg, &icfg, &va);
+    let pa = PipelineAnalysis::run(&hw, &cfg, &icfg, &ca, &va);
+    let lb = LoopBoundAnalysis::run(&program, &cfg, &icfg, &va, &LoopBoundOptions::default());
+
+    let mut rows = Vec::new();
+    rows.push((
+        "cfg_building",
+        best_ms(reps, || CfgBuilder::new(&program).build().unwrap().blocks().len()).0,
+    ));
+    rows.push((
+        "context_expansion",
+        best_ms(reps, || Icfg::build(&cfg, &VivuConfig::default()).unwrap().nodes().len()).0,
+    ));
+    rows.push((
+        "value_analysis",
+        best_ms(reps, || {
+            ValueAnalysis::run(&program, &hw, &cfg, &icfg, &ValueOptions::default())
+                .precision_summary()
+                .total()
+        })
+        .0,
+    ));
+    rows.push((
+        "loop_bounds",
+        best_ms(reps, || {
+            LoopBoundAnalysis::run(&program, &cfg, &icfg, &va, &LoopBoundOptions::default())
+                .bounds()
+                .len()
+        })
+        .0,
+    ));
+    rows.push((
+        "cache_analysis",
+        best_ms(reps, || CacheAnalysis::run(&hw, &cfg, &icfg, &va).fetch_stats().total()).0,
+    ));
+    rows.push((
+        "pipeline_analysis",
+        best_ms(reps, || PipelineAnalysis::run(&hw, &cfg, &icfg, &ca, &va).times().len()).0,
+    ));
+    rows.push((
+        "path_analysis_ilp",
+        best_ms(reps, || {
+            stamp_path::analyze(&cfg, &icfg, &va, &lb, &pa, &Default::default())
+                .expect("path")
+                .wcet
+        })
+        .0,
+    ));
+    rows
+}
+
+fn pin_json(p: &CorpusPin) -> Json {
+    Json::obj([
+        ("wcet", p.wcet.map(Json::int).unwrap_or(Json::Null)),
+        ("stack", Json::int(p.stack as u64)),
+        ("evaluations", Json::int(p.evaluations)),
+        (
+            "fetch",
+            Json::Arr(p.fetch.iter().map(|&v| Json::int(v as u64)).collect()),
+        ),
+        ("data", Json::Arr(p.data.iter().map(|&v| Json::int(v as u64)).collect())),
+    ])
+}
+
+fn main() {
+    let args = parse_args();
+    let reps = if args.quick { 2 } else { 7 };
+
+    eprintln!("kernel_bench: corpus ({} reps each)...", reps);
+    let corpus: Vec<CorpusRow> =
+        benchmarks().iter().map(|b| corpus_row(b.name, reps)).collect();
+    eprintln!("kernel_bench: scaling series...");
+    let scaling = scaling_rows(reps);
+    eprintln!("kernel_bench: matmult phase breakdown...");
+    let phases = phase_rows(reps);
+
+    if args.print_pins {
+        println!("pub const CORPUS: &[CorpusPin] = &[");
+        for r in &corpus {
+            let p = &r.pin;
+            println!(
+                "    CorpusPin {{ name: {:?}, wcet: {:?}, stack: {}, evaluations: {}, fetch: {:?}, data: {:?} }},",
+                p.name, p.wcet, p.stack, p.evaluations, p.fetch, p.data
+            );
+        }
+        println!("];");
+        println!("pub const SCALING_EVALS: &[(usize, u64)] = &[");
+        for r in &scaling {
+            println!("    ({}, {}),", r.constructs, r.evaluations);
+        }
+        println!("];");
+    }
+
+    // ---- Drift check against the pinned corpus (CI bench-smoke gate).
+    let mut drift = Vec::new();
+    if args.check {
+        for r in &corpus {
+            match pins::CORPUS.iter().find(|p| p.name == r.pin.name) {
+                Some(p) if *p != r.pin => drift.push(format!(
+                    "{}: pinned {:?} != measured {:?}",
+                    r.pin.name, p, r.pin
+                )),
+                None => drift.push(format!("{}: no pin recorded", r.pin.name)),
+                _ => {}
+            }
+        }
+        for r in &scaling {
+            match pins::SCALING_EVALS.iter().find(|(c, _)| *c == r.constructs) {
+                Some((_, e)) if *e != r.evaluations => drift.push(format!(
+                    "scaling/{}: pinned {} evaluations != measured {}",
+                    r.constructs, e, r.evaluations
+                )),
+                None => drift.push(format!("scaling/{}: no pin recorded", r.constructs)),
+                _ => {}
+            }
+        }
+    }
+
+    // ---- The before/after comparison on shared workloads.
+    let sum_current_corpus: f64 = corpus
+        .iter()
+        .filter(|r| baseline::CORPUS_MS.iter().any(|(n, _)| *n == r.pin.name))
+        .map(|r| r.best_ms)
+        .sum();
+    let sum_before_corpus: f64 = baseline::CORPUS_MS.iter().map(|(_, ms)| ms).sum();
+    let sum_current_scaling: f64 = scaling.iter().map(|r| r.best_ms).sum();
+    let sum_before_scaling: f64 = baseline::SCALING_MS.iter().map(|(_, ms)| ms).sum();
+    let sum_current_phases: f64 = phases.iter().map(|(_, ms)| ms).sum();
+    let sum_before_phases: f64 = baseline::PHASES_MS.iter().map(|(_, ms)| ms).sum();
+    let ratio = |before: f64, after: f64| {
+        if after > 0.0 { Json::Num(before / after) } else { Json::Null }
+    };
+
+    let json = Json::obj([
+        ("schema", Json::str("stamp-bench-kernel/1")),
+        (
+            "generated_by",
+            Json::str("cargo run -p stamp_bench --release --bin kernel_bench"),
+        ),
+        ("mode", Json::str(if args.quick { "quick" } else { "full" })),
+        (
+            "before",
+            Json::obj([
+                ("commit", Json::str(baseline::COMMIT)),
+                (
+                    "corpus_ms",
+                    Json::Obj(
+                        baseline::CORPUS_MS
+                            .iter()
+                            .map(|(n, ms)| (n.to_string(), Json::Num(*ms)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "scaling_ms",
+                    Json::Obj(
+                        baseline::SCALING_MS
+                            .iter()
+                            .map(|(c, ms)| (c.to_string(), Json::Num(*ms)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "phases_ms",
+                    Json::Obj(
+                        baseline::PHASES_MS
+                            .iter()
+                            .map(|(n, ms)| (n.to_string(), Json::Num(*ms)))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "after",
+            Json::obj([
+                (
+                    "corpus",
+                    Json::Obj(
+                        corpus
+                            .iter()
+                            .map(|r| {
+                                let mut o = match pin_json(&r.pin) {
+                                    Json::Obj(o) => o,
+                                    _ => unreachable!(),
+                                };
+                                if r.pin.wcet.is_some() {
+                                    o.insert("best_ms".into(), Json::Num(r.best_ms));
+                                    o.insert(
+                                        "phases_ms".into(),
+                                        Json::Obj(
+                                            r.phase_ms
+                                                .iter()
+                                                .map(|(n, ms)| (n.clone(), Json::Num(*ms)))
+                                                .collect(),
+                                        ),
+                                    );
+                                }
+                                (r.pin.name.to_string(), Json::Obj(o))
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "scaling",
+                    Json::Arr(
+                        scaling
+                            .iter()
+                            .map(|r| {
+                                Json::obj([
+                                    ("constructs", Json::int(r.constructs as u64)),
+                                    ("insns", Json::int(r.insns as u64)),
+                                    ("nodes", Json::int(r.nodes as u64)),
+                                    ("evaluations", Json::int(r.evaluations)),
+                                    ("best_ms", Json::Num(r.best_ms)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "phases_ms",
+                    Json::Obj(
+                        phases
+                            .iter()
+                            .map(|(n, ms)| (n.to_string(), Json::Num(*ms)))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "speedup",
+            Json::obj([
+                ("corpus", ratio(sum_before_corpus, sum_current_corpus)),
+                ("scaling", ratio(sum_before_scaling, sum_current_scaling)),
+                ("phases", ratio(sum_before_phases, sum_current_phases)),
+            ]),
+        ),
+        (
+            "drift",
+            Json::Arr(drift.iter().map(|d| Json::str(d.clone())).collect()),
+        ),
+    ]);
+
+    std::fs::write(&args.out, format!("{json}\n")).expect("write BENCH_kernel.json");
+    eprintln!(
+        "kernel_bench: corpus {:.1} ms (before {:.1}), scaling {:.1} ms (before {:.1}), phases {:.1} ms (before {:.1})",
+        sum_current_corpus,
+        sum_before_corpus,
+        sum_current_scaling,
+        sum_before_scaling,
+        sum_current_phases,
+        sum_before_phases,
+    );
+    eprintln!("kernel_bench: wrote {}", args.out);
+
+    if !drift.is_empty() {
+        eprintln!("kernel_bench: DRIFT from pinned values:");
+        for d in &drift {
+            eprintln!("  {d}");
+        }
+        std::process::exit(1);
+    }
+}

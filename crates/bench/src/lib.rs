@@ -18,6 +18,8 @@ use stamp_core::{AnalysisConfig, WcetAnalysis, WcetReport};
 use stamp_hw::HwConfig;
 use stamp_suite::Benchmark;
 
+pub mod pins;
+
 /// Runs the full WCET pipeline on a benchmark under `config`.
 ///
 /// # Panics

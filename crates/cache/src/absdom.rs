@@ -1,16 +1,141 @@
 //! The must/may/persistence abstract cache domains.
+//!
+//! Every abstract cache set is a [`LineSet`]: a fixed inline array of
+//! `(line, age)` pairs sized for the associativities we model (assoc ≤ 8
+//! in every configuration), with a heap spill for the rare larger sets a
+//! may/persistence analysis can accumulate. All updates are single
+//! in-place passes — the hot `access` path performs no allocation, where
+//! the previous `BTreeMap` representation allocated a key vector (plus
+//! tree nodes) on every must/may/persistence update. The per-cache set
+//! vectors are shared copy-on-write (`Rc`), so cloning a [`CacheState`]
+//! through an unchanged block or edge is six pointer bumps.
 
-use std::collections::BTreeMap;
+use std::rc::Rc;
 
 use stamp_hw::CacheConfig;
 
-/// One abstract cache set: a map from resident line address to an age
-/// bound. `Top` (may analysis only) means "any line may be present at
-/// any age".
+/// Inline capacity of one abstract cache set. Covers every modeled
+/// associativity; a must set can never exceed the associativity, and
+/// may/persistence sets only spill under heavy address-set joins.
+const INLINE_LINES: usize = 8;
+
+/// One abstract cache set: `(line address, age bound)` pairs sorted by
+/// line, stored inline with a heap spill.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct LineSet {
+    /// Number of live `inline` entries.
+    len: u8,
+    inline: [(u32, u8); INLINE_LINES],
+    /// Sorted overflow; empty until the set outgrows the inline array,
+    /// after which it holds *all* entries.
+    spill: Vec<(u32, u8)>,
+}
+
+impl LineSet {
+    fn entries(&self) -> &[(u32, u8)] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+
+    fn entries_mut(&mut self) -> &mut [(u32, u8)] {
+        if self.spill.is_empty() {
+            &mut self.inline[..self.len as usize]
+        } else {
+            &mut self.spill
+        }
+    }
+
+    /// The age bound of `line`, if resident.
+    pub(crate) fn get(&self, line: u32) -> Option<u8> {
+        self.entries()
+            .binary_search_by_key(&line, |&(l, _)| l)
+            .ok()
+            .map(|i| self.entries()[i].1)
+    }
+
+    pub(crate) fn contains(&self, line: u32) -> bool {
+        self.get(line).is_some()
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (u32, u8)> + '_ {
+        self.entries().iter().copied()
+    }
+
+    /// Inserts or updates `line`.
+    pub(crate) fn insert(&mut self, line: u32, age: u8) {
+        match self.entries().binary_search_by_key(&line, |&(l, _)| l) {
+            Ok(i) => self.entries_mut()[i].1 = age,
+            Err(i) => {
+                if !self.spill.is_empty() {
+                    self.spill.insert(i, (line, age));
+                } else if (self.len as usize) < INLINE_LINES {
+                    let n = self.len as usize;
+                    self.inline.copy_within(i..n, i + 1);
+                    self.inline[i] = (line, age);
+                    self.len += 1;
+                } else {
+                    // Overflow: move everything to the spill vector.
+                    self.spill.reserve(INLINE_LINES + 1);
+                    self.spill.extend_from_slice(&self.inline);
+                    self.spill.insert(i, (line, age));
+                    self.len = 0;
+                }
+            }
+        }
+    }
+
+    /// One in-place pass: keep each `(line, age)` entry for which `f`
+    /// returns a new age, drop the rest. `f` must not change line order
+    /// (ages only — line keys are never rewritten).
+    pub(crate) fn update_retain(&mut self, mut f: impl FnMut(u32, u8) -> Option<u8>) {
+        let slice = if self.spill.is_empty() {
+            &mut self.inline[..self.len as usize]
+        } else {
+            &mut self.spill[..]
+        };
+        let mut w = 0;
+        for r in 0..slice.len() {
+            let (line, age) = slice[r];
+            if let Some(new_age) = f(line, age) {
+                slice[w] = (line, new_age);
+                w += 1;
+            }
+        }
+        if self.spill.is_empty() {
+            self.len = w as u8;
+        } else {
+            self.spill.truncate(w);
+        }
+    }
+}
+
+/// Equality is on contents, independent of inline/spill placement.
+impl PartialEq for LineSet {
+    fn eq(&self, other: &LineSet) -> bool {
+        self.entries() == other.entries()
+    }
+}
+
+impl Eq for LineSet {}
+
+/// One abstract cache set of the may analysis. `Top` means "any line may
+/// be present at any age".
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub(crate) enum SetState {
-    Map(BTreeMap<u32, u8>),
+    Map(LineSet),
     Top,
+}
+
+/// Applies `f` to the set at `si` of every cache set index requested
+/// (`None` = all sets).
+fn for_sets(sets_len: u32, set_indices: Option<&[u32]>, mut f: impl FnMut(usize)) {
+    match set_indices {
+        Some(idx) => idx.iter().for_each(|&si| f(si as usize)),
+        None => (0..sets_len).for_each(|si| f(si as usize)),
+    }
 }
 
 /// The **must** cache: ages are *upper* bounds valid in every execution.
@@ -18,43 +143,40 @@ pub(crate) enum SetState {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MustCache {
     config: CacheConfig,
-    sets: Vec<BTreeMap<u32, u8>>,
+    sets: Rc<Vec<LineSet>>,
 }
 
 impl MustCache {
     /// An empty must cache (nothing guaranteed).
     pub fn new(config: CacheConfig) -> MustCache {
-        MustCache { config, sets: vec![BTreeMap::new(); config.sets() as usize] }
+        MustCache { config, sets: Rc::new(vec![LineSet::default(); config.sets() as usize]) }
     }
 
     /// Returns `true` if the line containing `addr` hits in every
     /// execution.
     pub fn definitely_cached(&self, addr: u32) -> bool {
         let line = self.config.line_addr(addr);
-        self.sets[self.config.set_index(addr) as usize].contains_key(&line)
+        self.sets[self.config.set_index(addr) as usize].contains(line)
     }
 
     /// Applies one access to the line containing `addr`
-    /// (Ferdinand's must update).
+    /// (Ferdinand's must update): a single in-place pass, no allocation.
     pub fn access(&mut self, addr: u32) {
         let a = self.config.assoc() as u8;
         let line = self.config.line_addr(addr);
-        let set = &mut self.sets[self.config.set_index(addr) as usize];
-        let z_age = set.get(&line).copied().unwrap_or(a);
-        let keys: Vec<u32> = set.keys().copied().collect();
-        for y in keys {
-            if y == line {
-                continue;
-            }
-            let age = set[&y];
-            if age < z_age {
+        let set = &mut Rc::make_mut(&mut self.sets)[self.config.set_index(addr) as usize];
+        let z_age = set.get(line).unwrap_or(a);
+        set.update_retain(|y, age| {
+            if y != line && age < z_age {
                 if age + 1 >= a {
-                    set.remove(&y);
+                    None
                 } else {
-                    set.insert(y, age + 1);
+                    Some(age + 1)
                 }
+            } else {
+                Some(age)
             }
-        }
+        });
         set.insert(line, 0);
     }
 
@@ -87,52 +209,41 @@ impl MustCache {
     /// ages as if displaced.
     pub fn clobber(&mut self, set_indices: Option<&[u32]>) {
         let a = self.config.assoc() as u8;
-        let all: Vec<u32> = (0..self.config.sets()).collect();
-        for &si in set_indices.unwrap_or(&all) {
-            let set = &mut self.sets[si as usize];
-            let keys: Vec<u32> = set.keys().copied().collect();
-            for y in keys {
-                let age = set[&y];
-                if age + 1 >= a {
-                    set.remove(&y);
-                } else {
-                    set.insert(y, age + 1);
-                }
-            }
-        }
+        let sets = Rc::make_mut(&mut self.sets);
+        for_sets(self.config.sets(), set_indices, |si| {
+            sets[si].update_retain(|_, age| if age + 1 >= a { None } else { Some(age + 1) });
+        });
     }
 
     /// Lattice join (set intersection, maximum ages). Returns `true` if
     /// `self` changed.
     pub fn join_from(&mut self, other: &MustCache) -> bool {
-        let mut changed = false;
-        for (s, o) in self.sets.iter_mut().zip(other.sets.iter()) {
-            let keys: Vec<u32> = s.keys().copied().collect();
-            for k in keys {
-                match o.get(&k) {
-                    None => {
-                        s.remove(&k);
-                        changed = true;
-                    }
-                    Some(&oa) => {
-                        let sa = s[&k];
-                        if oa > sa {
-                            s.insert(k, oa);
-                            changed = true;
-                        }
-                    }
-                }
-            }
+        if Rc::ptr_eq(&self.sets, &other.sets) {
+            return false;
         }
-        changed
+        let grows = self.sets.iter().zip(other.sets.iter()).any(|(s, o)| {
+            s.iter().any(|(k, sa)| match o.get(k) {
+                None => true,
+                Some(oa) => oa > sa,
+            })
+        });
+        if !grows {
+            return false;
+        }
+        let sets = Rc::make_mut(&mut self.sets);
+        for (s, o) in sets.iter_mut().zip(other.sets.iter()) {
+            s.update_retain(|k, sa| o.get(k).map(|oa| sa.max(oa)));
+        }
+        true
     }
 
     /// Partial order: `self ⊑ other` iff `self` guarantees everything
     /// `other` does.
     pub fn le(&self, other: &MustCache) -> bool {
-        self.sets.iter().zip(other.sets.iter()).all(|(s, o)| {
-            o.iter().all(|(k, &oa)| s.get(k).is_some_and(|&sa| sa <= oa))
-        })
+        Rc::ptr_eq(&self.sets, &other.sets)
+            || self.sets.iter().zip(other.sets.iter()).all(|(s, o)| {
+                o.iter().all(|(k, oa)| s.get(k).is_some_and(|sa| sa <= oa))
+            })
     }
 }
 
@@ -141,7 +252,7 @@ impl MustCache {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MayCache {
     config: CacheConfig,
-    sets: Vec<SetState>,
+    sets: Rc<Vec<SetState>>,
 }
 
 impl MayCache {
@@ -149,7 +260,7 @@ impl MayCache {
     pub fn new(config: CacheConfig) -> MayCache {
         MayCache {
             config,
-            sets: vec![SetState::Map(BTreeMap::new()); config.sets() as usize],
+            sets: Rc::new(vec![SetState::Map(LineSet::default()); config.sets() as usize]),
         }
     }
 
@@ -157,38 +268,37 @@ impl MayCache {
     pub fn possibly_cached(&self, addr: u32) -> bool {
         let line = self.config.line_addr(addr);
         match &self.sets[self.config.set_index(addr) as usize] {
-            SetState::Map(m) => m.contains_key(&line),
+            SetState::Map(m) => m.contains(line),
             SetState::Top => true,
         }
     }
 
-    /// Applies one access (Ferdinand's may update).
+    /// Applies one access (Ferdinand's may update), in place.
     pub fn access(&mut self, addr: u32) {
         let a = self.config.assoc() as u8;
         let line = self.config.line_addr(addr);
-        let set = &mut self.sets[self.config.set_index(addr) as usize];
-        let m = match set {
-            SetState::Map(m) => m,
-            SetState::Top => return, // stays ⊤ (still sound)
+        let si = self.config.set_index(addr) as usize;
+        if matches!(self.sets[si], SetState::Top) {
+            return; // stays ⊤ (still sound)
+        }
+        let SetState::Map(m) = &mut Rc::make_mut(&mut self.sets)[si] else {
+            unreachable!("checked above")
         };
-        let z_age = m.get(&line).copied().unwrap_or(a);
-        let keys: Vec<u32> = m.keys().copied().collect();
-        for y in keys {
-            if y == line {
-                continue;
-            }
-            let age = m[&y];
+        let z_age = m.get(line).unwrap_or(a);
+        m.update_retain(|y, age| {
             // Ages are lower bounds: y provably ages only when it is
             // provably younger than z in every execution, i.e. when
             // its lower bound lies strictly below z's.
-            if age < z_age {
+            if y != line && age < z_age {
                 if age + 1 >= a {
-                    m.remove(&y);
+                    None
                 } else {
-                    m.insert(y, age + 1);
+                    Some(age + 1)
                 }
+            } else {
+                Some(age)
             }
-        }
+        });
         m.insert(line, 0);
     }
 
@@ -217,51 +327,59 @@ impl MayCache {
 
     /// Unbounded access: the touched sets may afterwards contain anything.
     pub fn clobber(&mut self, set_indices: Option<&[u32]>) {
-        let all: Vec<u32> = (0..self.config.sets()).collect();
-        for &si in set_indices.unwrap_or(&all) {
-            self.sets[si as usize] = SetState::Top;
-        }
+        let sets = Rc::make_mut(&mut self.sets);
+        for_sets(self.config.sets(), set_indices, |si| {
+            sets[si] = SetState::Top;
+        });
     }
 
     /// Lattice join (set union, minimum ages).
     pub fn join_from(&mut self, other: &MayCache) -> bool {
-        let mut changed = false;
-        for (s, o) in self.sets.iter_mut().zip(other.sets.iter()) {
+        if Rc::ptr_eq(&self.sets, &other.sets) {
+            return false;
+        }
+        let grows = self.sets.iter().zip(other.sets.iter()).any(|(s, o)| match (s, o) {
+            (SetState::Top, _) => false,
+            (SetState::Map(_), SetState::Top) => true,
+            (SetState::Map(sm), SetState::Map(om)) => om.iter().any(|(k, oa)| {
+                match sm.get(k) {
+                    None => true,
+                    Some(sa) => oa < sa,
+                }
+            }),
+        });
+        if !grows {
+            return false;
+        }
+        let sets = Rc::make_mut(&mut self.sets);
+        for (s, o) in sets.iter_mut().zip(other.sets.iter()) {
             match (&mut *s, o) {
                 (SetState::Top, _) => {}
-                (slot, SetState::Top) => {
-                    *slot = SetState::Top;
-                    changed = true;
-                }
+                (slot @ SetState::Map(_), SetState::Top) => *slot = SetState::Top,
                 (SetState::Map(sm), SetState::Map(om)) => {
-                    for (&k, &oa) in om {
-                        match sm.get(&k) {
-                            None => {
-                                sm.insert(k, oa);
-                                changed = true;
-                            }
-                            Some(&sa) if oa < sa => {
-                                sm.insert(k, oa);
-                                changed = true;
-                            }
+                    for (k, oa) in om.iter() {
+                        match sm.get(k) {
+                            None => sm.insert(k, oa),
+                            Some(sa) if oa < sa => sm.insert(k, oa),
                             _ => {}
                         }
                     }
                 }
             }
         }
-        changed
+        true
     }
 
     /// Partial order: fewer possibilities ⊑ more possibilities.
     pub fn le(&self, other: &MayCache) -> bool {
-        self.sets.iter().zip(other.sets.iter()).all(|(s, o)| match (s, o) {
-            (_, SetState::Top) => true,
-            (SetState::Top, SetState::Map(_)) => false,
-            (SetState::Map(sm), SetState::Map(om)) => {
-                sm.iter().all(|(k, &sa)| om.get(k).is_some_and(|&oa| oa <= sa))
-            }
-        })
+        Rc::ptr_eq(&self.sets, &other.sets)
+            || self.sets.iter().zip(other.sets.iter()).all(|(s, o)| match (s, o) {
+                (_, SetState::Top) => true,
+                (SetState::Top, SetState::Map(_)) => false,
+                (SetState::Map(sm), SetState::Map(om)) => {
+                    sm.iter().all(|(k, sa)| om.get(k).is_some_and(|oa| oa <= sa))
+                }
+            })
     }
 }
 
@@ -271,13 +389,13 @@ impl MayCache {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PersCache {
     config: CacheConfig,
-    sets: Vec<BTreeMap<u32, u8>>,
+    sets: Rc<Vec<LineSet>>,
 }
 
 impl PersCache {
     /// An empty persistence cache.
     pub fn new(config: CacheConfig) -> PersCache {
-        PersCache { config, sets: vec![BTreeMap::new(); config.sets() as usize] }
+        PersCache { config, sets: Rc::new(vec![LineSet::default(); config.sets() as usize]) }
     }
 
     /// Returns `true` if the line was loaded before and has provably
@@ -285,26 +403,23 @@ impl PersCache {
     pub fn persistent(&self, addr: u32) -> bool {
         let line = self.config.line_addr(addr);
         self.sets[self.config.set_index(addr) as usize]
-            .get(&line)
-            .is_some_and(|&a| a < self.config.assoc() as u8)
+            .get(line)
+            .is_some_and(|a| a < self.config.assoc() as u8)
     }
 
-    /// Applies one access (must-style update with saturation).
+    /// Applies one access (must-style update with saturation), in place.
     pub fn access(&mut self, addr: u32) {
         let a = self.config.assoc() as u8;
         let line = self.config.line_addr(addr);
-        let set = &mut self.sets[self.config.set_index(addr) as usize];
-        let z_age = set.get(&line).copied().unwrap_or(a);
-        let keys: Vec<u32> = set.keys().copied().collect();
-        for y in keys {
-            if y == line {
-                continue;
+        let set = &mut Rc::make_mut(&mut self.sets)[self.config.set_index(addr) as usize];
+        let z_age = set.get(line).unwrap_or(a);
+        set.update_retain(|y, age| {
+            if y != line && age < z_age {
+                Some((age + 1).min(a))
+            } else {
+                Some(age)
             }
-            let age = set[&y];
-            if age < z_age {
-                set.insert(y, (age + 1).min(a));
-            }
-        }
+        });
         set.insert(line, 0);
     }
 
@@ -334,41 +449,46 @@ impl PersCache {
     /// Unbounded access: saturate everything in the touched sets.
     pub fn clobber(&mut self, set_indices: Option<&[u32]>) {
         let a = self.config.assoc() as u8;
-        let all: Vec<u32> = (0..self.config.sets()).collect();
-        for &si in set_indices.unwrap_or(&all) {
-            for (_, age) in self.sets[si as usize].iter_mut() {
-                *age = a;
-            }
-        }
+        let sets = Rc::make_mut(&mut self.sets);
+        for_sets(self.config.sets(), set_indices, |si| {
+            sets[si].update_retain(|_, _| Some(a));
+        });
     }
 
     /// Lattice join (union, maximum ages — absence means "never loaded",
     /// which is *below* any recorded age).
     pub fn join_from(&mut self, other: &PersCache) -> bool {
-        let mut changed = false;
-        for (s, o) in self.sets.iter_mut().zip(other.sets.iter()) {
-            for (&k, &oa) in o {
-                match s.get(&k) {
-                    None => {
-                        s.insert(k, oa);
-                        changed = true;
-                    }
-                    Some(&sa) if oa > sa => {
-                        s.insert(k, oa);
-                        changed = true;
-                    }
+        if Rc::ptr_eq(&self.sets, &other.sets) {
+            return false;
+        }
+        let grows = self.sets.iter().zip(other.sets.iter()).any(|(s, o)| {
+            o.iter().any(|(k, oa)| match s.get(k) {
+                None => true,
+                Some(sa) => oa > sa,
+            })
+        });
+        if !grows {
+            return false;
+        }
+        let sets = Rc::make_mut(&mut self.sets);
+        for (s, o) in sets.iter_mut().zip(other.sets.iter()) {
+            for (k, oa) in o.iter() {
+                match s.get(k) {
+                    None => s.insert(k, oa),
+                    Some(sa) if oa > sa => s.insert(k, oa),
                     _ => {}
                 }
             }
         }
-        changed
+        true
     }
 
     /// Partial order.
     pub fn le(&self, other: &PersCache) -> bool {
-        self.sets.iter().zip(other.sets.iter()).all(|(s, o)| {
-            s.iter().all(|(k, &sa)| o.get(k).is_some_and(|&oa| sa <= oa))
-        })
+        Rc::ptr_eq(&self.sets, &other.sets)
+            || self.sets.iter().zip(other.sets.iter()).all(|(s, o)| {
+                s.iter().all(|(k, sa)| o.get(k).is_some_and(|oa| sa <= oa))
+            })
     }
 }
 
@@ -378,6 +498,32 @@ mod tests {
 
     fn cfg2way() -> CacheConfig {
         CacheConfig::new(1, 2, 16) // one 2-way set for easy reasoning
+    }
+
+    #[test]
+    fn line_set_stays_sorted_across_spill() {
+        let mut s = LineSet::default();
+        // Fill beyond the inline capacity in a scrambled order.
+        for &l in &[0x50u32, 0x10, 0x90, 0x30, 0x70, 0x20, 0x80, 0x40, 0x60, 0x00] {
+            s.insert(l, (l >> 4) as u8);
+        }
+        let lines: Vec<u32> = s.iter().map(|(l, _)| l).collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+        assert_eq!(s.iter().count(), 10);
+        assert_eq!(s.get(0x40), Some(4));
+        // Equality ignores the representation (inline vs spill).
+        let mut t = LineSet::default();
+        for (l, a) in s.iter() {
+            t.insert(l, a);
+        }
+        assert_eq!(s, t);
+        // In-place retain keeps order and compacts.
+        s.update_retain(|l, a| (l >= 0x50).then_some(a + 1));
+        assert_eq!(s.iter().count(), 5);
+        assert_eq!(s.get(0x50), Some(6));
+        assert_eq!(s.get(0x40), None);
     }
 
     #[test]
@@ -478,5 +624,36 @@ mod tests {
         let mut may = MayCache::new(cfg2way());
         may.access_any(&[0x00, 0x10]);
         assert!(may.possibly_cached(0x00) && may.possibly_cached(0x10));
+    }
+
+    #[test]
+    fn shared_sets_join_short_circuits() {
+        let mut a = MustCache::new(cfg2way());
+        a.access(0x00);
+        let b = a.clone(); // shares the set vector
+        assert!(!a.join_from(&b));
+        assert!(a.le(&b) && b.le(&a));
+        // Mutation after the clone un-shares without affecting `b`.
+        a.access(0x10);
+        assert!(a.definitely_cached(0x10));
+        assert!(!b.definitely_cached(0x10));
+    }
+
+    #[test]
+    fn pers_sets_accumulate_past_associativity() {
+        // A persistence set never forgets lines, so it can exceed the
+        // inline capacity; the spill must keep every saturated line.
+        let cfg = CacheConfig::new(1, 2, 16);
+        let mut p = PersCache::new(cfg);
+        for i in 0..12u32 {
+            p.access(i * 16);
+        }
+        // Every line is still recorded; all but the 2 youngest saturated.
+        let persistent = (0..12u32).filter(|&i| p.persistent(i * 16)).count();
+        assert_eq!(persistent, 2);
+        let mut q = PersCache::new(cfg);
+        q.access(0x00);
+        assert!(q.join_from(&p));
+        assert!(!q.persistent(0x40)); // saturated in p, absent in q → max
     }
 }

@@ -275,16 +275,16 @@ impl Transfer for CacheTransfer<'_> {
         s
     }
 
-    fn edge(
+    fn edge<'s>(
         &mut self,
         _icfg: &Icfg,
         edge: &stamp_ai::IEdge,
-        state: &CacheState,
-    ) -> Option<CacheState> {
+        state: &'s CacheState,
+    ) -> Option<std::borrow::Cow<'s, CacheState>> {
         if self.infeasible.contains(&edge.id) {
             None
         } else {
-            Some(state.clone())
+            Some(std::borrow::Cow::Borrowed(state))
         }
     }
 }

@@ -108,6 +108,11 @@ impl Rat {
 impl Add for Rat {
     type Output = Rat;
     fn add(self, o: Rat) -> Rat {
+        // Integer fast path: simplex tableaus start integral and mostly
+        // stay so; skipping the gcd machinery there is a large win.
+        if self.den == 1 && o.den == 1 {
+            return Rat { num: self.num + o.num, den: 1 };
+        }
         let g = gcd(self.den, o.den).max(1);
         let l = self.den / g * o.den;
         Rat::new(self.num * (l / self.den) + o.num * (l / o.den), l)
@@ -131,6 +136,12 @@ impl Neg for Rat {
 impl Mul for Rat {
     type Output = Rat;
     fn mul(self, o: Rat) -> Rat {
+        if self.num == 0 || o.num == 0 {
+            return Rat::ZERO;
+        }
+        if self.den == 1 && o.den == 1 {
+            return Rat { num: self.num * o.num, den: 1 };
+        }
         // Cross-reduce before multiplying to keep magnitudes small.
         let g1 = gcd(self.num, o.den).max(1);
         let g2 = gcd(o.num, self.den).max(1);
@@ -157,6 +168,11 @@ impl PartialOrd for Rat {
 
 impl Ord for Rat {
     fn cmp(&self, o: &Rat) -> Ordering {
+        if self.den == o.den {
+            // Denominators are always positive, so numerators compare
+            // directly (covers the common integer-vs-integer case).
+            return self.num.cmp(&o.num);
+        }
         (self.num * o.den).cmp(&(o.num * self.den))
     }
 }

@@ -75,6 +75,15 @@ pub(crate) fn solve(mut s: Standard) -> Result<SimplexResult, IlpError> {
 
 /// Primal simplex iterations with Bland's rule. Returns the objective
 /// value; `a`, `b`, `basis` are updated in place.
+///
+/// The reduced-cost row `r = c − c_B·B⁻¹A` is computed once on entry
+/// and then maintained through every pivot exactly like a tableau row
+/// (Gauss-Jordan on the extended tableau). With exact rationals the
+/// maintained row equals the from-scratch value, so the entering-column
+/// choice — and therefore the whole pivot sequence and optimum — is
+/// identical to recomputation, at O(cols) instead of O(rows·cols) per
+/// iteration; basic columns carry an exact reduced cost of zero and need
+/// no membership test.
 fn run(
     a: &mut [Vec<Rat>],
     b: &mut [Rat],
@@ -83,30 +92,26 @@ fn run(
 ) -> Result<Rat, IlpError> {
     let rows = a.len();
     let cols = c.len();
+    let mut rc: Vec<Rat> = c.to_vec();
+    for r in 0..rows {
+        let cb = c[basis[r]];
+        if cb.is_zero() {
+            continue;
+        }
+        for (dst, &v) in rc.iter_mut().zip(a[r].iter()) {
+            if !v.is_zero() {
+                *dst = *dst - cb * v;
+            }
+        }
+    }
     let mut iterations = 0usize;
     loop {
         iterations += 1;
         if iterations > 50_000 {
             return Err(IlpError::IterationLimit);
         }
-        // Reduced costs: r_j = c_j − c_B · B⁻¹A_j (tableau is kept in
-        // B⁻¹A form, so the dot product is over basic rows).
         // Bland's rule: entering column = smallest j with r_j > 0.
-        let mut entering = None;
-        for j in 0..cols {
-            if basis.contains(&j) {
-                continue;
-            }
-            let mut rj = c[j];
-            for r in 0..rows {
-                rj = rj - c[basis[r]] * a[r][j];
-            }
-            if rj.is_positive() {
-                entering = Some(j);
-                break;
-            }
-        }
-        let Some(j) = entering else {
+        let Some(j) = (0..cols).find(|&j| rc[j].is_positive()) else {
             // Optimal: objective = c_B · b.
             let mut obj = Rat::ZERO;
             for r in 0..rows {
@@ -134,20 +139,36 @@ fn run(
             return Err(IlpError::Unbounded);
         };
         pivot(a, b, r, j);
+        // Eliminate the entering column from the cost row like any other
+        // tableau row (a[r] now holds the normalized pivot row).
+        let f = rc[j];
+        if !f.is_zero() {
+            for (dst, &pv) in rc.iter_mut().zip(a[r].iter()) {
+                if !pv.is_zero() {
+                    *dst = *dst - pv * f;
+                }
+            }
+        }
         basis[r] = j;
     }
 }
 
-/// Gauss-Jordan pivot on `(row, col)`.
+/// Gauss-Jordan pivot on `(row, col)`. Zero entries of the pivot row are
+/// skipped — IPET tableaus are sparse, and subtracting an exact zero is
+/// the identity.
 fn pivot(a: &mut [Vec<Rat>], b: &mut [Rat], row: usize, col: usize) {
     let p = a[row][col];
     debug_assert!(!p.is_zero());
     for v in a[row].iter_mut() {
-        *v = *v / p;
+        if !v.is_zero() {
+            *v = *v / p;
+        }
     }
     b[row] = b[row] / p;
-    let prow = a[row].clone();
-    let brow = b[row];
+    let (prow, brow) = {
+        let prow = std::mem::take(&mut a[row]);
+        (prow, b[row])
+    };
     for (r, arow) in a.iter_mut().enumerate() {
         if r == row {
             continue;
@@ -157,8 +178,11 @@ fn pivot(a: &mut [Vec<Rat>], b: &mut [Rat], row: usize, col: usize) {
             continue;
         }
         for (dst, &pv) in arow.iter_mut().zip(&prow) {
-            *dst = *dst - pv * f;
+            if !pv.is_zero() {
+                *dst = *dst - pv * f;
+            }
         }
         b[r] = b[r] - brow * f;
     }
+    a[row] = prow;
 }

@@ -112,11 +112,16 @@ impl Transfer for PipeTransfer<'_> {
         out
     }
 
-    fn edge(&mut self, _icfg: &Icfg, edge: &IEdge, state: &PipeSet) -> Option<PipeSet> {
+    fn edge<'s>(
+        &mut self,
+        _icfg: &Icfg,
+        edge: &IEdge,
+        state: &'s PipeSet,
+    ) -> Option<std::borrow::Cow<'s, PipeSet>> {
         if self.infeasible.contains(&edge.id) {
             None
         } else {
-            Some(state.clone())
+            Some(std::borrow::Cow::Borrowed(state))
         }
     }
 }

@@ -1,6 +1,7 @@
 //! Abstract memory: a finite map of known RAM words.
 
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 use stamp_isa::MemWidth;
 
@@ -17,9 +18,17 @@ use crate::interval::SInt;
 /// The map uses word-aligned addresses as keys. Sub-word stores are
 /// merged into the containing word when everything relevant is constant;
 /// otherwise they conservatively invalidate it.
+///
+/// The map is shared copy-on-write (`Rc`): cloning a state — which the
+/// solver does once per node entry and transfer functions once per
+/// evaluation — is a pointer bump, and the map is copied only when a
+/// store or a growing join actually mutates it. The common "state
+/// unchanged through a block" case therefore allocates nothing, and
+/// joining a state with its own descendant short-circuits on pointer
+/// identity.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct AMem {
-    words: BTreeMap<u32, SInt>,
+    words: Rc<BTreeMap<u32, SInt>>,
 }
 
 impl AMem {
@@ -89,9 +98,11 @@ impl AMem {
         match width {
             MemWidth::W => {
                 if value.is_top() {
-                    self.words.remove(&word_addr);
-                } else {
-                    self.words.insert(word_addr, *value);
+                    if self.words.contains_key(&word_addr) {
+                        Rc::make_mut(&mut self.words).remove(&word_addr);
+                    }
+                } else if self.words.get(&word_addr) != Some(value) {
+                    Rc::make_mut(&mut self.words).insert(word_addr, *value);
                 }
             }
             MemWidth::H | MemWidth::B => {
@@ -106,10 +117,14 @@ impl AMem {
                 };
                 match merged {
                     Some(m) => {
-                        self.words.insert(word_addr, m);
+                        if old != Some(m) {
+                            Rc::make_mut(&mut self.words).insert(word_addr, m);
+                        }
                     }
                     None => {
-                        self.words.remove(&word_addr);
+                        if old.is_some() {
+                            Rc::make_mut(&mut self.words).remove(&word_addr);
+                        }
                     }
                 }
             }
@@ -125,7 +140,9 @@ impl AMem {
             return;
         }
         if addrs.is_top() {
-            self.words.clear();
+            if !self.words.is_empty() {
+                self.words = Rc::new(BTreeMap::new());
+            }
             return;
         }
         if addrs.count() <= 64 && width == MemWidth::W {
@@ -134,10 +151,14 @@ impl AMem {
                 let word_addr = a & !3;
                 if let Some(old) = self.words.get(&word_addr).copied() {
                     let joined = old.join(value);
+                    if joined == old {
+                        continue;
+                    }
+                    let words = Rc::make_mut(&mut self.words);
                     if joined.is_top() {
-                        self.words.remove(&word_addr);
+                        words.remove(&word_addr);
                     } else {
-                        self.words.insert(word_addr, joined);
+                        words.insert(word_addr, joined);
                     }
                 }
                 // Unknown stays unknown — already ⊤.
@@ -147,74 +168,80 @@ impl AMem {
         // Invalidate every word in the touched byte range.
         let first = addrs.lo() & !3;
         let last = (addrs.hi().saturating_add(width.bytes() - 1)) | 3;
-        let doomed: Vec<u32> = self.words.range(first..=last).map(|(&a, _)| a).collect();
-        for a in doomed {
-            self.words.remove(&a);
+        if self.words.range(first..=last).next().is_none() {
+            return;
         }
+        Rc::make_mut(&mut self.words).retain(|&a, _| !(first..=last).contains(&a));
     }
 
     /// Lattice join: keep only words known on both sides (pointwise join).
     /// Returns `true` if `self` changed.
+    ///
+    /// A read-only pass decides whether anything changes before the
+    /// shared map is copied, so the steady-state no-op join neither
+    /// allocates nor writes.
     pub fn join_from(&mut self, other: &AMem) -> bool {
-        let mut changed = false;
-        let keys: Vec<u32> = self.words.keys().copied().collect();
-        for k in keys {
-            match other.words.get(&k) {
-                None => {
-                    self.words.remove(&k);
-                    changed = true;
-                }
-                Some(ov) => {
-                    let sv = self.words[&k];
-                    let j = sv.join(ov);
-                    if j != sv {
-                        changed = true;
-                        if j.is_top() {
-                            self.words.remove(&k);
-                        } else {
-                            self.words.insert(k, j);
-                        }
-                    }
+        if Rc::ptr_eq(&self.words, &other.words) {
+            return false;
+        }
+        let grows = self.words.iter().any(|(k, sv)| match other.words.get(k) {
+            None => true,
+            Some(ov) => sv.join(ov) != *sv,
+        });
+        if !grows {
+            return false;
+        }
+        Rc::make_mut(&mut self.words).retain(|k, sv| match other.words.get(k) {
+            None => false,
+            Some(ov) => {
+                let j = sv.join(ov);
+                if j.is_top() {
+                    false
+                } else {
+                    *sv = j;
+                    true
                 }
             }
-        }
-        changed
+        });
+        true
     }
 
     /// Widening: like join but with per-word interval widening.
     pub fn widen_from(&mut self, other: &AMem, thresholds: &[u32]) -> bool {
-        let mut changed = false;
-        let keys: Vec<u32> = self.words.keys().copied().collect();
-        for k in keys {
-            match other.words.get(&k) {
-                None => {
-                    self.words.remove(&k);
-                    changed = true;
-                }
-                Some(ov) => {
-                    let sv = self.words[&k];
-                    if !ov.subset_of(&sv) {
-                        let w = sv.widen(ov, thresholds);
-                        changed = true;
-                        if w.is_top() {
-                            self.words.remove(&k);
-                        } else {
-                            self.words.insert(k, w);
-                        }
-                    }
-                }
-            }
+        if Rc::ptr_eq(&self.words, &other.words) {
+            return false;
         }
-        changed
+        let grows = self.words.iter().any(|(k, sv)| match other.words.get(k) {
+            None => true,
+            Some(ov) => !ov.subset_of(sv),
+        });
+        if !grows {
+            return false;
+        }
+        Rc::make_mut(&mut self.words).retain(|k, sv| match other.words.get(k) {
+            None => false,
+            Some(ov) => {
+                if !ov.subset_of(sv) {
+                    let w = sv.widen(ov, thresholds);
+                    if w.is_top() {
+                        return false;
+                    }
+                    *sv = w;
+                }
+                true
+            }
+        });
+        true
     }
 
     /// Partial-order test (`self ⊑ other` means `self` knows at least as
     /// much: every word known in `other` is at least as precisely known
     /// in `self`).
     pub fn le(&self, other: &AMem) -> bool {
-        other.words.iter().all(|(k, ov)| {
-            self.words.get(k).is_some_and(|sv| sv.subset_of(ov))
-        })
+        Rc::ptr_eq(&self.words, &other.words)
+            || other.words.iter().all(|(k, ov)| {
+                self.words.get(k).is_some_and(|sv| sv.subset_of(ov))
+            })
     }
 }
 

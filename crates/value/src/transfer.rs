@@ -329,20 +329,27 @@ impl Transfer for ValueTransfer<'_> {
         s
     }
 
-    fn edge(&mut self, icfg: &Icfg, edge: &IEdge, state: &AState) -> Option<AState> {
+    fn edge<'s>(
+        &mut self,
+        icfg: &Icfg,
+        edge: &IEdge,
+        state: &'s AState,
+    ) -> Option<std::borrow::Cow<'s, AState>> {
         let _ = icfg;
         let cfg_eid = match edge.kind {
             IEdgeKind::Intra { cfg_edge, .. } => cfg_edge,
             // Call and return edges pass the state through unchanged; the
             // context expansion keeps call sites separate.
-            IEdgeKind::Call { .. } | IEdgeKind::Return { .. } => return Some(state.clone()),
+            IEdgeKind::Call { .. } | IEdgeKind::Return { .. } => {
+                return Some(std::borrow::Cow::Borrowed(state))
+            }
         };
         let cfg_edge = self.cfg.edge(cfg_eid);
         let from = self.cfg.block(cfg_edge.from);
         let taken = match cfg_edge.kind {
             EdgeKind::Taken => true,
             EdgeKind::Fall => false,
-            EdgeKind::CallFall => return Some(state.clone()),
+            EdgeKind::CallFall => return Some(std::borrow::Cow::Borrowed(state)),
         };
         self.refine_branch(from, taken, state)
     }
@@ -350,21 +357,23 @@ impl Transfer for ValueTransfer<'_> {
 
 impl ValueTransfer<'_> {
     /// Refines `state` under the branch at the end of `block` going in
-    /// the `taken` direction; `None` marks the edge infeasible.
+    /// the `taken` direction; `None` marks the edge infeasible. Blocks
+    /// without a conditional branch pass the state through by reference.
     ///
     /// Beyond the branch's own comparison, this recognizes the
     /// compare-then-branch idiom `slt rc, a, b; bnez rc, …` and refines
     /// the *underlying* comparison's operands, provided nothing clobbers
     /// them between the compare and the branch.
-    fn refine_branch(
+    fn refine_branch<'s>(
         &self,
         block: &stamp_cfg::BasicBlock,
         taken: bool,
-        state: &AState,
-    ) -> Option<AState> {
+        state: &'s AState,
+    ) -> Option<std::borrow::Cow<'s, AState>> {
+        use std::borrow::Cow;
         use stamp_isa::Cond;
         let Some((_, Insn::Branch { cond, rs1, rs2, .. })) = block.last() else {
-            return Some(state.clone());
+            return Some(Cow::Borrowed(state));
         };
         let assumed = if taken { cond } else { cond.negate() };
         let mut s = state.clone();
@@ -377,13 +386,13 @@ impl ValueTransfer<'_> {
         let (rc, flag_set) = match (assumed, rs1, rs2) {
             (Cond::Ne, rc, z) | (Cond::Ne, z, rc) if z.is_zero() && !rc.is_zero() => (rc, true),
             (Cond::Eq, rc, z) | (Cond::Eq, z, rc) if z.is_zero() && !rc.is_zero() => (rc, false),
-            _ => return Some(s),
+            _ => return Some(Cow::Owned(s)),
         };
         // Find the instruction defining the flag within this block; if
         // it is not here, there is simply nothing further to refine.
         let body = &block.insns[..block.insns.len() - 1];
         let Some(def_idx) = body.iter().rposition(|(_, i)| i.def() == Some(rc)) else {
-            return Some(s);
+            return Some(Cow::Owned(s));
         };
         let (signed, a, b_val, b_reg) = match body[def_idx].1 {
             Insn::Alu { op: op @ (AluOp::Slt | AluOp::Sltu), rs1: a, rs2: b, .. } => {
@@ -392,14 +401,14 @@ impl ValueTransfer<'_> {
             Insn::AluImm { op: op @ (AluOp::Slt | AluOp::Sltu), rs1: a, imm, .. } => {
                 (op == AluOp::Slt, a, SInt::cst(imm as u32), None)
             }
-            _ => return Some(s),
+            _ => return Some(Cow::Owned(s)),
         };
         // The operands must still hold their compared values at the branch.
         let clobbered = body[def_idx + 1..].iter().any(|(_, i)| {
             i.def() == Some(a) || b_reg.is_some_and(|b| i.def() == Some(b))
         });
         if clobbered || a == rc || b_reg == Some(rc) {
-            return Some(s);
+            return Some(Cow::Owned(s));
         }
         let base = if signed { Cond::Lt } else { Cond::Ltu };
         let effective = if flag_set { base } else { base.negate() };
@@ -412,7 +421,7 @@ impl ValueTransfer<'_> {
                 return None;
             }
         }
-        Some(s)
+        Some(Cow::Owned(s))
     }
 }
 

@@ -8,8 +8,15 @@
 //! statistics, plots or HTML reports. Benches compile under
 //! `cargo bench --no-run` and produce readable numbers under
 //! `cargo bench`.
+//!
+//! When the `STAMP_BENCH_JSON` environment variable names a file, every
+//! measurement is additionally appended to it as one JSON object per
+//! line (`{"group":…,"id":…,"secs_per_iter":…,"iters":…}`), so bench
+//! results can be collected machine-readably (the same convention
+//! `BENCH_kernel.json` uses for the kernel bench).
 
 use std::fmt::Display;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -113,6 +120,7 @@ impl BenchmarkGroup {
                     iters,
                     total.as_secs_f64(),
                 );
+                record_json(&self.name, &id, per, iters);
             }
             None => println!("{}/{}: bench closure never called iter()", self.name, id),
         }
@@ -134,6 +142,25 @@ impl BenchmarkGroup {
     }
 
     pub fn finish(&mut self) {}
+}
+
+/// Appends one measurement to `$STAMP_BENCH_JSON` (JSON lines), if set.
+fn record_json(group: &str, id: &str, secs_per_iter: f64, iters: u64) {
+    let Ok(path) = std::env::var("STAMP_BENCH_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let line = format!(
+        "{{\"group\":\"{}\",\"id\":\"{}\",\"secs_per_iter\":{:e},\"iters\":{}}}\n",
+        escape(group),
+        escape(id),
+        secs_per_iter,
+        iters
+    );
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        let _ = f.write_all(line.as_bytes());
+    }
 }
 
 fn format_time(secs: f64) -> String {
