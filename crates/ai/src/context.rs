@@ -196,20 +196,14 @@ mod tests {
         assert_eq!(c.call_part(), &[Frame::Call { site: 8 }]);
         assert_eq!(c.call_depth(), 1);
         // Loop frames between calls are kept by call_part.
-        let c2 = Ctx(vec![
-            Frame::Loop { header: b(1), iter: 1 },
-            Frame::Call { site: 8 },
-        ]);
+        let c2 = Ctx(vec![Frame::Loop { header: b(1), iter: 1 }, Frame::Call { site: 8 }]);
         assert_eq!(c2.call_part().len(), 2);
     }
 
     #[test]
     fn extends_with_loops_matches_returns() {
         let callctx = Ctx(vec![Frame::Call { site: 8 }]);
-        let inner = Ctx(vec![
-            Frame::Call { site: 8 },
-            Frame::Loop { header: b(3), iter: 1 },
-        ]);
+        let inner = Ctx(vec![Frame::Call { site: 8 }, Frame::Loop { header: b(3), iter: 1 }]);
         let other = Ctx(vec![Frame::Call { site: 12 }]);
         let deeper = Ctx(vec![Frame::Call { site: 8 }, Frame::Call { site: 20 }]);
         assert!(callctx.extends_with_loops(&callctx));

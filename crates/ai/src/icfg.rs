@@ -102,10 +102,9 @@ pub enum IcfgError {
 impl fmt::Display for IcfgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            IcfgError::CallDepthExceeded { site, depth } => write!(
-                f,
-                "call depth {depth} exceeded at call site {site:#x} (recursive program?)"
-            ),
+            IcfgError::CallDepthExceeded { site, depth } => {
+                write!(f, "call depth {depth} exceeded at call site {site:#x} (recursive program?)")
+            }
             IcfgError::ContextExplosion { limit } => {
                 write!(f, "context limit of {limit} exceeded")
             }
@@ -347,8 +346,7 @@ impl<'c> Builder<'c> {
         } else {
             let from_chain = &self.chains[&from];
             let to_chain = &self.chains[&to];
-            let common =
-                from_chain.iter().zip(to_chain.iter()).take_while(|(a, b)| a == b).count();
+            let common = from_chain.iter().zip(to_chain.iter()).take_while(|(a, b)| a == b).count();
             // Pop frames of exited loops (innermost first).
             for &h in from_chain[common..].iter().rev() {
                 while let Some(f) = frames.pop() {
@@ -476,10 +474,9 @@ impl<'c> Builder<'c> {
             let b = self.cfg.block(nd.block);
             match b.exit_flow() {
                 stamp_isa::Flow::Halt => exits.push(nd.id),
-                stamp_isa::Flow::Return
-                    if self.ctxs.get(nd.ctx).call_depth() == 0 => {
-                        exits.push(nd.id);
-                    }
+                stamp_isa::Flow::Return if self.ctxs.get(nd.ctx).call_depth() == 0 => {
+                    exits.push(nd.id);
+                }
                 _ => {}
             }
         }

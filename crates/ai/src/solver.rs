@@ -391,12 +391,7 @@ mod tests {
             fn transfer(&mut self, _i: &Icfg, _n: NodeId, s: &Bits) -> Bits {
                 s.clone()
             }
-            fn edge<'s>(
-                &mut self,
-                icfg: &Icfg,
-                e: &IEdge,
-                s: &'s Bits,
-            ) -> Option<Cow<'s, Bits>> {
+            fn edge<'s>(&mut self, icfg: &Icfg, e: &IEdge, s: &'s Bits) -> Option<Cow<'s, Bits>> {
                 // Refuse the fall-through edge out of the entry block.
                 if e.from == icfg.entry() {
                     if let IEdgeKind::Intra { cfg_edge, .. } = e.kind {

@@ -1,8 +1,8 @@
 //! Criterion benchmarks of the exact ILP solver on IPET-shaped problems.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use stamp_ilp::{CmpOp, LpProblem};
+use std::time::Duration;
 
 /// Builds a chain-of-diamonds flow problem with `n` diamonds — the
 /// structural skeleton of an IPET instance.

@@ -1,7 +1,6 @@
 //! Criterion benchmarks of the analysis phases on corpus tasks
 //! (experiment E6 companion: "reasonable time").
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use stamp_ai::{Icfg, VivuConfig};
 use stamp_cache::CacheAnalysis;
@@ -12,6 +11,7 @@ use stamp_loopbound::{LoopBoundAnalysis, LoopBoundOptions};
 use stamp_pipeline::PipelineAnalysis;
 use stamp_suite::benchmarks;
 use stamp_value::{ValueAnalysis, ValueOptions};
+use std::time::Duration;
 
 fn full_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("full_pipeline");
@@ -79,9 +79,7 @@ fn individual_phases(c: &mut Criterion) {
     });
     group.bench_function("path_analysis_ilp", |bench| {
         bench.iter(|| {
-            stamp_path::analyze(&cfg, &icfg, &va, &lb, &pa, &Default::default())
-                .expect("path")
-                .wcet
+            stamp_path::analyze(&cfg, &icfg, &va, &lb, &pa, &Default::default()).expect("path").wcet
         })
     });
     group.finish();

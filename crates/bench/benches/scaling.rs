@@ -1,13 +1,13 @@
 //! Criterion series: analysis time vs. program size (experiment E6,
 //! "figure" — plot time against instruction count).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use stamp_core::WcetAnalysis;
 use stamp_isa::asm::assemble;
 use stamp_suite::{generate, GenConfig};
+use std::time::Duration;
 
 fn scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("analysis_vs_size");

@@ -36,7 +36,10 @@ fn header(id: &str, claim: &str) {
 
 /// E1: WCET bound vs worst observed execution.
 fn e1_wcet_vs_observed(hw: &HwConfig) {
-    header("E1", "WCET bounds vs. simulated worst case (\"tight upper bounds … in reasonable time\")");
+    header(
+        "E1",
+        "WCET bounds vs. simulated worst case (\"tight upper bounds … in reasonable time\")",
+    );
     println!("| benchmark | WCET bound | worst observed | ratio | analysis time |");
     println!("|---|---:|---:|---:|---:|");
     for b in benchmarks().iter().filter(|b| b.supports_wcet) {
@@ -79,7 +82,10 @@ fn e2_stack_vs_observed(hw: &HwConfig) {
 
 /// E3: value-analysis address precision.
 fn e3_value_precision() {
-    header("E3", "address precision (\"only a few indirect accesses cannot be determined exactly\")");
+    header(
+        "E3",
+        "address precision (\"only a few indirect accesses cannot be determined exactly\")",
+    );
     println!("| benchmark | exact | bounded | unknown | % determined |");
     println!("|---|---:|---:|---:|---:|");
     let mut tot = (0usize, 0usize, 0usize);
@@ -102,7 +108,10 @@ fn e3_value_precision() {
 
 /// E4: infeasible-path pruning.
 fn e4_infeasible_paths() {
-    header("E4", "constant conditions and infeasible paths (\"need not be determined in the first place\")");
+    header(
+        "E4",
+        "constant conditions and infeasible paths (\"need not be determined in the first place\")",
+    );
     println!("| benchmark | constant conds | infeasible edges | WCET (pruned) | WCET (no pruning) | saved |");
     println!("|---|---:|---:|---:|---:|---:|");
     for name in ["statemate", "insertsort", "switchcase", "crc", "matmult"] {
@@ -281,15 +290,9 @@ fn e10_vivu_ablation() {
     for name in ["fibcall", "insertsort", "bsort", "matmult", "crc"] {
         let b = benchmarks().into_iter().find(|b| b.name == name).unwrap();
         let full = analyze(&b, AnalysisConfig::default());
-        let cfg = AnalysisConfig {
-            vivu: VivuConfig::no_unrolling(),
-            ..AnalysisConfig::default()
-        };
+        let cfg = AnalysisConfig { vivu: VivuConfig::no_unrolling(), ..AnalysisConfig::default() };
         let flat = analyze(&b, cfg);
-        println!(
-            "| {} | {} | {} | {}/{} |",
-            name, flat.wcet, full.wcet, flat.nodes, full.nodes
-        );
+        println!("| {} | {} | {} | {}/{} |", name, flat.wcet, full.wcet, flat.nodes, full.nodes);
     }
     // Keep rng alive for reproducibility notes.
     let _ = StdRng::seed_from_u64(0).gen::<u8>();

@@ -13,9 +13,23 @@
 //!   seven (CI smoke mode);
 //! * `--check`      — compare WCET/stack bounds, `evaluations` and cache
 //!   classification counts against the pinned values in
-//!   [`stamp_bench::pins`], exiting non-zero on any drift;
+//!   [`stamp_bench::pins`], and the parallel batch report against the
+//!   serial one (byte-for-byte), exiting non-zero on any drift;
 //! * `--out PATH`   — where to write the JSON (default `BENCH_kernel.json`);
+//! * `--diff PATH`  — read a previously committed `BENCH_kernel.json`
+//!   and print a markdown wall-time delta table (current vs committed)
+//!   to stdout, flagging — but never failing on — workloads past a
+//!   1.5× regression tolerance (the CI job appends this to
+//!   `$GITHUB_STEP_SUMMARY`);
 //! * `--print-pins` — regenerate the source of the pin table.
+//!
+//! Besides the serial workloads, the harness measures the **batch
+//! engine**: the corpus × {default, no-cache, ideal} job matrix run
+//! through `stamp_core::run_batch` at 1/2/4/8 workers, reported as
+//! aggregate throughput (jobs/s) and scaling-per-core under a `batch`
+//! key. The `cores` field records the machine's available parallelism —
+//! speedup is bounded by it, so a 1-core CI container shows ~1.0×
+//! while the numbers in a multi-core run show the real scaling.
 //!
 //! The emitted JSON carries a `before` section: wall times recorded with
 //! this same harness at the pre-refactor kernel (commit 848c9d7, full
@@ -27,9 +41,12 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use stamp_bench::pins::{self, CorpusPin};
-use stamp_core::{AnalysisConfig, Json, StackAnalysis, WcetAnalysis, WcetReport};
+use stamp_core::{
+    run_batch, AnalysisConfig, BatchVariant, Json, StackAnalysis, WcetAnalysis, WcetReport,
+};
+use stamp_hw::HwConfig;
 use stamp_isa::asm::assemble;
-use stamp_suite::{benchmarks, generate, GenConfig};
+use stamp_suite::{benchmarks, corpus_matrix, generate, GenConfig};
 
 /// Wall times recorded at the pre-refactor kernel (commit 848c9d7) with
 /// this harness in `--full` mode on the same machine that produced the
@@ -54,14 +71,8 @@ mod baseline {
         ("ns", 12.896),
         ("memcpy", 0.237),
     ];
-    pub const SCALING_MS: &[(usize, f64)] = &[
-        (2, 1.441),
-        (4, 0.844),
-        (8, 9.230),
-        (16, 10.432),
-        (32, 321.593),
-        (64, 1770.884),
-    ];
+    pub const SCALING_MS: &[(usize, f64)] =
+        &[(2, 1.441), (4, 0.844), (8, 9.230), (16, 10.432), (32, 321.593), (64, 1770.884)];
     pub const PHASES_MS: &[(&str, f64)] = &[
         ("cfg_building", 0.005),
         ("context_expansion", 0.017),
@@ -78,6 +89,7 @@ struct Args {
     check: bool,
     print_pins: bool,
     out: String,
+    diff: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -86,6 +98,7 @@ fn parse_args() -> Args {
         check: false,
         print_pins: false,
         out: "BENCH_kernel.json".to_string(),
+        diff: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -94,6 +107,7 @@ fn parse_args() -> Args {
             "--check" => args.check = true,
             "--print-pins" => args.print_pins = true,
             "--out" => args.out = it.next().expect("--out needs a path"),
+            "--diff" => args.diff = Some(it.next().expect("--diff needs a path")),
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -183,8 +197,7 @@ fn scaling_rows(reps: usize) -> Vec<ScalingRow> {
         let cfg = GenConfig { constructs, functions: 2, ..GenConfig::default() };
         let src = generate(&mut rng, &cfg);
         let program = assemble(&src).expect("generated");
-        let (best, report) =
-            best_ms(reps, || WcetAnalysis::new(&program).run().expect("analysis"));
+        let (best, report) = best_ms(reps, || WcetAnalysis::new(&program).run().expect("analysis"));
         rows.push(ScalingRow {
             constructs,
             insns: report.insns,
@@ -255,13 +268,192 @@ fn phase_rows(reps: usize) -> Vec<(&'static str, f64)> {
     rows.push((
         "path_analysis_ilp",
         best_ms(reps, || {
-            stamp_path::analyze(&cfg, &icfg, &va, &lb, &pa, &Default::default())
-                .expect("path")
-                .wcet
+            stamp_path::analyze(&cfg, &icfg, &va, &lb, &pa, &Default::default()).expect("path").wcet
         })
         .0,
     ));
     rows
+}
+
+/// The batch-engine workload: the whole corpus under three hardware
+/// variants, enough jobs (17 × 3) to keep several workers busy.
+fn batch_request() -> stamp_core::BatchRequest {
+    corpus_matrix(&[
+        BatchVariant::default(),
+        BatchVariant {
+            name: "no-cache".to_string(),
+            config: AnalysisConfig { hw: HwConfig::no_cache(), ..AnalysisConfig::default() },
+        },
+        BatchVariant {
+            name: "ideal".to_string(),
+            config: AnalysisConfig { hw: HwConfig::ideal(), ..AnalysisConfig::default() },
+        },
+    ])
+}
+
+struct BatchRow {
+    workers: usize,
+    wall_ms: f64,
+    throughput_per_s: f64,
+}
+
+struct BatchBench {
+    cores: usize,
+    jobs_total: usize,
+    variants: Vec<String>,
+    rows: Vec<BatchRow>,
+    /// Deterministic results of the serial and the 4-worker run, for
+    /// the `--check` bit-identity gate.
+    serial_results: String,
+    parallel_results: String,
+}
+
+fn batch_rows(reps: usize) -> BatchBench {
+    let request = batch_request();
+    let jobs_total = request.jobs.len();
+    // Derived from the request, not restated, so the emitted JSON stays
+    // truthful if the workload matrix changes (first-seen order; the
+    // matrix interleaves variants per target).
+    let mut variants: Vec<String> = Vec::new();
+    for j in &request.jobs {
+        if !variants.contains(&j.variant) {
+            variants.push(j.variant.clone());
+        }
+    }
+    let mut rows = Vec::new();
+    let mut serial_results = String::new();
+    let mut parallel_results = String::new();
+    for workers in [1usize, 2, 4, 8] {
+        let (wall_ms, report) =
+            best_ms(reps, || run_batch(&request, workers).expect("batch run panicked"));
+        if workers == 1 {
+            serial_results = report.results_json().to_string();
+        }
+        if workers == 4 {
+            parallel_results = report.results_json().to_string();
+        }
+        rows.push(BatchRow {
+            workers,
+            wall_ms,
+            throughput_per_s: jobs_total as f64 / (wall_ms / 1e3),
+        });
+    }
+    BatchBench {
+        cores: stamp_exec::default_workers(),
+        jobs_total,
+        variants,
+        rows,
+        serial_results,
+        parallel_results,
+    }
+}
+
+/// The wall-time delta table: freshly measured numbers against a
+/// previously committed `BENCH_kernel.json`, as markdown on stdout.
+/// Purely informational — regressions warn, never fail.
+fn print_diff_table(
+    committed_path: &str,
+    corpus: &[CorpusRow],
+    scaling: &[ScalingRow],
+    phases: &[(&'static str, f64)],
+    batch: &BatchBench,
+) {
+    let text = match std::fs::read_to_string(committed_path) {
+        Ok(t) => t,
+        Err(e) => {
+            println!("_no committed bench file at `{committed_path}` ({e}); skipping delta table_");
+            return;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            println!("_could not parse `{committed_path}` ({e}); skipping delta table_");
+            return;
+        }
+    };
+    let after = doc.get("after");
+    let committed_ms = |path: &[&str]| -> Option<f64> {
+        let mut v = after?;
+        for k in path {
+            v = v.get(k)?;
+        }
+        v.as_f64()
+    };
+
+    const TOLERANCE: f64 = 1.5;
+    let mut lines = Vec::new();
+    let mut regressed = 0usize;
+    let mut row = |name: String, committed: Option<f64>, current: f64| {
+        let Some(committed) = committed else {
+            lines.push(format!("| {name} | — | {current:.3} | — |  |"));
+            return;
+        };
+        let ratio = if committed > 0.0 { current / committed } else { f64::NAN };
+        let flag = if ratio > TOLERANCE {
+            regressed += 1;
+            "⚠️"
+        } else {
+            ""
+        };
+        lines.push(format!("| {name} | {committed:.3} | {current:.3} | {ratio:.2}× | {flag} |"));
+    };
+
+    for r in corpus {
+        if r.pin.wcet.is_some() {
+            row(
+                format!("corpus/{}", r.pin.name),
+                committed_ms(&["corpus", r.pin.name, "best_ms"]),
+                r.best_ms,
+            );
+        }
+    }
+    for r in scaling {
+        let committed = after
+            .and_then(|a| a.get("scaling"))
+            .and_then(Json::as_arr)
+            .and_then(|arr| {
+                arr.iter().find(|e| {
+                    e.get("constructs").and_then(Json::as_u64) == Some(r.constructs as u64)
+                })
+            })
+            .and_then(|e| e.get("best_ms"))
+            .and_then(Json::as_f64);
+        row(format!("scaling/{}", r.constructs), committed, r.best_ms);
+    }
+    for (name, ms) in phases {
+        row(format!("phases/{name}"), committed_ms(&["phases_ms", name]), *ms);
+    }
+    for r in &batch.rows {
+        let committed = doc
+            .get("batch")
+            .and_then(|b| b.get("workers"))
+            .and_then(Json::as_arr)
+            .and_then(|arr| {
+                arr.iter()
+                    .find(|e| e.get("workers").and_then(Json::as_u64) == Some(r.workers as u64))
+            })
+            .and_then(|e| e.get("wall_ms"))
+            .and_then(Json::as_f64);
+        row(format!("batch/{}-workers", r.workers), committed, r.wall_ms);
+    }
+
+    println!("### kernel bench wall-time delta (current vs committed)\n");
+    println!("| workload | committed ms | current ms | ratio | |");
+    println!("|---|---:|---:|---:|---|");
+    for l in &lines {
+        println!("{l}");
+    }
+    println!();
+    if regressed > 0 {
+        println!(
+            "⚠️ **{regressed} workload(s) regressed past the {TOLERANCE}× wall-time \
+             tolerance** (informational — wall time varies with runner load; the hard \
+             gates are the pinned evaluations and batch determinism)."
+        );
+    } else {
+        println!("All workloads within the {TOLERANCE}× wall-time tolerance.");
+    }
 }
 
 fn pin_json(p: &CorpusPin) -> Json {
@@ -269,10 +461,7 @@ fn pin_json(p: &CorpusPin) -> Json {
         ("wcet", p.wcet.map(Json::int).unwrap_or(Json::Null)),
         ("stack", Json::int(p.stack as u64)),
         ("evaluations", Json::int(p.evaluations)),
-        (
-            "fetch",
-            Json::Arr(p.fetch.iter().map(|&v| Json::int(v as u64)).collect()),
-        ),
+        ("fetch", Json::Arr(p.fetch.iter().map(|&v| Json::int(v as u64)).collect())),
         ("data", Json::Arr(p.data.iter().map(|&v| Json::int(v as u64)).collect())),
     ])
 }
@@ -282,12 +471,13 @@ fn main() {
     let reps = if args.quick { 2 } else { 7 };
 
     eprintln!("kernel_bench: corpus ({} reps each)...", reps);
-    let corpus: Vec<CorpusRow> =
-        benchmarks().iter().map(|b| corpus_row(b.name, reps)).collect();
+    let corpus: Vec<CorpusRow> = benchmarks().iter().map(|b| corpus_row(b.name, reps)).collect();
     eprintln!("kernel_bench: scaling series...");
     let scaling = scaling_rows(reps);
     eprintln!("kernel_bench: matmult phase breakdown...");
     let phases = phase_rows(reps);
+    eprintln!("kernel_bench: batch engine (corpus × 3 variants at 1/2/4/8 workers)...");
+    let batch = batch_rows(reps);
 
     if args.print_pins {
         println!("pub const CORPUS: &[CorpusPin] = &[");
@@ -309,16 +499,18 @@ fn main() {
     // ---- Drift check against the pinned corpus (CI bench-smoke gate).
     let mut drift = Vec::new();
     if args.check {
-        for r in &corpus {
-            match pins::CORPUS.iter().find(|p| p.name == r.pin.name) {
-                Some(p) if *p != r.pin => drift.push(format!(
-                    "{}: pinned {:?} != measured {:?}",
-                    r.pin.name, p, r.pin
-                )),
-                None => drift.push(format!("{}: no pin recorded", r.pin.name)),
-                _ => {}
-            }
-        }
+        let measured: Vec<pins::MeasuredTask> = corpus
+            .iter()
+            .map(|r| pins::MeasuredTask {
+                name: r.pin.name.to_string(),
+                wcet: r.pin.wcet,
+                stack: Some(r.pin.stack),
+                evaluations: r.pin.evaluations,
+                fetch: r.pin.fetch,
+                data: r.pin.data,
+            })
+            .collect();
+        drift.extend(pins::check_corpus(&measured));
         for r in &scaling {
             match pins::SCALING_EVALS.iter().find(|(c, _)| *c == r.constructs) {
                 Some((_, e)) if *e != r.evaluations => drift.push(format!(
@@ -328,6 +520,11 @@ fn main() {
                 None => drift.push(format!("scaling/{}: no pin recorded", r.constructs)),
                 _ => {}
             }
+        }
+        // The batch determinism gate: the 4-worker merged report must be
+        // bit-identical to the serial one.
+        if batch.serial_results != batch.parallel_results {
+            drift.push("batch: parallel (4-worker) results differ from serial results".to_string());
         }
     }
 
@@ -343,15 +540,16 @@ fn main() {
     let sum_current_phases: f64 = phases.iter().map(|(_, ms)| ms).sum();
     let sum_before_phases: f64 = baseline::PHASES_MS.iter().map(|(_, ms)| ms).sum();
     let ratio = |before: f64, after: f64| {
-        if after > 0.0 { Json::Num(before / after) } else { Json::Null }
+        if after > 0.0 {
+            Json::Num(before / after)
+        } else {
+            Json::Null
+        }
     };
 
     let json = Json::obj([
         ("schema", Json::str("stamp-bench-kernel/1")),
-        (
-            "generated_by",
-            Json::str("cargo run -p stamp_bench --release --bin kernel_bench"),
-        ),
+        ("generated_by", Json::str("cargo run -p stamp_bench --release --bin kernel_bench")),
         ("mode", Json::str(if args.quick { "quick" } else { "full" })),
         (
             "before",
@@ -436,10 +634,7 @@ fn main() {
                 (
                     "phases_ms",
                     Json::Obj(
-                        phases
-                            .iter()
-                            .map(|(n, ms)| (n.to_string(), Json::Num(*ms)))
-                            .collect(),
+                        phases.iter().map(|(n, ms)| (n.to_string(), Json::Num(*ms))).collect(),
                     ),
                 ),
             ]),
@@ -453,12 +648,49 @@ fn main() {
             ]),
         ),
         (
-            "drift",
-            Json::Arr(drift.iter().map(|d| Json::str(d.clone())).collect()),
+            "batch",
+            Json::obj([
+                ("cores", Json::int(batch.cores as u64)),
+                ("jobs_total", Json::int(batch.jobs_total as u64)),
+                (
+                    "variants",
+                    Json::Arr(batch.variants.iter().map(|v| Json::str(v.clone())).collect()),
+                ),
+                ("deterministic", Json::Bool(batch.serial_results == batch.parallel_results)),
+                (
+                    "workers",
+                    Json::Arr(
+                        batch
+                            .rows
+                            .iter()
+                            .map(|r| {
+                                let serial = batch.rows[0].wall_ms;
+                                Json::obj([
+                                    ("workers", Json::int(r.workers as u64)),
+                                    ("wall_ms", Json::Num(r.wall_ms)),
+                                    ("throughput_jobs_per_s", Json::Num(r.throughput_per_s)),
+                                    (
+                                        "speedup_vs_serial",
+                                        if r.wall_ms > 0.0 {
+                                            Json::Num(serial / r.wall_ms)
+                                        } else {
+                                            Json::Null
+                                        },
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
         ),
+        ("drift", Json::Arr(drift.iter().map(|d| Json::str(d.clone())).collect())),
     ]);
 
     std::fs::write(&args.out, format!("{json}\n")).expect("write BENCH_kernel.json");
+    if let Some(committed) = &args.diff {
+        print_diff_table(committed, &corpus, &scaling, &phases, &batch);
+    }
     eprintln!(
         "kernel_bench: corpus {:.1} ms (before {:.1}), scaling {:.1} ms (before {:.1}), phases {:.1} ms (before {:.1})",
         sum_current_corpus,

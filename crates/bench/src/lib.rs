@@ -37,10 +37,7 @@ pub fn try_analyze(
     config: AnalysisConfig,
 ) -> Result<WcetReport, stamp_core::AnalysisError> {
     let program = bench.program();
-    WcetAnalysis::new(&program)
-        .config(config)
-        .annotations(bench.annotations())
-        .run()
+    WcetAnalysis::new(&program).config(config).annotations(bench.annotations()).run()
 }
 
 /// Worst observed cycles/stack over `runs` random runs plus adversarial

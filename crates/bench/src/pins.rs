@@ -34,6 +34,7 @@ pub struct CorpusPin {
 }
 
 /// The pinned corpus results (see module docs for provenance).
+#[rustfmt::skip] // table: one pin per line, matching --print-pins output
 pub const CORPUS: &[CorpusPin] = &[
     CorpusPin { name: "fibcall", wcet: Some(242), stack: 0, evaluations: 20, fetch: [11, 3, 0, 0], data: [0, 0, 0, 0] },
     CorpusPin { name: "insertsort", wcet: Some(1090), stack: 0, evaluations: 75, fetch: [42, 6, 1, 0], data: [1, 1, 3, 0] },
@@ -56,11 +57,58 @@ pub const CORPUS: &[CorpusPin] = &[
 
 /// Pinned solver evaluations of the E6 scaling series
 /// `(constructs, evaluations)`.
-pub const SCALING_EVALS: &[(usize, u64)] = &[
-    (2, 84),
-    (4, 42),
-    (8, 133),
-    (16, 124),
-    (32, 538),
-    (64, 824),
-];
+pub const SCALING_EVALS: &[(usize, u64)] =
+    &[(2, 84), (4, 42), (8, 133), (16, 124), (32, 538), (64, 824)];
+
+/// One task's measured invariants, in pin-comparable form. `stack` is
+/// an `Option` because a failed stack analysis measures as "absent"
+/// (and must therefore drift against any pin).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MeasuredTask {
+    /// Task name (matched against [`CorpusPin::name`]).
+    pub name: String,
+    /// Measured WCET bound.
+    pub wcet: Option<u64>,
+    /// Measured stack bound.
+    pub stack: Option<u32>,
+    /// Measured solver evaluations.
+    pub evaluations: u64,
+    /// Measured I-cache classifications.
+    pub fetch: [usize; 4],
+    /// Measured D-cache classifications.
+    pub data: [usize; 4],
+}
+
+impl MeasuredTask {
+    fn matches(&self, pin: &CorpusPin) -> bool {
+        self.wcet == pin.wcet
+            && self.stack == Some(pin.stack)
+            && self.evaluations == pin.evaluations
+            && self.fetch == pin.fetch
+            && self.data == pin.data
+    }
+}
+
+/// Compares measured corpus results against [`CORPUS`], returning one
+/// human-readable drift line per divergence (empty means green). The
+/// single comparison used by every pin gate — `kernel_bench --check`
+/// and `stamp batch --check-pins` — so a pin-field change cannot make
+/// the two gates diverge.
+pub fn check_corpus(measured: &[MeasuredTask]) -> Vec<String> {
+    let mut drift = Vec::new();
+    for pin in CORPUS {
+        match measured.iter().find(|m| m.name == pin.name) {
+            None => drift.push(format!("{}: pinned but not measured", pin.name)),
+            Some(m) if !m.matches(pin) => {
+                drift.push(format!("{}: pinned {pin:?} != measured {m:?}", pin.name))
+            }
+            _ => {}
+        }
+    }
+    for m in measured {
+        if !CORPUS.iter().any(|p| p.name == m.name) {
+            drift.push(format!("{}: no pin recorded", m.name));
+        }
+    }
+    drift
+}

@@ -85,9 +85,6 @@ fn scaling_series_evaluations_match_pins() {
         let src = generate(&mut rng, &cfg);
         let program = assemble(&src).expect("generated");
         let report = WcetAnalysis::new(&program).run().expect("analysis");
-        assert_eq!(
-            report.evaluations, pinned,
-            "scaling/{constructs}: solver evaluations drifted"
-        );
+        assert_eq!(report.evaluations, pinned, "scaling/{constructs}: solver evaluations drifted");
     }
 }

@@ -50,10 +50,7 @@ impl LineSet {
 
     /// The age bound of `line`, if resident.
     pub(crate) fn get(&self, line: u32) -> Option<u8> {
-        self.entries()
-            .binary_search_by_key(&line, |&(l, _)| l)
-            .ok()
-            .map(|i| self.entries()[i].1)
+        self.entries().binary_search_by_key(&line, |&(l, _)| l).ok().map(|i| self.entries()[i].1)
     }
 
     pub(crate) fn contains(&self, line: u32) -> bool {
@@ -241,9 +238,11 @@ impl MustCache {
     /// `other` does.
     pub fn le(&self, other: &MustCache) -> bool {
         Rc::ptr_eq(&self.sets, &other.sets)
-            || self.sets.iter().zip(other.sets.iter()).all(|(s, o)| {
-                o.iter().all(|(k, oa)| s.get(k).is_some_and(|sa| sa <= oa))
-            })
+            || self
+                .sets
+                .iter()
+                .zip(other.sets.iter())
+                .all(|(s, o)| o.iter().all(|(k, oa)| s.get(k).is_some_and(|sa| sa <= oa)))
     }
 }
 
@@ -341,11 +340,9 @@ impl MayCache {
         let grows = self.sets.iter().zip(other.sets.iter()).any(|(s, o)| match (s, o) {
             (SetState::Top, _) => false,
             (SetState::Map(_), SetState::Top) => true,
-            (SetState::Map(sm), SetState::Map(om)) => om.iter().any(|(k, oa)| {
-                match sm.get(k) {
-                    None => true,
-                    Some(sa) => oa < sa,
-                }
+            (SetState::Map(sm), SetState::Map(om)) => om.iter().any(|(k, oa)| match sm.get(k) {
+                None => true,
+                Some(sa) => oa < sa,
             }),
         });
         if !grows {
@@ -486,9 +483,11 @@ impl PersCache {
     /// Partial order.
     pub fn le(&self, other: &PersCache) -> bool {
         Rc::ptr_eq(&self.sets, &other.sets)
-            || self.sets.iter().zip(other.sets.iter()).all(|(s, o)| {
-                s.iter().all(|(k, sa)| o.get(k).is_some_and(|oa| sa <= oa))
-            })
+            || self
+                .sets
+                .iter()
+                .zip(other.sets.iter())
+                .all(|(s, o)| s.iter().all(|(k, sa)| o.get(k).is_some_and(|oa| sa <= oa)))
     }
 }
 
@@ -550,6 +549,7 @@ mod tests {
         assert!(j.join_from(&b));
         assert!(j.definitely_cached(0x00));
         assert!(!j.definitely_cached(0x10)); // only in b
+
         // Before the eviction test, a (age 0) refines j (age 1).
         assert!(a.le(&j));
         assert!(!j.le(&a));

@@ -188,10 +188,10 @@ impl<'p> Discovery<'p> {
             self.owner.insert(addr, entry);
             self.funcs[fi].addrs.insert(addr);
 
-            let insn = self.program.decode_at(addr).map_err(|e| CfgError::Decode {
-                addr,
-                message: e.to_string(),
-            })?;
+            let insn = self
+                .program
+                .decode_at(addr)
+                .map_err(|e| CfgError::Decode { addr, message: e.to_string() })?;
             match insn.flow(addr) {
                 Flow::Seq => work.push(addr + 4),
                 Flow::Branch { target } => {
@@ -310,11 +310,11 @@ impl<'p> Discovery<'p> {
         let mut succs: Vec<Vec<EdgeId>> = vec![Vec::new(); blocks.len()];
         let mut preds: Vec<Vec<EdgeId>> = vec![Vec::new(); blocks.len()];
         let add_edge = |edges: &mut Vec<Edge>,
-                            succs: &mut Vec<Vec<EdgeId>>,
-                            preds: &mut Vec<Vec<EdgeId>>,
-                            from: BlockId,
-                            to: BlockId,
-                            kind: EdgeKind| {
+                        succs: &mut Vec<Vec<EdgeId>>,
+                        preds: &mut Vec<Vec<EdgeId>>,
+                        from: BlockId,
+                        to: BlockId,
+                        kind: EdgeKind| {
             let id = EdgeId(edges.len() as u32);
             edges.push(Edge { from, to, kind });
             succs[from.index()].push(id);
@@ -355,10 +355,8 @@ impl<'p> Discovery<'p> {
                     if let Some(to) = return_to {
                         add_edge(&mut edges, &mut succs, &mut preds, b.id, to, EdgeKind::CallFall);
                     }
-                    let fids: Vec<FuncId> = targets
-                        .iter()
-                        .map(|t| FuncId(self.func_ids[t] as u32))
-                        .collect();
+                    let fids: Vec<FuncId> =
+                        targets.iter().map(|t| FuncId(self.func_ids[t] as u32)).collect();
                     let callee = if matches!(last.flow(last_addr), Flow::Call { .. }) {
                         Callee::Direct(fids[0])
                     } else {
@@ -457,9 +455,7 @@ mod tests {
         let cs = &cfg.call_sites()[0];
         assert_eq!(cs.callee.targets().len(), 1);
         let ret_to = cs.return_to.unwrap();
-        assert!(cfg
-            .succs(cs.block)
-            .any(|(_, e)| e.to == ret_to && e.kind == EdgeKind::CallFall));
+        assert!(cfg.succs(cs.block).any(|(_, e)| e.to == ret_to && e.kind == EdgeKind::CallFall));
         // Callee has one return block.
         let f1 = &cfg.functions()[1];
         assert_eq!(f1.returns.len(), 1);

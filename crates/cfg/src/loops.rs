@@ -76,10 +76,7 @@ impl Cfg {
         let mut loops = Vec::new();
         for (i, (header, back_edges)) in headers.iter().enumerate() {
             let mut body: BTreeSet<BlockId> = BTreeSet::from([*header]);
-            let mut work: Vec<BlockId> = back_edges
-                .iter()
-                .map(|&e| self.edge(e).from)
-                .collect();
+            let mut work: Vec<BlockId> = back_edges.iter().map(|&e| self.edge(e).from).collect();
             while let Some(b) = work.pop() {
                 if body.insert(b) {
                     for (_, e) in self.preds(b) {

@@ -4,8 +4,8 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use stamp_ai::{Icfg, VivuConfig};
-use stamp_cfg::CfgBuilder;
 use stamp_cache::CacheAnalysis;
+use stamp_cfg::CfgBuilder;
 use stamp_hw::HwConfig;
 use stamp_isa::Program;
 use stamp_loopbound::{LoopBoundAnalysis, LoopBoundOptions};
@@ -57,11 +57,7 @@ pub struct WcetAnalysis<'p> {
 impl<'p> WcetAnalysis<'p> {
     /// Creates an analyzer for `program` with the default configuration.
     pub fn new(program: &'p Program) -> WcetAnalysis<'p> {
-        WcetAnalysis {
-            program,
-            config: AnalysisConfig::default(),
-            annotations: Annotations::new(),
-        }
+        WcetAnalysis { program, config: AnalysisConfig::default(), annotations: Annotations::new() }
     }
 
     /// Replaces the whole configuration.
@@ -181,8 +177,6 @@ impl<'p> WcetAnalysis<'p> {
         let result: WcetResult = stamp_path::analyze(&cfg, &icfg, &va, &lb, &pa, &path_opts)?;
         clock(&mut phases, "path analysis (ILP)", t);
 
-        Ok(WcetReport::assemble(
-            program, &cfg, &icfg, &va, &lb, &ca, &pa, &result, phases,
-        ))
+        Ok(WcetReport::assemble(program, &cfg, &icfg, &va, &lb, &ca, &pa, &result, phases))
     }
 }

@@ -69,8 +69,7 @@ impl Annotations {
         addr: u32,
         targets: impl IntoIterator<Item = u32>,
     ) -> Annotations {
-        self.indirect_targets
-            .push((Loc::Addr(addr), targets.into_iter().map(Loc::Addr).collect()));
+        self.indirect_targets.push((Loc::Addr(addr), targets.into_iter().map(Loc::Addr).collect()));
         self
     }
 
@@ -81,10 +80,8 @@ impl Annotations {
         at: impl Into<String>,
         targets: impl IntoIterator<Item = String>,
     ) -> Annotations {
-        self.indirect_targets.push((
-            Loc::Symbol(at.into()),
-            targets.into_iter().map(Loc::Symbol).collect(),
-        ));
+        self.indirect_targets
+            .push((Loc::Symbol(at.into()), targets.into_iter().map(Loc::Symbol).collect()));
         self
     }
 
@@ -102,10 +99,7 @@ impl Annotations {
 
     /// Resolves loop bounds to header addresses.
     pub(crate) fn resolved_loop_bounds(&self, program: &Program) -> BTreeMap<u32, u64> {
-        self.loop_bounds
-            .iter()
-            .filter_map(|(l, b)| l.resolve(program).map(|a| (a, *b)))
-            .collect()
+        self.loop_bounds.iter().filter_map(|(l, b)| l.resolve(program).map(|a| (a, *b))).collect()
     }
 
     /// Resolves indirect-target annotations to addresses.
@@ -146,9 +140,8 @@ mod tests {
     #[test]
     fn addresses_pass_through() {
         let p = assemble(".text\nmain: halt\n").unwrap();
-        let ann = Annotations::new()
-            .loop_bound_at(0x40, 3)
-            .indirect_target_addrs(0x10, [0x20, 0x30]);
+        let ann =
+            Annotations::new().loop_bound_at(0x40, 3).indirect_target_addrs(0x10, [0x20, 0x30]);
         assert_eq!(ann.resolved_loop_bounds(&p)[&0x40], 3);
         assert_eq!(ann.resolved_indirects(&p)[&0x10], vec![0x20, 0x30]);
     }

@@ -1,0 +1,461 @@
+//! Parallel batch analysis: a job matrix of (target × configuration
+//! variant), executed across a `stamp_exec` worker pool, merged into one
+//! deterministic report.
+//!
+//! Certification campaigns analyze whole task sets across many hardware
+//! configurations, not one binary at a time. [`BatchRequest`] expresses
+//! that matrix, [`run_batch`] saturates the machine with it, and
+//! [`BatchReport`] carries the merged results.
+//!
+//! # Determinism
+//!
+//! The headline invariant, enforced by `tests/batch_determinism.rs` and
+//! the CI `batch-smoke` job: a parallel run is **bit-identical** to the
+//! serial run of the same request, job for job. Two design decisions
+//! make that cheap to guarantee:
+//!
+//! 1. each job owns its whole analysis — program assembly, CFG, solver
+//!    state (including the kernel's `Rc`-based copy-on-write maps,
+//!    which therefore stay thread-local and need no synchronization);
+//! 2. results are ordered by job index (the pool writes into per-job
+//!    slots), never by completion time.
+//!
+//! Wall times are the one legitimately nondeterministic output; they
+//! are segregated so [`BatchReport::results_json`] is byte-comparable
+//! across runs while [`BatchReport::to_json`] adds the timing layer.
+
+use std::time::Instant;
+
+use stamp_exec::{Pool, PoolError};
+
+use crate::analyzer::{AnalysisConfig, WcetAnalysis};
+use crate::annot::Annotations;
+use crate::json::Json;
+use crate::stack_tool::StackAnalysis;
+
+/// One unit of work: a target program under one configuration variant.
+#[derive(Clone, Debug)]
+pub struct BatchJob {
+    /// The target's name (benchmark name or file stem).
+    pub target: String,
+    /// The configuration variant's name (`"default"` when unvaried).
+    pub variant: String,
+    /// EVA32 assembly source of the target.
+    pub source: String,
+    /// The analyzer configuration for this job.
+    pub config: AnalysisConfig,
+    /// Annotations (loop bounds, recursion depths).
+    pub annotations: Annotations,
+    /// Attempt the WCET analysis (`false` for recursive, stack-only
+    /// tasks, which aiT rejects without annotations).
+    pub wcet: bool,
+}
+
+impl BatchJob {
+    /// The job's display name: `target` alone for the default variant,
+    /// `target@variant` otherwise.
+    pub fn name(&self) -> String {
+        if self.variant == "default" {
+            self.target.clone()
+        } else {
+            format!("{}@{}", self.target, self.variant)
+        }
+    }
+}
+
+/// An ordered set of batch jobs. Order is significant: it is the result
+/// order of the merged report.
+#[derive(Clone, Debug, Default)]
+pub struct BatchRequest {
+    /// The jobs, in report order.
+    pub jobs: Vec<BatchJob>,
+}
+
+impl BatchRequest {
+    /// An empty request.
+    pub fn new() -> BatchRequest {
+        BatchRequest::default()
+    }
+
+    /// Builds the full job matrix `targets × variants`: every target
+    /// analyzed under every configuration variant, targets outermost
+    /// (all variants of one target are adjacent in the report).
+    pub fn matrix(
+        targets: impl IntoIterator<Item = BatchTarget>,
+        variants: &[BatchVariant],
+    ) -> BatchRequest {
+        let mut jobs = Vec::new();
+        for t in targets {
+            for v in variants {
+                jobs.push(BatchJob {
+                    target: t.name.clone(),
+                    variant: v.name.clone(),
+                    source: t.source.clone(),
+                    config: v.config.clone(),
+                    annotations: t.annotations.clone(),
+                    wcet: t.wcet,
+                });
+            }
+        }
+        BatchRequest { jobs }
+    }
+}
+
+/// A program to analyze (one axis of the job matrix).
+#[derive(Clone, Debug)]
+pub struct BatchTarget {
+    /// Target name (used in job names and reports).
+    pub name: String,
+    /// EVA32 assembly source.
+    pub source: String,
+    /// Annotations that apply to this target under every variant.
+    pub annotations: Annotations,
+    /// Whether the WCET analysis applies (see [`BatchJob::wcet`]).
+    pub wcet: bool,
+}
+
+/// A named analyzer configuration (the other axis of the job matrix).
+#[derive(Clone, Debug)]
+pub struct BatchVariant {
+    /// Variant name (used in job names and reports).
+    pub name: String,
+    /// The configuration.
+    pub config: AnalysisConfig,
+}
+
+impl Default for BatchVariant {
+    fn default() -> BatchVariant {
+        BatchVariant { name: "default".to_string(), config: AnalysisConfig::default() }
+    }
+}
+
+/// The outcome of one job. All fields except `wall_ms` are pure
+/// functions of the job — they are the deterministic payload.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// The job's display name ([`BatchJob::name`]).
+    pub name: String,
+    /// Target name.
+    pub target: String,
+    /// Variant name.
+    pub variant: String,
+    /// WCET bound in cycles (`None` for stack-only jobs or failures).
+    pub wcet: Option<u64>,
+    /// Worst-case stack bound in bytes (`None` if the stack analysis
+    /// failed).
+    pub stack: Option<u32>,
+    /// Total solver node evaluations (value + cache + pipeline).
+    pub evaluations: u64,
+    /// I-cache classifications `[always-hit, always-miss, persistent,
+    /// not-classified]`.
+    pub fetch: [usize; 4],
+    /// D-cache classifications, same order.
+    pub data: [usize; 4],
+    /// The analysis error, if any part of the job failed.
+    pub error: Option<String>,
+    /// Wall time of this job in milliseconds (excluded from the
+    /// deterministic rendering).
+    pub wall_ms: f64,
+}
+
+impl JobResult {
+    /// `true` when the job produced every result it was asked for.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+
+    /// The deterministic JSON rendering (no wall time).
+    fn result_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(self.name.clone())),
+            ("target", Json::str(self.target.clone())),
+            ("variant", Json::str(self.variant.clone())),
+            ("wcet", self.wcet.map(Json::int).unwrap_or(Json::Null)),
+            ("stack", self.stack.map(|s| Json::int(s as u64)).unwrap_or(Json::Null)),
+            ("evaluations", Json::int(self.evaluations)),
+            ("fetch", Json::Arr(self.fetch.iter().map(|&v| Json::int(v as u64)).collect())),
+            ("data", Json::Arr(self.data.iter().map(|&v| Json::int(v as u64)).collect())),
+            ("error", self.error.as_ref().map(|e| Json::str(e.clone())).unwrap_or(Json::Null)),
+        ])
+    }
+}
+
+/// The merged report of a batch run: per-job results in request order,
+/// plus the run's timing envelope.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-job results, ordered by job index (request order).
+    pub results: Vec<JobResult>,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Cores the machine exposed to this process.
+    pub cores: usize,
+    /// Wall time of the whole batch in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl BatchReport {
+    /// Number of failed jobs.
+    pub fn errors(&self) -> usize {
+        self.results.iter().filter(|r| !r.is_ok()).count()
+    }
+
+    /// Aggregate throughput in jobs per second.
+    pub fn throughput(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            self.results.len() as f64 / (self.wall_ms / 1e3)
+        } else {
+            0.0
+        }
+    }
+
+    /// The deterministic core of the report: per-job results only, no
+    /// wall times, no worker count. Byte-identical across runs and
+    /// across `--jobs` values — this is what the determinism tests and
+    /// the CI pin gate compare.
+    pub fn results_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str("stamp-batch/1")),
+            ("jobs", Json::Arr(self.results.iter().map(|r| r.result_json()).collect())),
+        ])
+    }
+
+    /// The full merged report: the deterministic results plus the
+    /// timing layer (per-job and aggregate wall times, throughput,
+    /// worker count).
+    pub fn to_json(&self) -> Json {
+        let jobs: Vec<Json> = self
+            .results
+            .iter()
+            .map(|r| match r.result_json() {
+                Json::Obj(mut o) => {
+                    o.insert("wall_ms".to_string(), Json::Num(r.wall_ms));
+                    Json::Obj(o)
+                }
+                _ => unreachable!("result_json returns an object"),
+            })
+            .collect();
+        Json::obj([
+            ("schema", Json::str("stamp-batch/1")),
+            ("jobs", Json::Arr(jobs)),
+            ("job_count", Json::int(self.results.len() as u64)),
+            ("error_count", Json::int(self.errors() as u64)),
+            ("workers", Json::int(self.workers as u64)),
+            ("cores", Json::int(self.cores as u64)),
+            ("wall_ms", Json::Num(self.wall_ms)),
+            ("throughput_jobs_per_s", Json::Num(self.throughput())),
+        ])
+    }
+}
+
+/// A batch-level failure (anything job-level lands in
+/// [`JobResult::error`] instead).
+#[derive(Debug)]
+pub enum BatchError {
+    /// A job panicked (a bug in the analyzer, not an analysis error).
+    JobPanicked {
+        /// The failing job's display name.
+        job: String,
+        /// The panic message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchError::JobPanicked { job, message } => {
+                write!(f, "batch job `{job}` panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// Runs one job, start to finish, on the current thread. Analysis
+/// failures are captured into the result, not propagated: one
+/// unanalyzable task must not sink a certification campaign's batch.
+fn run_job(job: &BatchJob) -> JobResult {
+    let t = Instant::now();
+    let mut result = JobResult {
+        name: job.name(),
+        target: job.target.clone(),
+        variant: job.variant.clone(),
+        wcet: None,
+        stack: None,
+        evaluations: 0,
+        fetch: [0; 4],
+        data: [0; 4],
+        error: None,
+        wall_ms: 0.0,
+    };
+    let mut errors: Vec<String> = Vec::new();
+
+    match stamp_isa::asm::assemble(&job.source) {
+        Err(e) => errors.push(format!("assemble: {e}")),
+        Ok(program) => {
+            match StackAnalysis::new(&program)
+                .hw(job.config.hw)
+                .annotations(job.annotations.clone())
+                .run()
+            {
+                Ok(stack) => result.stack = Some(stack.bound),
+                Err(e) => errors.push(format!("stack: {e}")),
+            }
+            if job.wcet {
+                match WcetAnalysis::new(&program)
+                    .config(job.config.clone())
+                    .annotations(job.annotations.clone())
+                    .run()
+                {
+                    Ok(report) => {
+                        result.wcet = Some(report.wcet);
+                        result.evaluations = report.evaluations;
+                        let (f, d) = (report.fetch_stats, report.data_stats);
+                        result.fetch = [f.hit, f.miss, f.persistent, f.unclassified];
+                        result.data = [d.hit, d.miss, d.persistent, d.unclassified];
+                    }
+                    Err(e) => errors.push(format!("wcet: {e}")),
+                }
+            }
+        }
+    }
+
+    if !errors.is_empty() {
+        result.error = Some(errors.join("; "));
+    }
+    result.wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    result
+}
+
+/// Runs every job of `request` across `workers` threads and merges the
+/// results into one report, ordered by job index.
+///
+/// # Errors
+///
+/// [`BatchError::JobPanicked`] when a job panics — the error names the
+/// job. Analysis-level failures (bad source, missing loop bounds)
+/// never error the batch; they are recorded per job.
+pub fn run_batch(request: &BatchRequest, workers: usize) -> Result<BatchReport, BatchError> {
+    let t = Instant::now();
+    let pool = Pool::new(workers);
+    let results = pool
+        .map_labeled(&request.jobs, |_, job| job.name(), |_, job| run_job(job))
+        .map_err(|e| {
+            let PoolError::JobPanicked { label, message, .. } = e;
+            BatchError::JobPanicked { job: label, message }
+        })?;
+    Ok(BatchReport {
+        results,
+        workers: pool.workers(),
+        cores: stamp_exec::default_workers(),
+        wall_ms: t.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOOP_TASK: &str = "\
+        .text
+main:   addi sp, sp, -32
+        li   r1, 10
+loop:   addi r1, r1, -1
+        bnez r1, loop
+        addi sp, sp, 32
+        halt
+";
+
+    fn target(name: &str, source: &str) -> BatchTarget {
+        BatchTarget {
+            name: name.to_string(),
+            source: source.to_string(),
+            annotations: Annotations::new(),
+            wcet: true,
+        }
+    }
+
+    #[test]
+    fn matrix_builds_targets_times_variants_in_order() {
+        let req = BatchRequest::matrix(
+            [target("a", LOOP_TASK), target("b", LOOP_TASK)],
+            &[
+                BatchVariant::default(),
+                BatchVariant {
+                    name: "no-cache".to_string(),
+                    config: AnalysisConfig {
+                        hw: stamp_hw::HwConfig::no_cache(),
+                        ..AnalysisConfig::default()
+                    },
+                },
+            ],
+        );
+        let names: Vec<String> = req.jobs.iter().map(|j| j.name()).collect();
+        assert_eq!(names, ["a", "a@no-cache", "b", "b@no-cache"]);
+    }
+
+    #[test]
+    fn batch_runs_and_results_are_deterministic_across_worker_counts() {
+        let req = BatchRequest::matrix([target("t", LOOP_TASK)], &[BatchVariant::default()]);
+        let serial = run_batch(&req, 1).unwrap();
+        let parallel = run_batch(&req, 4).unwrap();
+        assert_eq!(serial.results_json().to_string(), parallel.results_json().to_string());
+        assert!(serial.results[0].wcet.is_some());
+        assert_eq!(serial.results[0].stack, Some(32));
+        assert_eq!(serial.errors(), 0);
+    }
+
+    #[test]
+    fn analysis_failure_is_captured_per_job_not_propagated() {
+        let mut req = BatchRequest::matrix(
+            [target("good", LOOP_TASK), target("bad-asm", ".text\nmain: frobnicate r1\n")],
+            &[BatchVariant::default()],
+        );
+        // A task whose loop bound the analysis cannot derive.
+        req.jobs.push(BatchJob {
+            target: "unbounded".to_string(),
+            variant: "default".to_string(),
+            source: "\
+        .text
+main:   la   r1, v
+        lw   r1, 0(r1)
+loop:   srli r1, r1, 1
+        bnez r1, loop
+        halt
+        .data
+v:      .space 4
+"
+            .to_string(),
+            config: AnalysisConfig::default(),
+            annotations: Annotations::new(),
+            wcet: true,
+        });
+        let report = run_batch(&req, 2).unwrap();
+        assert_eq!(report.results.len(), 3);
+        assert!(report.results[0].is_ok());
+        assert!(report.results[1].error.as_deref().unwrap().contains("assemble"));
+        assert!(report.results[2].error.as_deref().unwrap().contains("wcet"));
+        assert_eq!(report.errors(), 2);
+    }
+
+    #[test]
+    fn report_json_layers_timing_over_deterministic_core() {
+        let req = BatchRequest::matrix([target("t", LOOP_TASK)], &[BatchVariant::default()]);
+        let report = run_batch(&req, 1).unwrap();
+        let det = report.results_json().to_string();
+        assert!(!det.contains("wall_ms"), "{det}");
+        let full = report.to_json().to_string();
+        assert!(full.contains("\"wall_ms\""), "{full}");
+        assert!(full.contains("\"throughput_jobs_per_s\""), "{full}");
+        assert!(full.contains("\"cores\""), "{full}");
+    }
+
+    #[test]
+    fn empty_request_yields_empty_report() {
+        let report = run_batch(&BatchRequest::new(), 8).unwrap();
+        assert!(report.results.is_empty());
+        assert_eq!(report.errors(), 0);
+    }
+}

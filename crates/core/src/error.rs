@@ -63,9 +63,7 @@ impl Error for AnalysisError {
             AnalysisError::Icfg(e) => Some(e),
             AnalysisError::Path(e) => Some(e),
             AnalysisError::Stack(e) => Some(e),
-            AnalysisError::UnresolvedIndirects { .. } | AnalysisError::UnknownSymbol { .. } => {
-                None
-            }
+            AnalysisError::UnresolvedIndirects { .. } | AnalysisError::UnknownSymbol { .. } => None,
         }
     }
 }

@@ -44,6 +44,7 @@
 
 mod analyzer;
 mod annot;
+mod batch;
 mod error;
 mod json;
 mod report;
@@ -51,7 +52,11 @@ mod stack_tool;
 
 pub use analyzer::{AnalysisConfig, WcetAnalysis};
 pub use annot::Annotations;
+pub use batch::{
+    run_batch, BatchError, BatchJob, BatchReport, BatchRequest, BatchTarget, BatchVariant,
+    JobResult,
+};
 pub use error::AnalysisError;
-pub use json::Json;
+pub use json::{Json, JsonParseError};
 pub use report::{PhaseStats, WcetReport};
 pub use stack_tool::{StackAnalysis, StackReport};

@@ -208,11 +208,8 @@ impl WcetReport {
             d.hit, d.miss, d.persistent, d.unclassified
         );
         let _ = writeln!(out, "\n-- path analysis");
-        let _ = writeln!(
-            out,
-            "ILP: {} variables, {} constraints",
-            self.ilp_size.0, self.ilp_size.1
-        );
+        let _ =
+            writeln!(out, "ILP: {} variables, {} constraints", self.ilp_size.0, self.ilp_size.1);
         let _ = writeln!(out, "\n**** WCET bound: {} cycles ****", self.wcet);
         let _ = writeln!(out, "\n-- worst-case profile (per block)");
         let mut rows: Vec<&(u32, u64, u64)> = self.block_profile.iter().collect();

@@ -101,9 +101,11 @@ impl<'p> StackAnalysis<'p> {
     /// Analyzes the task whose entry is the given symbol (for multi-task
     /// images, one task per OSEK task entry).
     pub fn run_task(&self, entry_symbol: &str) -> Result<StackReport, AnalysisError> {
-        let addr = self.program.symbols.addr_of(entry_symbol).ok_or_else(|| {
-            AnalysisError::UnknownSymbol { name: entry_symbol.to_string() }
-        })?;
+        let addr = self
+            .program
+            .symbols
+            .addr_of(entry_symbol)
+            .ok_or_else(|| AnalysisError::UnknownSymbol { name: entry_symbol.to_string() })?;
         let mut program = self.program.clone();
         program.entry = addr;
         self.run_program(&program)
@@ -118,13 +120,8 @@ impl<'p> StackAnalysis<'p> {
 
         match Icfg::build(&cfg, &VivuConfig::default()) {
             Ok(icfg) => {
-                let va = ValueAnalysis::run(
-                    program,
-                    &self.hw,
-                    &cfg,
-                    &icfg,
-                    &ValueOptions::default(),
-                );
+                let va =
+                    ValueAnalysis::run(program, &self.hw, &cfg, &icfg, &ValueOptions::default());
                 let precise = stamp_stack::analyze_icfg(program, &self.hw, &cfg, &icfg, &va)?;
                 // The callgraph mode also provides the per-function table.
                 let breakdown = stamp_stack::analyze_callgraph(
@@ -136,23 +133,14 @@ impl<'p> StackAnalysis<'p> {
                 )
                 .map(|r| r.per_function)
                 .unwrap_or_default();
-                Ok(StackReport {
-                    bound: precise.total,
-                    mode: "precise",
-                    per_function: breakdown,
-                })
+                Ok(StackReport { bound: precise.total, mode: "precise", per_function: breakdown })
             }
             // Recursion: fall back to the compositional mode.
             Err(IcfgError::CallDepthExceeded { .. } | IcfgError::ContextExplosion { .. }) => {
-                let opts = StackOptions {
-                    recursion_depths: self.annotations.resolved_recursion(program),
-                };
+                let opts =
+                    StackOptions { recursion_depths: self.annotations.resolved_recursion(program) };
                 let r = stamp_stack::analyze_callgraph(program, &cfg, &opts)?;
-                Ok(StackReport {
-                    bound: r.total,
-                    mode: "callgraph",
-                    per_function: r.per_function,
-                })
+                Ok(StackReport { bound: r.total, mode: "callgraph", per_function: r.per_function })
             }
             Err(e) => Err(e.into()),
         }

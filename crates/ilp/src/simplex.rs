@@ -45,8 +45,8 @@ pub(crate) fn solve(mut s: Standard) -> Result<SimplexResult, IlpError> {
         for r in 0..rows {
             let bc = s.basis[r];
             if s.artificials.contains(&bc) {
-                let pivot_col = (0..cols)
-                    .find(|j| !s.artificials.contains(j) && !s.a[r][*j].is_zero());
+                let pivot_col =
+                    (0..cols).find(|j| !s.artificials.contains(j) && !s.a[r][*j].is_zero());
                 if let Some(j) = pivot_col {
                     pivot(&mut s.a, &mut s.b, r, j);
                     s.basis[r] = j;
@@ -84,12 +84,7 @@ pub(crate) fn solve(mut s: Standard) -> Result<SimplexResult, IlpError> {
 /// identical to recomputation, at O(cols) instead of O(rows·cols) per
 /// iteration; basic columns carry an exact reduced cost of zero and need
 /// no membership test.
-fn run(
-    a: &mut [Vec<Rat>],
-    b: &mut [Rat],
-    c: &[Rat],
-    basis: &mut [usize],
-) -> Result<Rat, IlpError> {
+fn run(a: &mut [Vec<Rat>], b: &mut [Rat], c: &[Rat], basis: &mut [usize]) -> Result<Rat, IlpError> {
     let rows = a.len();
     let cols = c.len();
     let mut rc: Vec<Rat> = c.to_vec();

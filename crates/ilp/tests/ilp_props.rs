@@ -15,20 +15,16 @@ fn small_ilp() -> impl Strategy<Value = SmallIlp> {
     (2usize..=3)
         .prop_flat_map(|nvars| {
             let objective = prop::collection::vec(0i64..8, nvars);
-            let cons = prop::collection::vec(
-                (prop::collection::vec(0i64..5, nvars), 1i64..25),
-                1..=3,
-            );
+            let cons =
+                prop::collection::vec((prop::collection::vec(0i64..5, nvars), 1i64..25), 1..=3);
             (objective, cons)
         })
         .prop_map(|(objective, le_constraints)| SmallIlp { objective, le_constraints })
         .prop_filter("bounded", |ilp| {
             // Every variable with positive objective must appear with a
             // positive coefficient somewhere, else unbounded.
-            (0..ilp.objective.len()).all(|j| {
-                ilp.objective[j] == 0
-                    || ilp.le_constraints.iter().any(|(c, _)| c[j] > 0)
-            })
+            (0..ilp.objective.len())
+                .all(|j| ilp.objective[j] == 0 || ilp.le_constraints.iter().any(|(c, _)| c[j] > 0))
         })
 }
 

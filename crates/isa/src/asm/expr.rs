@@ -164,9 +164,7 @@ fn parse_char(rest: &str, line: u32) -> Result<(u8, usize), AsmError> {
     let mut chars = rest.chars();
     match chars.next() {
         Some('\\') => {
-            let c = chars
-                .next()
-                .ok_or_else(|| AsmError::new(line, "unterminated escape"))?;
+            let c = chars.next().ok_or_else(|| AsmError::new(line, "unterminated escape"))?;
             let b = match c {
                 'n' => b'\n',
                 't' => b'\t',
@@ -200,8 +198,7 @@ mod tests {
     use super::*;
 
     fn eval_str(s: &str, syms: &[(&str, i64)]) -> i64 {
-        let map: BTreeMap<String, i64> =
-            syms.iter().map(|(n, v)| (n.to_string(), *v)).collect();
+        let map: BTreeMap<String, i64> = syms.iter().map(|(n, v)| (n.to_string(), *v)).collect();
         parse_expr(s, 1).unwrap().eval(&map).unwrap()
     }
 

@@ -156,7 +156,10 @@ pub fn assemble_with(src: &str, opts: &AsmOptions) -> Result<Program, AsmError> 
                     return Err(AsmError::new(line, "instructions must be in .text"));
                 }
                 let v = value.eval(&consts).map_err(|_| {
-                    AsmError::new(line, "`li` requires an assembly-time constant; use `la` for addresses")
+                    AsmError::new(
+                        line,
+                        "`li` requires an assembly-time constant; use `la` for addresses",
+                    )
                 })?;
                 if !(-(1i64 << 31)..(1i64 << 32)).contains(&v) {
                     return Err(AsmError::new(line, format!("`li` value {v} out of 32-bit range")));
@@ -176,7 +179,10 @@ pub fn assemble_with(src: &str, opts: &AsmOptions) -> Result<Program, AsmError> 
             }
             Stmt::Data { item, line } => {
                 if cur == SectionSel::Text && !matches!(item, DataItem::Align(_)) {
-                    return Err(AsmError::new(line, "data directives are not allowed in .text (use .rodata)"));
+                    return Err(AsmError::new(
+                        line,
+                        "data directives are not allowed in .text (use .rodata)",
+                    ));
                 }
                 if cur == SectionSel::Bss
                     && !matches!(item, DataItem::Space(_) | DataItem::Align(_))
@@ -191,7 +197,10 @@ pub fn assemble_with(src: &str, opts: &AsmOptions) -> Result<Program, AsmError> 
                     DataItem::Ascii(b) => b.len() as u32,
                     DataItem::Align(n) => {
                         if cur == SectionSel::Text && *n % 4 != 0 {
-                            return Err(AsmError::new(line, ".align in .text must be a multiple of 4"));
+                            return Err(AsmError::new(
+                                line,
+                                ".align in .text must be a multiple of 4",
+                            ));
                         }
                         off.next_multiple_of(*n) - *off
                     }
@@ -208,7 +217,9 @@ pub fn assemble_with(src: &str, opts: &AsmOptions) -> Result<Program, AsmError> 
     let rodata_base = (text_base + size(SectionSel::Text)).next_multiple_of(16);
     let data_base = opts.data_base;
     let bss_base = (data_base + size(SectionSel::Data)).next_multiple_of(16);
-    if rodata_base + size(SectionSel::RoData) > data_base && size(SectionSel::RoData) + size(SectionSel::Text) > 0 {
+    if rodata_base + size(SectionSel::RoData) > data_base
+        && size(SectionSel::RoData) + size(SectionSel::Text) > 0
+    {
         // ROM running into RAM means the image is simply too large.
         if rodata_base.checked_add(size(SectionSel::RoData)).is_none_or(|end| end > data_base) {
             return Err(AsmError::new(0, "ROM image overlaps the RAM base; increase data_base"));
@@ -293,10 +304,7 @@ pub fn assemble_with(src: &str, opts: &AsmOptions) -> Result<Program, AsmError> 
             .addr_of(&name)
             .ok_or_else(|| AsmError::new(line, format!("undefined entry symbol `{name}`")))?
     } else {
-        table
-            .addr_of("main")
-            .or_else(|| table.addr_of("_start"))
-            .unwrap_or(text_base)
+        table.addr_of("main").or_else(|| table.addr_of("_start")).unwrap_or(text_base)
     };
 
     Ok(Program::new(entry, sections, table))
@@ -375,18 +383,12 @@ fn resolve_slot(
             base: *base,
             offset: imm32(offset)?,
         },
-        Slot::Store { width, src, base, offset } => Insn::Store {
-            width: *width,
-            src: *src,
-            base: *base,
-            offset: imm32(offset)?,
-        },
-        Slot::Branch { cond, rs1, rs2, target } => Insn::Branch {
-            cond: *cond,
-            rs1: *rs1,
-            rs2: *rs2,
-            offset: rel_words(target)?,
-        },
+        Slot::Store { width, src, base, offset } => {
+            Insn::Store { width: *width, src: *src, base: *base, offset: imm32(offset)? }
+        }
+        Slot::Branch { cond, rs1, rs2, target } => {
+            Insn::Branch { cond: *cond, rs1: *rs1, rs2: *rs2, offset: rel_words(target)? }
+        }
         Slot::Jump { target, link } => {
             let offset = rel_words(target)?;
             if *link {
@@ -395,9 +397,7 @@ fn resolve_slot(
                 Insn::Jump { offset }
             }
         }
-        Slot::Jalr { rd, rs1, offset } => {
-            Insn::Jalr { rd: *rd, rs1: *rs1, offset: imm32(offset)? }
-        }
+        Slot::Jalr { rd, rs1, offset } => Insn::Jalr { rd: *rd, rs1: *rs1, offset: imm32(offset)? },
     };
     Ok(insn)
 }
@@ -494,14 +494,15 @@ mod tests {
         assert_eq!(p.rom_value(tbl, MemWidth::W), Some(0)); // main
         assert_eq!(p.rom_value(tbl + 4, MemWidth::W), Some(0xc)); // loop
         assert_eq!(p.rom_value(tbl + 8, MemWidth::W), Some(3)); // N
+
         // Data section placed at the default RAM base.
         assert_eq!(p.symbols.addr_of("buf"), Some(0x1000_0000));
     }
 
     #[test]
     fn li_expansion_sizes() {
-        let p = assemble(".text\nmain: li r1, 5\nli r2, 0x12345678\nli r3, 0x70000\nhalt\n")
-            .unwrap();
+        let p =
+            assemble(".text\nmain: li r1, 5\nli r2, 0x12345678\nli r3, 0x70000\nhalt\n").unwrap();
         // 1 + 2 + 1 (0x70000 = lui only) + 1 instructions.
         assert_eq!(p.insn_count(), 5);
         assert_eq!(p.decode_at(4).unwrap(), Insn::Lui { rd: Reg::new(2), imm: 0x1234 });
@@ -549,10 +550,9 @@ mod tests {
 
     #[test]
     fn label_arithmetic_in_data() {
-        let p = assemble(
-            ".text\nmain: halt\n.rodata\nstart:\n.word 1, 2, 3\nend:\n.word end-start\n",
-        )
-        .unwrap();
+        let p =
+            assemble(".text\nmain: halt\n.rodata\nstart:\n.word 1, 2, 3\nend:\n.word end-start\n")
+                .unwrap();
         let end = p.symbols.addr_of("end").unwrap();
         assert_eq!(p.rom_value(end, MemWidth::W), Some(12));
     }

@@ -53,14 +53,33 @@ pub(super) enum Slot {
 /// A parsed statement.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub(super) enum Stmt {
-    Label { name: String, line: u32 },
+    Label {
+        name: String,
+        line: u32,
+    },
     Section(SectionSel),
-    Equ { name: String, value: Expr },
-    Data { item: DataItem, line: u32 },
-    Entry { name: String, line: u32 },
+    Equ {
+        name: String,
+        value: Expr,
+    },
+    Data {
+        item: DataItem,
+        line: u32,
+    },
+    Entry {
+        name: String,
+        line: u32,
+    },
     /// `li` is expanded by the driver, which knows `.equ` constants.
-    Li { rd: Reg, value: Expr, line: u32 },
-    Insn { slots: Vec<Slot>, line: u32 },
+    Li {
+        rd: Reg,
+        value: Expr,
+        line: u32,
+    },
+    Insn {
+        slots: Vec<Slot>,
+        line: u32,
+    },
 }
 
 /// Parses one source line into zero or more statements.
@@ -155,9 +174,7 @@ fn parse_directive(dir: &str, line: u32) -> Result<Vec<Stmt>, AsmError> {
             let n = parse_expr(args, line)?
                 .as_const()
                 .filter(|&n| n > 0 && (n as u64).is_power_of_two() && n <= 4096)
-                .ok_or_else(|| {
-                    AsmError::new(line, ".align requires a power-of-two byte count")
-                })?;
+                .ok_or_else(|| AsmError::new(line, ".align requires a power-of-two byte count"))?;
             Stmt::Data { item: DataItem::Align(n as u32), line }
         }
         "ascii" | "asciiz" | "string" => {
@@ -196,9 +213,7 @@ fn parse_string(s: &str, line: u32) -> Result<Vec<u8>, AsmError> {
     let mut chars = inner.chars();
     while let Some(c) = chars.next() {
         if c == '\\' {
-            let e = chars
-                .next()
-                .ok_or_else(|| AsmError::new(line, "unterminated escape"))?;
+            let e = chars.next().ok_or_else(|| AsmError::new(line, "unterminated escape"))?;
             out.push(match e {
                 'n' => b'\n',
                 't' => b'\t',
@@ -263,9 +278,9 @@ impl Ops<'_> {
     }
 
     fn reg(&self, i: usize) -> Result<Reg, AsmError> {
-        self.ops[i]
-            .parse::<Reg>()
-            .map_err(|_| AsmError::new(self.line, format!("expected register, got `{}`", self.ops[i])))
+        self.ops[i].parse::<Reg>().map_err(|_| {
+            AsmError::new(self.line, format!("expected register, got `{}`", self.ops[i]))
+        })
     }
 
     fn expr(&self, i: usize) -> Result<Expr, AsmError> {
@@ -285,11 +300,8 @@ impl Ops<'_> {
                 .parse()
                 .map_err(|_| AsmError::new(self.line, "bad base register"))?;
             let off = s[..open].trim();
-            let offset = if off.is_empty() {
-                Expr::num(0, self.line)
-            } else {
-                parse_expr(off, self.line)?
-            };
+            let offset =
+                if off.is_empty() { Expr::num(0, self.line) } else { parse_expr(off, self.line)? };
             Ok((offset, base))
         } else {
             Ok((parse_expr(s, self.line)?, Reg::ZERO))
@@ -305,9 +317,8 @@ fn parse_insn(text: &str, line: u32) -> Result<Stmt, AsmError> {
     let mnemonic_lc = mnemonic.to_ascii_lowercase();
     let o = Ops { mnemonic: &mnemonic_lc, ops: split_operands(args), line };
 
-    let alu = |m: &str| -> Option<AluOp> {
-        AluOp::ALL.iter().copied().find(|op| op.mnemonic() == m)
-    };
+    let alu =
+        |m: &str| -> Option<AluOp> { AluOp::ALL.iter().copied().find(|op| op.mnemonic() == m) };
     let cond = |m: &str| -> Option<Cond> {
         Cond::ALL.iter().copied().find(|c| format!("b{}", c.suffix()) == m)
     };
@@ -403,9 +414,7 @@ fn parse_insn(text: &str, line: u32) -> Result<Stmt, AsmError> {
             1 => vec![Slot::Fixed(Insn::Jalr { rd: Reg::LR, rs1: o.reg(0)?, offset: 0 })],
             2 => vec![Slot::Jalr { rd: o.reg(0)?, rs1: o.reg(1)?, offset: Expr::num(0, line) }],
             3 => vec![Slot::Jalr { rd: o.reg(0)?, rs1: o.reg(1)?, offset: o.expr(2)? }],
-            n => {
-                return Err(AsmError::new(line, format!("`jalr` expects 1-3 operands, got {n}")))
-            }
+            n => return Err(AsmError::new(line, format!("`jalr` expects 1-3 operands, got {n}"))),
         },
         "ret" => {
             o.expect(0)?;
@@ -543,10 +552,7 @@ mod tests {
 
     #[test]
     fn directives() {
-        assert!(matches!(
-            parse_line(".text", 1).unwrap()[0],
-            Stmt::Section(SectionSel::Text)
-        ));
+        assert!(matches!(parse_line(".text", 1).unwrap()[0], Stmt::Section(SectionSel::Text)));
         let s = parse_line(".word 1, 2, table+4", 1).unwrap();
         match &s[0] {
             Stmt::Data { item: DataItem::Word(es), .. } => assert_eq!(es.len(), 3),

@@ -182,8 +182,7 @@ pub fn encode(insn: &Insn) -> Result<u32, EncodeError> {
             field(opc, src, base) | check_simm16(insn, offset)?
         }
         Insn::Branch { cond, rs1, rs2, offset } => {
-            let opc =
-                op::BRANCH_BASE + Cond::ALL.iter().position(|&c| c == cond).unwrap() as u8;
+            let opc = op::BRANCH_BASE + Cond::ALL.iter().position(|&c| c == cond).unwrap() as u8;
             field(opc, rs1, rs2) | check_simm16(insn, offset)?
         }
         Insn::Jump { offset } => jfmt(op::J, insn, offset)?,

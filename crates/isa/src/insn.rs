@@ -447,9 +447,7 @@ impl Insn {
     /// address `pc`.
     pub fn direct_target(&self, pc: u32) -> Option<u32> {
         match self.flow(pc) {
-            Flow::Branch { target } | Flow::Jump { target } | Flow::Call { target } => {
-                Some(target)
-            }
+            Flow::Branch { target } | Flow::Jump { target } | Flow::Call { target } => Some(target),
             _ => None,
         }
     }
@@ -519,12 +517,7 @@ mod tests {
 
     #[test]
     fn uses_collects_operands() {
-        let i = Insn::Store {
-            width: MemWidth::W,
-            src: Reg::new(2),
-            base: Reg::SP,
-            offset: 8,
-        };
+        let i = Insn::Store { width: MemWidth::W, src: Reg::new(2), base: Reg::SP, offset: 8 };
         let u = i.uses();
         assert!(u.contains(Reg::new(2)));
         assert!(u.contains(Reg::SP));
@@ -534,16 +527,12 @@ mod tests {
     #[test]
     fn flow_classification() {
         assert_eq!(
-            Insn::Branch { cond: Cond::Eq, rs1: Reg::ZERO, rs2: Reg::ZERO, offset: -2 }
-                .flow(0x100),
+            Insn::Branch { cond: Cond::Eq, rs1: Reg::ZERO, rs2: Reg::ZERO, offset: -2 }.flow(0x100),
             Flow::Branch { target: 0xf8 }
         );
         assert_eq!(Insn::Jump { offset: 3 }.flow(0x100), Flow::Jump { target: 0x10c });
         assert_eq!(Insn::Jal { offset: 1 }.flow(0), Flow::Call { target: 4 });
-        assert_eq!(
-            Insn::Jalr { rd: Reg::ZERO, rs1: Reg::LR, offset: 0 }.flow(0),
-            Flow::Return
-        );
+        assert_eq!(Insn::Jalr { rd: Reg::ZERO, rs1: Reg::LR, offset: 0 }.flow(0), Flow::Return);
         assert_eq!(
             Insn::Jalr { rd: Reg::LR, rs1: Reg::new(5), offset: 0 }.flow(0),
             Flow::IndirectCall

@@ -88,10 +88,7 @@ impl SymbolTable {
 
     /// The nearest symbol at or before `addr`, with the offset from it.
     pub fn nearest(&self, addr: u32) -> Option<(&str, u32)> {
-        self.by_addr
-            .range(..=addr)
-            .next_back()
-            .map(|(&a, n)| (n.as_str(), addr - a))
+        self.by_addr.range(..=addr).next_back().map(|(&a, n)| (n.as_str(), addr - a))
     }
 
     /// Iterates over `(name, addr)` pairs in name order.
@@ -192,9 +189,7 @@ impl Program {
         if !self.is_code(addr) {
             return Err(ProgramError::NotCode { addr });
         }
-        let word = self
-            .initial_value(addr, MemWidth::W)
-            .ok_or(ProgramError::NotCode { addr })?;
+        let word = self.initial_value(addr, MemWidth::W).ok_or(ProgramError::NotCode { addr })?;
         decode(word).map_err(|source| ProgramError::Decode { addr, source })
     }
 

@@ -37,10 +37,8 @@ fn immediate_range_diagnostics() {
 
 #[test]
 fn li_accepts_full_32bit_range() {
-    let p = assemble(
-        ".text\nmain: li r1, -2147483648\nli r2, 4294967295\nli r3, 0\nhalt\n",
-    )
-    .unwrap();
+    let p =
+        assemble(".text\nmain: li r1, -2147483648\nli r2, 4294967295\nli r3, 0\nhalt\n").unwrap();
     // -2^31 = 0x80000000: lui only.
     assert_eq!(p.decode_at(0).unwrap(), Insn::Lui { rd: Reg::new(1), imm: 0x8000 });
     // 0xffffffff fits signed 16 (-1): single addi.
@@ -96,10 +94,8 @@ fn data_directives_layout() {
 
 #[test]
 fn bss_takes_no_image_bytes() {
-    let p = assemble(
-        ".text\nmain: halt\n.data\nx: .word 1\n.bss\nbig: .space 4096\nend_:\n",
-    )
-    .unwrap();
+    let p =
+        assemble(".text\nmain: halt\n.data\nx: .word 1\n.bss\nbig: .space 4096\nend_:\n").unwrap();
     let bss = p.sections.iter().find(|s| s.name == ".bss").unwrap();
     assert_eq!(bss.size, 4096);
     assert!(bss.data.is_empty());
@@ -112,10 +108,7 @@ fn bss_takes_no_image_bytes() {
 
 #[test]
 fn rodata_is_rom_data_is_not() {
-    let p = assemble(
-        ".text\nmain: halt\n.rodata\nk: .word 7\n.data\nv: .word 8\n",
-    )
-    .unwrap();
+    let p = assemble(".text\nmain: halt\n.rodata\nk: .word 7\n.data\nv: .word 8\n").unwrap();
     let k = p.symbols.addr_of("k").unwrap();
     let v = p.symbols.addr_of("v").unwrap();
     assert_eq!(p.rom_value(k, MemWidth::W), Some(7));
@@ -126,11 +119,9 @@ fn rodata_is_rom_data_is_not() {
 #[test]
 fn custom_layout_moves_sections() {
     let opts = AsmOptions { text_base: 0x100, data_base: 0x1008_0000 };
-    let p = assemble_with(
-        ".text\nmain: j main\n.rodata\nt: .word main\n.data\nv: .word t\n",
-        &opts,
-    )
-    .unwrap();
+    let p =
+        assemble_with(".text\nmain: j main\n.rodata\nt: .word main\n.data\nv: .word t\n", &opts)
+            .unwrap();
     assert_eq!(p.entry, 0x100);
     let t = p.symbols.addr_of("t").unwrap();
     assert!(t >= 0x104 && t.is_multiple_of(16));
@@ -167,10 +158,7 @@ fn string_escapes_and_hash_in_string() {
 #[test]
 fn jalr_forms() {
     let p = assemble(".text\nmain: jalr r5\njalr r1, r5\njalr r1, r5, 8\nhalt\n").unwrap();
-    assert_eq!(
-        p.decode_at(0).unwrap(),
-        Insn::Jalr { rd: Reg::LR, rs1: Reg::new(5), offset: 0 }
-    );
+    assert_eq!(p.decode_at(0).unwrap(), Insn::Jalr { rd: Reg::LR, rs1: Reg::new(5), offset: 0 });
     assert_eq!(
         p.decode_at(4).unwrap(),
         Insn::Jalr { rd: Reg::new(1), rs1: Reg::new(5), offset: 0 }

@@ -11,9 +11,8 @@ fn reg() -> impl Strategy<Value = Reg> {
 fn insn() -> impl Strategy<Value = Insn> {
     prop_oneof![
         Just(Insn::Halt),
-        (0usize..AluOp::ALL.len(), reg(), reg(), reg()).prop_map(|(op, rd, rs1, rs2)| {
-            Insn::Alu { op: AluOp::ALL[op], rd, rs1, rs2 }
-        }),
+        (0usize..AluOp::ALL.len(), reg(), reg(), reg())
+            .prop_map(|(op, rd, rs1, rs2)| { Insn::Alu { op: AluOp::ALL[op], rd, rs1, rs2 } }),
         // Arithmetic immediates: sign-extended range.
         (reg(), reg(), -0x8000i32..=0x7fff).prop_map(|(rd, rs1, imm)| Insn::AluImm {
             op: AluOp::Add,
@@ -47,12 +46,7 @@ fn insn() -> impl Strategy<Value = Insn> {
             Insn::Load { width, signed, rd, base, offset }
         }),
         (reg(), reg(), -0x8000i32..=0x7fff, 0usize..3).prop_map(|(src, base, offset, w)| {
-            Insn::Store {
-                width: [MemWidth::B, MemWidth::H, MemWidth::W][w],
-                src,
-                base,
-                offset,
-            }
+            Insn::Store { width: [MemWidth::B, MemWidth::H, MemWidth::W][w], src, base, offset }
         }),
         (0usize..6, reg(), reg(), -0x8000i32..=0x7fff).prop_map(|(c, rs1, rs2, offset)| {
             Insn::Branch { cond: Cond::ALL[c], rs1, rs2, offset }

@@ -102,9 +102,9 @@ impl LoopBoundAnalysis {
                 // Every context instance of this loop.
                 for key in loop_instances(icfg, l.header) {
                     let annotated = options.annotations.get(&cfg.block(l.header).start).copied();
-                    let computed = pattern.as_ref().and_then(|p| {
-                        p.bound(cfg, icfg, va, l, &key.1, options.max_iterations)
-                    });
+                    let computed = pattern
+                        .as_ref()
+                        .and_then(|p| p.bound(cfg, icfg, va, l, &key.1, options.max_iterations));
                     match (computed, annotated) {
                         (Some(c), Some(a)) => {
                             bounds.insert(key, c.min(a));
@@ -193,8 +193,7 @@ impl InductionPattern {
             }
         }
         let dom = cfg.dominators(func);
-        let latches: Vec<BlockId> =
-            l.back_edges.iter().map(|&e| cfg.edge(e).from).collect();
+        let latches: Vec<BlockId> = l.back_edges.iter().map(|&e| cfg.edge(e).from).collect();
 
         // Candidate induction registers: single self-increment update.
         for (reg, ups) in &updates {
@@ -293,10 +292,7 @@ impl InductionPattern {
             for &(_, _, rhs, _) in &self.exits {
                 if let CondRhs::Reg(r) = rhs {
                     let rv = src_state.reg(r);
-                    rhs_vals
-                        .entry(r)
-                        .and_modify(|p| *p = p.join(&rv))
-                        .or_insert(rv);
+                    rhs_vals.entry(r).and_modify(|p| *p = p.join(&rv)).or_insert(rv);
                 }
             }
         }
@@ -324,9 +320,9 @@ impl InductionPattern {
             // both intervals are useless; where both paths succeed the
             // relational one is often tighter, so take the minimum.
             let relational_bound = match rhs {
-                CondRhs::Reg(limit_reg) => self.relational_bound(
-                    cfg, icfg, va, l, outer, cont, limit_reg, inc_before, cap,
-                ),
+                CondRhs::Reg(limit_reg) => {
+                    self.relational_bound(cfg, icfg, va, l, outer, cont, limit_reg, inc_before, cap)
+                }
                 CondRhs::Imm(_) => None,
             };
             let bound = match (interval_bound, relational_bound) {

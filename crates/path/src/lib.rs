@@ -59,10 +59,9 @@ impl fmt::Display for PathError {
                 f,
                 "no loop bound for the loop headed at {header_addr:#010x}; add an annotation"
             ),
-            PathError::UnresolvedIndirect { addr } => write!(
-                f,
-                "unresolved indirect jump at {addr:#010x}; add a target annotation"
-            ),
+            PathError::UnresolvedIndirect { addr } => {
+                write!(f, "unresolved indirect jump at {addr:#010x}; add a target annotation")
+            }
             PathError::Ilp(e) => write!(f, "path ILP failed: {e}"),
         }
     }
@@ -219,10 +218,7 @@ pub fn analyze(
         let header = to.block;
         let is_back_of_header =
             matches!(e.kind, IEdgeKind::Intra { back_edge_of: Some(h), .. } if h == header);
-        let header_has_loop = lb
-            .bounds()
-            .keys()
-            .any(|(h, _)| *h == header)
+        let header_has_loop = lb.bounds().keys().any(|(h, _)| *h == header)
             || lb.unbounded().iter().any(|(h, _)| *h == header);
         if !header_has_loop {
             continue;
@@ -253,8 +249,7 @@ pub fn analyze(
                 // a genuine reachability fact, so it applies even when
                 // infeasible-path *path constraints* are ablated.)
                 let unreachable = entries.iter().all(|e| {
-                    infeasible_set.contains(e)
-                        || va.entry_state(icfg.edge(*e).from).is_none()
+                    infeasible_set.contains(e) || va.entry_state(icfg.edge(*e).from).is_none()
                 });
                 if unreachable {
                     for e in entries.iter().chain(backs.iter()) {
@@ -262,9 +257,7 @@ pub fn analyze(
                     }
                     continue;
                 }
-                return Err(PathError::MissingLoopBound {
-                    header_addr: cfg.block(*header).start,
-                });
+                return Err(PathError::MissingLoopBound { header_addr: cfg.block(*header).start });
             }
         };
         // Σ backs − (bound−1) · Σ entries ≤ 0.
@@ -341,8 +334,8 @@ mod tests {
         let lb = LoopBoundAnalysis::run(&p, &cfg, &icfg, &va, &LoopBoundOptions::default());
         let ca = CacheAnalysis::run(hw, &cfg, &icfg, &va);
         let pa = PipelineAnalysis::run(hw, &cfg, &icfg, &ca, &va);
-        let res = analyze(&cfg, &icfg, &va, &lb, &pa, &PathOptions::default())
-            .expect("path analysis");
+        let res =
+            analyze(&cfg, &icfg, &va, &lb, &pa, &PathOptions::default()).expect("path analysis");
         (p, res)
     }
 
@@ -435,15 +428,8 @@ mod tests {
         let lb = LoopBoundAnalysis::run(&p, &cfg, &icfg, &va, &LoopBoundOptions::default());
         let ca = CacheAnalysis::run(&hw, &cfg, &icfg, &va);
         let pa = PipelineAnalysis::run(&hw, &cfg, &icfg, &ca, &va);
-        let loose = analyze(
-            &cfg,
-            &icfg,
-            &va,
-            &lb,
-            &pa,
-            &PathOptions { use_infeasible: false },
-        )
-        .unwrap();
+        let loose =
+            analyze(&cfg, &icfg, &va, &lb, &pa, &PathOptions { use_infeasible: false }).unwrap();
         assert!(loose.wcet > res.wcet);
     }
 
@@ -468,12 +454,8 @@ mod tests {
         let cfg = CfgBuilder::new(&p).build().unwrap();
         let icfg = Icfg::build(&cfg, &VivuConfig::default()).unwrap();
         let inner = cfg.block_at(p.symbols.addr_of("inner").unwrap()).unwrap();
-        let total: u64 = res
-            .block_counts(&icfg)
-            .iter()
-            .filter(|(&b, _)| b == inner)
-            .map(|(_, &c)| c)
-            .sum();
+        let total: u64 =
+            res.block_counts(&icfg).iter().filter(|(&b, _)| b == inner).map(|(_, &c)| c).sum();
         assert_eq!(total, 12);
     }
 

@@ -37,12 +37,7 @@ impl PipeTransfer<'_> {
     /// Walks a block from one incoming pipeline state, returning the
     /// cycle count (excluding the outgoing control-transfer penalty) and
     /// the outgoing state.
-    fn walk(
-        &self,
-        icfg: &Icfg,
-        node: NodeId,
-        entry: PipeState,
-    ) -> (u64, PipeState) {
+    fn walk(&self, icfg: &Icfg, node: NodeId, entry: PipeState) -> (u64, PipeState) {
         let n = icfg.node(node);
         let block = self.cfg.block(n.block);
         let t = self.hw.timing;
@@ -150,11 +145,7 @@ impl PipelineAnalysis {
             // get a sound bound — over all pipeline states — so that the
             // path analysis can optionally ignore infeasibility facts.
             let input = fixpoint.input(nd.id).unwrap_or(&universe);
-            let t = input
-                .iter()
-                .map(|s| transfer.walk(icfg, nd.id, *s).0)
-                .max()
-                .unwrap_or(0);
+            let t = input.iter().map(|s| transfer.walk(icfg, nd.id, *s).0).max().unwrap_or(0);
             times.insert(nd.id, t);
         }
         let ps_extra = ca.ps_fetch_lines().len() as u64 * hw.timing.i_miss_penalty as u64
@@ -321,9 +312,7 @@ mod tests {
             let mut next = None;
             for e in icfg.succs(node) {
                 let feasible = match e.kind {
-                    IEdgeKind::Intra { cfg_edge, .. } => {
-                        cfg.edge(cfg_edge).kind != EdgeKind::Fall
-                    }
+                    IEdgeKind::Intra { cfg_edge, .. } => cfg.edge(cfg_edge).kind != EdgeKind::Fall,
                     _ => true,
                 };
                 if feasible {

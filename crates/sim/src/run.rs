@@ -205,10 +205,10 @@ impl Simulator {
             }
 
             // Execute architecturally.
-            let effect = self.cpu.step(&insn, &mut self.mem).map_err(|fault| SimError {
-                fault,
-                retired: res.retired,
-            })?;
+            let effect = self
+                .cpu
+                .step(&insn, &mut self.mem)
+                .map_err(|fault| SimError { fault, retired: res.retired })?;
 
             // D-cache timing for loads (stores are write-around, 0 stall).
             if let StepEffect::Continue { mem_addr: Some(addr), .. } = effect {

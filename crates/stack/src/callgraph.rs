@@ -84,8 +84,7 @@ pub fn analyze_callgraph(
 
     // ---- Call-graph SCCs (Tarjan).
     let n = cfg.functions().len();
-    let callees: Vec<Vec<FuncId>> =
-        cfg.functions().iter().map(|f| cfg.callees(f.id)).collect();
+    let callees: Vec<Vec<FuncId>> = cfg.functions().iter().map(|f| cfg.callees(f.id)).collect();
     let sccs = tarjan(n, &callees);
     let scc_of: BTreeMap<FuncId, usize> = sccs
         .iter()
@@ -97,8 +96,7 @@ pub fn analyze_callgraph(
     // order (Tarjan emits them callee-first).
     let mut usage: BTreeMap<FuncId, u64> = BTreeMap::new();
     for members in &sccs {
-        let cyclic = members.len() > 1
-            || callees[members[0].index()].contains(&members[0]);
+        let cyclic = members.len() > 1 || callees[members[0].index()].contains(&members[0]);
         // Worst external contribution from any member's call site.
         let mut external: u64 = 0;
         for &f in members {
@@ -125,9 +123,7 @@ pub fn analyze_callgraph(
             // Recursive cycle: needs a depth annotation on some member.
             let depth = members
                 .iter()
-                .filter_map(|&f| {
-                    options.recursion_depths.get(&cfg.func(f).entry_addr).copied()
-                })
+                .filter_map(|&f| options.recursion_depths.get(&cfg.func(f).entry_addr).copied())
                 .max()
                 .ok_or_else(|| StackError::Recursion {
                     function: cfg.func(members[0]).name.clone(),
@@ -280,8 +276,7 @@ mod tests {
 
     #[test]
     fn variable_sp_rejected() {
-        let err = run(".text\nmain: sub sp, sp, r1\nhalt\n", &StackOptions::default())
-            .unwrap_err();
+        let err = run(".text\nmain: sub sp, sp, r1\nhalt\n", &StackOptions::default()).unwrap_err();
         assert!(matches!(err, StackError::VariableAdjustment { .. }));
     }
 

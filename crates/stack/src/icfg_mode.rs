@@ -48,8 +48,7 @@ pub fn analyze_icfg(
     va: &ValueAnalysis,
 ) -> Result<StackResult, StackError> {
     let stack_top = hw.mem.stack_top();
-    let transfer =
-        ValueTransfer::new(program, hw, cfg, DomainKind::Strided, Rc::new(vec![0]));
+    let transfer = ValueTransfer::new(program, hw, cfg, DomainKind::Strided, Rc::new(vec![0]));
     let mut worst: u32 = 0;
 
     for nd in icfg.nodes() {

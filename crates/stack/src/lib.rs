@@ -61,10 +61,9 @@ impl fmt::Display for StackError {
             StackError::UnknownStackPointer { addr } => {
                 write!(f, "stack pointer unknown at {addr:#010x}")
             }
-            StackError::Recursion { function } => write!(
-                f,
-                "recursion through `{function}` needs a depth annotation"
-            ),
+            StackError::Recursion { function } => {
+                write!(f, "recursion through `{function}` needs a depth annotation")
+            }
             StackError::VariableAdjustment { addr } => {
                 write!(f, "non-constant stack adjustment at {addr:#010x}")
             }

@@ -102,8 +102,7 @@ impl<R: Rng> Gen<'_, R> {
         let (a, b) = (self.reg(), self.reg());
         let t = self.fresh("then");
         let j = self.fresh("join");
-        let cond = ["beq", "bne", "blt", "bge", "bltu", "bgeu"]
-            [self.rng.gen_range(0..6usize)];
+        let cond = ["beq", "bne", "blt", "bge", "bltu", "bgeu"][self.rng.gen_range(0..6usize)];
         let _ = writeln!(self.out, "        {cond} {a}, {b}, {t}");
         self.block(cfg.block_len / 2);
         let _ = writeln!(self.out, "        j    {j}");
@@ -143,8 +142,7 @@ pub fn generate<R: Rng>(rng: &mut R, cfg: &GenConfig) -> String {
         let v: i32 = g.rng.gen_range(-50..50) * (i as i32 + 1);
         let _ = writeln!(g.out, "        li   {r}, {v}");
     }
-    let functions: Vec<String> =
-        (0..cfg.functions).map(|i| format!("aux{i}")).collect();
+    let functions: Vec<String> = (0..cfg.functions).map(|i| format!("aux{i}")).collect();
     for _ in 0..cfg.constructs {
         if !functions.is_empty() && g.rng.gen_bool(0.3) {
             let f = &functions[g.rng.gen_range(0..functions.len())];

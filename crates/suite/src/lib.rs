@@ -24,9 +24,11 @@
 //! ```
 
 mod gen;
+pub mod manifest;
 mod programs;
 
 pub use gen::{generate, GenConfig};
+pub use manifest::{corpus_matrix, corpus_request, parse_manifest, ManifestError};
 pub use programs::benchmarks;
 
 use rand::Rng;

@@ -239,9 +239,10 @@ impl AMem {
     /// in `self`).
     pub fn le(&self, other: &AMem) -> bool {
         Rc::ptr_eq(&self.words, &other.words)
-            || other.words.iter().all(|(k, ov)| {
-                self.words.get(k).is_some_and(|sv| sv.subset_of(ov))
-            })
+            || other
+                .words
+                .iter()
+                .all(|(k, ov)| self.words.get(k).is_some_and(|sv| sv.subset_of(ov)))
     }
 }
 

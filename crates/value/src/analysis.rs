@@ -117,17 +117,13 @@ impl ValueAnalysis {
                 match insn {
                     Insn::Load { width, base, offset, .. } => {
                         let addrs = s.reg(base).add_i32(offset);
-                        accesses.insert(
-                            (addr, node.ctx),
-                            AccessInfo { addrs, width, is_load: true },
-                        );
+                        accesses
+                            .insert((addr, node.ctx), AccessInfo { addrs, width, is_load: true });
                     }
                     Insn::Store { width, base, offset, .. } => {
                         let addrs = s.reg(base).add_i32(offset);
-                        accesses.insert(
-                            (addr, node.ctx),
-                            AccessInfo { addrs, width, is_load: false },
-                        );
+                        accesses
+                            .insert((addr, node.ctx), AccessInfo { addrs, width, is_load: false });
                     }
                     Insn::Branch { cond, rs1, rs2, .. } => {
                         let (a, b) = (s.reg(rs1), s.reg(rs2));
@@ -154,23 +150,15 @@ impl ValueAnalysis {
                             transfer_ref.jalr_targets(&s, &insn).expect("jalr has targets");
                         let in_text = targets.lo() >= text_lo && targets.hi() < text_hi;
                         if in_text && targets.count() <= 64 {
-                            indirect_targets
-                                .entry(addr)
-                                .or_default()
-                                .extend(targets.iter());
+                            indirect_targets.entry(addr).or_default().extend(targets.iter());
                         } else {
                             unresolved.push((addr, node.ctx));
                         }
                     }
                     _ => {}
                 }
-                let transfer_ref = ValueTransfer::new(
-                    program,
-                    hw,
-                    cfg,
-                    options.domain,
-                    Rc::clone(&thresholds),
-                );
+                let transfer_ref =
+                    ValueTransfer::new(program, hw, cfg, options.domain, Rc::clone(&thresholds));
                 transfer_ref.step(&mut s, addr, &insn);
             }
         }
@@ -247,10 +235,7 @@ impl ValueAnalysis {
 
     /// Count of branch instances decided to be constant (E4).
     pub fn constant_branches(&self) -> usize {
-        self.branches
-            .values()
-            .filter(|o| !matches!(o, BranchOutcome::Unknown))
-            .count()
+        self.branches.values().filter(|o| !matches!(o, BranchOutcome::Unknown)).count()
     }
 }
 
@@ -365,11 +350,8 @@ mod tests {
         assert_eq!(va.constant_branches(), 1);
         assert!(!va.infeasible_edges().is_empty());
         // The dead block is unreachable in the fixpoint.
-        let dead_nodes: Vec<_> = icfg
-            .nodes()
-            .iter()
-            .filter(|n| va.entry_state(n.id).is_none())
-            .collect();
+        let dead_nodes: Vec<_> =
+            icfg.nodes().iter().filter(|n| va.entry_state(n.id).is_none()).collect();
         assert!(!dead_nodes.is_empty());
     }
 
@@ -392,8 +374,7 @@ mod tests {
         let (p, _cfg, _icfg, va) = analyze(src);
         let arr = p.symbols.addr_of("arr").unwrap();
         // Find the load's access info in some context.
-        let loads: Vec<&AccessInfo> =
-            va.accesses().values().filter(|a| a.is_load).collect();
+        let loads: Vec<&AccessInfo> = va.accesses().values().filter(|a| a.is_load).collect();
         assert!(!loads.is_empty());
         for info in loads {
             assert!(info.addrs.lo() >= arr, "{} under arr", info.addrs);

@@ -202,12 +202,7 @@ impl SInt {
         let mut lo = self.lo;
         let mut hi = self.hi;
         if joined.lo < self.lo {
-            lo = thresholds
-                .iter()
-                .rev()
-                .copied()
-                .find(|&t| t <= joined.lo)
-                .unwrap_or(0);
+            lo = thresholds.iter().rev().copied().find(|&t| t <= joined.lo).unwrap_or(0);
         }
         if joined.hi > self.hi {
             hi = thresholds.iter().copied().find(|&t| t >= joined.hi).unwrap_or(u32::MAX);
@@ -218,16 +213,8 @@ impl SInt {
         // Keep the joined congruence by aligning the new endpoints onto
         // the grid anchored at joined.lo.
         let g = joined.stride.max(1);
-        let lo_aligned = if lo <= joined.lo {
-            joined.lo - (joined.lo - lo) / g * g
-        } else {
-            lo
-        };
-        let hi_aligned = if hi >= joined.lo {
-            joined.lo + (hi - joined.lo) / g * g
-        } else {
-            hi
-        };
+        let lo_aligned = if lo <= joined.lo { joined.lo - (joined.lo - lo) / g * g } else { lo };
+        let hi_aligned = if hi >= joined.lo { joined.lo + (hi - joined.lo) / g * g } else { hi };
         if lo_aligned > hi_aligned {
             return joined;
         }
@@ -412,7 +399,11 @@ impl SInt {
                 if hi > u32::MAX as u64 {
                     return SInt::top();
                 }
-                SInt::strided(self.lo << k, hi as u32, (self.stride << k).max((self.stride > 0) as u32))
+                SInt::strided(
+                    self.lo << k,
+                    hi as u32,
+                    (self.stride << k).max((self.stride > 0) as u32),
+                )
             }
             None => SInt::top(),
         }

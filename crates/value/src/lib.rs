@@ -49,8 +49,8 @@ mod state;
 mod transfer;
 
 pub use amem::AMem;
+pub use analysis::PrecisionSummary;
 pub use analysis::{AccessInfo, BranchOutcome, ValueAnalysis, ValueOptions};
 pub use interval::{DomainKind, SInt};
 pub use state::AState;
-pub use analysis::PrecisionSummary;
 pub use transfer::{effective_cond, register_delta, CondRhs, EffCond, ValueTransfer};

@@ -96,10 +96,7 @@ impl Domain for AState {
     }
 
     fn le(&self, other: &AState) -> bool {
-        self.regs
-            .iter()
-            .zip(other.regs.iter())
-            .all(|(a, b)| a.subset_of(b))
+        self.regs.iter().zip(other.regs.iter()).all(|(a, b)| a.subset_of(b))
             && self.mem.le(&other.mem)
     }
 }

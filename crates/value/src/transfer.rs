@@ -237,12 +237,8 @@ pub fn register_delta(
     // Different symbols: fall back to the interval difference when both
     // trace back to entry registers and the result is finite.
     if fa.sym < Reg::COUNT as u32 && fb.sym < Reg::COUNT as u32 {
-        let va = entry
-            .reg(Reg::new(fa.sym as u8))
-            .add_i32(i32::try_from(fa.offset).ok()?);
-        let vb = entry
-            .reg(Reg::new(fb.sym as u8))
-            .add_i32(i32::try_from(fb.offset).ok()?);
+        let va = entry.reg(Reg::new(fa.sym as u8)).add_i32(i32::try_from(fa.offset).ok()?);
+        let vb = entry.reg(Reg::new(fb.sym as u8)).add_i32(i32::try_from(fb.offset).ok()?);
         let d = va.sub(&vb);
         return (!d.is_top()).then_some(d);
     }
@@ -281,9 +277,7 @@ pub fn effective_cond(block: &stamp_cfg::BasicBlock) -> Option<EffCond> {
     // Direct comparison of two registers.
     let flag = match (cond, rs1, rs2) {
         (Cond::Ne, rc, z) | (Cond::Ne, z, rc) if z.is_zero() && !rc.is_zero() => Some((rc, true)),
-        (Cond::Eq, rc, z) | (Cond::Eq, z, rc) if z.is_zero() && !rc.is_zero() => {
-            Some((rc, false))
-        }
+        (Cond::Eq, rc, z) | (Cond::Eq, z, rc) if z.is_zero() && !rc.is_zero() => Some((rc, false)),
         _ => None,
     };
     if let Some((rc, flag_set)) = flag {
@@ -299,9 +293,9 @@ pub fn effective_cond(block: &stamp_cfg::BasicBlock) -> Option<EffCond> {
                 _ => None,
             };
             if let Some((signed, a, rhs, b_reg)) = found {
-                let clobbered = body[def_idx + 1..].iter().any(|(_, i)| {
-                    i.def() == Some(a) || b_reg.is_some_and(|b| i.def() == Some(b))
-                });
+                let clobbered = body[def_idx + 1..]
+                    .iter()
+                    .any(|(_, i)| i.def() == Some(a) || b_reg.is_some_and(|b| i.def() == Some(b)));
                 if !clobbered && a != rc && b_reg != Some(rc) {
                     let base = if signed { Cond::Lt } else { Cond::Ltu };
                     let eff = if flag_set { base } else { base.negate() };
@@ -370,8 +364,8 @@ impl ValueTransfer<'_> {
         taken: bool,
         state: &'s AState,
     ) -> Option<std::borrow::Cow<'s, AState>> {
-        use std::borrow::Cow;
         use stamp_isa::Cond;
+        use std::borrow::Cow;
         let Some((_, Insn::Branch { cond, rs1, rs2, .. })) = block.last() else {
             return Some(Cow::Borrowed(state));
         };
@@ -404,9 +398,9 @@ impl ValueTransfer<'_> {
             _ => return Some(Cow::Owned(s)),
         };
         // The operands must still hold their compared values at the branch.
-        let clobbered = body[def_idx + 1..].iter().any(|(_, i)| {
-            i.def() == Some(a) || b_reg.is_some_and(|b| i.def() == Some(b))
-        });
+        let clobbered = body[def_idx + 1..]
+            .iter()
+            .any(|(_, i)| i.def() == Some(a) || b_reg.is_some_and(|b| i.def() == Some(b)));
         if clobbered || a == rc || b_reg == Some(rc) {
             return Some(Cow::Owned(s));
         }

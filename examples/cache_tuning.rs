@@ -12,10 +12,8 @@ use stamp_suite::benchmarks;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "matmult".to_string());
-    let bench = benchmarks()
-        .into_iter()
-        .find(|b| b.name == name && b.supports_wcet)
-        .unwrap_or_else(|| {
+    let bench =
+        benchmarks().into_iter().find(|b| b.name == name && b.supports_wcet).unwrap_or_else(|| {
             eprintln!("unknown or recursive benchmark `{name}`");
             std::process::exit(1);
         });
@@ -26,10 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut results = Vec::new();
     for bytes in [64u32, 128, 256, 512, 1024, 2048, 4096] {
         let hw = HwConfig::with_cache_bytes(bytes);
-        let report = WcetAnalysis::new(&program)
-            .hw(hw)
-            .annotations(bench.annotations())
-            .run()?;
+        let report = WcetAnalysis::new(&program).hw(hw).annotations(bench.annotations()).run()?;
         results.push((bytes, report.wcet));
     }
     let best = results.last().map(|&(_, w)| w).unwrap_or(1);

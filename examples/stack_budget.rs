@@ -64,9 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("--------------------------------");
     let mut bounds = Vec::new();
     for task in ["task_engine", "task_diag", "task_ui"] {
-        let report = StackAnalysis::new(&program)
-            .annotations(ann.clone())
-            .run_task(task)?;
+        let report = StackAnalysis::new(&program).annotations(ann.clone()).run_task(task)?;
         println!("{task:<14} {:>6} bytes   ({} mode)", report.bound, report.mode);
         for (f, fs) in &report.per_function {
             println!("    {f:<12} local {:>4}  usage {:>4}", fs.local, fs.usage);

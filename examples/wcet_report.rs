@@ -13,16 +13,13 @@ use stamp_suite::benchmarks;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "matmult".to_string());
-    let bench = benchmarks()
-        .into_iter()
-        .find(|b| b.name == name)
-        .unwrap_or_else(|| {
-            eprintln!("unknown benchmark `{name}`; available:");
-            for b in benchmarks() {
-                eprintln!("  {:<12} {}", b.name, b.description);
-            }
-            std::process::exit(1);
-        });
+    let bench = benchmarks().into_iter().find(|b| b.name == name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark `{name}`; available:");
+        for b in benchmarks() {
+            eprintln!("  {:<12} {}", b.name, b.description);
+        }
+        std::process::exit(1);
+    });
     if !bench.supports_wcet {
         eprintln!("`{name}` is recursive — only the stack analysis applies (see stack_budget)");
         std::process::exit(1);
@@ -30,10 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let program = bench.program();
     let hw = HwConfig::default();
-    let report = WcetAnalysis::new(&program)
-        .hw(hw)
-        .annotations(bench.annotations())
-        .run()?;
+    let report = WcetAnalysis::new(&program).hw(hw).annotations(bench.annotations()).run()?;
 
     println!("{}", report.render(&program));
 

@@ -28,15 +28,11 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId {
-            id: format!("{}/{}", function_name.into(), parameter),
-        }
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
     }
 
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId {
-            id: parameter.to_string(),
-        }
+        BenchmarkId { id: parameter.to_string() }
     }
 }
 
@@ -201,11 +197,7 @@ impl Criterion {
         }
     }
 
-    pub fn bench_function<F: FnMut(&mut Bencher)>(
-        &mut self,
-        id: impl Display,
-        f: F,
-    ) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
         let id = id.to_string();
         self.benchmark_group("bench").bench_function(id, f);
         self

@@ -39,10 +39,7 @@ pub mod test_runner {
 
     impl ProptestConfig {
         pub fn with_cases(cases: u32) -> Self {
-            ProptestConfig {
-                cases,
-                ..Default::default()
-            }
+            ProptestConfig { cases, ..Default::default() }
         }
     }
 
@@ -50,14 +47,9 @@ pub mod test_runner {
         fn default() -> Self {
             // Like upstream: the env var feeds the *default* config, so
             // an explicit `with_cases(n)` still takes precedence.
-            let cases = std::env::var("PROPTEST_CASES")
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(256);
-            ProptestConfig {
-                cases,
-                max_global_rejects: 65536,
-            }
+            let cases =
+                std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256);
+            ProptestConfig { cases, max_global_rejects: 65536 }
         }
     }
 
@@ -88,19 +80,13 @@ pub mod test_runner {
         }
 
         pub fn new(config: ProptestConfig) -> Self {
-            TestRunner {
-                rng: StdRng::seed_from_u64(0x5461_6d70_5365_6564),
-                config,
-            }
+            TestRunner { rng: StdRng::seed_from_u64(0x5461_6d70_5365_6564), config }
         }
 
         /// Runner seeded from the test name: deterministic across runs,
         /// decorrelated across tests.
         pub fn new_for_test(config: ProptestConfig, test_name: &str) -> Self {
-            TestRunner {
-                rng: StdRng::seed_from_u64(fnv1a(test_name.as_bytes())),
-                config,
-            }
+            TestRunner { rng: StdRng::seed_from_u64(fnv1a(test_name.as_bytes())), config }
         }
 
         /// Case count from the config (`ProptestConfig::default` reads
@@ -171,11 +157,7 @@ pub mod strategy {
         where
             Self: Sized,
         {
-            Filter {
-                source: self,
-                reason: reason.into(),
-                f,
-            }
+            Filter { source: self, reason: reason.into(), f }
         }
 
         fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
@@ -249,10 +231,7 @@ pub mod strategy {
                     return v;
                 }
             }
-            panic!(
-                "proptest shim: prop_filter exhausted {rejects} rejects: {}",
-                self.reason
-            );
+            panic!("proptest shim: prop_filter exhausted {rejects} rejects: {}", self.reason);
         }
     }
 
@@ -414,19 +393,13 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty vec size range");
-            SizeRange {
-                lo: r.start,
-                hi: r.end - 1,
-            }
+            SizeRange { lo: r.start, hi: r.end - 1 }
         }
     }
 
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> Self {
-            SizeRange {
-                lo: *r.start(),
-                hi: *r.end(),
-            }
+            SizeRange { lo: *r.start(), hi: *r.end() }
         }
     }
 
@@ -447,10 +420,7 @@ pub mod collection {
     /// `proptest::collection::vec`: a vector of `element`s with a length
     /// drawn from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy {
-            element,
-            size: size.into(),
-        }
+        VecStrategy { element, size: size.into() }
     }
 }
 

@@ -146,9 +146,7 @@ pub mod rngs {
                 z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
                 z ^ (z >> 31)
             };
-            StdRng {
-                s: [next(), next(), next(), next()],
-            }
+            StdRng { s: [next(), next(), next(), next()] }
         }
     }
 

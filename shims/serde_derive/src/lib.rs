@@ -90,16 +90,10 @@ fn empty_impl(input: TokenStream, trait_head: &str, extra_param: Option<&str>) -
         params.push(p.to_string());
     }
     params.extend(generics.iter().cloned());
-    let impl_generics = if params.is_empty() {
-        String::new()
-    } else {
-        format!("<{}>", params.join(", "))
-    };
-    let ty_generics = if generics.is_empty() {
-        String::new()
-    } else {
-        format!("<{}>", generics.join(", "))
-    };
+    let impl_generics =
+        if params.is_empty() { String::new() } else { format!("<{}>", params.join(", ")) };
+    let ty_generics =
+        if generics.is_empty() { String::new() } else { format!("<{}>", generics.join(", ")) };
     format!("impl{impl_generics} {trait_head} for {name}{ty_generics} {{}}")
         .parse()
         .expect("serde_derive shim: generated impl must parse")

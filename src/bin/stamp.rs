@@ -1,9 +1,10 @@
 //! The `stamp` command-line tool: WCET and stack analysis of EVA32
-//! assembly files, plus disassembly and simulation.
+//! assembly files, plus batch analysis, disassembly and simulation.
 //!
 //! ```text
 //! stamp wcet   task.s [--no-cache|--ideal] [--loop-bound SYM=N]... [--json] [--dot out.dot]
 //! stamp stack  task.s [--entry SYM] [--recursion SYM=N]...
+//! stamp batch  manifest.json | --corpus  [--jobs N] [--out FILE] [--no-timing] [--check-pins]
 //! stamp disasm task.s
 //! stamp run    task.s [--max-insns N]
 //! ```
@@ -12,13 +13,40 @@ use std::process::ExitCode;
 
 use stamp::{assemble, Annotations, HwConfig, Simulator, StackAnalysis, WcetAnalysis};
 
+/// A CLI failure, split by exit-code class: `Usage` errors (exit 2) are
+/// problems with the invocation — unknown flags, missing or unreadable
+/// inputs, malformed manifests; `Analysis` errors (exit 1) are problems
+/// with the task — assembly errors, missing loop bounds, pin drift,
+/// failed batch jobs.
+enum CliError {
+    Usage(String),
+    Analysis(String),
+}
+
+use CliError::{Analysis, Usage};
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            Analysis(_) => 1,
+            Usage(_) => 2,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            Analysis(m) | Usage(m) => m,
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("stamp: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("stamp: {}", e.message());
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -27,39 +55,45 @@ fn usage() -> String {
     "usage:\n  \
      stamp wcet   <task.s> [--no-cache|--ideal] [--loop-bound SYM=N]... [--json] [--dot FILE]\n  \
      stamp stack  <task.s> [--entry SYM] [--recursion SYM=N]...\n  \
+     stamp batch  <manifest.json> | --corpus  [--jobs N] [--out FILE] [--no-timing] [--check-pins]\n  \
      stamp disasm <task.s>\n  \
-     stamp run    <task.s> [--max-insns N]"
+     stamp run    <task.s> [--max-insns N]\n\
+     exit codes:\n  \
+     0  success\n  \
+     1  analysis failed (assembly error, missing annotation, failed batch job, pin drift)\n  \
+     2  bad arguments (unknown flag or command, unreadable input, malformed manifest)"
         .to_string()
 }
 
-fn run(args: &[String]) -> Result<(), String> {
-    let (cmd, rest) = args.split_first().ok_or_else(usage)?;
+fn run(args: &[String]) -> Result<(), CliError> {
+    let (cmd, rest) = args.split_first().ok_or_else(|| Usage(usage()))?;
     match cmd.as_str() {
         "wcet" => wcet(rest),
         "stack" => stack(rest),
+        "batch" => batch(rest),
         "disasm" => disasm(rest),
         "run" => simulate(rest),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+        other => Err(Usage(format!("unknown command `{other}`\n{}", usage()))),
     }
 }
 
-fn load(path: &str) -> Result<stamp::Program, String> {
-    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    assemble(&src).map_err(|e| format!("{path}: {e}"))
+fn load(path: &str) -> Result<stamp::Program, CliError> {
+    let src = std::fs::read_to_string(path).map_err(|e| Usage(format!("{path}: {e}")))?;
+    assemble(&src).map_err(|e| Analysis(format!("{path}: {e}")))
 }
 
 /// Parses `SYM=N`.
-fn sym_eq_n(s: &str) -> Result<(String, u64), String> {
-    let (sym, n) = s.split_once('=').ok_or_else(|| format!("expected SYM=N, got `{s}`"))?;
-    let n: u64 = n.parse().map_err(|_| format!("bad count in `{s}`"))?;
+fn sym_eq_n(s: &str) -> Result<(String, u64), CliError> {
+    let (sym, n) = s.split_once('=').ok_or_else(|| Usage(format!("expected SYM=N, got `{s}`")))?;
+    let n: u64 = n.parse().map_err(|_| Usage(format!("bad count in `{s}`")))?;
     Ok((sym.to_string(), n))
 }
 
-fn wcet(args: &[String]) -> Result<(), String> {
+fn wcet(args: &[String]) -> Result<(), CliError> {
     let mut file = None;
     let mut hw = HwConfig::default();
     let mut ann = Annotations::new();
@@ -71,56 +105,59 @@ fn wcet(args: &[String]) -> Result<(), String> {
             "--no-cache" => hw = HwConfig::no_cache(),
             "--ideal" => hw = HwConfig::ideal(),
             "--json" => json = true,
-            "--dot" => dot = Some(it.next().ok_or("--dot needs a file")?.clone()),
+            "--dot" => dot = Some(it.next().ok_or(Usage("--dot needs a file".into()))?.clone()),
             "--loop-bound" => {
-                let (sym, n) = sym_eq_n(it.next().ok_or("--loop-bound needs SYM=N")?)?;
+                let (sym, n) =
+                    sym_eq_n(it.next().ok_or(Usage("--loop-bound needs SYM=N".into()))?)?;
                 ann = ann.loop_bound(sym, n);
             }
             f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
-            other => return Err(format!("unexpected argument `{other}`")),
+            other => return Err(Usage(format!("unexpected argument `{other}`"))),
         }
     }
-    let program = load(&file.ok_or_else(usage)?)?;
+    let program = load(&file.ok_or_else(|| Usage(usage()))?)?;
     let report = WcetAnalysis::new(&program)
         .hw(hw)
         .annotations(ann)
         .run()
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| Analysis(e.to_string()))?;
     if json {
         println!("{}", report.to_json());
     } else {
         println!("{}", report.render(&program));
     }
     if let Some(path) = dot {
-        std::fs::write(&path, report.to_dot()).map_err(|e| format!("{path}: {e}"))?;
+        std::fs::write(&path, report.to_dot()).map_err(|e| Usage(format!("{path}: {e}")))?;
         eprintln!("wrote annotated CFG to {path}");
     }
     Ok(())
 }
 
-fn stack(args: &[String]) -> Result<(), String> {
+fn stack(args: &[String]) -> Result<(), CliError> {
     let mut file = None;
     let mut entry: Option<String> = None;
     let mut ann = Annotations::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--entry" => entry = Some(it.next().ok_or("--entry needs a symbol")?.clone()),
+            "--entry" => {
+                entry = Some(it.next().ok_or(Usage("--entry needs a symbol".into()))?.clone())
+            }
             "--recursion" => {
-                let (sym, n) = sym_eq_n(it.next().ok_or("--recursion needs SYM=N")?)?;
+                let (sym, n) = sym_eq_n(it.next().ok_or(Usage("--recursion needs SYM=N".into()))?)?;
                 ann = ann.recursion_depth(sym, n as u32);
             }
             f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
-            other => return Err(format!("unexpected argument `{other}`")),
+            other => return Err(Usage(format!("unexpected argument `{other}`"))),
         }
     }
-    let program = load(&file.ok_or_else(usage)?)?;
+    let program = load(&file.ok_or_else(|| Usage(usage()))?)?;
     let analysis = StackAnalysis::new(&program).annotations(ann);
     let report = match &entry {
         Some(sym) => analysis.run_task(sym),
         None => analysis.run(),
     }
-    .map_err(|e| e.to_string())?;
+    .map_err(|e| Analysis(e.to_string()))?;
     println!(
         "worst-case stack usage{}: {} bytes ({} mode)",
         entry.map(|e| format!(" of task `{e}`")).unwrap_or_default(),
@@ -133,8 +170,107 @@ fn stack(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn disasm(args: &[String]) -> Result<(), String> {
-    let file = args.first().ok_or_else(usage)?;
+/// `stamp batch`: run a whole job matrix (a JSON manifest or the
+/// built-in EVA32 corpus) across a worker pool and emit one merged
+/// machine-readable report.
+fn batch(args: &[String]) -> Result<(), CliError> {
+    let mut manifest: Option<String> = None;
+    let mut corpus = false;
+    let mut jobs = stamp::exec::default_workers();
+    let mut out: Option<String> = None;
+    let mut no_timing = false;
+    let mut check_pins = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--corpus" => corpus = true,
+            "--check-pins" => check_pins = true,
+            "--no-timing" => no_timing = true,
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .ok_or(Usage("--jobs needs a number".into()))?
+                    .parse()
+                    .map_err(|_| Usage("bad --jobs value".into()))?;
+            }
+            "--out" => out = Some(it.next().ok_or(Usage("--out needs a file".into()))?.clone()),
+            f if !f.starts_with('-') && manifest.is_none() => manifest = Some(f.to_string()),
+            other => return Err(Usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+
+    let request = match (&manifest, corpus) {
+        (Some(_), true) | (None, false) => {
+            return Err(Usage(format!(
+                "batch needs a manifest file or --corpus (not both)\n{}",
+                usage()
+            )))
+        }
+        (None, true) => stamp::suite::corpus_request(),
+        (Some(path), false) => {
+            let text = std::fs::read_to_string(path).map_err(|e| Usage(format!("{path}: {e}")))?;
+            let base = std::path::Path::new(path)
+                .parent()
+                .filter(|p| !p.as_os_str().is_empty())
+                .unwrap_or(std::path::Path::new("."));
+            stamp::suite::parse_manifest(&text, base).map_err(|e| Usage(e.to_string()))?
+        }
+    };
+    if check_pins && !corpus {
+        return Err(Usage("--check-pins requires --corpus (pins cover the corpus)".into()));
+    }
+
+    let report = stamp::analyzer::run_batch(&request, jobs).map_err(|e| Analysis(e.to_string()))?;
+
+    let json = if no_timing { report.results_json() } else { report.to_json() };
+    let rendered = format!("{json}\n");
+    match &out {
+        Some(path) => std::fs::write(path, &rendered).map_err(|e| Usage(format!("{path}: {e}")))?,
+        None => print!("{rendered}"),
+    }
+    eprintln!(
+        "batch: {} jobs on {} workers ({} cores) in {:.1} ms — {:.0} jobs/s, {} failed",
+        report.results.len(),
+        report.workers,
+        report.cores,
+        report.wall_ms,
+        report.throughput(),
+        report.errors(),
+    );
+
+    let mut drift: Vec<String> = Vec::new();
+    if check_pins {
+        // Same comparison as `kernel_bench --check` (the shared
+        // stamp_bench::pins::check_corpus helper), so the two pin gates
+        // cannot diverge.
+        let measured: Vec<stamp::bench::pins::MeasuredTask> = report
+            .results
+            .iter()
+            .map(|r| stamp::bench::pins::MeasuredTask {
+                name: r.name.clone(),
+                wcet: r.wcet,
+                stack: r.stack,
+                evaluations: r.evaluations,
+                fetch: r.fetch,
+                data: r.data,
+            })
+            .collect();
+        drift = stamp::bench::pins::check_corpus(&measured);
+    }
+    if !drift.is_empty() {
+        for d in &drift {
+            eprintln!("batch: DRIFT {d}");
+        }
+        return Err(Analysis(format!("{} job(s) diverged from pins", drift.len())));
+    }
+    if report.errors() > 0 {
+        return Err(Analysis(format!("{} batch job(s) failed", report.errors())));
+    }
+    Ok(())
+}
+
+fn disasm(args: &[String]) -> Result<(), CliError> {
+    let file = args.first().ok_or_else(|| Usage(usage()))?;
     let program = load(file)?;
     let (lo, hi) = program.text_range();
     println!("; entry: {} ({:#010x})", program.symbols.format_addr(program.entry), program.entry);
@@ -156,7 +292,7 @@ fn disasm(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn simulate(args: &[String]) -> Result<(), String> {
+fn simulate(args: &[String]) -> Result<(), CliError> {
     let mut file = None;
     let mut max_insns: u64 = 10_000_000;
     let mut it = args.iter();
@@ -165,18 +301,18 @@ fn simulate(args: &[String]) -> Result<(), String> {
             "--max-insns" => {
                 max_insns = it
                     .next()
-                    .ok_or("--max-insns needs a number")?
+                    .ok_or(Usage("--max-insns needs a number".into()))?
                     .parse()
-                    .map_err(|_| "bad --max-insns value")?;
+                    .map_err(|_| Usage("bad --max-insns value".into()))?;
             }
             f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
-            other => return Err(format!("unexpected argument `{other}`")),
+            other => return Err(Usage(format!("unexpected argument `{other}`"))),
         }
     }
-    let program = load(&file.ok_or_else(usage)?)?;
+    let program = load(&file.ok_or_else(|| Usage(usage()))?)?;
     let hw = HwConfig::default();
     let mut sim = Simulator::new(&program, &hw);
-    let res = sim.run(max_insns).map_err(|e| e.to_string())?;
+    let res = sim.run(max_insns).map_err(|e| Analysis(e.to_string()))?;
     println!("status:        {:?}", res.status);
     println!("cycles:        {}", res.cycles);
     println!("instructions:  {}", res.retired);

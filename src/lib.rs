@@ -43,9 +43,11 @@
 
 // The subsystem crates, under their natural names.
 pub use stamp_ai as ai;
+pub use stamp_bench as bench;
 pub use stamp_cache as cache;
 pub use stamp_cfg as cfg;
 pub use stamp_core as analyzer;
+pub use stamp_exec as exec;
 pub use stamp_hw as hw;
 pub use stamp_ilp as ilp;
 pub use stamp_isa as isa;
@@ -59,8 +61,8 @@ pub use stamp_value as value;
 
 // The primary user-facing API, re-exported flat.
 pub use stamp_core::{
-    AnalysisConfig, AnalysisError, Annotations, StackAnalysis, StackReport, WcetAnalysis,
-    WcetReport,
+    run_batch, AnalysisConfig, AnalysisError, Annotations, BatchReport, BatchRequest, BatchTarget,
+    BatchVariant, StackAnalysis, StackReport, WcetAnalysis, WcetReport,
 };
 pub use stamp_hw::HwConfig;
 pub use stamp_isa::asm::assemble;

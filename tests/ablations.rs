@@ -32,10 +32,7 @@ fn infeasible_path_pruning_tightens() {
         });
         assert!(without >= with, "{name}: pruning made the bound looser?!");
         if name == "statemate" {
-            assert!(
-                without > with,
-                "statemate: pruning must remove the dead expensive arms"
-            );
+            assert!(without > with, "statemate: pruning must remove the dead expensive arms");
         }
     }
 }
@@ -50,10 +47,7 @@ fn domain_hierarchy_monotone() {
             c.value = ValueOptions { domain: DomainKind::Interval, ..ValueOptions::default() };
             c
         });
-        assert!(
-            interval >= strided,
-            "{name}: interval bound {interval} < strided bound {strided}"
-        );
+        assert!(interval >= strided, "{name}: interval bound {interval} < strided bound {strided}");
     }
     // Constant propagation cannot bound data-dependent loops at all for
     // most benchmarks; fibcall (constant counter) still works.

@@ -1,0 +1,160 @@
+//! The batch engine's headline invariant: a parallel batch run is
+//! bit-identical to the serial run of the same manifest — plus the
+//! failure modes around it (worker panics, empty and malformed
+//! manifests).
+
+use std::process::Command;
+
+use stamp::exec::{Pool, PoolError};
+use stamp::run_batch;
+use stamp::suite::parse_manifest;
+
+fn stamp_cli(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_stamp")).args(args).output().expect("binary runs");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn write_file(name: &str, contents: &str) -> String {
+    let path = std::env::temp_dir().join(name);
+    std::fs::write(&path, contents).expect("writable temp dir");
+    path.to_string_lossy().into_owned()
+}
+
+/// A small but matrix-shaped manifest: three corpus benchmarks (one
+/// stack-only) and one inline task, under two hardware variants.
+const MANIFEST: &str = r#"{
+  "targets": [
+    {"benchmark": "fibcall"},
+    {"benchmark": "crc"},
+    {"benchmark": "fac"},
+    {"name": "inline", "source": ".text\nmain: addi sp, sp, -16\nli r1, 4\nl: addi r1, r1, -1\nbnez r1, l\naddi sp, sp, 16\nhalt\n"}
+  ],
+  "variants": [
+    {"name": "default"},
+    {"name": "no-cache", "hw": "no-cache"}
+  ]
+}"#;
+
+#[test]
+fn parallel_reports_are_byte_identical_to_serial_across_job_counts() {
+    let manifest = write_file("batch_det_manifest.json", MANIFEST);
+    let mut outputs = Vec::new();
+    for jobs in ["1", "2", "8"] {
+        let (code, stdout, stderr) =
+            stamp_cli(&["batch", &manifest, "--jobs", jobs, "--no-timing"]);
+        assert_eq!(code, Some(0), "--jobs {jobs}: {stderr}");
+        assert!(stdout.contains("\"schema\":\"stamp-batch/1\""), "{stdout}");
+        outputs.push(stdout);
+    }
+    assert_eq!(outputs[0], outputs[1], "serial vs 2 workers");
+    assert_eq!(outputs[0], outputs[2], "serial vs 8 workers");
+
+    // And the in-process API agrees with the CLI, byte for byte.
+    let request = parse_manifest(MANIFEST, std::path::Path::new(".")).unwrap();
+    let api = run_batch(&request, 3).unwrap();
+    assert_eq!(format!("{}\n", api.results_json()), outputs[0]);
+    assert_eq!(api.errors(), 0);
+}
+
+#[test]
+fn job_matrix_is_ordered_targets_outermost() {
+    let request = parse_manifest(MANIFEST, std::path::Path::new(".")).unwrap();
+    let names: Vec<String> = request.jobs.iter().map(|j| j.name()).collect();
+    assert_eq!(
+        names,
+        [
+            "fibcall",
+            "fibcall@no-cache",
+            "crc",
+            "crc@no-cache",
+            "fac",
+            "fac@no-cache",
+            "inline",
+            "inline@no-cache",
+        ]
+    );
+    // The recursive task is stack-only in every variant.
+    assert!(request.jobs.iter().filter(|j| j.target == "fac").all(|j| !j.wcet));
+}
+
+#[test]
+fn worker_pool_panic_surfaces_the_failing_jobs_name() {
+    let jobs = ["fine-a", "exploding-job", "fine-b", "fine-c"];
+    let err = Pool::new(2)
+        .map_labeled(
+            &jobs,
+            |_, name| name.to_string(),
+            |_, &name| {
+                if name.starts_with("exploding") {
+                    panic!("analysis invariant violated in {name}");
+                }
+                name.len()
+            },
+        )
+        .unwrap_err();
+    let PoolError::JobPanicked { label, message, .. } = err;
+    assert_eq!(label, "exploding-job");
+    assert!(message.contains("analysis invariant violated"), "{message}");
+    // The rendered error names the job too — this is what a batch user
+    // sees when an analyzer bug takes down a job.
+    let rendered = PoolError::JobPanicked { index: 1, label, message }.to_string();
+    assert!(rendered.contains("exploding-job"), "{rendered}");
+}
+
+#[test]
+fn empty_manifest_is_a_clean_usage_error() {
+    for empty in [r#"{}"#, r#"{"targets": []}"#] {
+        let manifest = write_file("batch_det_empty.json", empty);
+        let (code, _, stderr) = stamp_cli(&["batch", &manifest]);
+        assert_eq!(code, Some(2), "{stderr}");
+        assert!(stderr.contains("no targets"), "{stderr}");
+    }
+}
+
+#[test]
+fn malformed_manifest_is_a_clean_usage_error() {
+    for (bad, needle) in [
+        (r#"{"targets": ["#, "syntax error"),
+        (r#"{"targets": [{"benchmark": "not-a-benchmark"}]}"#, "unknown benchmark"),
+        (r#"[1, 2, 3]"#, "top level"),
+    ] {
+        let manifest = write_file("batch_det_malformed.json", bad);
+        let (code, _, stderr) = stamp_cli(&["batch", &manifest]);
+        assert_eq!(code, Some(2), "{bad}: {stderr}");
+        assert!(stderr.contains("manifest"), "{stderr}");
+        assert!(stderr.contains(needle), "{bad}: {stderr}");
+    }
+}
+
+#[test]
+fn failed_jobs_are_reported_and_exit_code_is_analysis_failure() {
+    let manifest = write_file(
+        "batch_det_failing.json",
+        r#"{"targets": [
+              {"benchmark": "fibcall"},
+              {"name": "bad", "source": ".text\nmain: frobnicate r1\n"}
+           ]}"#,
+    );
+    let (code, stdout, stderr) = stamp_cli(&["batch", &manifest, "--no-timing"]);
+    assert_eq!(code, Some(1), "{stderr}");
+    assert!(stderr.contains("1 batch job(s) failed"), "{stderr}");
+    // The merged report still carries the good job and the failure.
+    assert!(stdout.contains("\"wcet\":242"), "{stdout}");
+    assert!(stdout.contains("assemble:"), "{stdout}");
+}
+
+#[test]
+fn conflicting_batch_inputs_are_usage_errors() {
+    let manifest = write_file("batch_det_conflict.json", MANIFEST);
+    let (code, _, _) = stamp_cli(&["batch", &manifest, "--corpus"]);
+    assert_eq!(code, Some(2));
+    let (code, _, _) = stamp_cli(&["batch"]);
+    assert_eq!(code, Some(2));
+    let (code, _, stderr) = stamp_cli(&["batch", &manifest, "--check-pins"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--corpus"), "{stderr}");
+}

@@ -3,12 +3,16 @@
 use std::process::Command;
 
 fn stamp(args: &[&str]) -> (bool, String, String) {
-    let out = Command::new(env!("CARGO_BIN_EXE_stamp"))
-        .args(args)
-        .output()
-        .expect("binary runs");
+    let (code, stdout, stderr) = stamp_coded(args);
+    (code == Some(0), stdout, stderr)
+}
+
+/// Like [`stamp`] but exposing the exit code: 0 success, 1 analysis
+/// failed, 2 bad arguments.
+fn stamp_coded(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_stamp")).args(args).output().expect("binary runs");
     (
-        out.status.success(),
+        out.status.code(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
     )
@@ -43,8 +47,7 @@ fn wcet_command_reports_bound() {
 fn wcet_json_and_dot_outputs() {
     let path = write_task("cli_json.s", TASK);
     let dot = std::env::temp_dir().join("cli_out.dot");
-    let (ok, stdout, stderr) =
-        stamp(&["wcet", &path, "--json", "--dot", &dot.to_string_lossy()]);
+    let (ok, stdout, stderr) = stamp(&["wcet", &path, "--json", "--dot", &dot.to_string_lossy()]);
     assert!(ok, "{stderr}");
     assert!(stdout.trim_start().starts_with('{'), "{stdout}");
     assert!(stdout.contains("\"wcet\":"), "{stdout}");
@@ -102,14 +105,68 @@ v:      .space 4
 }
 
 #[test]
-fn bad_usage_is_reported() {
-    let (ok, _, stderr) = stamp(&[]);
-    assert!(!ok);
+fn bad_usage_is_reported_with_exit_code_2() {
+    let (code, _, stderr) = stamp_coded(&[]);
+    assert_eq!(code, Some(2));
     assert!(stderr.contains("usage"), "{stderr}");
-    let (ok, _, stderr) = stamp(&["frobnicate"]);
-    assert!(!ok);
+    let (code, _, stderr) = stamp_coded(&["frobnicate"]);
+    assert_eq!(code, Some(2));
     assert!(stderr.contains("unknown command"), "{stderr}");
-    let (ok, _, stderr) = stamp(&["wcet", "/nonexistent/file.s"]);
-    assert!(!ok);
+    let (code, _, stderr) = stamp_coded(&["wcet", "/nonexistent/file.s"]);
+    assert_eq!(code, Some(2), "unreadable input is an argument problem");
     assert!(stderr.contains("file.s"), "{stderr}");
+    let (code, _, stderr) = stamp_coded(&["wcet", "--loop-bound", "nonsense"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("SYM=N"), "{stderr}");
+}
+
+#[test]
+fn analysis_failure_exits_1_where_bad_arguments_exit_2() {
+    // Same task, two failure classes: without the loop-bound annotation
+    // the *analysis* fails (exit 1); with a malformed flag the
+    // *invocation* fails (exit 2).
+    let src = "\
+        .text
+main:   la   r1, v
+        lw   r1, 0(r1)
+loop:   srli r1, r1, 1
+        bnez r1, loop
+        halt
+        .data
+v:      .space 4
+";
+    let path = write_task("cli_exit_codes.s", src);
+    let (code, _, stderr) = stamp_coded(&["wcet", &path]);
+    assert_eq!(code, Some(1), "{stderr}");
+    let (code, _, _) = stamp_coded(&["wcet", &path, "--frobnicate"]);
+    assert_eq!(code, Some(2));
+    // An existing file that is not valid assembly is an analysis
+    // failure, not an argument problem.
+    let bad = write_task("cli_exit_codes_bad.s", ".text\nmain: frobnicate r1\n");
+    let (code, _, stderr) = stamp_coded(&["wcet", &bad]);
+    assert_eq!(code, Some(1), "{stderr}");
+}
+
+#[test]
+fn usage_text_documents_exit_codes() {
+    let (code, stdout, _) = stamp_coded(&["--help"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("exit codes"), "{stdout}");
+    assert!(stdout.contains("analysis failed"), "{stdout}");
+    assert!(stdout.contains("bad arguments"), "{stdout}");
+    assert!(stdout.contains("stamp batch"), "{stdout}");
+}
+
+#[test]
+fn batch_corpus_smoke_runs_serially() {
+    // The full corpus gate runs in release CI (`batch-smoke`); here a
+    // two-job serial run keeps the debug-mode test quick.
+    let manifest = write_task(
+        "cli_batch_smoke.json",
+        r#"{"targets": [{"benchmark": "fibcall"}, {"benchmark": "crc"}]}"#,
+    );
+    let (code, stdout, stderr) = stamp_coded(&["batch", &manifest, "--jobs", "1"]);
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(stdout.contains("\"wcet\":242"), "{stdout}");
+    assert!(stdout.contains("\"throughput_jobs_per_s\""), "{stdout}");
 }

@@ -59,9 +59,10 @@ fn run_one(seed: u64, hw: &HwConfig) {
         let halt_block = cfg.block_containing(sim.pc()).expect("halted inside a block");
         for r in Reg::all() {
             let concrete = sim.reg(r);
-            let contained = icfg.nodes_of_block(halt_block).iter().any(|&n| {
-                va.exit_state(n).is_some_and(|s| s.reg(r).contains(concrete))
-            });
+            let contained = icfg
+                .nodes_of_block(halt_block)
+                .iter()
+                .any(|&n| va.exit_state(n).is_some_and(|s| s.reg(r).contains(concrete)));
             assert!(
                 contained,
                 "seed {seed}: register {r} = {concrete:#x} outside every abstract exit state\n{src}"

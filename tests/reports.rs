@@ -89,8 +89,8 @@ fn indirect_annotation_substitutes_for_value_analysis() {
 
 #[test]
 fn phase_timings_are_recorded() {
-    let program = assemble(".text\nmain: li r1, 3\nl: addi r1, r1, -1\nbnez r1, l\nhalt\n")
-        .unwrap();
+    let program =
+        assemble(".text\nmain: li r1, 3\nl: addi r1, r1, -1\nbnez r1, l\nhalt\n").unwrap();
     let report = WcetAnalysis::new(&program).run().unwrap();
     let names: Vec<&str> = report.phases.iter().map(|p| p.name.as_str()).collect();
     for phase in [

@@ -45,10 +45,7 @@ checksum:
 
 fn task_bound(entry: &str) -> u32 {
     let program = assemble(ECU_IMAGE).expect("assembles");
-    StackAnalysis::new(&program)
-        .run_task(entry)
-        .unwrap_or_else(|e| panic!("{entry}: {e}"))
-        .bound
+    StackAnalysis::new(&program).run_task(entry).unwrap_or_else(|e| panic!("{entry}: {e}")).bound
 }
 
 #[test]
@@ -98,10 +95,7 @@ fn recursive_task_needs_and_uses_annotation() {
     let err = StackAnalysis::new(&program).run().unwrap_err();
     assert!(err.to_string().contains("recursion") || err.to_string().contains("depth"));
     // With it, the bound covers the simulated watermark.
-    let report = StackAnalysis::new(&program)
-        .annotations(b.annotations())
-        .run()
-        .unwrap();
+    let report = StackAnalysis::new(&program).annotations(b.annotations()).run().unwrap();
     assert_eq!(report.mode, "callgraph");
     let hw = HwConfig::default();
     let mut sim = Simulator::new(&program, &hw);

@@ -23,11 +23,7 @@ fn quickstart_wcet_and_stack_bounds() {
 
     let wcet = WcetAnalysis::new(&program).run().expect("WCET analysis runs");
     // 100 loop iterations of at least one cycle each.
-    assert!(
-        wcet.wcet >= 100,
-        "WCET bound {} can't cover the 100-iteration loop",
-        wcet.wcet
-    );
+    assert!(wcet.wcet >= 100, "WCET bound {} can't cover the 100-iteration loop", wcet.wcet);
 
     let stack = StackAnalysis::new(&program).run().expect("stack analysis runs");
     assert_eq!(stack.bound, 32, "frame is exactly 32 bytes");
