@@ -79,6 +79,23 @@ impl<S> Fixpoint<S> {
     pub fn output(&self, n: NodeId) -> Option<&S> {
         self.outs[n.index()].as_ref()
     }
+
+    /// The raw per-node `(entry, exit)` state slices, indexed by node.
+    /// Used to serialize a fixpoint into a thread-shareable artifact.
+    pub fn states(&self) -> (&[Option<S>], &[Option<S>]) {
+        (&self.ins, &self.outs)
+    }
+
+    /// Reassembles a fixpoint from per-node states (the inverse of
+    /// [`Fixpoint::states`] plus the public bookkeeping fields).
+    pub fn from_parts(
+        ins: Vec<Option<S>>,
+        outs: Vec<Option<S>>,
+        infeasible_edges: Vec<crate::icfg::IEdgeId>,
+        evaluations: u64,
+    ) -> Fixpoint<S> {
+        Fixpoint { ins, outs, infeasible_edges, evaluations }
+    }
 }
 
 impl<S: Domain> Fixpoint<S> {

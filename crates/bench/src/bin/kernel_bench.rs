@@ -31,6 +31,13 @@
 //! speedup is bounded by it, so a 1-core CI container shows ~1.0×
 //! while the numbers in a multi-core run show the real scaling.
 //!
+//! The **artifact store** is measured separately under an `artifacts`
+//! key: the same corpus matrix run cold (fresh store) versus warm
+//! (store primed by a previous pass), with per-phase hit/miss counts.
+//! `--check` additionally gates on the warm-pass hit rate (≥ 50%;
+//! structurally it is 100%) and on cached results being byte-identical
+//! to a `--no-artifact-cache` run.
+//!
 //! The emitted JSON carries a `before` section: wall times recorded with
 //! this same harness at the pre-refactor kernel (commit 848c9d7, full
 //! `State::clone`-per-edge solver, `BTreeMap` cache sets), so the file
@@ -42,7 +49,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use stamp_bench::pins::{self, CorpusPin};
 use stamp_core::{
-    run_batch, AnalysisConfig, BatchVariant, Json, StackAnalysis, WcetAnalysis, WcetReport,
+    run_batch, run_batch_with, AnalysisConfig, ArtifactStats, ArtifactStore, BatchVariant, Json,
+    StackAnalysis, WcetAnalysis, WcetReport,
 };
 use stamp_hw::HwConfig;
 use stamp_isa::asm::assemble;
@@ -161,9 +169,9 @@ fn corpus_row(name: &'static str, reps: usize) -> CorpusRow {
     let (best, report) = best_ms(reps, run);
     let mut phase_ms: Vec<(String, f64)> = Vec::new();
     for p in &report.phases {
-        match phase_ms.iter_mut().find(|(n, _)| *n == p.name) {
+        match phase_ms.iter_mut().find(|(n, _)| n == p.name()) {
             Some((_, s)) => *s += p.seconds * 1e3,
-            None => phase_ms.push((p.name.clone(), p.seconds * 1e3)),
+            None => phase_ms.push((p.name().to_string(), p.seconds * 1e3)),
         }
     }
     let (f, d) = (report.fetch_stats, report.data_stats);
@@ -348,6 +356,68 @@ fn batch_rows(reps: usize) -> BatchBench {
     }
 }
 
+/// The artifact-store workload: the corpus matrix run cold (fresh
+/// store, within-run sharing only) versus warm (store primed by a full
+/// previous pass), plus a no-store run for the bit-identity gate.
+struct ArtifactBench {
+    workers: usize,
+    cold_ms: f64,
+    warm_ms: f64,
+    cold_stats: ArtifactStats,
+    warm_stats: ArtifactStats,
+    /// Deterministic results of the cached and the uncached run — the
+    /// `--check` gate compares them byte-for-byte (artifact reuse must
+    /// be invisible in `results_json`).
+    cached_results: String,
+    uncached_results: String,
+}
+
+impl ArtifactBench {
+    fn warm_speedup(&self) -> f64 {
+        if self.warm_ms > 0.0 {
+            self.cold_ms / self.warm_ms
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+fn artifact_rows(reps: usize) -> ArtifactBench {
+    let request = batch_request();
+    let workers = 4;
+    // Cold: a fresh store per rep — jobs share artifacts within the
+    // pass, but every unique fingerprint is computed once.
+    let mut cold_stats = None;
+    let mut cached_results = String::new();
+    let (cold_ms, _) = best_ms(reps, || {
+        let store = ArtifactStore::new();
+        let report = run_batch_with(&request, workers, &store).expect("cold batch");
+        cold_stats = Some(report.artifacts);
+        cached_results = report.results_json().to_string();
+    });
+    // Warm: one long-lived store primed by a full pass; each measured
+    // pass should be ~all hits.
+    let store = ArtifactStore::new();
+    run_batch_with(&request, workers, &store).expect("priming batch");
+    let mut warm_stats = None;
+    let (warm_ms, _) = best_ms(reps, || {
+        let report = run_batch_with(&request, workers, &store).expect("warm batch");
+        warm_stats = Some(report.artifacts);
+    });
+    // No store at all: the determinism reference.
+    let uncached =
+        run_batch_with(&request, workers, &ArtifactStore::disabled()).expect("uncached batch");
+    ArtifactBench {
+        workers,
+        cold_ms,
+        warm_ms,
+        cold_stats: cold_stats.expect("at least one cold rep"),
+        warm_stats: warm_stats.expect("at least one warm rep"),
+        cached_results,
+        uncached_results: uncached.results_json().to_string(),
+    }
+}
+
 /// The wall-time delta table: freshly measured numbers against a
 /// previously committed `BENCH_kernel.json`, as markdown on stdout.
 /// Purely informational — regressions warn, never fail.
@@ -357,6 +427,7 @@ fn print_diff_table(
     scaling: &[ScalingRow],
     phases: &[(&'static str, f64)],
     batch: &BatchBench,
+    artifacts: &ArtifactBench,
 ) {
     let text = match std::fs::read_to_string(committed_path) {
         Ok(t) => t,
@@ -437,6 +508,10 @@ fn print_diff_table(
             .and_then(Json::as_f64);
         row(format!("batch/{}-workers", r.workers), committed, r.wall_ms);
     }
+    let committed_artifact =
+        |key: &str| doc.get("artifacts").and_then(|a| a.get(key)).and_then(Json::as_f64);
+    row("artifacts/cold".to_string(), committed_artifact("cold_ms"), artifacts.cold_ms);
+    row("artifacts/warm".to_string(), committed_artifact("warm_ms"), artifacts.warm_ms);
 
     println!("### kernel bench wall-time delta (current vs committed)\n");
     println!("| workload | committed ms | current ms | ratio | |");
@@ -478,6 +553,8 @@ fn main() {
     let phases = phase_rows(reps);
     eprintln!("kernel_bench: batch engine (corpus × 3 variants at 1/2/4/8 workers)...");
     let batch = batch_rows(reps);
+    eprintln!("kernel_bench: artifact store (corpus matrix, cold vs warm)...");
+    let artifacts = artifact_rows(reps);
 
     if args.print_pins {
         println!("pub const CORPUS: &[CorpusPin] = &[");
@@ -525,6 +602,21 @@ fn main() {
         // bit-identical to the serial one.
         if batch.serial_results != batch.parallel_results {
             drift.push("batch: parallel (4-worker) results differ from serial results".to_string());
+        }
+        // The artifact-store gates: reuse must be invisible in the
+        // deterministic results, and a warm pass must actually reuse
+        // (structurally ~100%; ≥50% is the acceptance floor).
+        if artifacts.cached_results != artifacts.uncached_results {
+            drift.push(
+                "artifacts: cached batch results differ from --no-artifact-cache results"
+                    .to_string(),
+            );
+        }
+        if artifacts.warm_stats.hit_rate() < 0.5 {
+            drift.push(format!(
+                "artifacts: warm-pass hit rate {:.0}% below the 50% floor",
+                artifacts.warm_stats.hit_rate() * 100.0
+            ));
         }
     }
 
@@ -684,13 +776,35 @@ fn main() {
                 ),
             ]),
         ),
+        (
+            "artifacts",
+            Json::obj([
+                ("workers", Json::int(artifacts.workers as u64)),
+                ("cold_ms", Json::Num(artifacts.cold_ms)),
+                ("warm_ms", Json::Num(artifacts.warm_ms)),
+                ("warm_speedup", Json::Num(artifacts.warm_speedup())),
+                (
+                    "deterministic",
+                    Json::Bool(artifacts.cached_results == artifacts.uncached_results),
+                ),
+                ("cold", artifacts.cold_stats.to_json()),
+                ("warm", artifacts.warm_stats.to_json()),
+            ]),
+        ),
         ("drift", Json::Arr(drift.iter().map(|d| Json::str(d.clone())).collect())),
     ]);
 
     std::fs::write(&args.out, format!("{json}\n")).expect("write BENCH_kernel.json");
     if let Some(committed) = &args.diff {
-        print_diff_table(committed, &corpus, &scaling, &phases, &batch);
+        print_diff_table(committed, &corpus, &scaling, &phases, &batch, &artifacts);
     }
+    eprintln!(
+        "kernel_bench: artifact store: cold {:.1} ms, warm {:.1} ms ({:.1}x), warm hit rate {:.0}%",
+        artifacts.cold_ms,
+        artifacts.warm_ms,
+        artifacts.warm_speedup(),
+        artifacts.warm_stats.hit_rate() * 100.0,
+    );
     eprintln!(
         "kernel_bench: corpus {:.1} ms (before {:.1}), scaling {:.1} ms (before {:.1}), phases {:.1} ms (before {:.1})",
         sum_current_corpus,

@@ -1,21 +1,36 @@
-//! The WCET analyzer pipeline (the aiT equivalent).
+//! The WCET analyzer pipeline (the aiT equivalent), expressed as an
+//! explicit phase graph.
+//!
+//! Each phase of the paper's pipeline — CFG building, VIVU context
+//! expansion, value analysis, loop bounds, cache, pipeline, path/ILP —
+//! is a node of the graph in `phase.rs`: it declares an input
+//! fingerprint over exactly what it reads and produces a typed
+//! artifact. [`WcetAnalysis::run_with`] drives the graph through a
+//! shared [`ArtifactStore`], so concurrent batch jobs whose phase
+//! inputs agree compute each artifact once and share it; [`WcetAnalysis::run`]
+//! drives the same graph through a disabled store (compute everything
+//! locally, cache nothing) — there is exactly one driver.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use stamp_ai::{Icfg, VivuConfig};
 use stamp_cache::CacheAnalysis;
-use stamp_cfg::CfgBuilder;
+use stamp_cfg::{Cfg, CfgBuilder};
 use stamp_hw::HwConfig;
 use stamp_isa::Program;
 use stamp_loopbound::{LoopBoundAnalysis, LoopBoundOptions};
-use stamp_path::{PathOptions, WcetResult};
+use stamp_path::PathOptions;
 use stamp_pipeline::PipelineAnalysis;
-use stamp_value::{ValueAnalysis, ValueOptions};
+use stamp_value::{FrozenValueAnalysis, ValueAnalysis, ValueOptions};
 
 use crate::annot::Annotations;
+use crate::artifact::{ArtifactClaim, ArtifactStore};
 use crate::error::AnalysisError;
-use crate::report::WcetReport;
+use crate::fingerprint::Fingerprint;
+use crate::phase::{self, PhaseId};
+use crate::report::{PhaseStats, WcetReport};
 
 /// Configuration of the analyzer pipeline.
 #[derive(Clone, Debug)]
@@ -44,8 +59,38 @@ impl Default for AnalysisConfig {
     }
 }
 
+/// Runs the value phase against the store. The computing job publishes
+/// the deep-frozen (`Send + Sync`) form and keeps its own analysis;
+/// reusing jobs thaw a job-local copy — the kernel's `Rc`-based
+/// copy-on-write state never crosses a thread boundary.
+pub(crate) fn value_phase(
+    store: &ArtifactStore,
+    fp: Fingerprint,
+    program: &Program,
+    hw: &HwConfig,
+    cfg: &Cfg,
+    icfg: &Icfg,
+    options: &ValueOptions,
+) -> (ValueAnalysis, bool) {
+    match store.claim(PhaseId::Value, fp) {
+        ArtifactClaim::Disabled => (ValueAnalysis::run(program, hw, cfg, icfg, options), false),
+        ArtifactClaim::Ready(stored) => {
+            let any = stored.expect("the value analysis is infallible");
+            let frozen: Arc<FrozenValueAnalysis> =
+                any.downcast().expect("value artifacts are FrozenValueAnalysis");
+            (frozen.thaw(), true)
+        }
+        ArtifactClaim::Fill(guard) => {
+            let va = ValueAnalysis::run(program, hw, cfg, icfg, options);
+            guard.fulfill(Ok(Arc::new(va.freeze())));
+            (va, false)
+        }
+    }
+}
+
 /// The WCET analyzer. Build with [`WcetAnalysis::new`], configure with
-/// the builder methods, then [`WcetAnalysis::run`].
+/// the builder methods, then [`WcetAnalysis::run`] (or
+/// [`WcetAnalysis::run_with`] to share phase artifacts across jobs).
 ///
 /// See the crate documentation for an end-to-end example.
 pub struct WcetAnalysis<'p> {
@@ -96,43 +141,77 @@ impl<'p> WcetAnalysis<'p> {
         self
     }
 
-    /// Runs all phases and produces the report.
+    /// Runs all phases locally and produces the report.
     ///
     /// # Errors
     ///
     /// See [`AnalysisError`]: irreducible or recursive control flow,
     /// unresolved indirect jumps, missing loop bounds.
     pub fn run(&self) -> Result<WcetReport, AnalysisError> {
+        self.run_with(&ArtifactStore::disabled())
+    }
+
+    /// Runs all phases through a shared [`ArtifactStore`], reusing any
+    /// phase artifact another job already produced under the same input
+    /// fingerprint. The report is byte-identical to [`WcetAnalysis::run`];
+    /// only [`PhaseStats::reused`] and wall times differ.
+    ///
+    /// # Errors
+    ///
+    /// As [`WcetAnalysis::run`]. Phase errors are cached and replayed
+    /// identically to sharing jobs.
+    pub fn run_with(&self, store: &ArtifactStore) -> Result<WcetReport, AnalysisError> {
         let program = self.program;
         let cfg_opts = &self.config;
-        let mut phases: Vec<(String, f64)> = Vec::new();
-        let clock = |phases: &mut Vec<(String, f64)>, name: &str, t: Instant| {
-            phases.push((name.to_string(), t.elapsed().as_secs_f64()));
-        };
+        let program_fp = phase::program_fingerprint(program);
+        let mut phases: Vec<PhaseStats> = Vec::new();
 
-        // ---- Phase 1+2 iterated: CFG building ↔ value analysis.
+        // ---- Phase 1+2 iterated: CFG building ↔ value analysis. Each
+        // iteration's artifacts are keyed by the indirect-target map it
+        // starts from, so the whole feedback loop replays from the
+        // store when another job analyzed the same program.
         let mut extra: BTreeMap<u32, Vec<u32>> = self.annotations.resolved_indirects(program);
         let mut iteration = 0;
-        let (cfg, icfg, va) = loop {
+        let (cfg, icfg, va, value_fp) = loop {
             iteration += 1;
             let t = Instant::now();
-            let mut builder = CfgBuilder::new(program);
-            for (a, ts) in &extra {
-                builder.indirect_targets(*a, ts.iter().copied());
-            }
-            let cfg = builder.build()?;
-            clock(&mut phases, "cfg building", t);
+            let cfg_fp = phase::cfg_fingerprint(program_fp, &extra);
+            let (cfg, reused) = store.get_or_compute(PhaseId::Cfg, cfg_fp, || {
+                let mut builder = CfgBuilder::new(program);
+                for (a, ts) in &extra {
+                    builder.indirect_targets(*a, ts.iter().copied());
+                }
+                builder.build().map_err(AnalysisError::from)
+            })?;
+            phases.push(PhaseStats {
+                phase: PhaseId::Cfg,
+                seconds: t.elapsed().as_secs_f64(),
+                reused,
+            });
 
             let t = Instant::now();
-            let icfg = Icfg::build(&cfg, &cfg_opts.vivu)?;
-            clock(&mut phases, "context expansion", t);
+            let context_fp = phase::context_fingerprint(cfg_fp, &cfg_opts.vivu);
+            let (icfg, reused) = store.get_or_compute(PhaseId::Context, context_fp, || {
+                Icfg::build(&cfg, &cfg_opts.vivu).map_err(AnalysisError::from)
+            })?;
+            phases.push(PhaseStats {
+                phase: PhaseId::Context,
+                seconds: t.elapsed().as_secs_f64(),
+                reused,
+            });
 
             let t = Instant::now();
-            let va = ValueAnalysis::run(program, &cfg_opts.hw, &cfg, &icfg, &cfg_opts.value);
-            clock(&mut phases, "value analysis", t);
+            let value_fp = phase::value_fingerprint(context_fp, &cfg_opts.hw.mem, &cfg_opts.value);
+            let (va, reused) =
+                value_phase(store, value_fp, program, &cfg_opts.hw, &cfg, &icfg, &cfg_opts.value);
+            phases.push(PhaseStats {
+                phase: PhaseId::Value,
+                seconds: t.elapsed().as_secs_f64(),
+                reused,
+            });
 
             if cfg.unresolved_indirects().is_empty() {
-                break (cfg, icfg, va);
+                break (cfg, icfg, va, value_fp);
             }
             // Feed resolved targets back into CFG reconstruction.
             let mut progress = false;
@@ -158,24 +237,52 @@ impl<'p> WcetAnalysis<'p> {
             annotations: self.annotations.resolved_loop_bounds(program),
             ..LoopBoundOptions::default()
         };
-        let lb = LoopBoundAnalysis::run(program, &cfg, &icfg, &va, &lb_opts);
-        clock(&mut phases, "loop bound analysis", t);
+        let lb_fp = phase::loopbound_fingerprint(value_fp, &lb_opts);
+        let (lb, reused) = store.get_or_compute(PhaseId::LoopBound, lb_fp, || {
+            Ok(LoopBoundAnalysis::run(program, &cfg, &icfg, &va, &lb_opts))
+        })?;
+        phases.push(PhaseStats {
+            phase: PhaseId::LoopBound,
+            seconds: t.elapsed().as_secs_f64(),
+            reused,
+        });
 
         // ---- Phase 4: cache analysis.
         let t = Instant::now();
-        let ca = CacheAnalysis::run(&cfg_opts.hw, &cfg, &icfg, &va);
-        clock(&mut phases, "cache analysis", t);
+        let cache_fp = phase::cache_fingerprint(value_fp, &cfg_opts.hw);
+        let (ca, reused) = store.get_or_compute(PhaseId::Cache, cache_fp, || {
+            Ok(CacheAnalysis::run(&cfg_opts.hw, &cfg, &icfg, &va))
+        })?;
+        phases.push(PhaseStats {
+            phase: PhaseId::Cache,
+            seconds: t.elapsed().as_secs_f64(),
+            reused,
+        });
 
         // ---- Phase 5: pipeline analysis.
         let t = Instant::now();
-        let pa = PipelineAnalysis::run(&cfg_opts.hw, &cfg, &icfg, &ca, &va);
-        clock(&mut phases, "pipeline analysis", t);
+        let pipeline_fp = phase::pipeline_fingerprint(cache_fp, &cfg_opts.hw);
+        let (pa, reused) = store.get_or_compute(PhaseId::Pipeline, pipeline_fp, || {
+            Ok(PipelineAnalysis::run(&cfg_opts.hw, &cfg, &icfg, &ca, &va))
+        })?;
+        phases.push(PhaseStats {
+            phase: PhaseId::Pipeline,
+            seconds: t.elapsed().as_secs_f64(),
+            reused,
+        });
 
         // ---- Phase 6: path analysis (IPET).
         let t = Instant::now();
-        let path_opts = PathOptions { use_infeasible: cfg_opts.use_infeasible };
-        let result: WcetResult = stamp_path::analyze(&cfg, &icfg, &va, &lb, &pa, &path_opts)?;
-        clock(&mut phases, "path analysis (ILP)", t);
+        let path_fp = phase::path_fingerprint(pipeline_fp, lb_fp, cfg_opts.use_infeasible);
+        let (result, reused) = store.get_or_compute(PhaseId::Path, path_fp, || {
+            let path_opts = PathOptions { use_infeasible: cfg_opts.use_infeasible };
+            stamp_path::analyze(&cfg, &icfg, &va, &lb, &pa, &path_opts).map_err(AnalysisError::from)
+        })?;
+        phases.push(PhaseStats {
+            phase: PhaseId::Path,
+            seconds: t.elapsed().as_secs_f64(),
+            reused,
+        });
 
         Ok(WcetReport::assemble(program, &cfg, &icfg, &va, &lb, &ca, &pa, &result, phases))
     }

@@ -1,0 +1,417 @@
+//! The content-addressed artifact store: cross-job reuse of phase
+//! results.
+//!
+//! A batch campaign runs `targets × variants` jobs, and most variants
+//! agree on most phase inputs — the whole hardware sweep shares one CFG
+//! and one value fixpoint per target (see `phase.rs`). The
+//! [`ArtifactStore`] exploits that: artifacts are keyed by
+//! `(phase, input fingerprint)`, the **first claimant computes** and
+//! every other job — concurrent or later — **waits on the slot** and
+//! receives the shared artifact (`stamp_exec::Slot` provides the
+//! claim/wait state machine, including panic-safe claim hand-off).
+//!
+//! # Soundness
+//!
+//! Reuse is sound because every phase is a pure function of its
+//! fingerprinted inputs and fingerprints chain through upstream phases
+//! (`phase.rs` documents per-phase coverage). Phase *errors* are
+//! artifacts too: a cached [`AnalysisError`] replays identically to a
+//! computed one, so failed jobs render byte-identically with and
+//! without the store.
+//!
+//! # Determinism
+//!
+//! Whether a given job computed or reused an artifact depends on
+//! scheduling, so provenance and hit statistics are reported strictly
+//! in the *timing layer* of batch reports (`BatchReport::to_json`),
+//! never in the deterministic `results_json` — a cached run is
+//! byte-identical to a cold one, which `tests/artifact_reuse.rs` and
+//! the CI `batch-smoke` job enforce.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use stamp_exec::{Slot, SlotClaim, SlotFillGuard};
+
+use crate::error::AnalysisError;
+use crate::fingerprint::Fingerprint;
+use crate::json::Json;
+use crate::phase::PhaseId;
+
+/// What a slot stores: the phase's artifact (type-erased, downcast by
+/// the phase driver) or the error the phase produced.
+type Stored = Result<Arc<dyn Any + Send + Sync>, AnalysisError>;
+
+/// The slot map: one claim/wait slot per `(phase, fingerprint)` key.
+type SlotMap = HashMap<(PhaseId, Fingerprint), Arc<Slot<Stored>>>;
+
+#[derive(Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    waits: AtomicU64,
+}
+
+/// A thread-safe, content-addressed store of phase artifacts, shared by
+/// every job of a batch run (see the module docs).
+pub struct ArtifactStore {
+    enabled: bool,
+    slots: Mutex<SlotMap>,
+    counters: [Counters; PhaseId::ALL.len()],
+}
+
+impl Default for ArtifactStore {
+    fn default() -> ArtifactStore {
+        ArtifactStore::new()
+    }
+}
+
+/// The outcome of claiming an artifact slot (crate-internal; phase
+/// drivers use it, public callers see only reports and stats).
+pub(crate) enum ArtifactClaim {
+    /// The store is disabled: compute locally, publish nothing.
+    Disabled,
+    /// Another job already produced this artifact (or its error).
+    Ready(Stored),
+    /// This job is the first claimant and must compute and publish.
+    Fill(FillGuard),
+}
+
+/// Exclusive permission to publish one artifact. Dropping it without
+/// fulfilling (panic inside the computing phase) releases the claim to
+/// a waiting job.
+pub(crate) struct FillGuard {
+    inner: SlotFillGuard<Stored>,
+}
+
+impl FillGuard {
+    /// Publishes the computed artifact (or the phase error) and wakes
+    /// every waiting job.
+    pub(crate) fn fulfill(self, value: Stored) {
+        self.inner.fulfill(value);
+    }
+}
+
+impl ArtifactStore {
+    /// An enabled, empty store.
+    pub fn new() -> ArtifactStore {
+        ArtifactStore {
+            enabled: true,
+            slots: Mutex::new(HashMap::new()),
+            counters: Default::default(),
+        }
+    }
+
+    /// A disabled store: every claim answers [`ArtifactClaim::Disabled`]
+    /// and nothing is retained — the zero-overhead path of
+    /// `--no-artifact-cache` and of one-shot [`crate::WcetAnalysis::run`].
+    pub fn disabled() -> ArtifactStore {
+        ArtifactStore { enabled: false, ..ArtifactStore::new() }
+    }
+
+    /// Whether artifacts are being cached.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Number of distinct artifacts (and cached errors) in the store.
+    pub fn artifact_count(&self) -> usize {
+        self.slots.lock().unwrap().len()
+    }
+
+    /// Claims the artifact for `(phase, fp)` (see [`ArtifactClaim`]).
+    pub(crate) fn claim(&self, phase: PhaseId, fp: Fingerprint) -> ArtifactClaim {
+        if !self.enabled {
+            return ArtifactClaim::Disabled;
+        }
+        let slot = Arc::clone(self.slots.lock().unwrap().entry((phase, fp)).or_default());
+        let counters = &self.counters[phase.index()];
+        match Slot::claim(&slot) {
+            SlotClaim::Ready { value, waited } => {
+                counters.hits.fetch_add(1, Ordering::Relaxed);
+                if waited {
+                    counters.waits.fetch_add(1, Ordering::Relaxed);
+                }
+                ArtifactClaim::Ready(value)
+            }
+            SlotClaim::Fill(inner) => {
+                counters.misses.fetch_add(1, Ordering::Relaxed);
+                ArtifactClaim::Fill(FillGuard { inner })
+            }
+        }
+    }
+
+    /// The get-or-compute convenience over [`ArtifactStore::claim`]:
+    /// returns the shared artifact plus whether it was reused, caching
+    /// errors exactly like values.
+    pub(crate) fn get_or_compute<T: Send + Sync + 'static>(
+        &self,
+        phase: PhaseId,
+        fp: Fingerprint,
+        compute: impl FnOnce() -> Result<T, AnalysisError>,
+    ) -> Result<(Arc<T>, bool), AnalysisError> {
+        let downcast = |any: Arc<dyn Any + Send + Sync>| -> Arc<T> {
+            any.downcast().expect("artifact store: phase keyed with two different types")
+        };
+        match self.claim(phase, fp) {
+            ArtifactClaim::Disabled => compute().map(|v| (Arc::new(v), false)),
+            ArtifactClaim::Ready(stored) => stored.map(|any| (downcast(any), true)),
+            ArtifactClaim::Fill(guard) => match compute() {
+                Ok(v) => {
+                    let shared = Arc::new(v);
+                    guard.fulfill(Ok(shared.clone()));
+                    Ok((shared, false))
+                }
+                Err(e) => {
+                    guard.fulfill(Err(e.clone()));
+                    Err(e)
+                }
+            },
+        }
+    }
+
+    /// A snapshot of the per-phase request counters.
+    pub fn stats(&self) -> ArtifactStats {
+        ArtifactStats {
+            enabled: self.enabled,
+            phases: PhaseId::ALL.map(|p| {
+                let c = &self.counters[p.index()];
+                PhaseStat {
+                    phase: p.name(),
+                    hits: c.hits.load(Ordering::Relaxed),
+                    misses: c.misses.load(Ordering::Relaxed),
+                    waits: c.waits.load(Ordering::Relaxed),
+                }
+            }),
+        }
+    }
+}
+
+/// Request counters of one phase (a row of [`ArtifactStats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// The phase's short name.
+    pub phase: &'static str,
+    /// Requests answered from the store (including after a wait).
+    pub hits: u64,
+    /// Requests that computed the artifact.
+    pub misses: u64,
+    /// Hits that blocked on an in-flight computation.
+    pub waits: u64,
+}
+
+/// Per-phase artifact-cache statistics, either cumulative
+/// ([`ArtifactStore::stats`]) or as a delta over one batch pass
+/// ([`ArtifactStats::since`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArtifactStats {
+    /// Whether the store was enabled (disabled stores count nothing).
+    pub enabled: bool,
+    /// One row per phase, in pipeline order.
+    pub phases: [PhaseStat; PhaseId::ALL.len()],
+}
+
+impl ArtifactStats {
+    /// Total requests answered from the store.
+    pub fn hits(&self) -> u64 {
+        self.phases.iter().map(|p| p.hits).sum()
+    }
+
+    /// Total requests that computed.
+    pub fn misses(&self) -> u64 {
+        self.phases.iter().map(|p| p.misses).sum()
+    }
+
+    /// Total artifact requests.
+    pub fn requests(&self) -> u64 {
+        self.hits() + self.misses()
+    }
+
+    /// Fraction of requests answered from the store (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.requests();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+
+    /// The row for the named phase.
+    pub fn phase(&self, name: &str) -> PhaseStat {
+        self.phases.iter().copied().find(|p| p.phase == name).unwrap_or_default()
+    }
+
+    /// The delta from an `earlier` snapshot of the same store — the
+    /// per-pass statistics of a batch run against a long-lived store.
+    pub fn since(&self, earlier: &ArtifactStats) -> ArtifactStats {
+        let mut delta = *self;
+        for (row, before) in delta.phases.iter_mut().zip(earlier.phases.iter()) {
+            // Saturating: counters only grow, but guard against callers
+            // swapping the arguments or mixing snapshots of different
+            // stores — a zero row beats a wrapped 2^64 count in a report.
+            row.hits = row.hits.saturating_sub(before.hits);
+            row.misses = row.misses.saturating_sub(before.misses);
+            row.waits = row.waits.saturating_sub(before.waits);
+        }
+        delta
+    }
+
+    /// JSON rendering (part of the *timing layer* of batch reports —
+    /// hit patterns depend on scheduling and never enter the
+    /// deterministic `results_json`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("enabled", Json::Bool(self.enabled)),
+            ("hits", Json::int(self.hits())),
+            ("misses", Json::int(self.misses())),
+            ("hit_rate", Json::Num(self.hit_rate())),
+            (
+                "phases",
+                Json::Obj(
+                    self.phases
+                        .iter()
+                        .filter(|p| p.hits + p.misses > 0)
+                        .map(|p| {
+                            (
+                                p.phase.to_string(),
+                                Json::obj([
+                                    ("hits", Json::int(p.hits)),
+                                    ("misses", Json::int(p.misses)),
+                                    ("waits", Json::int(p.waits)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::Fp;
+
+    fn fp(n: u64) -> Fingerprint {
+        let mut f = Fp::new("test");
+        f.u64(n);
+        f.finish()
+    }
+
+    #[test]
+    fn first_request_computes_second_reuses() {
+        let store = ArtifactStore::new();
+        let (a, reused) = store
+            .get_or_compute(PhaseId::Cfg, fp(1), || Ok::<_, AnalysisError>(vec![1u32, 2, 3]))
+            .unwrap();
+        assert!(!reused);
+        let (b, reused) = store
+            .get_or_compute(PhaseId::Cfg, fp(1), || -> Result<Vec<u32>, AnalysisError> {
+                panic!("must not recompute")
+            })
+            .unwrap();
+        assert!(reused);
+        assert!(Arc::ptr_eq(&a, &b), "the artifact is shared, not copied");
+        let stats = store.stats();
+        assert_eq!(stats.phase("cfg"), PhaseStat { phase: "cfg", hits: 1, misses: 1, waits: 0 });
+        assert_eq!(store.artifact_count(), 1);
+    }
+
+    #[test]
+    fn distinct_fingerprints_and_phases_do_not_collide() {
+        let store = ArtifactStore::new();
+        let compute = |v: u32| move || Ok::<_, AnalysisError>(v);
+        let (a, _) = store.get_or_compute(PhaseId::Cfg, fp(1), compute(10)).unwrap();
+        let (b, _) = store.get_or_compute(PhaseId::Cfg, fp(2), compute(20)).unwrap();
+        let (c, _) = store.get_or_compute(PhaseId::Value, fp(1), compute(30)).unwrap();
+        assert_eq!((*a, *b, *c), (10, 20, 30));
+        assert_eq!(store.stats().misses(), 3);
+        assert_eq!(store.stats().hits(), 0);
+    }
+
+    #[test]
+    fn errors_are_cached_and_replayed() {
+        let store = ArtifactStore::new();
+        let fail = || -> Result<u32, AnalysisError> {
+            Err(AnalysisError::UnknownSymbol { name: "boom".into() })
+        };
+        let e1 = store.get_or_compute(PhaseId::Path, fp(9), fail).unwrap_err();
+        // The second request must *not* recompute: the closure panics if
+        // called.
+        let e2 = store
+            .get_or_compute(PhaseId::Path, fp(9), || -> Result<u32, AnalysisError> {
+                panic!("errors are artifacts too")
+            })
+            .unwrap_err();
+        assert_eq!(e1.to_string(), e2.to_string());
+        let s = store.stats().phase("path");
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn disabled_store_always_computes_and_counts_nothing() {
+        let store = ArtifactStore::disabled();
+        for _ in 0..3 {
+            let (v, reused) = store
+                .get_or_compute(PhaseId::Value, fp(5), || Ok::<_, AnalysisError>(7u8))
+                .unwrap();
+            assert_eq!(*v, 7);
+            assert!(!reused);
+        }
+        assert_eq!(store.stats().requests(), 0);
+        assert_eq!(store.artifact_count(), 0);
+        assert!(!store.enabled());
+    }
+
+    #[test]
+    fn concurrent_claims_compute_once_and_wait() {
+        let store = ArtifactStore::new();
+        let computed = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let (v, _) = store
+                        .get_or_compute(PhaseId::Value, fp(1), || {
+                            computed.fetch_add(1, Ordering::Relaxed);
+                            // Widen the race window so other threads
+                            // actually wait on the slot.
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                            Ok::<_, AnalysisError>(123u64)
+                        })
+                        .unwrap();
+                    assert_eq!(*v, 123);
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::Relaxed), 1, "exactly one claimant computes");
+        let s = store.stats().phase("value");
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 7);
+    }
+
+    #[test]
+    fn stats_delta_isolates_a_pass() {
+        let store = ArtifactStore::new();
+        let _ = store.get_or_compute(PhaseId::Cfg, fp(1), || Ok::<_, AnalysisError>(1u8));
+        let before = store.stats();
+        let _ = store.get_or_compute(PhaseId::Cfg, fp(1), || Ok::<_, AnalysisError>(1u8));
+        let delta = store.stats().since(&before);
+        assert_eq!(delta.hits(), 1);
+        assert_eq!(delta.misses(), 0);
+        assert_eq!(delta.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn stats_json_lands_active_phases_only() {
+        let store = ArtifactStore::new();
+        let _ = store.get_or_compute(PhaseId::Cache, fp(1), || Ok::<_, AnalysisError>(0u8));
+        let json = store.stats().to_json().to_string();
+        assert!(json.contains("\"cache\""), "{json}");
+        assert!(!json.contains("\"pipeline\""), "{json}");
+        assert!(json.contains("\"hit_rate\""), "{json}");
+    }
+}

@@ -26,11 +26,18 @@
 
 use std::time::Instant;
 
+use std::sync::Arc;
+
 use stamp_exec::{Pool, PoolError};
+use stamp_isa::Program;
 
 use crate::analyzer::{AnalysisConfig, WcetAnalysis};
 use crate::annot::Annotations;
+use crate::artifact::{ArtifactClaim, ArtifactStats, ArtifactStore};
+use crate::error::AnalysisError;
 use crate::json::Json;
+use crate::phase::{self, PhaseId};
+use crate::report::PhaseStats;
 use crate::stack_tool::StackAnalysis;
 
 /// One unit of work: a target program under one configuration variant.
@@ -156,12 +163,54 @@ pub struct JobResult {
     /// Wall time of this job in milliseconds (excluded from the
     /// deterministic rendering).
     pub wall_ms: f64,
+    /// Per-phase artifact provenance of this job, in request order
+    /// (`true` = reused from the shared store). Which job of a
+    /// fingerprint group computes is a scheduling accident, so this is
+    /// excluded from the deterministic rendering, like `wall_ms`.
+    /// Covers the assemble request (including a cached assembly error)
+    /// and every analysis chain that ran to completion; a chain that
+    /// errored partway contributes nothing here — its requests still
+    /// count in the store-wide [`BatchReport::artifacts`] statistics.
+    pub provenance: Vec<(PhaseId, bool)>,
 }
 
 impl JobResult {
     /// `true` when the job produced every result it was asked for.
     pub fn is_ok(&self) -> bool {
         self.error.is_none()
+    }
+
+    /// Number of phase artifacts this job reused from the store.
+    pub fn artifacts_reused(&self) -> usize {
+        self.provenance.iter().filter(|(_, reused)| *reused).count()
+    }
+
+    /// Number of phase artifacts this job computed itself (published
+    /// to the store when one is enabled; with a disabled store every
+    /// request counts here and nothing is retained).
+    pub fn artifacts_computed(&self) -> usize {
+        self.provenance.len() - self.artifacts_reused()
+    }
+
+    /// The provenance map for the timing layer: per phase, `"computed"`
+    /// if this job computed the artifact on any request, `"reused"`
+    /// otherwise.
+    fn provenance_json(&self) -> Json {
+        let mut by_phase: std::collections::BTreeMap<String, Json> = Default::default();
+        for &(phase, reused) in &self.provenance {
+            let entry = by_phase.entry(phase.name().to_string());
+            match entry {
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    if !reused {
+                        e.insert(Json::str("computed"));
+                    }
+                }
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(Json::str(if reused { "reused" } else { "computed" }));
+                }
+            }
+        }
+        Json::Obj(by_phase)
     }
 
     /// The deterministic JSON rendering (no wall time).
@@ -192,6 +241,10 @@ pub struct BatchReport {
     pub cores: usize,
     /// Wall time of the whole batch in milliseconds.
     pub wall_ms: f64,
+    /// Artifact-cache statistics of *this pass* (the delta over the
+    /// store for this `run_batch_with` call; all-zero when the store is
+    /// disabled). Part of the timing layer, never of `results_json`.
+    pub artifacts: ArtifactStats,
 }
 
 impl BatchReport {
@@ -222,7 +275,7 @@ impl BatchReport {
 
     /// The full merged report: the deterministic results plus the
     /// timing layer (per-job and aggregate wall times, throughput,
-    /// worker count).
+    /// worker count, artifact-cache statistics and per-job provenance).
     pub fn to_json(&self) -> Json {
         let jobs: Vec<Json> = self
             .results
@@ -230,6 +283,7 @@ impl BatchReport {
             .map(|r| match r.result_json() {
                 Json::Obj(mut o) => {
                     o.insert("wall_ms".to_string(), Json::Num(r.wall_ms));
+                    o.insert("artifacts".to_string(), r.provenance_json());
                     Json::Obj(o)
                 }
                 _ => unreachable!("result_json returns an object"),
@@ -244,6 +298,7 @@ impl BatchReport {
             ("cores", Json::int(self.cores as u64)),
             ("wall_ms", Json::Num(self.wall_ms)),
             ("throughput_jobs_per_s", Json::Num(self.throughput())),
+            ("artifact_cache", self.artifacts.to_json()),
         ])
     }
 }
@@ -273,10 +328,11 @@ impl std::fmt::Display for BatchError {
 
 impl std::error::Error for BatchError {}
 
-/// Runs one job, start to finish, on the current thread. Analysis
-/// failures are captured into the result, not propagated: one
-/// unanalyzable task must not sink a certification campaign's batch.
-fn run_job(job: &BatchJob) -> JobResult {
+/// Runs one job, start to finish, on the current thread, sharing phase
+/// artifacts through `store`. Analysis failures are captured into the
+/// result, not propagated: one unanalyzable task must not sink a
+/// certification campaign's batch.
+fn run_job(job: &BatchJob, store: &ArtifactStore) -> JobResult {
     let t = Instant::now();
     let mut result = JobResult {
         name: job.name(),
@@ -289,25 +345,55 @@ fn run_job(job: &BatchJob) -> JobResult {
         data: [0; 4],
         error: None,
         wall_ms: 0.0,
+        provenance: Vec::new(),
     };
     let mut errors: Vec<String> = Vec::new();
+    let note = |phases: &[PhaseStats], result: &mut JobResult| {
+        result.provenance.extend(phases.iter().map(|p| (p.phase, p.reused)));
+    };
 
-    match stamp_isa::asm::assemble(&job.source) {
+    // The assemble phase is claimed by hand rather than through
+    // `get_or_compute` so the reuse flag survives the error path: a
+    // cached assembly *error* is provenance-reported as reused too.
+    let assemble = || stamp_isa::asm::assemble(&job.source).map_err(AnalysisError::from);
+    let (assembled, reused): (Result<Arc<Program>, AnalysisError>, bool) =
+        match store.claim(PhaseId::Assemble, phase::source_fingerprint(&job.source)) {
+            ArtifactClaim::Disabled => (assemble().map(Arc::new), false),
+            ArtifactClaim::Ready(stored) => {
+                (stored.map(|any| any.downcast().expect("assemble artifacts are Programs")), true)
+            }
+            ArtifactClaim::Fill(guard) => match assemble() {
+                Ok(program) => {
+                    let shared = Arc::new(program);
+                    guard.fulfill(Ok(shared.clone()));
+                    (Ok(shared), false)
+                }
+                Err(e) => {
+                    guard.fulfill(Err(e.clone()));
+                    (Err(e), false)
+                }
+            },
+        };
+    result.provenance.push((PhaseId::Assemble, reused));
+    match assembled {
         Err(e) => errors.push(format!("assemble: {e}")),
         Ok(program) => {
             match StackAnalysis::new(&program)
                 .hw(job.config.hw)
                 .annotations(job.annotations.clone())
-                .run()
+                .run_with(store)
             {
-                Ok(stack) => result.stack = Some(stack.bound),
+                Ok(stack) => {
+                    result.stack = Some(stack.bound);
+                    note(&stack.phases, &mut result);
+                }
                 Err(e) => errors.push(format!("stack: {e}")),
             }
             if job.wcet {
                 match WcetAnalysis::new(&program)
                     .config(job.config.clone())
                     .annotations(job.annotations.clone())
-                    .run()
+                    .run_with(store)
                 {
                     Ok(report) => {
                         result.wcet = Some(report.wcet);
@@ -315,6 +401,7 @@ fn run_job(job: &BatchJob) -> JobResult {
                         let (f, d) = (report.fetch_stats, report.data_stats);
                         result.fetch = [f.hit, f.miss, f.persistent, f.unclassified];
                         result.data = [d.hit, d.miss, d.persistent, d.unclassified];
+                        note(&report.phases, &mut result);
                     }
                     Err(e) => errors.push(format!("wcet: {e}")),
                 }
@@ -329,8 +416,11 @@ fn run_job(job: &BatchJob) -> JobResult {
     result
 }
 
-/// Runs every job of `request` across `workers` threads and merges the
-/// results into one report, ordered by job index.
+/// Runs every job of `request` across `workers` threads with a fresh
+/// artifact store shared by all jobs, and merges the results into one
+/// report ordered by job index. Equivalent to [`run_batch_with`] on a
+/// new [`ArtifactStore`]; pass a disabled store to opt out of reuse, or
+/// a long-lived store to carry artifacts across batch passes.
 ///
 /// # Errors
 ///
@@ -338,10 +428,31 @@ fn run_job(job: &BatchJob) -> JobResult {
 /// job. Analysis-level failures (bad source, missing loop bounds)
 /// never error the batch; they are recorded per job.
 pub fn run_batch(request: &BatchRequest, workers: usize) -> Result<BatchReport, BatchError> {
+    run_batch_with(request, workers, &ArtifactStore::new())
+}
+
+/// [`run_batch`] against a caller-supplied [`ArtifactStore`].
+///
+/// Concurrent jobs whose phase inputs fingerprint equal share the
+/// artifact: the first claimant computes while the others wait on the
+/// slot, and later jobs hit without waiting. The merged
+/// [`BatchReport::results_json`] is **byte-identical** whatever store
+/// is passed (enabled, disabled, cold or warm) — reuse shows up only in
+/// wall times and in the timing layer's provenance and statistics.
+///
+/// # Errors
+///
+/// As [`run_batch`].
+pub fn run_batch_with(
+    request: &BatchRequest,
+    workers: usize,
+    store: &ArtifactStore,
+) -> Result<BatchReport, BatchError> {
     let t = Instant::now();
+    let before = store.stats();
     let pool = Pool::new(workers);
     let results = pool
-        .map_labeled(&request.jobs, |_, job| job.name(), |_, job| run_job(job))
+        .map_labeled(&request.jobs, |_, job| job.name(), |_, job| run_job(job, store))
         .map_err(|e| {
             let PoolError::JobPanicked { label, message, .. } = e;
             BatchError::JobPanicked { job: label, message }
@@ -351,6 +462,7 @@ pub fn run_batch(request: &BatchRequest, workers: usize) -> Result<BatchReport, 
         workers: pool.workers(),
         cores: stamp_exec::default_workers(),
         wall_ms: t.elapsed().as_secs_f64() * 1e3,
+        artifacts: store.stats().since(&before),
     })
 }
 

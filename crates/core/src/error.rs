@@ -5,12 +5,16 @@ use std::fmt;
 
 use stamp_ai::IcfgError;
 use stamp_cfg::CfgError;
+use stamp_isa::asm::AsmError;
 use stamp_path::PathError;
 use stamp_stack::StackError;
 
 /// Any failure of the analyzer pipeline, with the phase that raised it.
 #[derive(Clone, Debug)]
 pub enum AnalysisError {
+    /// The source did not assemble (batch jobs only; the single-shot
+    /// APIs take an already-assembled [`stamp_isa::Program`]).
+    Assemble(AsmError),
     /// CFG reconstruction failed.
     Cfg(CfgError),
     /// Supergraph expansion failed (e.g. recursion).
@@ -35,6 +39,7 @@ pub enum AnalysisError {
 impl fmt::Display for AnalysisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            AnalysisError::Assemble(e) => write!(f, "{e}"),
             AnalysisError::Cfg(e) => write!(f, "CFG reconstruction: {e}"),
             AnalysisError::Icfg(e) => write!(f, "context expansion: {e}"),
             AnalysisError::UnresolvedIndirects { addrs } => {
@@ -59,12 +64,19 @@ impl fmt::Display for AnalysisError {
 impl Error for AnalysisError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
+            AnalysisError::Assemble(e) => Some(e),
             AnalysisError::Cfg(e) => Some(e),
             AnalysisError::Icfg(e) => Some(e),
             AnalysisError::Path(e) => Some(e),
             AnalysisError::Stack(e) => Some(e),
             AnalysisError::UnresolvedIndirects { .. } | AnalysisError::UnknownSymbol { .. } => None,
         }
+    }
+}
+
+impl From<AsmError> for AnalysisError {
+    fn from(e: AsmError) -> AnalysisError {
+        AnalysisError::Assemble(e)
     }
 }
 

@@ -44,19 +44,25 @@
 
 mod analyzer;
 mod annot;
+mod artifact;
 mod batch;
 mod error;
+mod fingerprint;
 mod json;
+mod phase;
 mod report;
 mod stack_tool;
 
 pub use analyzer::{AnalysisConfig, WcetAnalysis};
 pub use annot::Annotations;
+pub use artifact::{ArtifactStats, ArtifactStore, PhaseStat};
 pub use batch::{
-    run_batch, BatchError, BatchJob, BatchReport, BatchRequest, BatchTarget, BatchVariant,
-    JobResult,
+    run_batch, run_batch_with, BatchError, BatchJob, BatchReport, BatchRequest, BatchTarget,
+    BatchVariant, JobResult,
 };
 pub use error::AnalysisError;
+pub use fingerprint::{Fingerprint, Fp};
 pub use json::{Json, JsonParseError};
+pub use phase::{plan_job, PhaseId, PhaseRequest};
 pub use report::{PhaseStats, WcetReport};
 pub use stack_tool::{StackAnalysis, StackReport};

@@ -13,14 +13,29 @@ use stamp_pipeline::PipelineAnalysis;
 use stamp_value::{PrecisionSummary, ValueAnalysis};
 
 use crate::json::Json;
+use crate::phase::PhaseId;
 
-/// Wall-clock duration of one analysis phase, in seconds.
-#[derive(Clone, Debug, PartialEq)]
+/// One analysis phase as this run experienced it: wall-clock duration
+/// plus whether the phase's artifact was reused from a shared
+/// [`crate::ArtifactStore`] rather than computed.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PhaseStats {
-    /// Phase name.
-    pub name: String,
-    /// Duration in seconds.
+    /// Which phase.
+    pub phase: PhaseId,
+    /// Duration in seconds (the time to *obtain* the artifact — near
+    /// zero when reused).
     pub seconds: f64,
+    /// `true` when the artifact came out of the store (provenance; kept
+    /// out of all deterministic renderings, since whether a job reused
+    /// or computed depends on scheduling).
+    pub reused: bool,
+}
+
+impl PhaseStats {
+    /// The human-readable phase name.
+    pub fn name(&self) -> &'static str {
+        self.phase.title()
+    }
 }
 
 /// The complete result of a WCET analysis ("Its results are documented
@@ -75,7 +90,7 @@ impl WcetReport {
         ca: &CacheAnalysis,
         pa: &PipelineAnalysis,
         result: &WcetResult,
-        phases: Vec<(String, f64)>,
+        phases: Vec<PhaseStats>,
     ) -> WcetReport {
         // Per-block worst-case cycle attribution.
         let mut profile: BTreeMap<BlockId, (u64, u64)> = BTreeMap::new();
@@ -138,10 +153,7 @@ impl WcetReport {
             data_stats: ca.data_stats(),
             loop_bounds,
             ilp_size: result.ilp_size,
-            phases: phases
-                .into_iter()
-                .map(|(name, seconds)| PhaseStats { name, seconds })
-                .collect(),
+            phases,
             block_profile,
             worst_path,
             evaluations: va.evaluations + ca.evaluations + pa.evaluations,
@@ -237,7 +249,13 @@ impl WcetReport {
         let _ = writeln!(out, "{line}");
         let _ = writeln!(out, "\n-- analysis time");
         for ph in &self.phases {
-            let _ = writeln!(out, "{:<24} {:>9.3} ms", ph.name, ph.seconds * 1e3);
+            let _ = writeln!(
+                out,
+                "{:<24} {:>9.3} ms{}",
+                ph.name(),
+                ph.seconds * 1e3,
+                if ph.reused { "  (reused)" } else { "" }
+            );
         }
         let _ = writeln!(out, "{:<24} {:>9.3} ms", "total", self.analysis_seconds() * 1e3);
         out

@@ -1,17 +1,30 @@
 //! The StackAnalyzer product: per-task worst-case stack bounds.
+//!
+//! The stack tool rides the same phase graph as the WCET analyzer: its
+//! CFG / context / value prefix (always at default VIVU and value
+//! options — stack bounds do not depend on unrolling contexts) goes
+//! through the shared [`ArtifactStore`], so in a batch a target's stack
+//! analysis and its WCET analysis share one value fixpoint, and a
+//! hardware sweep shares the stack bound itself across variants (only
+//! the memory map reaches the stack fingerprint).
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use stamp_ai::{Icfg, IcfgError, VivuConfig};
 use stamp_cfg::CfgBuilder;
 use stamp_hw::HwConfig;
 use stamp_isa::Program;
 use stamp_stack::{FunctionStack, StackOptions};
-use stamp_value::{ValueAnalysis, ValueOptions};
+use stamp_value::ValueOptions;
 
+use crate::analyzer::value_phase;
 use crate::annot::Annotations;
+use crate::artifact::ArtifactStore;
 use crate::error::AnalysisError;
 use crate::json::Json;
+use crate::phase::{self, PhaseId};
+use crate::report::PhaseStats;
 
 /// Result of a stack analysis.
 #[derive(Clone, Debug)]
@@ -23,6 +36,10 @@ pub struct StackReport {
     pub mode: &'static str,
     /// Per-function breakdown (callgraph mode only).
     pub per_function: BTreeMap<String, FunctionStack>,
+    /// Per-phase timing and artifact provenance of *this run* (excluded
+    /// from [`StackReport::to_json`]: provenance depends on scheduling,
+    /// and the JSON rendering is deterministic).
+    pub phases: Vec<PhaseStats>,
 }
 
 impl StackReport {
@@ -95,7 +112,14 @@ impl<'p> StackAnalysis<'p> {
 
     /// Analyzes the task at the program's entry point.
     pub fn run(&self) -> Result<StackReport, AnalysisError> {
-        self.run_program(self.program)
+        self.run_program(self.program, &ArtifactStore::disabled())
+    }
+
+    /// Like [`StackAnalysis::run`], but sharing phase artifacts through
+    /// `store` (see the module docs). The report is identical except
+    /// for timing and provenance.
+    pub fn run_with(&self, store: &ArtifactStore) -> Result<StackReport, AnalysisError> {
+        self.run_program(self.program, store)
     }
 
     /// Analyzes the task whose entry is the given symbol (for multi-task
@@ -108,41 +132,110 @@ impl<'p> StackAnalysis<'p> {
             .ok_or_else(|| AnalysisError::UnknownSymbol { name: entry_symbol.to_string() })?;
         let mut program = self.program.clone();
         program.entry = addr;
-        self.run_program(&program)
+        // The entry point is part of the program fingerprint, so
+        // per-task artifacts of a multi-task image never collide.
+        self.run_program(&program, &ArtifactStore::disabled())
     }
 
-    fn run_program(&self, program: &Program) -> Result<StackReport, AnalysisError> {
-        let mut builder = CfgBuilder::new(program);
-        for (a, ts) in self.annotations.resolved_indirects(program) {
-            builder.indirect_targets(a, ts);
-        }
-        let cfg = builder.build()?;
+    fn run_program(
+        &self,
+        program: &Program,
+        store: &ArtifactStore,
+    ) -> Result<StackReport, AnalysisError> {
+        let mut phases: Vec<PhaseStats> = Vec::new();
+        let program_fp = phase::program_fingerprint(program);
+        let extra = self.annotations.resolved_indirects(program);
+        let recursion = self.annotations.resolved_recursion(program);
 
-        match Icfg::build(&cfg, &VivuConfig::default()) {
-            Ok(icfg) => {
-                let va =
-                    ValueAnalysis::run(program, &self.hw, &cfg, &icfg, &ValueOptions::default());
-                let precise = stamp_stack::analyze_icfg(program, &self.hw, &cfg, &icfg, &va)?;
-                // The callgraph mode also provides the per-function table.
-                let breakdown = stamp_stack::analyze_callgraph(
-                    program,
-                    &cfg,
-                    &StackOptions {
-                        recursion_depths: self.annotations.resolved_recursion(program),
-                    },
-                )
-                .map(|r| r.per_function)
-                .unwrap_or_default();
-                Ok(StackReport { bound: precise.total, mode: "precise", per_function: breakdown })
+        let t = Instant::now();
+        let cfg_fp = phase::cfg_fingerprint(program_fp, &extra);
+        let (cfg, reused) = store.get_or_compute(PhaseId::Cfg, cfg_fp, || {
+            let mut builder = CfgBuilder::new(program);
+            for (a, ts) in &extra {
+                builder.indirect_targets(*a, ts.iter().copied());
             }
-            // Recursion: fall back to the compositional mode.
-            Err(IcfgError::CallDepthExceeded { .. } | IcfgError::ContextExplosion { .. }) => {
-                let opts =
-                    StackOptions { recursion_depths: self.annotations.resolved_recursion(program) };
-                let r = stamp_stack::analyze_callgraph(program, &cfg, &opts)?;
-                Ok(StackReport { bound: r.total, mode: "callgraph", per_function: r.per_function })
+            builder.build().map_err(AnalysisError::from)
+        })?;
+        phases.push(PhaseStats { phase: PhaseId::Cfg, seconds: t.elapsed().as_secs_f64(), reused });
+
+        let t = Instant::now();
+        let vivu = VivuConfig::default();
+        let context_fp = phase::context_fingerprint(cfg_fp, &vivu);
+        let icfg_result = store.get_or_compute(PhaseId::Context, context_fp, || {
+            Icfg::build(&cfg, &vivu).map_err(AnalysisError::from)
+        });
+
+        match icfg_result {
+            Ok((icfg, reused)) => {
+                phases.push(PhaseStats {
+                    phase: PhaseId::Context,
+                    seconds: t.elapsed().as_secs_f64(),
+                    reused,
+                });
+                let t = Instant::now();
+                let value_opts = ValueOptions::default();
+                let value_fp = phase::value_fingerprint(context_fp, &self.hw.mem, &value_opts);
+                let (va, reused) =
+                    value_phase(store, value_fp, program, &self.hw, &cfg, &icfg, &value_opts);
+                phases.push(PhaseStats {
+                    phase: PhaseId::Value,
+                    seconds: t.elapsed().as_secs_f64(),
+                    reused,
+                });
+
+                let t = Instant::now();
+                let stack_fp = phase::stack_fingerprint(value_fp, &recursion);
+                let (report, reused) = store.get_or_compute(PhaseId::Stack, stack_fp, || {
+                    let precise = stamp_stack::analyze_icfg(program, &self.hw, &cfg, &icfg, &va)?;
+                    // The callgraph mode also provides the per-function
+                    // table.
+                    let breakdown = stamp_stack::analyze_callgraph(
+                        program,
+                        &cfg,
+                        &StackOptions { recursion_depths: recursion.clone() },
+                    )
+                    .map(|r| r.per_function)
+                    .unwrap_or_default();
+                    Ok(StackReport {
+                        bound: precise.total,
+                        mode: "precise",
+                        per_function: breakdown,
+                        phases: Vec::new(),
+                    })
+                })?;
+                phases.push(PhaseStats {
+                    phase: PhaseId::Stack,
+                    seconds: t.elapsed().as_secs_f64(),
+                    reused,
+                });
+                Ok(StackReport { phases, ..(*report).clone() })
             }
-            Err(e) => Err(e.into()),
+            // Recursion: fall back to the compositional mode (the cached
+            // context error carries the variant, so sharing jobs take
+            // the same branch).
+            Err(AnalysisError::Icfg(
+                IcfgError::CallDepthExceeded { .. } | IcfgError::ContextExplosion { .. },
+            )) => {
+                let t = Instant::now();
+                let stack_fp = phase::stack_callgraph_fingerprint(cfg_fp, &self.hw.mem, &recursion);
+                let (report, reused) = store.get_or_compute(PhaseId::Stack, stack_fp, || {
+                    let opts = StackOptions { recursion_depths: recursion.clone() };
+                    let r = stamp_stack::analyze_callgraph(program, &cfg, &opts)?;
+                    Ok(StackReport {
+                        bound: r.total,
+                        mode: "callgraph",
+                        per_function: r.per_function,
+                        phases: Vec::new(),
+                    })
+                })?;
+                phases.push(PhaseStats {
+                    phase: PhaseId::Stack,
+                    seconds: t.elapsed().as_secs_f64(),
+                    reused,
+                });
+                Ok(StackReport { phases, ..(*report).clone() })
+            }
+            Err(e) => Err(e),
         }
     }
 }

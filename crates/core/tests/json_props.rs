@@ -1,0 +1,149 @@
+//! Property-based round-trip validation of the hand-rolled JSON writer
+//! and parser in `stamp_core::json`: for arbitrary values — hostile
+//! strings (escapes, control characters, astral characters that render
+//! as surrogate pairs in `\u` form), tricky numbers, deep nesting —
+//! `parse(render(v)) == v`, and rendering is a stable normal form.
+
+use proptest::prelude::*;
+use stamp_core::Json;
+
+/// Characters drawn from every class the escaper treats differently:
+/// plain ASCII, the named escapes, other control characters, non-ASCII
+/// BMP characters, and astral characters (surrogate pairs in `\u`
+/// notation).
+fn arb_char() -> impl Strategy<Value = char> {
+    prop_oneof![
+        8 => (0x20u32..0x7f).prop_map(|c| char::from_u32(c).unwrap()),
+        2 => prop_oneof![
+            Just('"'),
+            Just('\\'),
+            Just('/'),
+            Just('\n'),
+            Just('\t'),
+            Just('\r'),
+            Just('\u{8}'),
+            Just('\u{c}'),
+        ],
+        1 => (0u32..0x20).prop_map(|c| char::from_u32(c).unwrap()),
+        2 => (0x80u32..0xd800).prop_map(|c| char::from_u32(c).unwrap()),
+        2 => (0x1_0000u32..0x2_0000).prop_map(|c| char::from_u32(c).unwrap()),
+    ]
+}
+
+fn arb_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(arb_char(), 0..12).prop_map(|cs| cs.into_iter().collect())
+}
+
+/// Finite doubles of every flavor the writer distinguishes: integers
+/// (rendered without a fraction), fractions, large magnitudes past the
+/// integer-rendering cutoff, and signed zero.
+fn arb_number() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        4 => any::<i64>().prop_map(|i| (i % 1_000_000_000) as f64),
+        2 => (any::<i64>(), -12i32..12).prop_map(|(m, e)| {
+            ((m % 1_000_000) as f64) * 10f64.powi(e)
+        }),
+        1 => (any::<i64>(), 200i32..300).prop_map(|(m, e)| {
+            ((m % 1_000) as f64) * 10f64.powi(e)
+        }),
+        1 => Just(0.0),
+        1 => Just(-0.0),
+        1 => Just(9e15),
+        1 => Just(-9e15),
+    ]
+}
+
+/// Arbitrary JSON values to the given nesting depth.
+fn arb_json(depth: u32) -> BoxedStrategy<Json> {
+    let leaf = prop_oneof![
+        1 => Just(Json::Null),
+        1 => any::<bool>().prop_map(Json::Bool),
+        3 => arb_number().prop_map(Json::Num),
+        3 => arb_string().prop_map(Json::Str),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = arb_json(depth - 1);
+    let arr = prop::collection::vec(inner.clone(), 0..5).prop_map(Json::Arr);
+    let obj = prop::collection::vec((arb_string(), inner), 0..5)
+        .prop_map(|entries| Json::Obj(entries.into_iter().collect()));
+    prop_oneof![
+        2 => leaf,
+        2 => arr,
+        2 => obj,
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The writer's output always parses back to the same value.
+    #[test]
+    fn parse_inverts_render(j in arb_json(4)) {
+        let rendered = j.to_string();
+        let parsed = Json::parse(&rendered)
+            .unwrap_or_else(|e| panic!("rendered JSON must parse: {e}\n{rendered}"));
+        prop_assert_eq!(&parsed, &j, "round trip changed the value: {}", rendered);
+    }
+
+    /// Rendering is a stable normal form: render ∘ parse ∘ render is
+    /// the identity on rendered documents.
+    #[test]
+    fn render_is_a_normal_form(j in arb_json(3)) {
+        let once = j.to_string();
+        let twice = Json::parse(&once).unwrap().to_string();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Strings survive alone too (the densest escape territory).
+    #[test]
+    fn strings_round_trip(s in arb_string()) {
+        let j = Json::Str(s.clone());
+        let parsed = Json::parse(&j.to_string()).unwrap();
+        prop_assert_eq!(parsed.as_str(), Some(s.as_str()));
+    }
+
+    /// Numbers survive exactly (shortest-round-trip `Display` plus an
+    /// exact `f64` parser).
+    #[test]
+    fn numbers_round_trip(n in arb_number()) {
+        let parsed = Json::parse(&Json::Num(n).to_string()).unwrap();
+        prop_assert_eq!(parsed.as_f64(), Some(n), "{}", Json::Num(n));
+    }
+
+    /// Nesting up to the parser's depth cap parses; beyond it, the
+    /// parser errors instead of overflowing the stack.
+    #[test]
+    fn nesting_depth_is_enforced_not_fatal(depth in 1usize..200) {
+        let doc = "[".repeat(depth) + &"]".repeat(depth);
+        let result = Json::parse(&doc);
+        if depth <= 128 {
+            prop_assert!(result.is_ok(), "depth {} should parse", depth);
+        } else {
+            let e = result.unwrap_err();
+            prop_assert!(e.message.contains("nesting"), "depth {}: {}", depth, e);
+        }
+    }
+
+    /// Whitespace around any token never changes the parse.
+    #[test]
+    fn whitespace_is_insignificant(j in arb_json(2), ws in 0usize..4) {
+        let pad = ["", " ", "\n\t", " \r\n "][ws];
+        let doc = format!("{pad}{j}{pad}");
+        prop_assert_eq!(Json::parse(&doc).unwrap(), j);
+    }
+}
+
+/// Non-property companion: the generator actually exercises surrogate
+/// pairs (a regression guard for the generator itself).
+#[test]
+fn astral_characters_render_and_reparse() {
+    let j = Json::Str("😀 \u{1F600}\u{10000}".to_string());
+    let parsed = Json::parse(&j.to_string()).unwrap();
+    assert_eq!(parsed, j);
+    // And the escaped spelling decodes to the same string.
+    let escaped = "\"\\ud83d\\ude00 \\ud83d\\ude00\\ud800\\udc00\"";
+    assert_eq!(Json::parse(escaped).unwrap().as_str(), j.as_str());
+}

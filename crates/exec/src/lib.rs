@@ -40,6 +40,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+mod slot;
+
+pub use slot::{Slot, SlotClaim, SlotFillGuard};
+
 /// A failure of a pool run.
 #[derive(Debug)]
 pub enum PoolError {

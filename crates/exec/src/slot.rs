@@ -1,0 +1,234 @@
+//! A claim-or-wait slot: the synchronization primitive behind the
+//! content-addressed artifact store in `stamp_core`.
+//!
+//! A [`Slot`] holds at most one value, computed by exactly one thread.
+//! The first claimant gets a [`SlotFillGuard`] and must compute the
+//! value; every later claimant blocks until the value is published and
+//! then receives a clone. The guard is panic-safe: dropping it without
+//! fulfilling (a panicking or erroring computation) returns the slot to
+//! the vacant state and wakes all waiters, one of which becomes the new
+//! claimant — a crashed producer can therefore never deadlock the pool.
+//!
+//! Deadlock freedom for the artifact store follows from a discipline the
+//! callers keep: a thread holding a fill guard runs a *pure* computation
+//! that claims no other slot, so the wait-for graph has no edges out of
+//! a computing thread and cycles are impossible.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use stamp_exec::{Slot, SlotClaim};
+//!
+//! let slot: Arc<Slot<u32>> = Arc::new(Slot::new());
+//! match Slot::claim(&slot) {
+//!     SlotClaim::Fill(guard) => guard.fulfill(42),
+//!     SlotClaim::Ready { .. } => unreachable!("first claim fills"),
+//! }
+//! match Slot::claim(&slot) {
+//!     SlotClaim::Ready { value, waited } => {
+//!         assert_eq!(value, 42);
+//!         assert!(!waited);
+//!     }
+//!     SlotClaim::Fill(_) => unreachable!("second claim hits"),
+//! }
+//! ```
+
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The slot's lifecycle: vacant → computing → ready (or back to vacant
+/// if the computing thread drops its guard without fulfilling).
+enum State<V> {
+    Vacant,
+    Computing,
+    Ready(V),
+}
+
+/// A write-once cell with claim/wait semantics (see the module docs).
+pub struct Slot<V> {
+    state: Mutex<State<V>>,
+    cv: Condvar,
+}
+
+impl<V> Default for Slot<V> {
+    fn default() -> Slot<V> {
+        Slot { state: Mutex::new(State::Vacant), cv: Condvar::new() }
+    }
+}
+
+/// The outcome of [`Slot::claim`].
+pub enum SlotClaim<V> {
+    /// The value is present. `waited` is `true` when this thread
+    /// blocked while another thread computed it (reuse-after-wait, as
+    /// opposed to an immediate hit).
+    Ready {
+        /// A clone of the slot's value.
+        value: V,
+        /// Whether the claim blocked on an in-flight computation.
+        waited: bool,
+    },
+    /// This thread is the claimant and must compute the value, then
+    /// [`SlotFillGuard::fulfill`] it (or drop the guard to release the
+    /// claim).
+    Fill(SlotFillGuard<V>),
+}
+
+impl<V> Slot<V> {
+    /// An empty slot.
+    pub fn new() -> Slot<V> {
+        Slot { state: Mutex::new(State::Vacant), cv: Condvar::new() }
+    }
+}
+
+impl<V: Clone> Slot<V> {
+    /// Claims the slot: returns its value if present (blocking while
+    /// another thread computes it), or a fill guard making the caller
+    /// the computing thread.
+    pub fn claim(slot: &Arc<Slot<V>>) -> SlotClaim<V> {
+        let mut st = slot.state.lock().unwrap();
+        let mut waited = false;
+        loop {
+            match &*st {
+                State::Vacant => {
+                    *st = State::Computing;
+                    return SlotClaim::Fill(SlotFillGuard {
+                        slot: Arc::clone(slot),
+                        fulfilled: false,
+                    });
+                }
+                State::Computing => {
+                    waited = true;
+                    st = slot.cv.wait(st).unwrap();
+                }
+                State::Ready(v) => return SlotClaim::Ready { value: v.clone(), waited },
+            }
+        }
+    }
+
+    /// The value, if already published (never blocks).
+    pub fn peek(&self) -> Option<V> {
+        match &*self.state.lock().unwrap() {
+            State::Ready(v) => Some(v.clone()),
+            State::Vacant | State::Computing => None,
+        }
+    }
+}
+
+/// Exclusive permission to fill a [`Slot`]. Dropped without
+/// [`SlotFillGuard::fulfill`], it vacates the slot and wakes waiters so
+/// one of them can claim it instead.
+pub struct SlotFillGuard<V> {
+    slot: Arc<Slot<V>>,
+    fulfilled: bool,
+}
+
+impl<V> SlotFillGuard<V> {
+    /// Publishes the value and wakes every waiter.
+    pub fn fulfill(mut self, value: V) {
+        *self.slot.state.lock().unwrap() = State::Ready(value);
+        self.fulfilled = true;
+        self.slot.cv.notify_all();
+    }
+}
+
+impl<V> Drop for SlotFillGuard<V> {
+    fn drop(&mut self) {
+        if !self.fulfilled {
+            *self.slot.state.lock().unwrap() = State::Vacant;
+            self.slot.cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn first_claim_fills_later_claims_hit() {
+        let slot: Arc<Slot<String>> = Arc::new(Slot::new());
+        assert!(slot.peek().is_none());
+        match Slot::claim(&slot) {
+            SlotClaim::Fill(g) => g.fulfill("computed".to_string()),
+            SlotClaim::Ready { .. } => panic!("first claim must fill"),
+        }
+        assert_eq!(slot.peek().as_deref(), Some("computed"));
+        match Slot::claim(&slot) {
+            SlotClaim::Ready { value, waited } => {
+                assert_eq!(value, "computed");
+                assert!(!waited, "no computation was in flight");
+            }
+            SlotClaim::Fill(_) => panic!("second claim must hit"),
+        }
+    }
+
+    #[test]
+    fn dropping_the_guard_vacates_the_slot() {
+        let slot: Arc<Slot<u32>> = Arc::new(Slot::new());
+        match Slot::claim(&slot) {
+            SlotClaim::Fill(g) => drop(g),
+            SlotClaim::Ready { .. } => unreachable!(),
+        }
+        // The claim is released: the next claimant fills again.
+        match Slot::claim(&slot) {
+            SlotClaim::Fill(g) => g.fulfill(7),
+            SlotClaim::Ready { .. } => panic!("vacated slot must be claimable"),
+        }
+        assert_eq!(slot.peek(), Some(7));
+    }
+
+    #[test]
+    fn waiters_block_until_fulfilled_and_report_waiting() {
+        let slot: Arc<Slot<u64>> = Arc::new(Slot::new());
+        let computed = AtomicUsize::new(0);
+        let waited_hits = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let guard = match Slot::claim(&slot) {
+                SlotClaim::Fill(g) => g,
+                SlotClaim::Ready { .. } => unreachable!(),
+            };
+            for _ in 0..4 {
+                scope.spawn(|| match Slot::claim(&slot) {
+                    SlotClaim::Ready { value, waited } => {
+                        assert_eq!(value, 99);
+                        if waited {
+                            waited_hits.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    SlotClaim::Fill(_) => panic!("value is being computed"),
+                });
+            }
+            // Give the waiters a moment to actually block, then publish.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            computed.fetch_add(1, Ordering::Relaxed);
+            guard.fulfill(99);
+        });
+        assert_eq!(computed.load(Ordering::Relaxed), 1);
+        assert!(waited_hits.load(Ordering::Relaxed) >= 1, "some thread should have blocked");
+    }
+
+    #[test]
+    fn a_panicking_producer_hands_the_claim_to_a_waiter() {
+        let slot: Arc<Slot<u32>> = Arc::new(Slot::new());
+        std::thread::scope(|scope| {
+            let guard = match Slot::claim(&slot) {
+                SlotClaim::Fill(g) => g,
+                SlotClaim::Ready { .. } => unreachable!(),
+            };
+            let waiter = scope.spawn(|| match Slot::claim(&slot) {
+                // The waiter is promoted to claimant and computes.
+                SlotClaim::Fill(g) => {
+                    g.fulfill(5);
+                    true
+                }
+                SlotClaim::Ready { .. } => false,
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            // Simulate the producer dying mid-computation.
+            drop(guard);
+            assert!(waiter.join().unwrap(), "waiter should have been promoted");
+        });
+        assert_eq!(slot.peek(), Some(5));
+    }
+}

@@ -25,10 +25,12 @@
 
 mod gen;
 pub mod manifest;
+pub mod plan;
 mod programs;
 
 pub use gen::{generate, GenConfig};
 pub use manifest::{corpus_matrix, corpus_request, parse_manifest, ManifestError};
+pub use plan::{describe_config, plan, BatchPlan, JobPlan, PhasePlan};
 pub use programs::benchmarks;
 
 use rand::Rng;

@@ -37,6 +37,19 @@ impl AMem {
         AMem::default()
     }
 
+    /// The shared word map (for freezing states into thread-shareable
+    /// artifacts; the `Rc` identity doubles as the structural-sharing
+    /// key).
+    pub(crate) fn words_rc(&self) -> &Rc<BTreeMap<u32, SInt>> {
+        &self.words
+    }
+
+    /// Rebuilds a memory from a (possibly shared) word map — the
+    /// inverse of [`AMem::words_rc`].
+    pub(crate) fn from_words(words: Rc<BTreeMap<u32, SInt>>) -> AMem {
+        AMem { words }
+    }
+
     /// Number of words with non-⊤ knowledge.
     pub fn known_words(&self) -> usize {
         self.words.len()

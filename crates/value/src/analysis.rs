@@ -6,7 +6,7 @@ use std::rc::Rc;
 use stamp_ai::{solve, CtxId, Fixpoint, IEdgeId, Icfg, NodeId};
 use stamp_cfg::Cfg;
 use stamp_hw::HwConfig;
-use stamp_isa::{Flow, Insn, MemWidth, Program};
+use stamp_isa::{Flow, Insn, MemWidth, Program, Reg};
 
 use crate::interval::{DomainKind, SInt};
 use crate::state::AState;
@@ -237,6 +237,130 @@ impl ValueAnalysis {
     pub fn constant_branches(&self) -> usize {
         self.branches.values().filter(|o| !matches!(o, BranchOutcome::Unknown)).count()
     }
+
+    /// Deep-freezes the analysis into a `Send + Sync` artifact that can
+    /// be shared across threads (the kernel's `Rc`-based copy-on-write
+    /// state is thread-local by design; see [`FrozenValueAnalysis`]).
+    ///
+    /// Structural sharing survives the round trip: word maps shared
+    /// between abstract states (the common case after copy-on-write)
+    /// are stored once, keyed by `Rc` identity, and re-shared on thaw.
+    pub fn freeze(&self) -> FrozenValueAnalysis {
+        let mut word_maps: Vec<BTreeMap<u32, SInt>> = Vec::new();
+        let mut by_ptr: HashMap<*const BTreeMap<u32, SInt>, usize> = HashMap::new();
+        let mut freeze_state = |s: &AState| -> FrozenState {
+            let rc = s.mem.words_rc();
+            let idx = *by_ptr.entry(Rc::as_ptr(rc)).or_insert_with(|| {
+                word_maps.push((**rc).clone());
+                word_maps.len() - 1
+            });
+            FrozenState { regs: *s.regs(), words: idx }
+        };
+        let (ins, outs) = self.fixpoint.states();
+        let frozen_ins: Vec<Option<FrozenState>> =
+            ins.iter().map(|s| s.as_ref().map(&mut freeze_state)).collect();
+        let frozen_outs: Vec<Option<FrozenState>> =
+            outs.iter().map(|s| s.as_ref().map(&mut freeze_state)).collect();
+        let ladder = ins.iter().chain(outs).flatten().next().map(|s| s.thresholds_rc());
+        // Every state descends from the single entry state, so they all
+        // share one ladder; freezing stores it once. Make the invariant
+        // loud if a future change ever breaks it — a silently wrong
+        // ladder after thaw would diverge widening across jobs.
+        debug_assert!(
+            ins.iter()
+                .chain(outs)
+                .flatten()
+                .all(|s| { Rc::ptr_eq(s.thresholds_rc(), ladder.expect("some state exists")) }),
+            "freeze assumes one shared threshold ladder per analysis"
+        );
+        let thresholds = ladder.map(|t| (**t).clone()).unwrap_or_default();
+
+        let mut accesses: Vec<((u32, CtxId), AccessInfo)> =
+            self.accesses.iter().map(|(k, v)| (*k, v.clone())).collect();
+        accesses.sort_by_key(|(k, _)| *k);
+        let mut branches: Vec<((u32, CtxId), BranchOutcome)> =
+            self.branches.iter().map(|(k, v)| (*k, *v)).collect();
+        branches.sort_by_key(|(k, _)| *k);
+
+        FrozenValueAnalysis {
+            thresholds,
+            word_maps,
+            ins: frozen_ins,
+            outs: frozen_outs,
+            infeasible_edges: self.fixpoint.infeasible_edges.clone(),
+            accesses,
+            branches,
+            indirect_targets: self.indirect_targets.clone(),
+            unresolved: self.unresolved.clone(),
+            options: self.options.clone(),
+            evaluations: self.evaluations,
+        }
+    }
+}
+
+/// An abstract register file plus an index into the frozen word-map
+/// pool — one abstract state with its sharing made explicit.
+#[derive(Clone, Debug)]
+struct FrozenState {
+    regs: [SInt; Reg::COUNT],
+    words: usize,
+}
+
+/// A deep-frozen [`ValueAnalysis`]: plain owned data, no `Rc`, hence
+/// `Send + Sync` — the form in which value-analysis results live in a
+/// cross-job artifact store. [`FrozenValueAnalysis::thaw`] reconstructs
+/// a job-local `ValueAnalysis` with fresh `Rc`s, restoring the original
+/// structural sharing, and is exact: every downstream phase observes
+/// the same states, accesses, branches and statistics as on the
+/// original.
+#[derive(Clone, Debug)]
+pub struct FrozenValueAnalysis {
+    thresholds: Vec<u32>,
+    /// Unique word maps, deduplicated by `Rc` identity at freeze time.
+    word_maps: Vec<BTreeMap<u32, SInt>>,
+    ins: Vec<Option<FrozenState>>,
+    outs: Vec<Option<FrozenState>>,
+    infeasible_edges: Vec<IEdgeId>,
+    accesses: Vec<((u32, CtxId), AccessInfo)>,
+    branches: Vec<((u32, CtxId), BranchOutcome)>,
+    indirect_targets: BTreeMap<u32, BTreeSet<u32>>,
+    unresolved: Vec<(u32, CtxId)>,
+    options: ValueOptions,
+    evaluations: u64,
+}
+
+impl FrozenValueAnalysis {
+    /// Reconstructs a job-local [`ValueAnalysis`] (see the type docs).
+    pub fn thaw(&self) -> ValueAnalysis {
+        let thresholds = Rc::new(self.thresholds.clone());
+        let word_rcs: Vec<Rc<BTreeMap<u32, SInt>>> =
+            self.word_maps.iter().map(|m| Rc::new(m.clone())).collect();
+        let thaw_state = |f: &FrozenState| -> AState {
+            AState::from_parts(
+                f.regs,
+                crate::amem::AMem::from_words(Rc::clone(&word_rcs[f.words])),
+                Rc::clone(&thresholds),
+            )
+        };
+        let ins: Vec<Option<AState>> =
+            self.ins.iter().map(|s| s.as_ref().map(thaw_state)).collect();
+        let outs: Vec<Option<AState>> =
+            self.outs.iter().map(|s| s.as_ref().map(thaw_state)).collect();
+        ValueAnalysis {
+            fixpoint: Fixpoint::from_parts(
+                ins,
+                outs,
+                self.infeasible_edges.clone(),
+                self.evaluations,
+            ),
+            accesses: self.accesses.iter().cloned().collect(),
+            branches: self.branches.iter().copied().collect(),
+            indirect_targets: self.indirect_targets.clone(),
+            unresolved: self.unresolved.clone(),
+            options: self.options.clone(),
+            evaluations: self.evaluations,
+        }
+    }
 }
 
 /// Builds the widening-threshold ladder: immediates appearing in the
@@ -418,6 +542,89 @@ mod tests {
             va.indirect_targets().values().next().unwrap().iter().copied().collect();
         let c1 = p.symbols.addr_of("c1").unwrap();
         assert!(targets.contains(&c1));
+    }
+
+    #[test]
+    fn frozen_value_analysis_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FrozenValueAnalysis>();
+    }
+
+    #[test]
+    fn freeze_thaw_round_trips_exactly() {
+        // A program exercising every frozen field: memory knowledge
+        // (store + load), a decidable branch, strided accesses, and a
+        // resolvable jump table.
+        let src = "\
+            .text
+            main: la r1, v
+                  li r2, 7
+                  sw r2, 0(r1)
+                  lw r3, 0(r1)
+                  li r4, 0
+            loop: addi r4, r4, 1
+                  slti r5, r4, 10
+                  bnez r5, loop
+                  halt
+            .data
+            v:    .space 8
+        ";
+        let (_p, _cfg, icfg, va) = analyze(src);
+        let thawed = va.freeze().thaw();
+
+        // The fixpoint: same reachability, registers, and memory words
+        // at every node entry and exit.
+        for n in icfg.nodes() {
+            for (a, b) in [
+                (va.entry_state(n.id), thawed.entry_state(n.id)),
+                (va.exit_state(n.id), thawed.exit_state(n.id)),
+            ] {
+                match (a, b) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        for r in 0..Reg::COUNT {
+                            let r = Reg::new(r as u8);
+                            assert_eq!(a.reg(r), b.reg(r), "reg {r:?} at node {:?}", n.id);
+                        }
+                        assert_eq!(a.mem, b.mem, "memory at node {:?}", n.id);
+                        assert_eq!(a.thresholds(), b.thresholds());
+                    }
+                    _ => panic!("reachability differs at node {:?}", n.id),
+                }
+            }
+        }
+
+        // Every derived fact and statistic.
+        assert_eq!(va.evaluations, thawed.evaluations);
+        assert_eq!(va.infeasible_edges(), thawed.infeasible_edges());
+        assert_eq!(va.indirect_targets(), thawed.indirect_targets());
+        assert_eq!(va.unresolved_indirects(), thawed.unresolved_indirects());
+        assert_eq!(va.precision_summary(), thawed.precision_summary());
+        assert_eq!(va.constant_branches(), thawed.constant_branches());
+        assert_eq!(va.accesses().len(), thawed.accesses().len());
+        for (k, info) in va.accesses() {
+            let t = thawed.accesses().get(k).expect("access present after thaw");
+            assert_eq!(info.addrs, t.addrs);
+            assert_eq!(info.width, t.width);
+            assert_eq!(info.is_load, t.is_load);
+        }
+        assert_eq!(va.branches(), thawed.branches());
+    }
+
+    #[test]
+    fn freeze_preserves_structural_sharing() {
+        // States that never touch memory all share one word map: the
+        // frozen pool must stay small rather than cloning per state.
+        let (_p, _cfg, icfg, va) =
+            analyze(".text\nmain: li r1, 3\nloop: addi r1, r1, -1\nbnez r1, loop\nhalt\n");
+        let frozen = va.freeze();
+        let states = icfg.nodes().iter().filter(|n| va.entry_state(n.id).is_some()).count();
+        assert!(states > 2, "expected several reachable states");
+        assert!(
+            frozen.word_maps.len() <= 2,
+            "untouched memory should freeze into a shared map, got {}",
+            frozen.word_maps.len()
+        );
     }
 
     #[test]

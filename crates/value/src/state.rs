@@ -63,6 +63,27 @@ impl AState {
     pub fn thresholds(&self) -> &[u32] {
         &self.thresholds
     }
+
+    /// The register file (for freezing states into thread-shareable
+    /// artifacts).
+    pub(crate) fn regs(&self) -> &[SInt; Reg::COUNT] {
+        &self.regs
+    }
+
+    /// The shared threshold ladder, by reference count.
+    pub(crate) fn thresholds_rc(&self) -> &Rc<Vec<u32>> {
+        &self.thresholds
+    }
+
+    /// Reassembles a state from raw parts — the inverse of
+    /// [`AState::regs`] / [`AState::thresholds_rc`] plus the memory.
+    pub(crate) fn from_parts(
+        regs: [SInt; Reg::COUNT],
+        mem: AMem,
+        thresholds: Rc<Vec<u32>>,
+    ) -> AState {
+        AState { regs, mem, thresholds }
+    }
 }
 
 impl Domain for AState {

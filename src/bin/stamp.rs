@@ -5,12 +5,14 @@
 //! stamp wcet   task.s [--no-cache|--ideal] [--loop-bound SYM=N]... [--json] [--dot out.dot]
 //! stamp stack  task.s [--entry SYM] [--recursion SYM=N]...
 //! stamp batch  manifest.json | --corpus  [--jobs N] [--out FILE] [--no-timing] [--check-pins]
+//!              [--no-artifact-cache] [--repeat N] [--dry-run]
 //! stamp disasm task.s
 //! stamp run    task.s [--max-insns N]
 //! ```
 
 use std::process::ExitCode;
 
+use stamp::analyzer::ArtifactStore;
 use stamp::{assemble, Annotations, HwConfig, Simulator, StackAnalysis, WcetAnalysis};
 
 /// A CLI failure, split by exit-code class: `Usage` errors (exit 2) are
@@ -55,9 +57,14 @@ fn usage() -> String {
     "usage:\n  \
      stamp wcet   <task.s> [--no-cache|--ideal] [--loop-bound SYM=N]... [--json] [--dot FILE]\n  \
      stamp stack  <task.s> [--entry SYM] [--recursion SYM=N]...\n  \
-     stamp batch  <manifest.json> | --corpus  [--jobs N] [--out FILE] [--no-timing] [--check-pins]\n  \
+     stamp batch  <manifest.json> | --corpus  [--jobs N] [--out FILE] [--no-timing] [--check-pins]\n               \
+     [--no-artifact-cache] [--repeat N] [--dry-run]\n  \
      stamp disasm <task.s>\n  \
      stamp run    <task.s> [--max-insns N]\n\
+     batch flags:\n  \
+     --no-artifact-cache  disable cross-job phase-artifact reuse (results are byte-identical)\n  \
+     --repeat N           run the request N times against one artifact store (warm-cache passes)\n  \
+     --dry-run            print the job matrix and expected per-phase artifact reuse; run nothing\n\
      exit codes:\n  \
      0  success\n  \
      1  analysis failed (assembly error, missing annotation, failed batch job, pin drift)\n  \
@@ -180,18 +187,32 @@ fn batch(args: &[String]) -> Result<(), CliError> {
     let mut out: Option<String> = None;
     let mut no_timing = false;
     let mut check_pins = false;
+    let mut artifact_cache = true;
+    let mut repeat: usize = 1;
+    let mut dry_run = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--corpus" => corpus = true,
             "--check-pins" => check_pins = true,
             "--no-timing" => no_timing = true,
+            "--no-artifact-cache" => artifact_cache = false,
+            "--dry-run" => dry_run = true,
             "--jobs" => {
                 jobs = it
                     .next()
                     .ok_or(Usage("--jobs needs a number".into()))?
                     .parse()
                     .map_err(|_| Usage("bad --jobs value".into()))?;
+            }
+            "--repeat" => {
+                repeat = it
+                    .next()
+                    .ok_or(Usage("--repeat needs a number".into()))?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(Usage("bad --repeat value (need an integer ≥ 1)".into()))?;
             }
             "--out" => out = Some(it.next().ok_or(Usage("--out needs a file".into()))?.clone()),
             f if !f.starts_with('-') && manifest.is_none() => manifest = Some(f.to_string()),
@@ -219,8 +240,19 @@ fn batch(args: &[String]) -> Result<(), CliError> {
     if check_pins && !corpus {
         return Err(Usage("--check-pins requires --corpus (pins cover the corpus)".into()));
     }
+    if dry_run {
+        print_batch_plan(&request);
+        return Ok(());
+    }
 
-    let report = stamp::analyzer::run_batch(&request, jobs).map_err(|e| Analysis(e.to_string()))?;
+    let store = if artifact_cache { ArtifactStore::new() } else { ArtifactStore::disabled() };
+    let mut report = stamp::analyzer::run_batch_with(&request, jobs, &store)
+        .map_err(|e| Analysis(e.to_string()))?;
+    for pass in 2..=repeat {
+        eprintln!("{}", batch_pass_summary(&report, pass - 1, repeat));
+        report = stamp::analyzer::run_batch_with(&request, jobs, &store)
+            .map_err(|e| Analysis(e.to_string()))?;
+    }
 
     let json = if no_timing { report.results_json() } else { report.to_json() };
     let rendered = format!("{json}\n");
@@ -228,15 +260,7 @@ fn batch(args: &[String]) -> Result<(), CliError> {
         Some(path) => std::fs::write(path, &rendered).map_err(|e| Usage(format!("{path}: {e}")))?,
         None => print!("{rendered}"),
     }
-    eprintln!(
-        "batch: {} jobs on {} workers ({} cores) in {:.1} ms — {:.0} jobs/s, {} failed",
-        report.results.len(),
-        report.workers,
-        report.cores,
-        report.wall_ms,
-        report.throughput(),
-        report.errors(),
-    );
+    eprintln!("{}", batch_pass_summary(&report, repeat, repeat));
 
     let mut drift: Vec<String> = Vec::new();
     if check_pins {
@@ -267,6 +291,71 @@ fn batch(args: &[String]) -> Result<(), CliError> {
         return Err(Analysis(format!("{} batch job(s) failed", report.errors())));
     }
     Ok(())
+}
+
+/// The one-line stderr summary of a batch pass, including the
+/// artifact-cache statistics when caching was on.
+fn batch_pass_summary(report: &stamp::BatchReport, pass: usize, passes: usize) -> String {
+    let mut line = format!(
+        "batch{}: {} jobs on {} workers ({} cores) in {:.1} ms — {:.0} jobs/s, {} failed",
+        if passes > 1 { format!(" pass {pass}/{passes}") } else { String::new() },
+        report.results.len(),
+        report.workers,
+        report.cores,
+        report.wall_ms,
+        report.throughput(),
+        report.errors(),
+    );
+    if report.artifacts.enabled {
+        line.push_str(&format!(
+            "; artifact cache: {} hits / {} misses ({:.0}% reuse)",
+            report.artifacts.hits(),
+            report.artifacts.misses(),
+            report.artifacts.hit_rate() * 100.0,
+        ));
+    }
+    line
+}
+
+/// `stamp batch --dry-run`: the resolved job matrix plus the expected
+/// per-phase artifact reuse, without running any analysis.
+fn print_batch_plan(request: &stamp::BatchRequest) {
+    let plan = stamp::suite::plan(request);
+    println!("batch plan: {} jobs", plan.jobs.len());
+    println!("  {:<28} {:<16} {:<12} knobs", "job", "target", "variant");
+    for j in &plan.jobs {
+        println!(
+            "  {:<28} {:<16} {:<12} {}{}",
+            j.name,
+            j.target,
+            j.variant,
+            j.knobs,
+            j.error.as_ref().map(|e| format!("  [will fail: {e}]")).unwrap_or_default(),
+        );
+    }
+    println!("\nexpected phase-artifact reuse (cold store):");
+    println!("  {:<12} {:>8} {:>8} {:>14}", "phase", "requests", "unique", "expected hits");
+    for p in &plan.phases {
+        println!(
+            "  {:<12} {:>8} {:>8} {:>14}",
+            p.phase.name(),
+            p.requests,
+            p.unique,
+            p.expected_hits()
+        );
+    }
+    println!(
+        "  {:<12} {:>8} {:>8} {:>14}  ({:.0}% expected reuse)",
+        "total",
+        plan.requests(),
+        plan.unique(),
+        plan.requests() - plan.unique(),
+        plan.expected_hit_rate() * 100.0,
+    );
+    println!(
+        "\n(estimate: indirect-jump feedback iterations and recursive-task \
+         fallbacks resolve at run time)"
+    );
 }
 
 fn disasm(args: &[String]) -> Result<(), CliError> {

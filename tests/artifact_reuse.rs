@@ -1,0 +1,197 @@
+//! The artifact store's contract: cross-job phase reuse is *invisible*
+//! in the deterministic batch results (byte-identical with the store
+//! enabled, disabled, cold, warm, serial or parallel), while the timing
+//! layer records real sharing — a hardware sweep computes one value
+//! fixpoint per target, a warm pass computes nothing at all, and a
+//! cached phase *error* replays exactly.
+
+use std::path::Path;
+
+use stamp::analyzer::{run_batch_with, ArtifactStore};
+use stamp::suite::parse_manifest;
+use stamp::{BatchRequest, WcetAnalysis};
+
+/// A matrix-shaped manifest small enough for debug-mode tests: three
+/// targets (one stack-only recursive) under the full hardware sweep.
+const MANIFEST: &str = r#"{
+  "targets": [
+    {"benchmark": "fibcall"},
+    {"benchmark": "crc"},
+    {"benchmark": "fac"}
+  ],
+  "variants": [
+    {"name": "default"},
+    {"name": "no-cache", "hw": "no-cache"},
+    {"name": "ideal", "hw": "ideal"}
+  ]
+}"#;
+
+fn request() -> BatchRequest {
+    parse_manifest(MANIFEST, Path::new(".")).unwrap()
+}
+
+#[test]
+fn cached_uncached_serial_and_parallel_results_are_byte_identical() {
+    let request = request();
+    let cached = run_batch_with(&request, 4, &ArtifactStore::new()).unwrap();
+    let uncached = run_batch_with(&request, 4, &ArtifactStore::disabled()).unwrap();
+    let serial = run_batch_with(&request, 1, &ArtifactStore::new()).unwrap();
+    assert_eq!(
+        cached.results_json().to_string(),
+        uncached.results_json().to_string(),
+        "artifact reuse must be invisible in results_json"
+    );
+    assert_eq!(cached.results_json().to_string(), serial.results_json().to_string());
+    assert_eq!(cached.errors(), 0);
+    // The cached run really did share: fewer misses than requests.
+    assert!(cached.artifacts.hits() > 0, "{:?}", cached.artifacts);
+    assert_eq!(uncached.artifacts.requests(), 0, "disabled store counts nothing");
+}
+
+#[test]
+fn hardware_sweep_computes_one_value_fixpoint_per_target() {
+    let request = request();
+    let store = ArtifactStore::new();
+    let report = run_batch_with(&request, 2, &store).unwrap();
+    let stats = report.artifacts;
+    // 2 WCET targets (fibcall, crc): one value artifact each, shared by
+    // the stack chain and all three hardware variants. fac is recursive
+    // — its context phase fails (cached once) and no value artifact
+    // exists for it.
+    assert_eq!(stats.phase("value").misses, 2, "{stats:?}");
+    assert_eq!(stats.phase("assemble").misses, 3);
+    assert_eq!(stats.phase("cfg").misses, 3);
+    // Cache analysis: per WCET target, one artifact for `default` and
+    // one shared by `no-cache`/`ideal` (both cacheless).
+    assert_eq!(stats.phase("cache").misses, 4);
+    // Pipeline and path never share across variants (timing differs).
+    assert_eq!(stats.phase("pipeline").misses, 6);
+    assert_eq!(stats.phase("pipeline").hits, 0);
+    // Overall the cold matrix already reuses a majority of requests.
+    assert!(stats.hit_rate() > 0.5, "cold hit rate {:.2}", stats.hit_rate());
+}
+
+#[test]
+fn warm_pass_reuses_everything_and_stays_identical() {
+    let request = request();
+    let store = ArtifactStore::new();
+    let cold = run_batch_with(&request, 2, &store).unwrap();
+    let warm = run_batch_with(&request, 2, &store).unwrap();
+    assert_eq!(cold.results_json().to_string(), warm.results_json().to_string());
+    assert_eq!(warm.artifacts.misses(), 0, "warm pass must be all hits: {:?}", warm.artifacts);
+    assert!(warm.artifacts.hits() > 0);
+    assert_eq!(warm.artifacts.hit_rate(), 1.0);
+    assert!(
+        warm.results.iter().all(|r| r.artifacts_computed() == 0),
+        "no job of the warm pass computes anything"
+    );
+}
+
+#[test]
+fn provenance_lives_in_the_timing_layer_only() {
+    let request = request();
+    let report = run_batch_with(&request, 2, &ArtifactStore::new()).unwrap();
+    let deterministic = report.results_json().to_string();
+    assert!(!deterministic.contains("artifact"), "{deterministic}");
+    let full = report.to_json().to_string();
+    assert!(full.contains("\"artifact_cache\""), "{full}");
+    assert!(full.contains("\"artifacts\""), "{full}");
+    assert!(full.contains("\"reused\"") || full.contains("\"computed\""), "{full}");
+    // Per-job provenance adds up.
+    for r in &report.results {
+        assert_eq!(r.artifacts_computed() + r.artifacts_reused(), r.provenance.len());
+        if r.is_ok() {
+            assert!(!r.provenance.is_empty(), "job {} has provenance", r.name);
+        }
+    }
+}
+
+#[test]
+fn phase_errors_are_cached_and_replay_identically() {
+    // Two targets with the *same* unboundable source: the path phase
+    // fails once, and the second job reuses the cached error. The
+    // rendered error strings must match exactly.
+    let manifest = r#"{
+      "targets": [
+        {"name": "u1", "source": ".text\nmain: la r1, v\nlw r1, 0(r1)\nloop: srli r1, r1, 1\nbnez r1, loop\nhalt\n.data\nv: .space 4\n"},
+        {"name": "u2", "source": ".text\nmain: la r1, v\nlw r1, 0(r1)\nloop: srli r1, r1, 1\nbnez r1, loop\nhalt\n.data\nv: .space 4\n"}
+      ]
+    }"#;
+    let request = parse_manifest(manifest, Path::new(".")).unwrap();
+    let store = ArtifactStore::new();
+    let report = run_batch_with(&request, 1, &store).unwrap();
+    assert_eq!(report.errors(), 2);
+    let (a, b) = (&report.results[0], &report.results[1]);
+    assert_eq!(a.error, b.error, "cached error must replay verbatim");
+    assert!(a.error.as_deref().unwrap().contains("wcet"), "{:?}", a.error);
+    // The failing phase computed once, hit once.
+    let stats = report.artifacts;
+    let failing = stats.phase("path");
+    assert_eq!((failing.misses, failing.hits), (1, 1), "{stats:?}");
+    // And the uncached run renders the same errors byte-for-byte.
+    let uncached = run_batch_with(&request, 1, &ArtifactStore::disabled()).unwrap();
+    assert_eq!(report.results_json().to_string(), uncached.results_json().to_string());
+}
+
+#[test]
+fn cached_assembly_errors_report_reused_provenance() {
+    use stamp::analyzer::PhaseId;
+    let manifest = r#"{"targets": [
+      {"name": "b1", "source": ".text\nmain: frobnicate r1\n"},
+      {"name": "b2", "source": ".text\nmain: frobnicate r1\n"}]}"#;
+    let request = parse_manifest(manifest, Path::new(".")).unwrap();
+    let report = run_batch_with(&request, 1, &ArtifactStore::new()).unwrap();
+    assert_eq!(report.errors(), 2);
+    assert_eq!(report.results[0].error, report.results[1].error);
+    // Serial run: the first job computes the (failing) assemble
+    // artifact, the second reuses the cached error — and says so.
+    assert_eq!(report.results[0].provenance, vec![(PhaseId::Assemble, false)]);
+    assert_eq!(report.results[1].provenance, vec![(PhaseId::Assemble, true)]);
+    let assemble = report.artifacts.phase("assemble");
+    assert_eq!((assemble.misses, assemble.hits), (1, 1));
+}
+
+#[test]
+fn single_run_report_matches_between_run_and_run_with() {
+    let b = stamp::suite::benchmarks().into_iter().find(|b| b.name == "crc").unwrap();
+    let program = b.program();
+    let plain = WcetAnalysis::new(&program).annotations(b.annotations()).run().unwrap();
+    let store = ArtifactStore::new();
+    let first = WcetAnalysis::new(&program).annotations(b.annotations()).run_with(&store).unwrap();
+    let second = WcetAnalysis::new(&program).annotations(b.annotations()).run_with(&store).unwrap();
+    for report in [&first, &second] {
+        assert_eq!(report.wcet, plain.wcet);
+        assert_eq!(report.evaluations, plain.evaluations);
+        assert_eq!(report.fetch_stats, plain.fetch_stats);
+        assert_eq!(report.data_stats, plain.data_stats);
+        assert_eq!(report.loop_bounds, plain.loop_bounds);
+        assert_eq!(report.block_profile, plain.block_profile);
+        assert_eq!(report.worst_path, plain.worst_path);
+        assert_eq!(report.ilp_size, plain.ilp_size);
+        assert_eq!(report.precision, plain.precision);
+    }
+    assert!(first.phases.iter().all(|p| !p.reused), "cold store: everything computed");
+    assert!(second.phases.iter().all(|p| p.reused), "second run: everything reused");
+    assert!(plain.phases.iter().all(|p| !p.reused), "disabled store never reuses");
+}
+
+#[test]
+fn recursive_stack_fallback_shares_through_the_store() {
+    // `fac` is recursive: the context phase errors, the stack tool
+    // falls back to call-graph mode, and a second run reuses both the
+    // cached context *error* and the stack artifact.
+    let b = stamp::suite::benchmarks().into_iter().find(|b| b.name == "fac").unwrap();
+    let program = b.program();
+    let store = ArtifactStore::new();
+    let first =
+        stamp::StackAnalysis::new(&program).annotations(b.annotations()).run_with(&store).unwrap();
+    let second =
+        stamp::StackAnalysis::new(&program).annotations(b.annotations()).run_with(&store).unwrap();
+    assert_eq!(first.mode, "callgraph");
+    assert_eq!(first.bound, second.bound);
+    assert_eq!(first.per_function, second.per_function);
+    let stack = store.stats().phase("stack");
+    assert_eq!((stack.misses, stack.hits), (1, 1));
+    let context = store.stats().phase("context");
+    assert_eq!((context.misses, context.hits), (1, 1), "the context error is cached too");
+}

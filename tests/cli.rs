@@ -148,13 +148,129 @@ v:      .space 4
 }
 
 #[test]
-fn usage_text_documents_exit_codes() {
+fn usage_text_documents_exit_codes_and_every_flag() {
     let (code, stdout, _) = stamp_coded(&["--help"]);
     assert_eq!(code, Some(0));
     assert!(stdout.contains("exit codes"), "{stdout}");
     assert!(stdout.contains("analysis failed"), "{stdout}");
     assert!(stdout.contains("bad arguments"), "{stdout}");
     assert!(stdout.contains("stamp batch"), "{stdout}");
+    for flag in [
+        "--no-cache",
+        "--ideal",
+        "--loop-bound",
+        "--json",
+        "--dot",
+        "--entry",
+        "--recursion",
+        "--corpus",
+        "--jobs",
+        "--out",
+        "--no-timing",
+        "--check-pins",
+        "--no-artifact-cache",
+        "--repeat",
+        "--dry-run",
+        "--max-insns",
+    ] {
+        assert!(stdout.contains(flag), "--help must document {flag}: {stdout}");
+    }
+}
+
+/// Every documented flag, exercised once with its expected exit code —
+/// the executable contract of the `--help` text.
+#[test]
+fn exit_code_table_covers_every_documented_flag() {
+    let task = write_task("cli_table.s", TASK);
+    let manifest =
+        write_task("cli_table_manifest.json", r#"{"targets": [{"benchmark": "fibcall"}]}"#);
+    let out = std::env::temp_dir().join("cli_table_out.json");
+    let out = out.to_string_lossy();
+    let dot = std::env::temp_dir().join("cli_table_out.dot");
+    let dot = dot.to_string_lossy();
+    let cases: &[(&[&str], i32)] = &[
+        // wcet
+        (&["wcet", &task, "--no-cache"], 0),
+        (&["wcet", &task, "--ideal"], 0),
+        (&["wcet", &task, "--loop-bound", "loop=10"], 0),
+        (&["wcet", &task, "--loop-bound", "nonsense"], 2),
+        (&["wcet", &task, "--json"], 0),
+        (&["wcet", &task, "--dot", &dot], 0),
+        (&["wcet", &task, "--dot"], 2),
+        // stack
+        (&["stack", &task, "--entry", "main"], 0),
+        (&["stack", &task, "--entry", "no_such_symbol"], 1),
+        (&["stack", &task, "--recursion", "main=2"], 0),
+        (&["stack", &task, "--recursion", "main"], 2),
+        // batch
+        (&["batch", &manifest, "--jobs", "2"], 0),
+        (&["batch", &manifest, "--jobs", "x"], 2),
+        (&["batch", &manifest, "--out", &out], 0),
+        (&["batch", &manifest, "--no-timing"], 0),
+        (&["batch", &manifest, "--no-artifact-cache"], 0),
+        (&["batch", &manifest, "--repeat", "2"], 0),
+        (&["batch", &manifest, "--repeat", "0"], 2),
+        (&["batch", &manifest, "--repeat", "x"], 2),
+        (&["batch", &manifest, "--dry-run"], 0),
+        (&["batch", &manifest, "--check-pins"], 2),
+        (&["batch", "--corpus", "--dry-run"], 0),
+        // run
+        (&["run", &task, "--max-insns", "1000"], 0),
+        (&["run", &task, "--max-insns", "x"], 2),
+        // unknown flags are always usage errors
+        (&["batch", &manifest, "--frobnicate"], 2),
+    ];
+    for (args, expected) in cases {
+        let (code, _, stderr) = stamp_coded(args);
+        assert_eq!(code, Some(*expected), "stamp {}: {stderr}", args.join(" "));
+    }
+}
+
+#[test]
+fn batch_dry_run_plans_without_running() {
+    let manifest = write_task(
+        "cli_dry_run.json",
+        r#"{
+          "targets": [{"benchmark": "fibcall"}, {"benchmark": "crc"}],
+          "variants": [{"name": "default"}, {"name": "lean", "hw": "no-cache", "peel": 0}]
+        }"#,
+    );
+    let (code, stdout, stderr) = stamp_coded(&["batch", &manifest, "--dry-run"]);
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(stdout.contains("batch plan: 4 jobs"), "{stdout}");
+    assert!(stdout.contains("crc@lean"), "{stdout}");
+    assert!(stdout.contains("hw=no-cache peel=0"), "{stdout}");
+    assert!(stdout.contains("expected phase-artifact reuse"), "{stdout}");
+    assert!(stdout.contains("value"), "{stdout}");
+    assert!(!stdout.contains("\"wcet\""), "dry-run must not emit results: {stdout}");
+    // Manifest problems keep exit code 2, exactly as for a real run.
+    let bad = write_task("cli_dry_run_bad.json", r#"{"targets": []}"#);
+    let (code, _, stderr) = stamp_coded(&["batch", &bad, "--dry-run"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("no targets"), "{stderr}");
+}
+
+#[test]
+fn batch_artifact_cache_flags_do_not_change_results() {
+    let manifest = write_task(
+        "cli_cache_flags.json",
+        r#"{"targets": [{"benchmark": "fibcall"}, {"benchmark": "crc"}],
+            "variants": [{"name": "default"}, {"name": "no-cache", "hw": "no-cache"}]}"#,
+    );
+    let (code, cached, stderr) = stamp_coded(&["batch", &manifest, "--no-timing"]);
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(stderr.contains("artifact cache:"), "cache stats on stderr: {stderr}");
+    let (code, uncached, stderr) =
+        stamp_coded(&["batch", &manifest, "--no-timing", "--no-artifact-cache"]);
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(!stderr.contains("artifact cache:"), "no stats when disabled: {stderr}");
+    assert_eq!(cached, uncached, "the artifact cache must be invisible in results");
+    // A warm second pass (--repeat) is byte-identical too.
+    let (code, warm, stderr) = stamp_coded(&["batch", &manifest, "--no-timing", "--repeat", "2"]);
+    assert_eq!(code, Some(0), "{stderr}");
+    assert_eq!(cached, warm);
+    assert!(stderr.contains("pass 2/2"), "{stderr}");
+    assert!(stderr.contains("100% reuse"), "warm pass reuses everything: {stderr}");
 }
 
 #[test]

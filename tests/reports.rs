@@ -92,7 +92,7 @@ fn phase_timings_are_recorded() {
     let program =
         assemble(".text\nmain: li r1, 3\nl: addi r1, r1, -1\nbnez r1, l\nhalt\n").unwrap();
     let report = WcetAnalysis::new(&program).run().unwrap();
-    let names: Vec<&str> = report.phases.iter().map(|p| p.name.as_str()).collect();
+    let names: Vec<&str> = report.phases.iter().map(|p| p.name()).collect();
     for phase in [
         "cfg building",
         "context expansion",
