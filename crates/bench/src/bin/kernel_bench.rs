@@ -38,6 +38,13 @@
 //! structurally it is 100%) and on cached results being byte-identical
 //! to a `--no-artifact-cache` run.
 //!
+//! The **fuzz engine** (`stamp fuzz`) is measured under a `fuzz` key: a
+//! fixed-seed differential campaign (generate → analyze → simulate →
+//! compare) at 1 and 4 workers, reported as programs analyzed+simulated
+//! per second. `--check` gates on the campaign being green (zero
+//! violations — a violation here is a soundness bug, not a perf
+//! regression) and on serial/parallel reports being byte-identical.
+//!
 //! The emitted JSON carries a `before` section: wall times recorded with
 //! this same harness at the pre-refactor kernel (commit 848c9d7, full
 //! `State::clone`-per-edge solver, `BTreeMap` cache sets), so the file
@@ -418,6 +425,66 @@ fn artifact_rows(reps: usize) -> ArtifactBench {
     }
 }
 
+/// The fuzz-engine workload: a fixed-seed differential campaign at 1
+/// and 4 workers. Shrinking is off and no reproducers are written —
+/// the campaign is expected green, and the measurement is pure
+/// generate→analyze→simulate→compare throughput.
+struct FuzzBenchRow {
+    workers: usize,
+    wall_ms: f64,
+    programs_per_s: f64,
+}
+
+struct FuzzBench {
+    iterations: usize,
+    sim_runs: u64,
+    rows: Vec<FuzzBenchRow>,
+    /// Serial vs 4-worker deterministic reports, for the `--check`
+    /// bit-identity gate.
+    deterministic: bool,
+    violations: usize,
+}
+
+fn fuzz_rows(reps: usize) -> FuzzBench {
+    use stamp_suite::fuzz::{run_campaign, FuzzConfig};
+    let cfg = FuzzConfig {
+        iterations: 48,
+        seed: 0xF0,
+        rounds: 2,
+        shrink: false,
+        repro_dir: None,
+        ..FuzzConfig::default()
+    };
+    let mut rows = Vec::new();
+    let mut serial_results = String::new();
+    let mut parallel_results = String::new();
+    let mut sim_runs = 0;
+    let mut violations = 0;
+    for workers in [1usize, 4] {
+        let (wall_ms, report) =
+            best_ms(reps, || run_campaign(&cfg, workers).expect("fuzz campaign panicked"));
+        if workers == 1 {
+            serial_results = report.results_json().to_string();
+        } else {
+            parallel_results = report.results_json().to_string();
+        }
+        sim_runs = report.sim_runs;
+        violations = report.violations();
+        rows.push(FuzzBenchRow {
+            workers,
+            wall_ms,
+            programs_per_s: cfg.iterations as f64 / (wall_ms / 1e3),
+        });
+    }
+    FuzzBench {
+        iterations: cfg.iterations,
+        sim_runs,
+        rows,
+        deterministic: serial_results == parallel_results,
+        violations,
+    }
+}
+
 /// The wall-time delta table: freshly measured numbers against a
 /// previously committed `BENCH_kernel.json`, as markdown on stdout.
 /// Purely informational — regressions warn, never fail.
@@ -428,6 +495,7 @@ fn print_diff_table(
     phases: &[(&'static str, f64)],
     batch: &BatchBench,
     artifacts: &ArtifactBench,
+    fuzz: &FuzzBench,
 ) {
     let text = match std::fs::read_to_string(committed_path) {
         Ok(t) => t,
@@ -512,6 +580,19 @@ fn print_diff_table(
         |key: &str| doc.get("artifacts").and_then(|a| a.get(key)).and_then(Json::as_f64);
     row("artifacts/cold".to_string(), committed_artifact("cold_ms"), artifacts.cold_ms);
     row("artifacts/warm".to_string(), committed_artifact("warm_ms"), artifacts.warm_ms);
+    for r in &fuzz.rows {
+        let committed = doc
+            .get("fuzz")
+            .and_then(|b| b.get("workers"))
+            .and_then(Json::as_arr)
+            .and_then(|arr| {
+                arr.iter()
+                    .find(|e| e.get("workers").and_then(Json::as_u64) == Some(r.workers as u64))
+            })
+            .and_then(|e| e.get("wall_ms"))
+            .and_then(Json::as_f64);
+        row(format!("fuzz/{}-workers", r.workers), committed, r.wall_ms);
+    }
 
     println!("### kernel bench wall-time delta (current vs committed)\n");
     println!("| workload | committed ms | current ms | ratio | |");
@@ -555,6 +636,8 @@ fn main() {
     let batch = batch_rows(reps);
     eprintln!("kernel_bench: artifact store (corpus matrix, cold vs warm)...");
     let artifacts = artifact_rows(reps);
+    eprintln!("kernel_bench: fuzz engine (48-program differential campaign at 1/4 workers)...");
+    let fuzz = fuzz_rows(reps);
 
     if args.print_pins {
         println!("pub const CORPUS: &[CorpusPin] = &[");
@@ -617,6 +700,18 @@ fn main() {
                 "artifacts: warm-pass hit rate {:.0}% below the 50% floor",
                 artifacts.warm_stats.hit_rate() * 100.0
             ));
+        }
+        // The fuzz-engine gates: the fixed-seed campaign must be green
+        // (a violation is a soundness bug) and byte-identical across
+        // worker counts.
+        if fuzz.violations > 0 {
+            drift.push(format!(
+                "fuzz: {} soundness violation(s) in the fixed-seed campaign",
+                fuzz.violations
+            ));
+        }
+        if !fuzz.deterministic {
+            drift.push("fuzz: parallel (4-worker) results differ from serial results".to_string());
         }
     }
 
@@ -791,12 +886,36 @@ fn main() {
                 ("warm", artifacts.warm_stats.to_json()),
             ]),
         ),
+        (
+            "fuzz",
+            Json::obj([
+                ("iterations", Json::int(fuzz.iterations as u64)),
+                ("sim_runs", Json::int(fuzz.sim_runs)),
+                ("deterministic", Json::Bool(fuzz.deterministic)),
+                ("violations", Json::int(fuzz.violations as u64)),
+                (
+                    "workers",
+                    Json::Arr(
+                        fuzz.rows
+                            .iter()
+                            .map(|r| {
+                                Json::obj([
+                                    ("workers", Json::int(r.workers as u64)),
+                                    ("wall_ms", Json::Num(r.wall_ms)),
+                                    ("programs_per_s", Json::Num(r.programs_per_s)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
         ("drift", Json::Arr(drift.iter().map(|d| Json::str(d.clone())).collect())),
     ]);
 
     std::fs::write(&args.out, format!("{json}\n")).expect("write BENCH_kernel.json");
     if let Some(committed) = &args.diff {
-        print_diff_table(committed, &corpus, &scaling, &phases, &batch, &artifacts);
+        print_diff_table(committed, &corpus, &scaling, &phases, &batch, &artifacts, &fuzz);
     }
     eprintln!(
         "kernel_bench: artifact store: cold {:.1} ms, warm {:.1} ms ({:.1}x), warm hit rate {:.0}%",
@@ -804,6 +923,12 @@ fn main() {
         artifacts.warm_ms,
         artifacts.warm_speedup(),
         artifacts.warm_stats.hit_rate() * 100.0,
+    );
+    eprintln!(
+        "kernel_bench: fuzz engine: {} programs, {:.0} programs/s serial, {} violation(s)",
+        fuzz.iterations,
+        fuzz.rows.first().map(|r| r.programs_per_s).unwrap_or(0.0),
+        fuzz.violations,
     );
     eprintln!(
         "kernel_bench: corpus {:.1} ms (before {:.1}), scaling {:.1} ms (before {:.1}), phases {:.1} ms (before {:.1})",

@@ -88,6 +88,21 @@ pub(crate) fn value_phase(
     }
 }
 
+/// The front half of the phase graph behind a [`WcetReport`]: the CFG,
+/// the VIVU supergraph and the value-analysis fixpoint, exactly as the
+/// path analysis saw them. Returned by
+/// [`WcetAnalysis::run_with_artifacts`] so differential oracles (the
+/// soundness fuzzer) can check concrete simulator states against the
+/// abstract exit states without re-running any phase.
+pub struct ValueArtifacts {
+    /// The control-flow graph (with resolved indirect targets).
+    pub cfg: Arc<Cfg>,
+    /// The interprocedural supergraph.
+    pub icfg: Arc<Icfg>,
+    /// The value-analysis fixpoint over `icfg`.
+    pub va: ValueAnalysis,
+}
+
 /// The WCET analyzer. Build with [`WcetAnalysis::new`], configure with
 /// the builder methods, then [`WcetAnalysis::run`] (or
 /// [`WcetAnalysis::run_with`] to share phase artifacts across jobs).
@@ -161,6 +176,23 @@ impl<'p> WcetAnalysis<'p> {
     /// As [`WcetAnalysis::run`]. Phase errors are cached and replayed
     /// identically to sharing jobs.
     pub fn run_with(&self, store: &ArtifactStore) -> Result<WcetReport, AnalysisError> {
+        self.run_with_artifacts(store).map(|(report, _)| report)
+    }
+
+    /// Like [`WcetAnalysis::run_with`], but also hands back the
+    /// [`ValueArtifacts`] the report was assembled from. This is the
+    /// entry point of the differential soundness oracle: the fuzzer
+    /// simulates the program and checks every concrete register against
+    /// `artifacts.va`'s abstract exit state at the halt site — one
+    /// analysis run serves both the bound and the containment check.
+    ///
+    /// # Errors
+    ///
+    /// As [`WcetAnalysis::run`].
+    pub fn run_with_artifacts(
+        &self,
+        store: &ArtifactStore,
+    ) -> Result<(WcetReport, ValueArtifacts), AnalysisError> {
         let program = self.program;
         let cfg_opts = &self.config;
         let program_fp = phase::program_fingerprint(program);
@@ -284,6 +316,8 @@ impl<'p> WcetAnalysis<'p> {
             reused,
         });
 
-        Ok(WcetReport::assemble(program, &cfg, &icfg, &va, &lb, &ca, &pa, &result, phases))
+        let report =
+            WcetReport::assemble(program, &cfg, &icfg, &va, &lb, &ca, &pa, &result, phases);
+        Ok((report, ValueArtifacts { cfg, icfg, va }))
     }
 }

@@ -53,7 +53,7 @@ mod phase;
 mod report;
 mod stack_tool;
 
-pub use analyzer::{AnalysisConfig, WcetAnalysis};
+pub use analyzer::{AnalysisConfig, ValueArtifacts, WcetAnalysis};
 pub use annot::Annotations;
 pub use artifact::{ArtifactStats, ArtifactStore, PhaseStat};
 pub use batch::{

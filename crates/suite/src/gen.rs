@@ -1,10 +1,34 @@
 //! Structured random-program generation for soundness testing.
 //!
 //! Programs are built from templates that guarantee termination and
-//! memory safety by construction (counted loops, masked word-aligned
+//! memory safety by construction (counted loops, masked aligned
 //! scratch addresses, defined division semantics), while still exercising
 //! data-dependent control flow: scratch memory starts with random
 //! contents, loads feed branches, and the analyses see none of it.
+//!
+//! Every scenario feature sits behind a [`GenConfig`] knob, and **all
+//! knobs default to the legacy shape**: with `GenConfig::default()` the
+//! generator consumes exactly the same random-number stream as before
+//! the knobs existed, so seeded corpora (the pinned E6 scaling series,
+//! the E0 regression seeds) are stable across releases. New features
+//! draw from the rng only when enabled.
+//!
+//! The scenario space with everything on ([`GenConfig::rich`]):
+//!
+//! * **nested counted loops** up to `max_depth`, each with its own
+//!   counter register;
+//! * **call chains** through the auxiliary functions up to `call_depth`
+//!   deep, with real stack traffic (link-register save/restore in the
+//!   callee frame, optional work-register spills via `frame_traffic`);
+//! * **calls inside loop bodies** (`calls_in_loops`), which multiplies
+//!   VIVU contexts and exercises the call/return edges of the cache and
+//!   pipeline analyses;
+//! * **varied addressing** (`varied_addressing`): word, halfword and
+//!   byte accesses through masked index registers plus random static
+//!   offsets — all provably inside the scratch region;
+//! * **data-dependent branches** (`load_branches`): diamonds whose
+//!   condition register was freshly loaded from randomized scratch
+//!   memory, so the taken arm is genuinely input-controlled.
 
 use std::fmt::Write as _;
 
@@ -19,25 +43,91 @@ pub struct GenConfig {
     pub constructs: usize,
     /// Maximum loop iteration count.
     pub max_loop: u32,
-    /// Maximum loop nesting depth.
+    /// Maximum loop nesting depth (effectively capped at 4, the number
+    /// of dedicated counter registers).
     pub max_depth: usize,
-    /// Number of auxiliary leaf functions.
+    /// Number of auxiliary functions.
     pub functions: usize,
+    /// Maximum call-chain depth through the auxiliary functions:
+    /// `aux0 → aux1 → …` up to this many frames. `1` (the legacy shape)
+    /// makes every auxiliary function a leaf.
+    pub call_depth: usize,
+    /// Spill and reload a work register through the callee frame, so
+    /// function bodies produce real load/store stack traffic beyond the
+    /// frame adjustment itself.
+    pub frame_traffic: bool,
+    /// Allow `call` instructions inside loop bodies, not only at the
+    /// top level of `main`.
+    pub calls_in_loops: bool,
+    /// Mix widths (word/halfword/byte), masks and static offsets into
+    /// scratch addressing instead of the single masked-word pattern.
+    pub varied_addressing: bool,
+    /// Emit diamonds whose condition register was freshly loaded from
+    /// scratch memory (input-dependent control flow).
+    pub load_branches: bool,
+    /// Scratch region size in words. Must be a power of two ≥ 8;
+    /// `32` is the legacy 128-byte region.
+    pub scratch_words: u32,
 }
 
 impl Default for GenConfig {
     fn default() -> GenConfig {
-        GenConfig { block_len: 6, constructs: 6, max_loop: 12, max_depth: 2, functions: 2 }
+        GenConfig {
+            block_len: 6,
+            constructs: 6,
+            max_loop: 12,
+            max_depth: 2,
+            functions: 2,
+            call_depth: 1,
+            frame_traffic: false,
+            calls_in_loops: false,
+            varied_addressing: false,
+            load_branches: false,
+            scratch_words: 32,
+        }
     }
 }
 
-/// Registers the generator uses freely (avoiding r0, sp, lr and the loop
-/// counters r10-r12).
-const WORK_REGS: [&str; 7] = ["r1", "r2", "r3", "r4", "r5", "r6", "r7"];
-const LOOP_REGS: [&str; 3] = ["r10", "r11", "r12"];
+impl GenConfig {
+    /// Every scenario feature enabled: deep loop nests, three-deep call
+    /// chains with frame traffic, calls under loops, varied addressing
+    /// and input-dependent branches over a 256-byte scratch region.
+    /// The fuzz campaign's default shape pool is built around this.
+    pub fn rich() -> GenConfig {
+        GenConfig {
+            block_len: 6,
+            constructs: 8,
+            max_loop: 10,
+            max_depth: 3,
+            functions: 3,
+            call_depth: 3,
+            frame_traffic: true,
+            calls_in_loops: true,
+            varied_addressing: true,
+            load_branches: true,
+            scratch_words: 64,
+        }
+    }
 
-struct Gen<'r, R: Rng> {
-    rng: &'r mut R,
+    /// Scratch region size in bytes.
+    pub fn scratch_bytes(&self) -> u32 {
+        self.scratch_words * 4
+    }
+}
+
+/// Registers the generator uses freely (avoiding r0, sp, lr, the
+/// address temporary r9 and the loop counters).
+const WORK_REGS: [&str; 7] = ["r1", "r2", "r3", "r4", "r5", "r6", "r7"];
+/// Dedicated loop counters, one per nesting level. Each level must own
+/// its counter — sharing one (the old `depth % len` indexing) lets an
+/// inner loop clobber an outer count, silently voiding the
+/// termination-by-construction guarantee. Nesting is therefore capped
+/// at this array's length.
+const LOOP_REGS: [&str; 4] = ["r10", "r11", "r12", "r8"];
+
+struct Gen<'a, R: Rng> {
+    rng: &'a mut R,
+    cfg: &'a GenConfig,
     out: String,
     label: u32,
 }
@@ -52,6 +142,44 @@ impl<R: Rng> Gen<'_, R> {
         WORK_REGS[self.rng.gen_range(0..WORK_REGS.len())]
     }
 
+    /// A masked in-bounds scratch access: base register `a` masked into
+    /// the region, plus (with `varied_addressing`) a random width and a
+    /// random aligned static offset. `value` is the stored register for
+    /// stores, `None` for loads into `d`.
+    fn scratch_access(&mut self, d: &str, a: &str, value: Option<&str>) -> String {
+        let bytes = self.cfg.scratch_bytes();
+        let (mnemonic, width) = if self.cfg.varied_addressing {
+            let load_ops: [(&str, u32); 4] = [("lw", 4), ("lhu", 2), ("lh", 2), ("lbu", 1)];
+            let store_ops: [(&str, u32); 3] = [("sw", 4), ("sh", 2), ("sb", 1)];
+            match value {
+                None => load_ops[self.rng.gen_range(0..load_ops.len())],
+                Some(_) => store_ops[self.rng.gen_range(0..store_ops.len())],
+            }
+        } else {
+            (if value.is_none() { "lw" } else { "sw" }, 4)
+        };
+        // The index mask keeps the access aligned to its width; the
+        // static offset fills the remaining headroom, so every access
+        // provably lands inside [scratch, scratch + bytes).
+        let (mask, offset) = if self.cfg.varied_addressing {
+            let span = if self.rng.gen_bool(0.5) { bytes } else { bytes / 2 };
+            let mask = (span - width) & !(width - 1);
+            let max_k = (bytes - width - mask) / width;
+            let offset = self.rng.gen_range(0..=max_k) * width;
+            (mask, offset)
+        } else {
+            (bytes - 4, 0)
+        };
+        let access = match value {
+            None => format!("{mnemonic}   {d}, {offset}({{base}})"),
+            Some(v) => format!("{mnemonic}   {v}, {offset}({{base}})"),
+        };
+        format!(
+            "        andi {d}, {a}, {mask:#x}\n        la   r9, scratch\n        add  r9, r9, {d}\n        {}",
+            access.replace("{base}", "r9")
+        )
+    }
+
     /// One safe straight-line instruction.
     fn stmt(&mut self) {
         let (d, a, b) = (self.reg(), self.reg(), self.reg());
@@ -64,17 +192,8 @@ impl<R: Rng> Gen<'_, R> {
             5 => format!("        div  {d}, {a}, {b}"), // division by zero is defined
             6 => format!("        addi {d}, {a}, {}", self.rng.gen_range(-100..100)),
             7 => format!("        slli {d}, {a}, {}", self.rng.gen_range(0..8)),
-            8 => {
-                // Masked, word-aligned scratch load: always in bounds.
-                format!(
-                    "        andi {d}, {a}, 0x7c\n        la   r9, scratch\n        add  r9, r9, {d}\n        lw   {d}, 0(r9)"
-                )
-            }
-            _ => {
-                format!(
-                    "        andi {d}, {a}, 0x7c\n        la   r9, scratch\n        add  r9, r9, {d}\n        sw   {b}, 0(r9)"
-                )
-            }
+            8 => self.scratch_access(d, a, None),
+            _ => self.scratch_access(d, a, Some(b)),
         };
         let _ = writeln!(self.out, "{line}");
     }
@@ -85,44 +204,104 @@ impl<R: Rng> Gen<'_, R> {
         }
     }
 
-    /// A counted loop (always terminates) containing `inner`.
-    fn counted_loop(&mut self, cfg: &GenConfig, depth: usize) {
+    /// A counted loop (always terminates) containing `inner`. Only
+    /// reached with `depth < LOOP_REGS.len()` (see [`Gen::construct`]),
+    /// so every nesting level owns its counter register.
+    fn counted_loop(&mut self, depth: usize) {
         let head = self.fresh("loop");
-        let counter = LOOP_REGS[depth % LOOP_REGS.len()];
-        let n = self.rng.gen_range(1..=cfg.max_loop);
+        let counter = LOOP_REGS[depth];
+        let n = self.rng.gen_range(1..=self.cfg.max_loop);
         let _ = writeln!(self.out, "        li   {counter}, {n}");
         let _ = writeln!(self.out, "{head}:");
-        self.construct(cfg, depth + 1);
+        self.construct(depth + 1);
         let _ = writeln!(self.out, "        addi {counter}, {counter}, -1");
         let _ = writeln!(self.out, "        bnez {counter}, {head}");
     }
 
-    /// A data-dependent diamond: both arms terminate.
-    fn diamond(&mut self, cfg: &GenConfig) {
+    /// A data-dependent diamond: both arms terminate. With
+    /// `load_branches`, the condition register may be freshly loaded
+    /// from randomized scratch memory so the branch direction is truly
+    /// input-dependent.
+    fn diamond(&mut self) {
         let (a, b) = (self.reg(), self.reg());
+        if self.cfg.load_branches && self.rng.gen_bool(0.5) {
+            let idx = self.reg();
+            let load = self.scratch_access(a, idx, None);
+            let _ = writeln!(self.out, "{load}");
+        }
         let t = self.fresh("then");
         let j = self.fresh("join");
         let cond = ["beq", "bne", "blt", "bge", "bltu", "bgeu"][self.rng.gen_range(0..6usize)];
         let _ = writeln!(self.out, "        {cond} {a}, {b}, {t}");
-        self.block(cfg.block_len / 2);
+        self.block(self.cfg.block_len / 2);
         let _ = writeln!(self.out, "        j    {j}");
         let _ = writeln!(self.out, "{t}:");
-        self.block(cfg.block_len / 2);
+        self.block(self.cfg.block_len / 2);
         let _ = writeln!(self.out, "{j}:");
     }
 
-    fn construct(&mut self, cfg: &GenConfig, depth: usize) {
-        let n = self.rng.gen_range(1..=cfg.block_len);
+    fn construct(&mut self, depth: usize) {
+        let n = self.rng.gen_range(1..=self.cfg.block_len);
         self.block(n);
-        match self.rng.gen_range(0..3u32) {
-            0 if depth < cfg.max_depth => self.counted_loop(cfg, depth),
-            1 => self.diamond(cfg),
+        // With calls-in-loops enabled a fourth outcome (a call) joins
+        // the choice; the legacy three-way draw is untouched otherwise,
+        // keeping default-config streams stable.
+        let calls = self.cfg.calls_in_loops && self.cfg.functions > 0;
+        let choice = if calls { self.rng.gen_range(0..4u32) } else { self.rng.gen_range(0..3u32) };
+        match choice {
+            0 if depth < self.cfg.max_depth.min(LOOP_REGS.len()) => self.counted_loop(depth),
+            1 => self.diamond(),
+            3 => {
+                let f = self.rng.gen_range(0..self.cfg.functions);
+                let _ = writeln!(self.out, "        call aux{f}");
+            }
             _ => {}
         }
+    }
+
+    /// One auxiliary function. Function `i` calls `aux{i+1}` when the
+    /// chain has depth budget left — the call graph is a DAG by
+    /// construction (calls only go to higher indices), so there is no
+    /// recursion and the stack analysis sees a real call chain.
+    fn function(&mut self, i: usize) {
+        let chains = i + 1 < self.cfg.functions && i + 1 < self.cfg.call_depth;
+        let frame = 8 * self.rng.gen_range(1..4u32);
+        let _ = writeln!(self.out, "aux{i}:");
+        let _ = writeln!(self.out, "        addi sp, sp, -{frame}");
+        if chains {
+            let _ = writeln!(self.out, "        sw   lr, {}(sp)", frame - 4);
+        }
+        let spilled = if self.cfg.frame_traffic {
+            let r = self.reg();
+            let _ = writeln!(self.out, "        sw   {r}, 0(sp)");
+            Some(r)
+        } else {
+            None
+        };
+        let n = self.rng.gen_range(1..=self.cfg.block_len);
+        self.block(n);
+        if chains {
+            let _ = writeln!(self.out, "        call aux{}", i + 1);
+        }
+        if self.rng.gen_bool(0.5) {
+            self.diamond();
+        }
+        if let Some(r) = spilled {
+            let _ = writeln!(self.out, "        lw   {r}, 0(sp)");
+        }
+        if chains {
+            let _ = writeln!(self.out, "        lw   lr, {}(sp)", frame - 4);
+        }
+        let _ = writeln!(self.out, "        addi sp, sp, {frame}");
+        let _ = writeln!(self.out, "        ret");
     }
 }
 
 /// Generates a random, terminating, fault-free EVA32 program.
+///
+/// # Panics
+///
+/// Panics if `cfg.scratch_words` is not a power of two ≥ 8.
 ///
 /// # Example
 ///
@@ -134,7 +313,12 @@ impl<R: Rng> Gen<'_, R> {
 /// assert!(program.insn_count() > 5);
 /// ```
 pub fn generate<R: Rng>(rng: &mut R, cfg: &GenConfig) -> String {
-    let mut g = Gen { rng, out: String::new(), label: 0 };
+    assert!(
+        cfg.scratch_words.is_power_of_two() && cfg.scratch_words >= 8,
+        "scratch_words must be a power of two ≥ 8, got {}",
+        cfg.scratch_words
+    );
+    let mut g = Gen { rng, cfg, out: String::new(), label: 0 };
     let _ = writeln!(g.out, "        .text");
     let _ = writeln!(g.out, "main:");
     // Seed registers with constants so comparisons have variety.
@@ -142,31 +326,20 @@ pub fn generate<R: Rng>(rng: &mut R, cfg: &GenConfig) -> String {
         let v: i32 = g.rng.gen_range(-50..50) * (i as i32 + 1);
         let _ = writeln!(g.out, "        li   {r}, {v}");
     }
-    let functions: Vec<String> = (0..cfg.functions).map(|i| format!("aux{i}")).collect();
     for _ in 0..cfg.constructs {
-        if !functions.is_empty() && g.rng.gen_bool(0.3) {
-            let f = &functions[g.rng.gen_range(0..functions.len())];
-            let _ = writeln!(g.out, "        call {f}");
+        if cfg.functions > 0 && g.rng.gen_bool(0.3) {
+            let f = g.rng.gen_range(0..cfg.functions);
+            let _ = writeln!(g.out, "        call aux{f}");
         } else {
-            g.construct(cfg, 0);
+            g.construct(0);
         }
     }
     let _ = writeln!(g.out, "        halt");
-    // Leaf functions with small frames.
-    for f in &functions {
-        let frame = 8 * g.rng.gen_range(1..4u32);
-        let _ = writeln!(g.out, "{f}:");
-        let _ = writeln!(g.out, "        addi sp, sp, -{frame}");
-        let n = g.rng.gen_range(1..=cfg.block_len);
-        g.block(n);
-        if g.rng.gen_bool(0.5) {
-            g.diamond(cfg);
-        }
-        let _ = writeln!(g.out, "        addi sp, sp, {frame}");
-        let _ = writeln!(g.out, "        ret");
+    for i in 0..cfg.functions {
+        g.function(i);
     }
     let _ = writeln!(g.out, "        .data");
-    let _ = writeln!(g.out, "scratch: .space 128");
+    let _ = writeln!(g.out, "scratch: .space {}", cfg.scratch_bytes());
     g.out
 }
 
@@ -179,24 +352,81 @@ mod tests {
     use stamp_isa::asm::assemble;
     use stamp_sim::{RunStatus, Simulator};
 
+    fn assemble_and_run(seed: u64, cfg: &GenConfig) {
+        let hw = HwConfig::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let src = generate(&mut rng, cfg);
+        let p = assemble(&src).unwrap_or_else(|e| {
+            panic!("seed {seed}: {e}\n{src}");
+        });
+        let mut sim = Simulator::new(&p, &hw);
+        // Random scratch contents.
+        let scratch = p.symbols.addr_of("scratch").unwrap();
+        let bytes: Vec<u8> = (0..cfg.scratch_bytes()).map(|_| rng.gen()).collect();
+        sim.write_ram(scratch, &bytes);
+        let res = sim.run(3_000_000).unwrap_or_else(|e| {
+            panic!("seed {seed} faulted: {e}\n{src}");
+        });
+        assert_eq!(res.status, RunStatus::Halted, "seed {seed} did not halt:\n{src}");
+    }
+
     #[test]
     fn generated_programs_assemble_and_halt() {
-        let hw = HwConfig::default();
         for seed in 0..30 {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let src = generate(&mut rng, &GenConfig::default());
-            let p = assemble(&src).unwrap_or_else(|e| {
-                panic!("seed {seed}: {e}\n{src}");
-            });
-            let mut sim = Simulator::new(&p, &hw);
-            // Random scratch contents.
-            let scratch = p.symbols.addr_of("scratch").unwrap();
-            let bytes: Vec<u8> = (0..128).map(|_| rng.gen()).collect();
-            sim.write_ram(scratch, &bytes);
-            let res = sim.run(3_000_000).unwrap_or_else(|e| {
-                panic!("seed {seed} faulted: {e}\n{src}");
-            });
-            assert_eq!(res.status, RunStatus::Halted, "seed {seed} did not halt:\n{src}");
+            assemble_and_run(seed, &GenConfig::default());
         }
+    }
+
+    #[test]
+    fn rich_programs_assemble_and_halt() {
+        for seed in 0..30 {
+            assemble_and_run(seed, &GenConfig::rich());
+        }
+    }
+
+    #[test]
+    fn each_feature_alone_assembles_and_halts() {
+        let base = GenConfig::default();
+        let features: [GenConfig; 5] = [
+            GenConfig { call_depth: 3, functions: 3, ..base },
+            GenConfig { frame_traffic: true, ..base },
+            GenConfig { calls_in_loops: true, ..base },
+            GenConfig { varied_addressing: true, scratch_words: 16, ..base },
+            GenConfig { load_branches: true, ..base },
+        ];
+        for (i, cfg) in features.iter().enumerate() {
+            for seed in 0..6 {
+                assemble_and_run(seed * 31 + i as u64, cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn default_config_stream_is_stable() {
+        // The default-config byte stream is a compatibility surface: the
+        // pinned E6 scaling series and recorded fuzz seeds depend on it.
+        // This pin catches accidental extra rng draws on legacy paths.
+        let mut rng = StdRng::seed_from_u64(42);
+        let src = generate(&mut rng, &GenConfig::default());
+        let digest: u64 = src
+            .bytes()
+            .fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3));
+        assert_eq!(digest, 0x7ddb1c653104ffb8, "default generator stream changed:\n{src}");
+    }
+
+    #[test]
+    fn rich_call_chains_use_the_stack() {
+        // At least one rich seed must reach call depth ≥ 2 (lr saved in
+        // a frame) — otherwise call_depth is not doing its job.
+        let mut saw_chain = false;
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let src = generate(&mut rng, &GenConfig::rich());
+            if src.contains("sw   lr,") {
+                saw_chain = true;
+                break;
+            }
+        }
+        assert!(saw_chain, "no rich seed produced a call chain");
     }
 }

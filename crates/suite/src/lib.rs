@@ -1,9 +1,12 @@
-//! # stamp-suite — the evaluation workload corpus
+//! # stamp-suite — the evaluation workload corpus and fuzz engine
 //!
 //! EVA32 benchmark tasks modeled on the Mälardalen WCET suite (the de
 //! facto workload set for WCET tools, matching the "embedded control
-//! software" the paper targets), plus a structured random-program
-//! generator used by the soundness property tests (experiment E0).
+//! software" the paper targets), plus the differential testing stack:
+//! a scenario-rich random-program generator ([`generate`]), the shared
+//! soundness [`oracle`], the [`fuzz`] campaign driver behind
+//! `stamp fuzz`, and the [`shrink`] delta-debugging counterexample
+//! minimizer.
 //!
 //! Every [`Benchmark`] carries the annotations it needs (bounds for
 //! data-dependent loops, recursion depths) and an optional input region
@@ -23,10 +26,13 @@
 //! assert!(program.insn_count() > 0);
 //! ```
 
+pub mod fuzz;
 mod gen;
 pub mod manifest;
+pub mod oracle;
 pub mod plan;
 mod programs;
+pub mod shrink;
 
 pub use gen::{generate, GenConfig};
 pub use manifest::{corpus_matrix, corpus_request, parse_manifest, ManifestError};

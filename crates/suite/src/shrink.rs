@@ -1,0 +1,206 @@
+//! Delta-debugging counterexample minimization (ddmin over source
+//! lines).
+//!
+//! When the differential oracle finds a violation, the generated
+//! program is typically hundreds of lines — far more than the bug
+//! needs. [`shrink`] minimizes it: remove ever-smaller chunks of
+//! lines, keeping a candidate only when it still **assembles** and
+//! still **fails the caller's predicate**, until no single line can be
+//! removed (or the evaluation budget runs out).
+//!
+//! Guarantees, relied on by `tests/fuzz_campaign.rs` and the shrinker
+//! property suite:
+//!
+//! * **deterministic** — the algorithm draws no randomness; the same
+//!   source and predicate produce byte-identical output on every run;
+//! * **well-formed** — the result assembles (candidates that do not are
+//!   rejected before the predicate ever sees them, so structural lines
+//!   like labels and `.data` survive exactly as long as something
+//!   references them);
+//! * **still failing** — the result satisfies the predicate (it is the
+//!   input when the input itself does not, a contract violation by the
+//!   caller);
+//! * **bounded** — at most `max_evals` assemble+predicate evaluations,
+//!   so shrinking a pathological counterexample cannot hang a
+//!   campaign.
+
+use stamp_isa::asm::assemble;
+use stamp_isa::Program;
+
+/// What a [`shrink`] run did, for reports and logs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Assemble+predicate evaluations spent.
+    pub evaluations: usize,
+    /// Non-empty source lines before shrinking.
+    pub original_lines: usize,
+    /// Non-empty source lines after shrinking.
+    pub shrunk_lines: usize,
+    /// `true` when the evaluation budget stopped the search before the
+    /// 1-minimal fixpoint was reached.
+    pub budget_exhausted: bool,
+}
+
+/// Number of non-empty lines in `src` (the size measure reported by
+/// [`ShrinkStats`] and the fuzz report).
+pub fn line_count(src: &str) -> usize {
+    src.lines().filter(|l| !l.trim().is_empty()).count()
+}
+
+struct Search<'p> {
+    evaluations: usize,
+    max_evals: usize,
+    predicate: &'p mut dyn FnMut(&str, &Program) -> bool,
+}
+
+impl Search<'_> {
+    /// `true` when the candidate assembles and still fails (predicate
+    /// returns `true` for "still failing").
+    fn still_fails(&mut self, lines: &[String]) -> bool {
+        if self.evaluations >= self.max_evals {
+            return false;
+        }
+        self.evaluations += 1;
+        let mut candidate = lines.join("\n");
+        candidate.push('\n');
+        match assemble(&candidate) {
+            Ok(program) => (self.predicate)(&candidate, &program),
+            Err(_) => false,
+        }
+    }
+}
+
+/// Minimizes `src` under `predicate` (`true` = "this candidate still
+/// exhibits the failure"). The predicate is only consulted on
+/// candidates that assemble; the returned source always assembles and
+/// always satisfies the predicate, unless `src` itself does not — then
+/// `src` is returned unchanged with zero removals.
+pub fn shrink(
+    src: &str,
+    max_evals: usize,
+    predicate: &mut dyn FnMut(&str, &Program) -> bool,
+) -> (String, ShrinkStats) {
+    let mut lines: Vec<String> = src.lines().map(str::to_string).collect();
+    let original_lines = line_count(src);
+    let mut search = Search { evaluations: 0, max_evals, predicate };
+
+    // The caller's contract: the input itself fails. Verify rather
+    // than assume — a passing input must come back unchanged.
+    if !search.still_fails(&lines) {
+        let stats = ShrinkStats {
+            evaluations: search.evaluations,
+            original_lines,
+            shrunk_lines: original_lines,
+            budget_exhausted: false,
+        };
+        return (src.to_string(), stats);
+    }
+
+    // ddmin proper: chunked removal from half the file down to single
+    // lines, iterated to a fixpoint (one full single-line pass with no
+    // removal). Chunks are tried front to back; on success the cursor
+    // stays put, so freshly adjacent lines are reconsidered at once.
+    loop {
+        let mut removed_any = false;
+        let mut chunk = lines.len().div_ceil(2).max(1);
+        loop {
+            let mut i = 0;
+            while i < lines.len() && search.evaluations < search.max_evals {
+                let end = (i + chunk).min(lines.len());
+                let mut candidate = Vec::with_capacity(lines.len() - (end - i));
+                candidate.extend_from_slice(&lines[..i]);
+                candidate.extend_from_slice(&lines[end..]);
+                if !candidate.is_empty() && search.still_fails(&candidate) {
+                    lines = candidate;
+                    removed_any = true;
+                } else {
+                    i = end;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk = chunk.div_ceil(2).max(1);
+        }
+        if !removed_any || search.evaluations >= search.max_evals {
+            break;
+        }
+    }
+
+    let mut shrunk = lines.join("\n");
+    shrunk.push('\n');
+    let stats = ShrinkStats {
+        evaluations: search.evaluations,
+        original_lines,
+        shrunk_lines: line_count(&shrunk),
+        budget_exhausted: search.evaluations >= search.max_evals,
+    };
+    (shrunk, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DIV_TASK: &str = "\
+        .text
+main:   li   r1, 10
+        li   r2, 3
+        add  r3, r1, r2
+        div  r4, r1, r2
+        sub  r5, r3, r1
+        halt
+";
+
+    fn contains_div(program: &Program) -> bool {
+        let (lo, hi) = program.text_range();
+        (lo..hi)
+            .step_by(4)
+            .any(|a| program.decode_at(a).is_ok_and(|i| i.to_string().starts_with("div ")))
+    }
+
+    #[test]
+    fn shrinks_to_a_minimal_failing_program() {
+        let (shrunk, stats) = shrink(DIV_TASK, 1_000, &mut |_, p| contains_div(p));
+        assert!(shrunk.contains("div"), "{shrunk}");
+        let program = assemble(&shrunk).expect("shrunk program assembles");
+        assert!(contains_div(&program));
+        assert!(stats.shrunk_lines < stats.original_lines, "{stats:?}");
+        // 1-minimal: removing any remaining line breaks assembly or
+        // loses the failure.
+        let lines: Vec<&str> = shrunk.lines().collect();
+        for skip in 0..lines.len() {
+            let candidate: String = lines
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, l)| format!("{l}\n"))
+                .collect();
+            let still_fails = assemble(&candidate).map(|p| contains_div(&p)).unwrap_or(false);
+            assert!(!still_fails, "line {skip} was removable:\n{shrunk}");
+        }
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let a = shrink(DIV_TASK, 1_000, &mut |_, p| contains_div(p));
+        let b = shrink(DIV_TASK, 1_000, &mut |_, p| contains_div(p));
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn passing_input_comes_back_unchanged() {
+        let (out, stats) = shrink(DIV_TASK, 1_000, &mut |_, _| false);
+        assert_eq!(out, DIV_TASK);
+        assert_eq!(stats.evaluations, 1);
+        assert_eq!(stats.shrunk_lines, stats.original_lines);
+    }
+
+    #[test]
+    fn budget_bounds_the_search() {
+        let (_, stats) = shrink(DIV_TASK, 3, &mut |_, p| contains_div(p));
+        assert!(stats.evaluations <= 3, "{stats:?}");
+        assert!(stats.budget_exhausted);
+    }
+}

@@ -6,6 +6,8 @@
 //! stamp stack  task.s [--entry SYM] [--recursion SYM=N]...
 //! stamp batch  manifest.json | --corpus  [--jobs N] [--out FILE] [--no-timing] [--check-pins]
 //!              [--no-artifact-cache] [--repeat N] [--dry-run]
+//! stamp fuzz   [--iterations N] [--seed N] [--jobs N] [--rounds N] [--out FILE] [--no-timing]
+//!              [--no-shrink] [--repro-dir DIR] [--inject-fault KIND]
 //! stamp disasm task.s
 //! stamp run    task.s [--max-insns N]
 //! ```
@@ -19,25 +21,29 @@ use stamp::{assemble, Annotations, HwConfig, Simulator, StackAnalysis, WcetAnaly
 /// problems with the invocation — unknown flags, missing or unreadable
 /// inputs, malformed manifests; `Analysis` errors (exit 1) are problems
 /// with the task — assembly errors, missing loop bounds, pin drift,
-/// failed batch jobs.
+/// failed batch jobs; `Violation` (exit 3) is a soundness
+/// counterexample found by `stamp fuzz` — the one exit code that means
+/// "the analyzer, not the invocation or the task, is wrong".
 enum CliError {
     Usage(String),
     Analysis(String),
+    Violation(String),
 }
 
-use CliError::{Analysis, Usage};
+use CliError::{Analysis, Usage, Violation};
 
 impl CliError {
     fn exit_code(&self) -> u8 {
         match self {
             Analysis(_) => 1,
             Usage(_) => 2,
+            Violation(_) => 3,
         }
     }
 
     fn message(&self) -> &str {
         match self {
-            Analysis(m) | Usage(m) => m,
+            Analysis(m) | Usage(m) | Violation(m) => m,
         }
     }
 }
@@ -59,16 +65,28 @@ fn usage() -> String {
      stamp stack  <task.s> [--entry SYM] [--recursion SYM=N]...\n  \
      stamp batch  <manifest.json> | --corpus  [--jobs N] [--out FILE] [--no-timing] [--check-pins]\n               \
      [--no-artifact-cache] [--repeat N] [--dry-run]\n  \
+     stamp fuzz   [--iterations N] [--seed N] [--jobs N] [--rounds N] [--out FILE] [--no-timing]\n               \
+     [--no-shrink] [--max-shrink-evals N] [--repro-dir DIR] [--inject-fault KIND]\n  \
      stamp disasm <task.s>\n  \
      stamp run    <task.s> [--max-insns N]\n\
      batch flags:\n  \
      --no-artifact-cache  disable cross-job phase-artifact reuse (results are byte-identical)\n  \
      --repeat N           run the request N times against one artifact store (warm-cache passes)\n  \
      --dry-run            print the job matrix and expected per-phase artifact reuse; run nothing\n\
+     fuzz flags:\n  \
+     --iterations N       fuzz jobs to run (default 256); each is a fresh generated program\n  \
+     --seed N             campaign seed (default 0); reports are a pure function of it\n  \
+     --rounds N           random-input simulation rounds per program (default 3)\n  \
+     --no-shrink          keep counterexamples unminimized\n  \
+     --max-shrink-evals N delta-debugging budget per counterexample (default 500)\n  \
+     --repro-dir DIR      where reproducers are written (default proptest-regressions/fuzz)\n  \
+     --inject-fault KIND  deliberately corrupt the oracle to test the harness:\n                       \
+     tight-wcet | tight-stack | contains-div\n\
      exit codes:\n  \
      0  success\n  \
      1  analysis failed (assembly error, missing annotation, failed batch job, pin drift)\n  \
-     2  bad arguments (unknown flag or command, unreadable input, malformed manifest)"
+     2  bad arguments (unknown flag or command, unreadable input, malformed manifest)\n  \
+     3  soundness violation (stamp fuzz found a counterexample; see the reproducer file)"
         .to_string()
 }
 
@@ -78,6 +96,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "wcet" => wcet(rest),
         "stack" => stack(rest),
         "batch" => batch(rest),
+        "fuzz" => fuzz(rest),
         "disasm" => disasm(rest),
         "run" => simulate(rest),
         "--help" | "-h" | "help" => {
@@ -289,6 +308,99 @@ fn batch(args: &[String]) -> Result<(), CliError> {
     }
     if report.errors() > 0 {
         return Err(Analysis(format!("{} batch job(s) failed", report.errors())));
+    }
+    Ok(())
+}
+
+/// `stamp fuzz`: a differential soundness campaign — thousands of
+/// generated programs, each analyzed and simulated under a
+/// (HwConfig × ValueOptions) sweep, every observation checked against
+/// the static bounds. Counterexamples are delta-debugged to minimal
+/// reproducers and persisted; finding any exits 3.
+fn fuzz(args: &[String]) -> Result<(), CliError> {
+    use stamp::suite::fuzz::{run_campaign, FuzzConfig};
+    use stamp::suite::oracle::FaultInjection;
+
+    let mut cfg = FuzzConfig::default();
+    let mut jobs = stamp::exec::default_workers();
+    let mut out: Option<String> = None;
+    let mut no_timing = false;
+    let mut repro_dir = std::path::PathBuf::from("proptest-regressions/fuzz");
+    let mut it = args.iter();
+    let parse = |name: &str, v: Option<&String>| -> Result<u64, CliError> {
+        v.ok_or(Usage(format!("{name} needs a number")))?
+            .parse()
+            .map_err(|_| Usage(format!("bad {name} value")))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--iterations" => cfg.iterations = parse(a, it.next())? as usize,
+            "--seed" => cfg.seed = parse(a, it.next())?,
+            "--rounds" => cfg.rounds = parse(a, it.next())? as usize,
+            "--jobs" => jobs = parse(a, it.next())? as usize,
+            "--max-shrink-evals" => cfg.max_shrink_evals = parse(a, it.next())? as usize,
+            "--no-shrink" => cfg.shrink = false,
+            "--no-timing" => no_timing = true,
+            "--out" => out = Some(it.next().ok_or(Usage("--out needs a file".into()))?.clone()),
+            "--repro-dir" => {
+                repro_dir = it.next().ok_or(Usage("--repro-dir needs a directory".into()))?.into();
+            }
+            "--inject-fault" => {
+                let kind = it.next().ok_or(Usage("--inject-fault needs a kind".into()))?;
+                cfg.fault = Some(match kind.as_str() {
+                    "tight-wcet" => FaultInjection::TightenWcet(50),
+                    "tight-stack" => FaultInjection::TightenStack(50),
+                    "contains-div" => FaultInjection::FlagMnemonic("div".to_string()),
+                    other => {
+                        return Err(Usage(format!(
+                            "unknown fault `{other}` (tight-wcet | tight-stack | contains-div)"
+                        )))
+                    }
+                });
+            }
+            other => return Err(Usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    cfg.repro_dir = Some(repro_dir);
+
+    let report = run_campaign(&cfg, jobs).map_err(|e| Analysis(e.to_string()))?;
+
+    let json = if no_timing { report.results_json() } else { report.to_json() };
+    let rendered = format!("{json}\n");
+    match &out {
+        Some(path) => std::fs::write(path, &rendered).map_err(|e| Usage(format!("{path}: {e}")))?,
+        None => print!("{rendered}"),
+    }
+    eprintln!(
+        "fuzz: {} programs × {} variants on {} workers ({} cores) in {:.1} ms — {:.0} programs/s, \
+         {} simulation rounds, {} violation(s)",
+        report.programs,
+        report.variants.len(),
+        report.workers,
+        report.cores,
+        report.wall_ms,
+        report.throughput(),
+        report.sim_runs,
+        report.violations(),
+    );
+    if report.violations() > 0 {
+        for f in &report.findings {
+            eprintln!(
+                "fuzz: VIOLATION job {} seed {} variant {} ({}): {} [{} -> {} lines{}]",
+                f.job,
+                f.seed,
+                f.variant,
+                f.shape,
+                f.message,
+                f.original_lines,
+                f.shrunk_lines,
+                f.repro_path.as_deref().map(|p| format!("; reproducer {p}")).unwrap_or_default(),
+            );
+        }
+        return Err(Violation(format!(
+            "{} soundness violation(s) — reproducers written",
+            report.violations()
+        )));
     }
     Ok(())
 }

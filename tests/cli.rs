@@ -154,7 +154,9 @@ fn usage_text_documents_exit_codes_and_every_flag() {
     assert!(stdout.contains("exit codes"), "{stdout}");
     assert!(stdout.contains("analysis failed"), "{stdout}");
     assert!(stdout.contains("bad arguments"), "{stdout}");
+    assert!(stdout.contains("soundness violation"), "{stdout}");
     assert!(stdout.contains("stamp batch"), "{stdout}");
+    assert!(stdout.contains("stamp fuzz"), "{stdout}");
     for flag in [
         "--no-cache",
         "--ideal",
@@ -172,6 +174,13 @@ fn usage_text_documents_exit_codes_and_every_flag() {
         "--repeat",
         "--dry-run",
         "--max-insns",
+        "--iterations",
+        "--seed",
+        "--rounds",
+        "--no-shrink",
+        "--max-shrink-evals",
+        "--repro-dir",
+        "--inject-fault",
     ] {
         assert!(stdout.contains(flag), "--help must document {flag}: {stdout}");
     }
@@ -188,6 +197,8 @@ fn exit_code_table_covers_every_documented_flag() {
     let out = out.to_string_lossy();
     let dot = std::env::temp_dir().join("cli_table_out.dot");
     let dot = dot.to_string_lossy();
+    let repro = std::env::temp_dir().join("cli_table_repro");
+    let repro = repro.to_string_lossy();
     let cases: &[(&[&str], i32)] = &[
         // wcet
         (&["wcet", &task, "--no-cache"], 0),
@@ -214,6 +225,36 @@ fn exit_code_table_covers_every_documented_flag() {
         (&["batch", &manifest, "--dry-run"], 0),
         (&["batch", &manifest, "--check-pins"], 2),
         (&["batch", "--corpus", "--dry-run"], 0),
+        // fuzz: a green micro-campaign exits 0; bad numbers and unknown
+        // fault kinds are usage errors (2); an injected-fault campaign
+        // finds violations and exits 3 — the soundness exit code.
+        (&["fuzz", "--iterations", "4", "--seed", "1", "--rounds", "1", "--out", &out], 0),
+        (&["fuzz", "--iterations", "x"], 2),
+        (&["fuzz", "--seed", "x"], 2),
+        (&["fuzz", "--rounds", "x"], 2),
+        (&["fuzz", "--jobs", "x"], 2),
+        (&["fuzz", "--max-shrink-evals", "x"], 2),
+        (&["fuzz", "--inject-fault", "frobnicate"], 2),
+        (&["fuzz", "--inject-fault"], 2),
+        (
+            &[
+                "fuzz",
+                "--iterations",
+                "2",
+                "--seed",
+                "3",
+                "--rounds",
+                "1",
+                "--inject-fault",
+                "contains-div",
+                "--no-shrink",
+                "--repro-dir",
+                &repro,
+                "--out",
+                &out,
+            ],
+            3,
+        ),
         // run
         (&["run", &task, "--max-insns", "1000"], 0),
         (&["run", &task, "--max-insns", "x"], 2),
@@ -271,6 +312,71 @@ fn batch_artifact_cache_flags_do_not_change_results() {
     assert_eq!(cached, warm);
     assert!(stderr.contains("pass 2/2"), "{stderr}");
     assert!(stderr.contains("100% reuse"), "warm pass reuses everything: {stderr}");
+}
+
+#[test]
+fn fuzz_reports_are_byte_identical_across_jobs() {
+    let out1 = std::env::temp_dir().join("cli_fuzz_j1.json");
+    let out2 = std::env::temp_dir().join("cli_fuzz_j2.json");
+    let args = |jobs: &'static str, out: String| {
+        vec![
+            "fuzz".to_string(),
+            "--iterations".to_string(),
+            "6".to_string(),
+            "--seed".to_string(),
+            "5".to_string(),
+            "--rounds".to_string(),
+            "1".to_string(),
+            "--no-timing".to_string(),
+            "--jobs".to_string(),
+            jobs.to_string(),
+            "--out".to_string(),
+            out,
+        ]
+    };
+    for (jobs, out) in [("1", &out1), ("2", &out2)] {
+        let argv: Vec<String> = args(jobs, out.to_string_lossy().into_owned());
+        let argv: Vec<&str> = argv.iter().map(String::as_str).collect();
+        let (code, _, stderr) = stamp_coded(&argv);
+        assert_eq!(code, Some(0), "{stderr}");
+        assert!(stderr.contains("0 violation(s)"), "{stderr}");
+    }
+    let a = std::fs::read_to_string(&out1).unwrap();
+    let b = std::fs::read_to_string(&out2).unwrap();
+    assert_eq!(a, b, "fuzz --no-timing reports must be byte-identical across --jobs");
+    assert!(a.contains("\"schema\":\"stamp-fuzz/1\""), "{a}");
+    assert!(!a.contains("wall_ms"), "deterministic report must omit timing: {a}");
+}
+
+#[test]
+fn fuzz_injected_fault_writes_minimized_reproducer_and_exits_3() {
+    let repro = std::env::temp_dir().join("cli_fuzz_repro");
+    let _ = std::fs::remove_dir_all(&repro);
+    let repro_s = repro.to_string_lossy().into_owned();
+    let (code, _, stderr) = stamp_coded(&[
+        "fuzz",
+        "--iterations",
+        "2",
+        "--seed",
+        "3",
+        "--rounds",
+        "1",
+        "--inject-fault",
+        "contains-div",
+        "--repro-dir",
+        &repro_s,
+        "--out",
+        &std::env::temp_dir().join("cli_fuzz_inj.json").to_string_lossy(),
+    ]);
+    assert_eq!(code, Some(3), "{stderr}");
+    assert!(stderr.contains("VIOLATION"), "{stderr}");
+    assert!(stderr.contains("reproducer"), "{stderr}");
+    let files: Vec<_> = std::fs::read_dir(&repro).unwrap().collect();
+    assert!(!files.is_empty(), "reproducer files written");
+    let text = std::fs::read_to_string(files[0].as_ref().unwrap().path()).unwrap();
+    assert!(text.starts_with("; stamp fuzz reproducer"), "{text}");
+    assert!(text.contains("div"), "{text}");
+    let _ = std::fs::remove_dir_all(&repro);
 }
 
 #[test]

@@ -1,0 +1,126 @@
+//! End-to-end tests of the differential fuzz campaign: determinism
+//! across worker counts, the counterexample-shrinking pipeline against
+//! an intentionally broken oracle, and reproducer persistence.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stamp_core::Annotations;
+use stamp_suite::fuzz::{run_campaign, FuzzConfig};
+use stamp_suite::oracle::{self, FaultInjection, OracleConfig};
+
+fn small_campaign(iterations: usize, seed: u64) -> FuzzConfig {
+    FuzzConfig { iterations, seed, rounds: 2, ..FuzzConfig::default() }
+}
+
+/// The tentpole invariant: the deterministic report is byte-identical
+/// across worker counts (and across repeated runs).
+#[test]
+fn campaign_results_are_byte_identical_across_worker_counts() {
+    let cfg = small_campaign(18, 5);
+    let reports: Vec<String> = [1usize, 2, 8]
+        .iter()
+        .map(|&workers| {
+            run_campaign(&cfg, workers).expect("campaign runs").results_json().to_string()
+        })
+        .collect();
+    assert_eq!(reports[0], reports[1], "1 vs 2 workers");
+    assert_eq!(reports[0], reports[2], "1 vs 8 workers");
+    // And the campaign is green: the analyses are sound on the whole
+    // generated population.
+    assert!(reports[0].contains("\"violation_count\":0"), "{}", reports[0]);
+}
+
+/// Campaigns with different seeds explore different programs.
+#[test]
+fn campaign_seed_changes_the_population() {
+    let a = run_campaign(&small_campaign(4, 1), 2).unwrap();
+    let b = run_campaign(&small_campaign(4, 2), 2).unwrap();
+    assert_ne!(
+        (a.lines_total, a.cycles_total),
+        (b.lines_total, b.cycles_total),
+        "different campaign seeds must generate different populations"
+    );
+}
+
+/// The acceptance gate for the shrinking pipeline: an intentionally
+/// broken oracle (mnemonic predicate) must yield a minimized
+/// reproducer no larger than 25% of the original program, persisted as
+/// a ready-to-commit regression file.
+#[test]
+fn broken_oracle_yields_shrunk_reproducer_within_quarter_of_original() {
+    let dir = std::env::temp_dir().join("stamp_fuzz_campaign_repro");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = FuzzConfig {
+        fault: Some(FaultInjection::FlagMnemonic("div".to_string())),
+        repro_dir: Some(dir.clone()),
+        ..small_campaign(6, 11)
+    };
+    let report = run_campaign(&cfg, 2).unwrap();
+    assert!(report.violations() > 0, "no generated program contained a div");
+    for f in &report.findings {
+        assert_eq!(f.kind, "injected");
+        assert!(
+            f.shrunk_lines * 4 <= f.original_lines,
+            "job {}: shrunk to {} of {} lines (> 25%)",
+            f.job,
+            f.shrunk_lines,
+            f.original_lines
+        );
+        // The reproducer file exists, assembles (comments and all), and
+        // still fails the same synthetic oracle.
+        let path = f.repro_path.as_ref().expect("reproducer path recorded");
+        let text = std::fs::read_to_string(path).expect("reproducer written");
+        assert!(text.starts_with("; stamp fuzz reproducer"), "{text}");
+        assert!(text.contains(&format!("job seed: {}", f.seed)), "{text}");
+        let program = stamp::assemble(&text).expect("reproducer assembles");
+        let oracle_cfg = OracleConfig { fault: cfg.fault.clone(), ..OracleConfig::default() };
+        let mut rng = StdRng::seed_from_u64(f.seed);
+        let v = oracle::check(&program, &Annotations::new(), None, &oracle_cfg, &mut rng)
+            .expect_err("minimized reproducer must still fail");
+        assert_eq!(v.kind(), "injected");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Shrinking can be disabled; findings then carry the original source.
+#[test]
+fn no_shrink_keeps_the_original_counterexample() {
+    let cfg = FuzzConfig {
+        fault: Some(FaultInjection::FlagMnemonic("div".to_string())),
+        shrink: false,
+        ..small_campaign(3, 11)
+    };
+    let report = run_campaign(&cfg, 1).unwrap();
+    assert!(report.violations() > 0);
+    for f in &report.findings {
+        assert_eq!(f.shrunk_lines, f.original_lines);
+        assert!(f.shrunk_source.contains("main:"), "unshrunk source is the full program");
+    }
+}
+
+/// Tightened-bound faults are detected as the corresponding violation
+/// kinds (the other two fault-injection modes of the CLI).
+#[test]
+fn tightened_bound_faults_are_detected() {
+    // A 1% WCET bound is overrun by every non-trivial program.
+    let cfg = FuzzConfig {
+        fault: Some(FaultInjection::TightenWcet(1)),
+        shrink: false,
+        ..small_campaign(2, 0)
+    };
+    let report = run_campaign(&cfg, 1).unwrap();
+    assert!(report.violations() > 0, "1% WCET bound must be overrun");
+    assert!(report.findings.iter().all(|f| f.kind == "wcet"), "{:?}", report.findings[0].kind);
+
+    // Enough jobs that some generated program surely uses the stack
+    // (call shapes appear every few draws) — the leg must not pass
+    // vacuously on an empty findings list.
+    let cfg = FuzzConfig {
+        fault: Some(FaultInjection::TightenStack(10)),
+        shrink: false,
+        ..small_campaign(8, 0)
+    };
+    let report = run_campaign(&cfg, 1).unwrap();
+    assert!(report.violations() > 0, "10% stack bound must be overrun by some program");
+    assert!(report.findings.iter().all(|f| f.kind == "stack"), "stack faults misclassified");
+}

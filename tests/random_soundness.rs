@@ -4,103 +4,97 @@
 //! * simulated cycles ≤ WCET bound,
 //! * simulated stack watermark ≤ stack bound,
 //! * final concrete register values lie in the value analysis's abstract
-//!   exit state.
+//!   exit state,
+//!
+//! across a hardware × value-options matrix, not just the default
+//! configuration. The whole harness is the shared differential oracle
+//! (`stamp_suite::oracle`) — the same code path `stamp fuzz` drives at
+//! campaign scale.
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use stamp::ai::{Icfg, VivuConfig};
-use stamp::cfg::CfgBuilder;
-use stamp::value::{ValueAnalysis, ValueOptions};
-use stamp::{assemble, HwConfig, Simulator, StackAnalysis, WcetAnalysis};
-use stamp_isa::Reg;
+use rand::SeedableRng;
+use stamp::assemble;
+use stamp_core::Annotations;
+use stamp_suite::oracle::{check, OracleConfig};
 use stamp_suite::{generate, GenConfig};
 
-fn run_one(seed: u64, hw: &HwConfig) {
+fn run_one(ctx: &str, seed: u64, gen_cfg: &GenConfig, oracle_cfg: &OracleConfig) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let src = generate(&mut rng, &GenConfig::default());
-    let program = assemble(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
-
-    let wcet = WcetAnalysis::new(&program)
-        .hw(*hw)
-        .run()
-        .unwrap_or_else(|e| panic!("seed {seed}: wcet analysis: {e}\n{src}"));
-    let stack = StackAnalysis::new(&program)
-        .hw(*hw)
-        .run()
-        .unwrap_or_else(|e| panic!("seed {seed}: stack analysis: {e}"));
-
-    let scratch = program.symbols.addr_of("scratch").expect("scratch symbol");
-    for input_round in 0..6 {
-        let mut sim = Simulator::new(&program, hw);
-        let bytes: Vec<u8> = (0..128).map(|_| rng.gen()).collect();
-        sim.write_ram(scratch, &bytes);
-        let res = sim
-            .run(5_000_000)
-            .unwrap_or_else(|e| panic!("seed {seed} round {input_round}: fault {e}"));
-        assert!(
-            res.cycles <= wcet.wcet,
-            "seed {seed} round {input_round}: UNSOUND WCET — simulated {} > bound {}\n{src}",
-            res.cycles,
-            wcet.wcet
-        );
-        assert!(
-            res.max_stack <= stack.bound,
-            "seed {seed} round {input_round}: UNSOUND stack — simulated {} > bound {}",
-            res.max_stack,
-            stack.bound
-        );
-
-        // Value-analysis containment at task exit: the halted pc's block
-        // exit state (joined over contexts) must contain the concrete
-        // register file.
-        let cfg = CfgBuilder::new(&program).build().unwrap();
-        let icfg = Icfg::build(&cfg, &VivuConfig::default()).unwrap();
-        let va = ValueAnalysis::run(&program, hw, &cfg, &icfg, &ValueOptions::default());
-        let halt_block = cfg.block_containing(sim.pc()).expect("halted inside a block");
-        for r in Reg::all() {
-            let concrete = sim.reg(r);
-            let contained = icfg
-                .nodes_of_block(halt_block)
-                .iter()
-                .any(|&n| va.exit_state(n).is_some_and(|s| s.reg(r).contains(concrete)));
-            assert!(
-                contained,
-                "seed {seed}: register {r} = {concrete:#x} outside every abstract exit state\n{src}"
-            );
-        }
-    }
+    let src = generate(&mut rng, gen_cfg);
+    let program = assemble(&src).unwrap_or_else(|e| panic!("{ctx} seed {seed}: {e}\n{src}"));
+    let report = check(
+        &program,
+        &Annotations::new(),
+        Some(("scratch", gen_cfg.scratch_bytes())),
+        oracle_cfg,
+        &mut rng,
+    )
+    .unwrap_or_else(|v| panic!("{ctx} seed {seed}: {v}\n{src}"));
+    assert!(report.worst_cycles > 0, "{ctx} seed {seed}: nothing simulated");
 }
 
 #[test]
 fn random_programs_standard_hw() {
+    let cfg = OracleConfig { rounds: 6, ..OracleConfig::default() };
     for seed in 0..12 {
-        run_one(seed, &HwConfig::default());
+        run_one("default", seed, &GenConfig::default(), &cfg);
     }
 }
 
+/// The hardware × value-options sweep — exactly the variant matrix the
+/// fuzz campaign cycles through (`stamp_suite::fuzz::default_variants`),
+/// so this property test and `stamp fuzz` can never drift apart. Each
+/// point checks the full oracle (WCET + stack + value containment) on
+/// fresh seeds; `default` is already covered by the test above.
 #[test]
-fn random_programs_no_cache() {
-    for seed in 100..106 {
-        run_one(seed, &HwConfig::no_cache());
+fn random_programs_hw_value_matrix() {
+    let sweep = stamp_suite::fuzz::default_variants();
+    assert!(sweep.len() > 4, "the fuzz sweep shrank unexpectedly");
+    for (i, v) in sweep.into_iter().filter(|v| v.name != "default").enumerate() {
+        let cfg = OracleConfig { hw: v.hw, value: v.value, rounds: 4, ..OracleConfig::default() };
+        for seed in 0..3u64 {
+            let seed = 100 + 17 * i as u64 + seed;
+            run_one(&v.name, seed, &GenConfig::default(), &cfg);
+        }
+    }
+}
+
+/// The rich scenario space: deep loop nests, call chains with frame
+/// traffic, calls under loops, varied addressing, input-dependent
+/// branches.
+#[test]
+fn random_programs_rich_scenarios() {
+    let shapes: [GenConfig; 3] = [
+        GenConfig::rich(),
+        GenConfig {
+            functions: 4,
+            call_depth: 4,
+            frame_traffic: true,
+            calls_in_loops: true,
+            ..GenConfig::default()
+        },
+        GenConfig {
+            varied_addressing: true,
+            load_branches: true,
+            scratch_words: 64,
+            ..GenConfig::default()
+        },
+    ];
+    let cfg = OracleConfig { rounds: 4, ..OracleConfig::default() };
+    for (i, shape) in shapes.iter().enumerate() {
+        for seed in 0..3u64 {
+            run_one("rich-shape", 200 + 31 * i as u64 + seed, shape, &cfg);
+        }
     }
 }
 
 #[test]
 fn random_programs_bigger_shapes() {
-    let cfg = GenConfig { constructs: 10, max_depth: 2, functions: 3, ..GenConfig::default() };
-    let hw = HwConfig::default();
+    let gen_cfg = GenConfig { constructs: 10, max_depth: 2, functions: 3, ..GenConfig::default() };
+    // Value containment over six work registers × many contexts is the
+    // expensive leg; the big-shape test sticks to the bounds.
+    let cfg = OracleConfig { rounds: 3, check_values: false, ..OracleConfig::default() };
     for seed in 200..206 {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let src = generate(&mut rng, &cfg);
-        let program = assemble(&src).unwrap();
-        let wcet = WcetAnalysis::new(&program).hw(hw).run().unwrap();
-        let scratch = program.symbols.addr_of("scratch").unwrap();
-        for _ in 0..3 {
-            let mut sim = Simulator::new(&program, &hw);
-            let bytes: Vec<u8> = (0..128).map(|_| rng.gen()).collect();
-            sim.write_ram(scratch, &bytes);
-            let res = sim.run(5_000_000).unwrap();
-            assert!(res.cycles <= wcet.wcet, "seed {seed}: {} > {}", res.cycles, wcet.wcet);
-        }
+        run_one("bigger", seed, &gen_cfg, &cfg);
     }
 }
