@@ -178,6 +178,66 @@ impl VivuConfig {
     }
 }
 
+impl stamp_codec::Codec for Frame {
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        match self {
+            Frame::Call { site } => {
+                e.u8(0);
+                e.u32(*site);
+            }
+            Frame::Loop { header, iter } => {
+                e.u8(1);
+                header.enc(e);
+                e.u8(*iter);
+            }
+        }
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<Frame, stamp_codec::CodecError> {
+        match d.u8()? {
+            0 => Ok(Frame::Call { site: d.u32()? }),
+            1 => Ok(Frame::Loop { header: stamp_codec::Codec::dec(d)?, iter: d.u8()? }),
+            _ => Err(stamp_codec::CodecError::Invalid("frame tag")),
+        }
+    }
+}
+
+impl stamp_codec::Codec for Ctx {
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        self.0.enc(e);
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<Ctx, stamp_codec::CodecError> {
+        Ok(Ctx(Vec::dec(d)?))
+    }
+}
+
+impl stamp_codec::Codec for CtxId {
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        e.u32(self.0);
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<CtxId, stamp_codec::CodecError> {
+        Ok(CtxId(d.u32()?))
+    }
+}
+
+impl stamp_codec::Codec for CtxTable {
+    /// Only the context vector is persisted; the interning map is
+    /// rebuilt by re-interning each context, which reassigns the same
+    /// sequential ids.
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        self.ctxs.enc(e);
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<CtxTable, stamp_codec::CodecError> {
+        let ctxs: Vec<Ctx> = Vec::dec(d)?;
+        let mut t = CtxTable::default();
+        for (i, c) in ctxs.into_iter().enumerate() {
+            if t.intern(c).index() != i {
+                return Err(stamp_codec::CodecError::Invalid("duplicate context"));
+            }
+        }
+        Ok(t)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

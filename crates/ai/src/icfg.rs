@@ -527,6 +527,156 @@ impl<'c> Builder<'c> {
     }
 }
 
+impl stamp_codec::Codec for NodeId {
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        e.u32(self.0);
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<NodeId, stamp_codec::CodecError> {
+        Ok(NodeId(d.u32()?))
+    }
+}
+
+impl stamp_codec::Codec for IEdgeId {
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        e.u32(self.0);
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<IEdgeId, stamp_codec::CodecError> {
+        Ok(IEdgeId(d.u32()?))
+    }
+}
+
+impl stamp_codec::Codec for Node {
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        self.id.enc(e);
+        self.block.enc(e);
+        self.ctx.enc(e);
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<Node, stamp_codec::CodecError> {
+        Ok(Node { id: NodeId::dec(d)?, block: stamp_codec::Codec::dec(d)?, ctx: CtxId::dec(d)? })
+    }
+}
+
+impl stamp_codec::Codec for IEdgeKind {
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        match self {
+            IEdgeKind::Intra { cfg_edge, back_edge_of } => {
+                e.u8(0);
+                cfg_edge.enc(e);
+                back_edge_of.enc(e);
+            }
+            IEdgeKind::Call { site } => {
+                e.u8(1);
+                e.u32(*site);
+            }
+            IEdgeKind::Return { site } => {
+                e.u8(2);
+                e.u32(*site);
+            }
+        }
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<IEdgeKind, stamp_codec::CodecError> {
+        match d.u8()? {
+            0 => Ok(IEdgeKind::Intra {
+                cfg_edge: stamp_codec::Codec::dec(d)?,
+                back_edge_of: Option::dec(d)?,
+            }),
+            1 => Ok(IEdgeKind::Call { site: d.u32()? }),
+            2 => Ok(IEdgeKind::Return { site: d.u32()? }),
+            _ => Err(stamp_codec::CodecError::Invalid("iedge kind")),
+        }
+    }
+}
+
+impl stamp_codec::Codec for IEdge {
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        self.id.enc(e);
+        self.from.enc(e);
+        self.to.enc(e);
+        self.kind.enc(e);
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<IEdge, stamp_codec::CodecError> {
+        Ok(IEdge {
+            id: IEdgeId::dec(d)?,
+            from: NodeId::dec(d)?,
+            to: NodeId::dec(d)?,
+            kind: IEdgeKind::dec(d)?,
+        })
+    }
+}
+
+impl stamp_codec::Codec for CallInstance {
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        e.u32(self.site);
+        self.callee.enc(e);
+        self.inner.enc(e);
+        self.return_node.enc(e);
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<CallInstance, stamp_codec::CodecError> {
+        Ok(CallInstance {
+            site: d.u32()?,
+            callee: stamp_codec::Codec::dec(d)?,
+            inner: CtxId::dec(d)?,
+            return_node: Option::dec(d)?,
+        })
+    }
+}
+
+impl stamp_codec::Codec for Icfg {
+    /// The two lookup maps (`node_ids`, `nodes_by_block`) are derived
+    /// from `nodes` and rebuilt on decode; everything else is persisted
+    /// positionally for an exact round-trip.
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        self.nodes.enc(e);
+        self.edges.enc(e);
+        self.succs.enc(e);
+        self.preds.enc(e);
+        self.ctxs.enc(e);
+        self.entry.enc(e);
+        self.exits.enc(e);
+        self.call_instances.enc(e);
+        self.rpo_index.enc(e);
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<Icfg, stamp_codec::CodecError> {
+        let nodes: Vec<Node> = Vec::dec(d)?;
+        let edges: Vec<IEdge> = Vec::dec(d)?;
+        let succs: Vec<Vec<IEdgeId>> = Vec::dec(d)?;
+        let preds: Vec<Vec<IEdgeId>> = Vec::dec(d)?;
+        let ctxs = CtxTable::dec(d)?;
+        let entry = NodeId::dec(d)?;
+        let exits: Vec<NodeId> = Vec::dec(d)?;
+        let call_instances: Vec<CallInstance> = Vec::dec(d)?;
+        let rpo_index: Vec<u32> = Vec::dec(d)?;
+        if succs.len() != nodes.len()
+            || preds.len() != nodes.len()
+            || rpo_index.len() != nodes.len()
+        {
+            return Err(stamp_codec::CodecError::Invalid("icfg table lengths"));
+        }
+        let mut node_ids = HashMap::new();
+        let mut nodes_by_block: HashMap<BlockId, Vec<NodeId>> = HashMap::new();
+        for (i, nd) in nodes.iter().enumerate() {
+            if nd.id.index() != i {
+                return Err(stamp_codec::CodecError::Invalid("icfg node ids"));
+            }
+            node_ids.insert((nd.block, nd.ctx), nd.id);
+            nodes_by_block.entry(nd.block).or_default().push(nd.id);
+        }
+        Ok(Icfg {
+            nodes,
+            edges,
+            succs,
+            preds,
+            node_ids,
+            nodes_by_block,
+            ctxs,
+            entry,
+            exits,
+            call_instances,
+            rpo_index,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -630,5 +780,36 @@ mod tests {
         let src = ".text\nmain: nop\nret\n";
         let icfg = icfg_of(src, &VivuConfig::default());
         assert_eq!(icfg.exits().len(), 1);
+    }
+
+    #[test]
+    fn icfg_round_trips_byte_exactly() {
+        let src = "\
+            .text
+            main:  li r1, 3
+            outer: li r2, 4
+            inner: addi r2, r2, -1
+                   bnez r2, inner
+                   call f
+                   addi r1, r1, -1
+                   bnez r1, outer
+                   halt
+            f:     ret
+        ";
+        let icfg = icfg_of(src, &VivuConfig::default());
+        let bytes = stamp_codec::encode_value(&icfg);
+        let back: Icfg = stamp_codec::decode_value(&bytes).unwrap();
+        assert_eq!(stamp_codec::encode_value(&back), bytes);
+        assert_eq!(back.entry(), icfg.entry());
+        assert_eq!(back.exits(), icfg.exits());
+        assert_eq!(back.nodes(), icfg.nodes());
+        assert_eq!(back.edges(), icfg.edges());
+        assert_eq!(back.ctxs().len(), icfg.ctxs().len());
+        // Rebuilt lookup maps answer identically.
+        for nd in icfg.nodes() {
+            assert_eq!(back.node_of(nd.block, nd.ctx), Some(nd.id));
+            assert_eq!(back.rpo_index(nd.id), icfg.rpo_index(nd.id));
+        }
+        assert!(stamp_codec::decode_value::<Icfg>(&bytes[..bytes.len() - 2]).is_err());
     }
 }

@@ -38,6 +38,14 @@
 //! structurally it is 100%) and on cached results being byte-identical
 //! to a `--no-artifact-cache` run.
 //!
+//! The **durable store** (`stamp batch --store DIR`) is measured under
+//! an `artifacts_disk` key: the same matrix run by a cold process
+//! (empty directory) versus a warm process (fresh in-memory store over
+//! a primed directory — a reopened log, exactly what a second `stamp
+//! batch` invocation sees). `--check` gates on the warm-process disk
+//! hit rate (≥ 50%) and on its results being byte-identical to a
+//! storeless run.
+//!
 //! The **fuzz engine** (`stamp fuzz`) is measured under a `fuzz` key: a
 //! fixed-seed differential campaign (generate → analyze → simulate →
 //! compare) at 1 and 4 workers, reported as programs analyzed+simulated
@@ -425,6 +433,83 @@ fn artifact_rows(reps: usize) -> ArtifactBench {
     }
 }
 
+/// The durable-store workload (`stamp batch --store DIR`): the corpus
+/// matrix run by a *cold process* (empty directory, every artifact
+/// computed and written through) versus a *warm process* (a fresh
+/// in-memory store over a directory primed by a previous process —
+/// modeled by reopening the log with a second `with_disk` store, which
+/// is exactly what a new `stamp batch` invocation does).
+struct ArtifactDiskBench {
+    workers: usize,
+    cold_ms: f64,
+    warm_ms: f64,
+    cold_stats: ArtifactStats,
+    warm_stats: ArtifactStats,
+    /// Artifacts in the log after the cold pass.
+    artifacts_on_disk: usize,
+    /// Deterministic results of the warm-process and the storeless run —
+    /// the `--check` gate compares them byte-for-byte.
+    warm_results: String,
+    storeless_results: String,
+}
+
+impl ArtifactDiskBench {
+    fn warm_speedup(&self) -> f64 {
+        if self.warm_ms > 0.0 {
+            self.cold_ms / self.warm_ms
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+fn artifact_disk_rows(reps: usize) -> ArtifactDiskBench {
+    let request = batch_request();
+    let workers = 4;
+    let dir = std::env::temp_dir().join(format!("stamp-bench-disk-{}", std::process::id()));
+
+    // Cold process: an empty directory per rep — everything is computed
+    // and the wall time includes the write-through cost.
+    let mut cold_stats = None;
+    let (cold_ms, _) = best_ms(reps, || {
+        let _ = std::fs::remove_dir_all(&dir);
+        let (store, warnings) = ArtifactStore::with_disk(&dir).expect("disk store opens");
+        assert!(warnings.is_empty(), "{warnings:?}");
+        let report = run_batch_with(&request, workers, &store).expect("cold batch");
+        cold_stats = Some(report.artifacts);
+    });
+    let artifacts_on_disk = {
+        let (store, _) = ArtifactStore::with_disk(&dir).expect("disk store reopens");
+        store.disk_artifact_count()
+    };
+
+    // Warm process: each rep opens a *fresh* store over the primed
+    // directory, so the in-memory map is empty and every fill is
+    // answered from disk — the cross-process incremental path.
+    let mut warm_stats = None;
+    let mut warm_results = String::new();
+    let (warm_ms, _) = best_ms(reps, || {
+        let (store, warnings) = ArtifactStore::with_disk(&dir).expect("disk store reopens");
+        assert!(warnings.is_empty(), "{warnings:?}");
+        let report = run_batch_with(&request, workers, &store).expect("warm batch");
+        warm_stats = Some(report.artifacts);
+        warm_results = report.results_json().to_string();
+    });
+    let storeless =
+        run_batch_with(&request, workers, &ArtifactStore::disabled()).expect("storeless batch");
+    let _ = std::fs::remove_dir_all(&dir);
+    ArtifactDiskBench {
+        workers,
+        cold_ms,
+        warm_ms,
+        cold_stats: cold_stats.expect("at least one cold rep"),
+        warm_stats: warm_stats.expect("at least one warm rep"),
+        artifacts_on_disk,
+        warm_results,
+        storeless_results: storeless.results_json().to_string(),
+    }
+}
+
 /// The fuzz-engine workload: a fixed-seed differential campaign at 1
 /// and 4 workers. Shrinking is off and no reproducers are written —
 /// the campaign is expected green, and the measurement is pure
@@ -488,6 +573,7 @@ fn fuzz_rows(reps: usize) -> FuzzBench {
 /// The wall-time delta table: freshly measured numbers against a
 /// previously committed `BENCH_kernel.json`, as markdown on stdout.
 /// Purely informational — regressions warn, never fail.
+#[allow(clippy::too_many_arguments)] // one parameter per report section
 fn print_diff_table(
     committed_path: &str,
     corpus: &[CorpusRow],
@@ -495,6 +581,7 @@ fn print_diff_table(
     phases: &[(&'static str, f64)],
     batch: &BatchBench,
     artifacts: &ArtifactBench,
+    artifacts_disk: &ArtifactDiskBench,
     fuzz: &FuzzBench,
 ) {
     let text = match std::fs::read_to_string(committed_path) {
@@ -580,6 +667,10 @@ fn print_diff_table(
         |key: &str| doc.get("artifacts").and_then(|a| a.get(key)).and_then(Json::as_f64);
     row("artifacts/cold".to_string(), committed_artifact("cold_ms"), artifacts.cold_ms);
     row("artifacts/warm".to_string(), committed_artifact("warm_ms"), artifacts.warm_ms);
+    let committed_disk =
+        |key: &str| doc.get("artifacts_disk").and_then(|a| a.get(key)).and_then(Json::as_f64);
+    row("artifacts_disk/cold".to_string(), committed_disk("cold_ms"), artifacts_disk.cold_ms);
+    row("artifacts_disk/warm".to_string(), committed_disk("warm_ms"), artifacts_disk.warm_ms);
     for r in &fuzz.rows {
         let committed = doc
             .get("fuzz")
@@ -636,6 +727,8 @@ fn main() {
     let batch = batch_rows(reps);
     eprintln!("kernel_bench: artifact store (corpus matrix, cold vs warm)...");
     let artifacts = artifact_rows(reps);
+    eprintln!("kernel_bench: durable store (corpus matrix, cold vs warm process)...");
+    let artifacts_disk = artifact_disk_rows(reps);
     eprintln!("kernel_bench: fuzz engine (48-program differential campaign at 1/4 workers)...");
     let fuzz = fuzz_rows(reps);
 
@@ -699,6 +792,23 @@ fn main() {
             drift.push(format!(
                 "artifacts: warm-pass hit rate {:.0}% below the 50% floor",
                 artifacts.warm_stats.hit_rate() * 100.0
+            ));
+        }
+        // The durable-store gates: a warm *process* (fresh in-memory
+        // store over a primed directory) must be answered mostly from
+        // disk (structurally ~100%; ≥50% is the acceptance floor) and
+        // its deterministic results must be byte-identical to a
+        // storeless run.
+        if artifacts_disk.warm_results != artifacts_disk.storeless_results {
+            drift.push(
+                "artifacts_disk: warm-process batch results differ from storeless results"
+                    .to_string(),
+            );
+        }
+        if artifacts_disk.warm_stats.disk_hit_rate() < 0.5 {
+            drift.push(format!(
+                "artifacts_disk: warm-process disk hit rate {:.0}% below the 50% floor",
+                artifacts_disk.warm_stats.disk_hit_rate() * 100.0
             ));
         }
         // The fuzz-engine gates: the fixed-seed campaign must be green
@@ -887,6 +997,22 @@ fn main() {
             ]),
         ),
         (
+            "artifacts_disk",
+            Json::obj([
+                ("workers", Json::int(artifacts_disk.workers as u64)),
+                ("cold_ms", Json::Num(artifacts_disk.cold_ms)),
+                ("warm_ms", Json::Num(artifacts_disk.warm_ms)),
+                ("warm_speedup", Json::Num(artifacts_disk.warm_speedup())),
+                ("artifacts_on_disk", Json::int(artifacts_disk.artifacts_on_disk as u64)),
+                (
+                    "deterministic",
+                    Json::Bool(artifacts_disk.warm_results == artifacts_disk.storeless_results),
+                ),
+                ("cold", artifacts_disk.cold_stats.to_json()),
+                ("warm", artifacts_disk.warm_stats.to_json()),
+            ]),
+        ),
+        (
             "fuzz",
             Json::obj([
                 ("iterations", Json::int(fuzz.iterations as u64)),
@@ -915,7 +1041,16 @@ fn main() {
 
     std::fs::write(&args.out, format!("{json}\n")).expect("write BENCH_kernel.json");
     if let Some(committed) = &args.diff {
-        print_diff_table(committed, &corpus, &scaling, &phases, &batch, &artifacts, &fuzz);
+        print_diff_table(
+            committed,
+            &corpus,
+            &scaling,
+            &phases,
+            &batch,
+            &artifacts,
+            &artifacts_disk,
+            &fuzz,
+        );
     }
     eprintln!(
         "kernel_bench: artifact store: cold {:.1} ms, warm {:.1} ms ({:.1}x), warm hit rate {:.0}%",
@@ -923,6 +1058,15 @@ fn main() {
         artifacts.warm_ms,
         artifacts.warm_speedup(),
         artifacts.warm_stats.hit_rate() * 100.0,
+    );
+    eprintln!(
+        "kernel_bench: durable store: cold {:.1} ms, warm process {:.1} ms ({:.1}x), \
+         disk hit rate {:.0}%, {} artifacts on disk",
+        artifacts_disk.cold_ms,
+        artifacts_disk.warm_ms,
+        artifacts_disk.warm_speedup(),
+        artifacts_disk.warm_stats.disk_hit_rate() * 100.0,
+        artifacts_disk.artifacts_on_disk,
     );
     eprintln!(
         "kernel_bench: fuzz engine: {} programs, {:.0} programs/s serial, {} violation(s)",

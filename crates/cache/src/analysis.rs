@@ -470,6 +470,57 @@ fn apply_one(
     }
 }
 
+impl stamp_codec::Codec for Classification {
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        e.u8(match self {
+            Classification::AlwaysHit => 0,
+            Classification::AlwaysMiss => 1,
+            Classification::Persistent => 2,
+            Classification::NotClassified => 3,
+        });
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<Classification, stamp_codec::CodecError> {
+        match d.u8()? {
+            0 => Ok(Classification::AlwaysHit),
+            1 => Ok(Classification::AlwaysMiss),
+            2 => Ok(Classification::Persistent),
+            3 => Ok(Classification::NotClassified),
+            _ => Err(stamp_codec::CodecError::Invalid("classification")),
+        }
+    }
+}
+
+impl stamp_codec::Codec for AccessClass {
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        self.fetch.enc(e);
+        self.data.enc(e);
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<AccessClass, stamp_codec::CodecError> {
+        Ok(AccessClass { fetch: Classification::dec(d)?, data: Option::dec(d)? })
+    }
+}
+
+impl stamp_codec::Codec for CacheAnalysis {
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        self.classes.enc(e);
+        self.icache.enc(e);
+        self.dcache.enc(e);
+        self.ps_fetch_lines.enc(e);
+        self.ps_data_lines.enc(e);
+        e.u64(self.evaluations);
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<CacheAnalysis, stamp_codec::CodecError> {
+        Ok(CacheAnalysis {
+            classes: HashMap::dec(d)?,
+            icache: Option::dec(d)?,
+            dcache: Option::dec(d)?,
+            ps_fetch_lines: stamp_codec::Codec::dec(d)?,
+            ps_data_lines: stamp_codec::Codec::dec(d)?,
+            evaluations: d.u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

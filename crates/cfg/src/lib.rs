@@ -36,6 +36,7 @@
 //! ```
 
 mod build;
+mod codec;
 mod dom;
 pub mod dot;
 mod graph;

@@ -31,6 +31,23 @@ impl Fingerprint {
     pub fn short(&self) -> String {
         format!("{:016x}", self.0 ^ self.1)
     }
+
+    /// The raw 16-byte little-endian form, used as the on-disk record
+    /// key in the durable artifact store.
+    pub fn to_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.0.to_le_bytes());
+        out[8..].copy_from_slice(&self.1.to_le_bytes());
+        out
+    }
+
+    /// Inverse of [`Fingerprint::to_bytes`].
+    pub fn from_bytes(bytes: [u8; 16]) -> Fingerprint {
+        Fingerprint(
+            u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")),
+            u64::from_le_bytes(bytes[8..].try_into().expect("8 bytes")),
+        )
+    }
 }
 
 /// Incremental fingerprint builder. Every variable-length field is

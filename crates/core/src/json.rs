@@ -6,13 +6,19 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// A JSON value.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub enum Json {
     /// `null`
     Null,
     /// Boolean.
     Bool(bool),
-    /// Any number (rendered without trailing zeros for integers).
+    /// A non-negative integer, kept exact at full `u64` width (JSON has
+    /// one number type, but `f64` silently rounds above 2^53 — WCET
+    /// cycle counts and fingerprints must survive a round trip).
+    Int(u64),
+    /// Any other number (rendered without trailing zeros for integral
+    /// values; non-finite values render as `null` — JSON has no NaN or
+    /// infinity literal, and `null` keeps the document parseable).
     Num(f64),
     /// String.
     Str(String),
@@ -22,10 +28,39 @@ pub enum Json {
     Obj(BTreeMap<String, Json>),
 }
 
+/// `Int` and `Num` are both JSON numbers, so they compare equal when
+/// they denote the same value exactly: `Int(5) == Num(5.0)`, but
+/// `Int(2^53 + 1) != Num(9007199254740992.0)` — the float cannot
+/// represent that integer, so no float is equal to it.
+impl PartialEq for Json {
+    fn eq(&self, other: &Json) -> bool {
+        match (self, other) {
+            (Json::Null, Json::Null) => true,
+            (Json::Bool(a), Json::Bool(b)) => a == b,
+            (Json::Int(a), Json::Int(b)) => a == b,
+            (Json::Num(a), Json::Num(b)) => a == b,
+            (Json::Int(i), Json::Num(n)) | (Json::Num(n), Json::Int(i)) => {
+                // Exact: `n` is an integral f64 in [0, 2^64) whose
+                // (lossless, in that range) u64 conversion equals `i`.
+                n.fract() == 0.0
+                    && *n >= 0.0
+                    && *n < 18_446_744_073_709_551_616.0
+                    && *n as u64 == *i
+            }
+            (Json::Str(a), Json::Str(b)) => a == b,
+            (Json::Arr(a), Json::Arr(b)) => a == b,
+            (Json::Obj(a), Json::Obj(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
 impl Json {
-    /// Convenience integer constructor.
+    /// Convenience integer constructor. Exact for every `u64`: values
+    /// above 2^53 are *not* routed through `f64` (which would corrupt
+    /// them — e.g. `9007199254740993` would render as `…992`).
     pub fn int(v: u64) -> Json {
-        Json::Num(v as f64)
+        Json::Int(v)
     }
 
     /// Convenience string constructor.
@@ -63,17 +98,22 @@ impl Json {
         }
     }
 
-    /// The numeric value, if this is a number.
+    /// The numeric value, if this is a number. Lossy for `Int` values
+    /// above 2^53 (nearest-`f64` rounding); use [`Json::as_u64`] when
+    /// exactness matters.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
+            Json::Int(i) => Some(*i as f64),
             Json::Num(n) => Some(*n),
             _ => None,
         }
     }
 
     /// The numeric value as a non-negative integer, if it is one.
+    /// Exact for `Int` across the whole `u64` range.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            Json::Int(i) => Some(*i),
             Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n < 9e15 => Some(*n as u64),
             _ => None,
         }
@@ -194,19 +234,23 @@ impl Parser<'_> {
 
     fn number(&mut self) -> Result<Json, JsonParseError> {
         let start = self.pos;
-        if self.peek() == Some(b'-') {
+        let negative = self.peek() == Some(b'-');
+        if negative {
             self.pos += 1;
         }
         while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
             self.pos += 1;
         }
+        let mut plain = !negative;
         if self.peek() == Some(b'.') {
+            plain = false;
             self.pos += 1;
             while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
                 self.pos += 1;
             }
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
+            plain = false;
             self.pos += 1;
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
@@ -216,6 +260,14 @@ impl Parser<'_> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        // A plain digit run is an integer and stays exact (`f64` would
+        // round anything above 2^53). Beyond u64 range, fall back to
+        // the nearest float like every other JSON parser.
+        if plain {
+            if let Ok(i) = text.parse::<u64>() {
+                return Ok(Json::Int(i));
+            }
+        }
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| JsonParseError { offset: start, message: format!("bad number `{text}`") })
@@ -359,8 +411,14 @@ impl fmt::Display for Json {
         match self {
             Json::Null => f.write_str("null"),
             Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(i) => write!(f, "{i}"),
             Json::Num(n) => {
-                if n.fract() == 0.0 && n.abs() < 9e15 {
+                if !n.is_finite() {
+                    // JSON has no NaN/infinity literal; `{n}` would emit
+                    // `NaN` and corrupt the document. `null` is the
+                    // conventional lossy-but-parseable rendering.
+                    f.write_str("null")
+                } else if n.fract() == 0.0 && n.abs() < 9e15 {
                     write!(f, "{}", *n as i64)
                 } else {
                     write!(f, "{n}")
@@ -500,6 +558,49 @@ mod tests {
         let j = Json::parse(&doc).unwrap();
         assert!(t.elapsed().as_secs_f64() < 5.0, "string parse took {:?}", t.elapsed());
         assert_eq!(j.get("source").unwrap().as_str().map(|s| s.len()), Some(1 << 20));
+    }
+
+    #[test]
+    fn large_integers_survive_exactly() {
+        // Regression: `int()` used to route through f64, corrupting
+        // anything above 2^53 (9007199254740993 became …992).
+        for v in [(1u64 << 53) - 1, 1u64 << 53, (1u64 << 53) + 1, u64::MAX - 1, u64::MAX] {
+            let rendered = Json::int(v).to_string();
+            assert_eq!(rendered, v.to_string(), "rendering must be the exact digits");
+            let parsed = Json::parse(&rendered).unwrap();
+            assert_eq!(parsed.as_u64(), Some(v), "exact parse round trip for {v}");
+            assert_eq!(parsed.to_string(), rendered, "stable normal form for {v}");
+        }
+    }
+
+    #[test]
+    fn int_and_num_compare_as_numbers() {
+        assert_eq!(Json::Int(5), Json::Num(5.0));
+        assert_eq!(Json::Num(0.0), Json::Int(0));
+        assert_ne!(Json::Int((1 << 53) + 1), Json::Num(9007199254740992.0));
+        assert_ne!(Json::Int(5), Json::Num(5.5));
+        assert_ne!(Json::Int(0), Json::Num(-1.0));
+        // 2^64 rounds into f64 but is outside u64: never equal.
+        assert_ne!(Json::Int(u64::MAX), Json::Num(18446744073709551616.0));
+    }
+
+    #[test]
+    fn integers_beyond_u64_fall_back_to_float() {
+        let parsed = Json::parse("18446744073709551616").unwrap();
+        assert_eq!(parsed.as_u64(), None);
+        assert_eq!(parsed.as_f64(), Some(18446744073709551616.0));
+    }
+
+    #[test]
+    fn non_finite_numbers_render_as_null() {
+        // Regression: `{n}` emitted the literal `NaN` / `inf`, which no
+        // JSON parser (including ours) accepts.
+        for n in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(Json::Num(n).to_string(), "null");
+        }
+        let doc = Json::obj([("rate", Json::Num(f64::NAN))]).to_string();
+        assert_eq!(doc, r#"{"rate":null}"#);
+        assert!(Json::parse(&doc).is_ok(), "the document stays parseable");
     }
 
     #[test]

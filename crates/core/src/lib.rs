@@ -52,6 +52,7 @@ mod json;
 mod phase;
 mod report;
 mod stack_tool;
+mod store_disk;
 
 pub use analyzer::{AnalysisConfig, ValueArtifacts, WcetAnalysis};
 pub use annot::Annotations;

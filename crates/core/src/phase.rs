@@ -86,6 +86,11 @@ impl PhaseId {
         self as usize
     }
 
+    /// Inverse of [`PhaseId::index`], for decoding on-disk records.
+    pub(crate) fn from_index(i: usize) -> Option<PhaseId> {
+        PhaseId::ALL.get(i).copied()
+    }
+
     /// The short machine-readable name (JSON keys, plan tables).
     pub fn name(self) -> &'static str {
         match self {

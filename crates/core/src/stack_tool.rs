@@ -69,6 +69,30 @@ impl StackReport {
     }
 }
 
+impl stamp_codec::Codec for StackReport {
+    /// Stored stack artifacts always carry an empty `phases` vector
+    /// (provenance is per-run, never shared), so the field is not
+    /// persisted and decodes as empty.
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        e.u32(self.bound);
+        e.u8(match self.mode {
+            "precise" => 0,
+            "callgraph" => 1,
+            other => unreachable!("unknown stack mode {other:?}"),
+        });
+        self.per_function.enc(e);
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<StackReport, stamp_codec::CodecError> {
+        let bound = d.u32()?;
+        let mode = match d.u8()? {
+            0 => "precise",
+            1 => "callgraph",
+            _ => return Err(stamp_codec::CodecError::Invalid("stack mode")),
+        };
+        Ok(StackReport { bound, mode, per_function: BTreeMap::dec(d)?, phases: Vec::new() })
+    }
+}
+
 /// The stack analyzer. Prefers the precise supergraph mode and falls
 /// back to the compositional call-graph mode when the task is recursive
 /// (which then requires recursion-depth annotations).

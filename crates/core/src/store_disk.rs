@@ -1,0 +1,385 @@
+//! The durable backend of the artifact store: an append-only,
+//! CRC-checked artifact log on disk.
+//!
+//! `stamp batch --store DIR` keeps one log file per store directory.
+//! Each record persists one `(phase, fingerprint)` artifact in the
+//! versioned binary encoding of `stamp_codec`; the header pins the log
+//! format and a schema fingerprint over every artifact codec, so a
+//! stale or foreign log is recreated rather than misread. Corruption is
+//! never fatal: a record with a bad CRC (or a truncated tail from a
+//! killed process) marks the end of the valid prefix — the log is
+//! truncated there, a warning is surfaced, and the affected artifacts
+//! are simply recomputed.
+//!
+//! Soundness note: the on-disk key is the same chained input
+//! fingerprint that keys the in-memory store, so disk reuse inherits
+//! the soundness argument of `artifact.rs` — plus the CRC and strict
+//! decoding guard against the log itself rotting. Errors are *not*
+//! persisted (unlike the in-memory store): an environment-dependent
+//! failure must not poison later runs.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use stamp_codec::{crc32, decode_value, encode_value, Codec, CodecError};
+
+use crate::fingerprint::{Fingerprint, Fp};
+use crate::phase::PhaseId;
+
+const MAGIC: &[u8; 8] = b"STAMPART";
+/// Log container format (header + record framing).
+const FORMAT_VERSION: u32 = 1;
+/// Version of the artifact encodings themselves. Bump on any
+/// incompatible change to a `Codec` impl reachable from a phase
+/// artifact; old logs are then discarded wholesale instead of being
+/// misdecoded.
+const ARTIFACT_CODEC_VERSION: u32 = 1;
+
+/// Name of the log file inside a store directory.
+const LOG_NAME: &str = "artifacts.log";
+
+const HEADER_LEN: u64 = 8 + 4 + 16;
+/// Record framing: payload length + CRC32 of the payload.
+const RECORD_HEADER_LEN: u64 = 4 + 4;
+/// Payload prefix: phase byte + 16-byte fingerprint.
+const PAYLOAD_KEY_LEN: usize = 1 + 16;
+
+/// Fingerprint over everything that defines artifact-bytes
+/// compatibility: the codec version and the phase vocabulary.
+fn schema_fingerprint() -> Fingerprint {
+    let mut fp = Fp::new("stamp/store-disk/schema");
+    fp.u32(ARTIFACT_CODEC_VERSION);
+    for p in PhaseId::ALL {
+        fp.str(p.name());
+    }
+    fp.finish()
+}
+
+struct Inner {
+    file: File,
+    index: HashMap<(PhaseId, Fingerprint), Arc<Vec<u8>>>,
+}
+
+/// A durable artifact log (see the module docs). One per
+/// `--store DIR`; shared behind the [`crate::ArtifactStore`].
+pub(crate) struct DiskStore {
+    path: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+impl DiskStore {
+    /// Opens (or creates) the artifact log in `dir`, loading every
+    /// valid record into the in-memory index. Recoverable problems —
+    /// version/schema mismatch, CRC failure, truncated tail — are
+    /// reported as warnings and resolved by truncating the log back to
+    /// its valid prefix; only genuine I/O errors fail the open.
+    pub(crate) fn open(dir: &Path) -> io::Result<(DiskStore, Vec<String>)> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(LOG_NAME);
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(&path)?;
+        let mut warnings = Vec::new();
+
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        let header_ok = bytes.len() >= HEADER_LEN as usize
+            && &bytes[..8] == MAGIC
+            && bytes[8..12] == FORMAT_VERSION.to_le_bytes()
+            && bytes[12..28] == schema_fingerprint().to_bytes();
+        if !bytes.is_empty() && !header_ok {
+            warnings.push(format!(
+                "artifact store {}: incompatible header; starting fresh",
+                path.display()
+            ));
+        }
+        if !header_ok {
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(MAGIC)?;
+            file.write_all(&FORMAT_VERSION.to_le_bytes())?;
+            file.write_all(&schema_fingerprint().to_bytes())?;
+            file.flush()?;
+            let store =
+                DiskStore { path, inner: Mutex::new(Inner { file, index: HashMap::new() }) };
+            return Ok((store, warnings));
+        }
+
+        // Scan records; stop (and truncate) at the first invalid one.
+        let mut index: HashMap<(PhaseId, Fingerprint), Arc<Vec<u8>>> = HashMap::new();
+        let mut off = HEADER_LEN as usize;
+        let valid_end = loop {
+            if off == bytes.len() {
+                break off; // clean end of log
+            }
+            let Some(rec) = parse_record(&bytes[off..]) else {
+                warnings.push(format!(
+                    "artifact store {}: corrupt or truncated record at byte {off}; \
+                     dropping the log tail ({} artifacts kept)",
+                    path.display(),
+                    index.len()
+                ));
+                break off;
+            };
+            let (key, payload, consumed) = rec;
+            index.insert(key, Arc::new(payload.to_vec()));
+            off += consumed;
+        };
+        if valid_end < bytes.len() {
+            file.set_len(valid_end as u64)?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok((DiskStore { path, inner: Mutex::new(Inner { file, index }) }, warnings))
+    }
+
+    /// The log file's path (for warnings and reports).
+    pub(crate) fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of artifacts currently held on disk.
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().unwrap().index.len()
+    }
+
+    /// The stored bytes for a key, if present.
+    pub(crate) fn get(&self, phase: PhaseId, fp: Fingerprint) -> Option<Arc<Vec<u8>>> {
+        self.inner.lock().unwrap().index.get(&(phase, fp)).cloned()
+    }
+
+    /// Drops a key from the in-memory index (after a decode failure);
+    /// the on-disk record stays but will be recomputed past.
+    pub(crate) fn evict(&self, phase: PhaseId, fp: Fingerprint) {
+        self.inner.lock().unwrap().index.remove(&(phase, fp));
+    }
+
+    /// Appends one artifact record and flushes it. A key already
+    /// present is not rewritten (same fingerprint ⇒ same bytes).
+    pub(crate) fn append(
+        &self,
+        phase: PhaseId,
+        fp: Fingerprint,
+        artifact: &[u8],
+    ) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.index.contains_key(&(phase, fp)) {
+            return Ok(());
+        }
+        let mut payload = Vec::with_capacity(PAYLOAD_KEY_LEN + artifact.len());
+        payload.push(phase.index() as u8);
+        payload.extend_from_slice(&fp.to_bytes());
+        payload.extend_from_slice(artifact);
+        let mut record = Vec::with_capacity(RECORD_HEADER_LEN as usize + payload.len());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&crc32(&payload).to_le_bytes());
+        record.extend_from_slice(&payload);
+        inner.file.write_all(&record)?;
+        inner.file.flush()?;
+        inner.index.insert((phase, fp), Arc::new(artifact.to_vec()));
+        Ok(())
+    }
+}
+
+/// Parses one record at the start of `bytes`. Returns the key, the
+/// artifact payload and the total bytes consumed — or `None` if the
+/// record is truncated, CRC-corrupt, or names an unknown phase.
+#[allow(clippy::type_complexity)]
+fn parse_record(bytes: &[u8]) -> Option<((PhaseId, Fingerprint), &[u8], usize)> {
+    let head = RECORD_HEADER_LEN as usize;
+    if bytes.len() < head {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().ok()?) as usize;
+    let crc = u32::from_le_bytes(bytes[4..8].try_into().ok()?);
+    if len < PAYLOAD_KEY_LEN || bytes.len() - head < len {
+        return None;
+    }
+    let payload = &bytes[head..head + len];
+    if crc32(payload) != crc {
+        return None;
+    }
+    let phase = PhaseId::from_index(payload[0] as usize)?;
+    let fp = Fingerprint::from_bytes(payload[1..17].try_into().ok()?);
+    Some(((phase, fp), &payload[PAYLOAD_KEY_LEN..], head + len))
+}
+
+/// Serializes a type-erased phase artifact into its on-disk form.
+/// Returns `None` only if the stored value is not the type this phase
+/// is known to produce (a programming error elsewhere; the caller then
+/// simply skips persistence).
+pub(crate) fn encode_artifact(phase: PhaseId, any: &(dyn Any + Send + Sync)) -> Option<Vec<u8>> {
+    fn enc<T: Codec + 'static>(any: &(dyn Any + Send + Sync)) -> Option<Vec<u8>> {
+        any.downcast_ref::<T>().map(encode_value)
+    }
+    match phase {
+        PhaseId::Assemble => enc::<stamp_isa::Program>(any),
+        PhaseId::Cfg => enc::<stamp_cfg::Cfg>(any),
+        PhaseId::Context => enc::<stamp_ai::Icfg>(any),
+        PhaseId::Value => enc::<stamp_value::FrozenValueAnalysis>(any),
+        PhaseId::LoopBound => enc::<stamp_loopbound::LoopBoundAnalysis>(any),
+        PhaseId::Cache => enc::<stamp_cache::CacheAnalysis>(any),
+        PhaseId::Pipeline => enc::<stamp_pipeline::PipelineAnalysis>(any),
+        PhaseId::Path => enc::<stamp_path::WcetResult>(any),
+        PhaseId::Stack => enc::<crate::stack_tool::StackReport>(any),
+    }
+}
+
+/// Deserializes on-disk artifact bytes back into the type-erased form
+/// the in-memory store shares between jobs.
+pub(crate) fn decode_artifact(
+    phase: PhaseId,
+    bytes: &[u8],
+) -> Result<Arc<dyn Any + Send + Sync>, CodecError> {
+    fn dec<T: Codec + Send + Sync + 'static>(
+        bytes: &[u8],
+    ) -> Result<Arc<dyn Any + Send + Sync>, CodecError> {
+        decode_value::<T>(bytes).map(|v| Arc::new(v) as Arc<dyn Any + Send + Sync>)
+    }
+    match phase {
+        PhaseId::Assemble => dec::<stamp_isa::Program>(bytes),
+        PhaseId::Cfg => dec::<stamp_cfg::Cfg>(bytes),
+        PhaseId::Context => dec::<stamp_ai::Icfg>(bytes),
+        PhaseId::Value => dec::<stamp_value::FrozenValueAnalysis>(bytes),
+        PhaseId::LoopBound => dec::<stamp_loopbound::LoopBoundAnalysis>(bytes),
+        PhaseId::Cache => dec::<stamp_cache::CacheAnalysis>(bytes),
+        PhaseId::Pipeline => dec::<stamp_pipeline::PipelineAnalysis>(bytes),
+        PhaseId::Path => dec::<stamp_path::WcetResult>(bytes),
+        PhaseId::Stack => dec::<crate::stack_tool::StackReport>(bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u64) -> Fingerprint {
+        let mut f = Fp::new("disk-test");
+        f.u64(n);
+        f.finish()
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("stamp-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn records_survive_reopen() {
+        let dir = tmp_dir("reopen");
+        {
+            let (store, warnings) = DiskStore::open(&dir).unwrap();
+            assert!(warnings.is_empty());
+            store.append(PhaseId::Cfg, fp(1), b"cfg-bytes").unwrap();
+            store.append(PhaseId::Value, fp(2), b"value-bytes").unwrap();
+            assert_eq!(store.len(), 2);
+        }
+        let (store, warnings) = DiskStore::open(&dir).unwrap();
+        assert!(warnings.is_empty());
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(PhaseId::Cfg, fp(1)).unwrap().as_slice(), b"cfg-bytes");
+        assert_eq!(store.get(PhaseId::Value, fp(2)).unwrap().as_slice(), b"value-bytes");
+        assert!(store.get(PhaseId::Cfg, fp(2)).is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_appends_are_idempotent() {
+        let dir = tmp_dir("dedup");
+        let (store, _) = DiskStore::open(&dir).unwrap();
+        store.append(PhaseId::Cfg, fp(1), b"once").unwrap();
+        let size_after_first = fs::metadata(store.path()).unwrap().len();
+        store.append(PhaseId::Cfg, fp(1), b"once").unwrap();
+        assert_eq!(fs::metadata(store.path()).unwrap().len(), size_after_first);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_with_a_warning() {
+        let dir = tmp_dir("truncate");
+        let path = {
+            let (store, _) = DiskStore::open(&dir).unwrap();
+            store.append(PhaseId::Cfg, fp(1), b"kept").unwrap();
+            store.append(PhaseId::Value, fp(2), b"will-be-cut").unwrap();
+            store.path().to_path_buf()
+        };
+        // Simulate a crash mid-append: cut the last record short.
+        let len = fs::metadata(&path).unwrap().len();
+        OpenOptions::new().write(true).open(&path).unwrap().set_len(len - 3).unwrap();
+        let (store, warnings) = DiskStore::open(&dir).unwrap();
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("truncated"), "{warnings:?}");
+        assert!(store.get(PhaseId::Cfg, fp(1)).is_some(), "valid prefix survives");
+        assert!(store.get(PhaseId::Value, fp(2)).is_none(), "cut record dropped");
+        // The log was repaired: reopening is clean and appendable again.
+        drop(store);
+        let (store, warnings) = DiskStore::open(&dir).unwrap();
+        assert!(warnings.is_empty(), "{warnings:?}");
+        store.append(PhaseId::Value, fp(2), b"recomputed").unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_fails_crc_and_truncates() {
+        let dir = tmp_dir("bitflip");
+        let path = {
+            let (store, _) = DiskStore::open(&dir).unwrap();
+            store.append(PhaseId::Cfg, fp(1), b"first").unwrap();
+            store.append(PhaseId::Value, fp(2), b"second").unwrap();
+            store.path().to_path_buf()
+        };
+        // Flip one bit inside the second record's payload.
+        let mut bytes = fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let (store, warnings) = DiskStore::open(&dir).unwrap();
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(store.get(PhaseId::Cfg, fp(1)).is_some());
+        assert!(store.get(PhaseId::Value, fp(2)).is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn alien_header_starts_fresh() {
+        let dir = tmp_dir("alien");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(LOG_NAME), b"not an artifact log at all").unwrap();
+        let (store, warnings) = DiskStore::open(&dir).unwrap();
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("incompatible header"), "{warnings:?}");
+        assert_eq!(store.len(), 0);
+        store.append(PhaseId::Cfg, fp(1), b"fresh").unwrap();
+        drop(store);
+        let (store, warnings) = DiskStore::open(&dir).unwrap();
+        assert!(warnings.is_empty());
+        assert_eq!(store.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn artifact_codecs_round_trip_through_the_log() {
+        // End-to-end over a real artifact: assemble a program, persist
+        // it through the log, decode it back type-erased.
+        let program = stamp_isa::asm::assemble(".text\nmain: li r1, 7\nhalt\n").unwrap();
+        let bytes = encode_artifact(PhaseId::Assemble, &program).unwrap();
+        let dir = tmp_dir("e2e");
+        {
+            let (store, _) = DiskStore::open(&dir).unwrap();
+            store.append(PhaseId::Assemble, fp(1), &bytes).unwrap();
+        }
+        let (store, _) = DiskStore::open(&dir).unwrap();
+        let loaded = store.get(PhaseId::Assemble, fp(1)).unwrap();
+        let any = decode_artifact(PhaseId::Assemble, &loaded).unwrap();
+        let back = any.downcast_ref::<stamp_isa::Program>().unwrap();
+        assert_eq!(back.entry, program.entry);
+        assert_eq!(stamp_codec::encode_value(back), stamp_codec::encode_value(&program));
+        // Wrong phase for the same bytes must fail decoding, not panic.
+        assert!(decode_artifact(PhaseId::Path, &loaded).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -53,11 +53,23 @@ fn arb_number() -> impl Strategy<Value = f64> {
     ]
 }
 
+/// Integers clustered around the places where `f64` precision breaks
+/// down: the 2^53 exactness boundary and the top of the `u64` range.
+fn arb_int() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        3 => any::<u64>(),
+        2 => (0i64..3).prop_map(|d| ((1u64 << 53) - 1).wrapping_add(d as u64)),
+        2 => (0u64..3).prop_map(|d| u64::MAX - d),
+        1 => Just(0u64),
+    ]
+}
+
 /// Arbitrary JSON values to the given nesting depth.
 fn arb_json(depth: u32) -> BoxedStrategy<Json> {
     let leaf = prop_oneof![
         1 => Just(Json::Null),
         1 => any::<bool>().prop_map(Json::Bool),
+        2 => arb_int().prop_map(Json::Int),
         3 => arb_number().prop_map(Json::Num),
         3 => arb_string().prop_map(Json::Str),
     ];
@@ -111,6 +123,16 @@ proptest! {
     fn numbers_round_trip(n in arb_number()) {
         let parsed = Json::parse(&Json::Num(n).to_string()).unwrap();
         prop_assert_eq!(parsed.as_f64(), Some(n), "{}", Json::Num(n));
+    }
+
+    /// Integers survive exactly over the whole `u64` range, including
+    /// past 2^53 where `f64` would round (the `Json::int` regression).
+    #[test]
+    fn integers_round_trip_exactly(i in arb_int()) {
+        let rendered = Json::int(i).to_string();
+        prop_assert_eq!(&rendered, &i.to_string());
+        let parsed = Json::parse(&rendered).unwrap();
+        prop_assert_eq!(parsed.as_u64(), Some(i), "{}", rendered);
     }
 
     /// Nesting up to the parser's depth cap parses; beyond it, the

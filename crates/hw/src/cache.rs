@@ -83,6 +83,28 @@ impl CacheConfig {
     }
 }
 
+impl stamp_codec::Codec for CacheConfig {
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        e.u32(self.sets);
+        e.u32(self.assoc);
+        e.u32(self.line_bytes);
+    }
+    // Re-validates the geometry instead of calling `new` so corrupt
+    // bytes surface as a decode error, not a panic.
+    fn dec(d: &mut stamp_codec::Dec) -> Result<CacheConfig, stamp_codec::CodecError> {
+        let (sets, assoc, line_bytes) = (d.u32()?, d.u32()?, d.u32()?);
+        if sets.is_power_of_two()
+            && assoc.is_power_of_two()
+            && line_bytes.is_power_of_two()
+            && line_bytes >= 4
+        {
+            Ok(CacheConfig { sets, assoc, line_bytes })
+        } else {
+            Err(stamp_codec::CodecError::Invalid("cache geometry"))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -280,6 +280,52 @@ pub fn decode(word: u32) -> Result<Insn, DecodeError> {
     Ok(insn)
 }
 
+impl stamp_codec::Codec for Reg {
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        e.u8(self.index() as u8);
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<Reg, stamp_codec::CodecError> {
+        let i = d.u8()?;
+        if (i as usize) < Reg::COUNT {
+            Ok(Reg::new(i))
+        } else {
+            Err(stamp_codec::CodecError::Invalid("register index"))
+        }
+    }
+}
+
+impl stamp_codec::Codec for MemWidth {
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        e.u8(match self {
+            MemWidth::B => 0,
+            MemWidth::H => 1,
+            MemWidth::W => 2,
+        });
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<MemWidth, stamp_codec::CodecError> {
+        match d.u8()? {
+            0 => Ok(MemWidth::B),
+            1 => Ok(MemWidth::H),
+            2 => Ok(MemWidth::W),
+            _ => Err(stamp_codec::CodecError::Invalid("memory width")),
+        }
+    }
+}
+
+/// Instructions persist as their architectural 32-bit word. Every
+/// instruction reachable from a program image decodes from such a word,
+/// so [`encode`] cannot fail on it; should an unencodable instruction
+/// ever be stored, it round-trips as an unassigned opcode and the
+/// artifact is recomputed instead of trusted.
+impl stamp_codec::Codec for Insn {
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        e.u32(encode(self).unwrap_or(0xffff_ffff));
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<Insn, stamp_codec::CodecError> {
+        decode(d.u32()?).map_err(|_| stamp_codec::CodecError::Invalid("instruction word"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

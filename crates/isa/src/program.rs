@@ -215,6 +215,70 @@ impl Program {
     }
 }
 
+impl stamp_codec::Codec for SectionKind {
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        e.u8(match self {
+            SectionKind::Text => 0,
+            SectionKind::RoData => 1,
+            SectionKind::Data => 2,
+            SectionKind::Bss => 3,
+        });
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<SectionKind, stamp_codec::CodecError> {
+        match d.u8()? {
+            0 => Ok(SectionKind::Text),
+            1 => Ok(SectionKind::RoData),
+            2 => Ok(SectionKind::Data),
+            3 => Ok(SectionKind::Bss),
+            _ => Err(stamp_codec::CodecError::Invalid("section kind")),
+        }
+    }
+}
+
+impl stamp_codec::Codec for Section {
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        self.name.enc(e);
+        self.base.enc(e);
+        self.kind.enc(e);
+        self.data.enc(e);
+        self.size.enc(e);
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<Section, stamp_codec::CodecError> {
+        Ok(Section {
+            name: String::dec(d)?,
+            base: u32::dec(d)?,
+            kind: SectionKind::dec(d)?,
+            data: Vec::dec(d)?,
+            size: u32::dec(d)?,
+        })
+    }
+}
+
+/// Both maps are persisted: reverse lookups keep first-wins semantics
+/// for aliased addresses, which a name-map-only encoding would lose.
+impl stamp_codec::Codec for SymbolTable {
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        self.by_name.enc(e);
+        self.by_addr.enc(e);
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<SymbolTable, stamp_codec::CodecError> {
+        Ok(SymbolTable { by_name: BTreeMap::dec(d)?, by_addr: BTreeMap::dec(d)? })
+    }
+}
+
+impl stamp_codec::Codec for Program {
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        self.entry.enc(e);
+        self.sections.enc(e);
+        self.symbols.enc(e);
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<Program, stamp_codec::CodecError> {
+        // Field-by-field, not `Program::new`: sections were sorted at
+        // construction and must round-trip positionally.
+        Ok(Program { entry: u32::dec(d)?, sections: Vec::dec(d)?, symbols: SymbolTable::dec(d)? })
+    }
+}
+
 /// Errors raised when reading instructions from a [`Program`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ProgramError {

@@ -140,6 +140,16 @@ impl LoopBoundAnalysis {
     }
 }
 
+impl stamp_codec::Codec for LoopBoundAnalysis {
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        self.bounds.enc(e);
+        self.unbounded.enc(e);
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<LoopBoundAnalysis, stamp_codec::CodecError> {
+        Ok(LoopBoundAnalysis { bounds: BTreeMap::dec(d)?, unbounded: Vec::dec(d)? })
+    }
+}
+
 /// Enumerates the context instances of a loop: for every header node,
 /// the context with the trailing own-loop frame stripped.
 fn loop_instances(icfg: &Icfg, header: BlockId) -> Vec<LoopKey> {

@@ -141,6 +141,23 @@ impl WcetResult {
     }
 }
 
+impl stamp_codec::Codec for WcetResult {
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        e.u64(self.wcet);
+        self.edge_counts.enc(e);
+        self.node_counts.enc(e);
+        self.ilp_size.enc(e);
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<WcetResult, stamp_codec::CodecError> {
+        Ok(WcetResult {
+            wcet: d.u64()?,
+            edge_counts: HashMap::dec(d)?,
+            node_counts: HashMap::dec(d)?,
+            ilp_size: stamp_codec::Codec::dec(d)?,
+        })
+    }
+}
+
 /// Runs the IPET path analysis.
 ///
 /// # Errors

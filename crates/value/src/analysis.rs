@@ -363,6 +363,105 @@ impl FrozenValueAnalysis {
     }
 }
 
+impl stamp_codec::Codec for ValueOptions {
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        self.domain.enc(e);
+        e.u32(self.widen_delay);
+        e.u64(self.small_set);
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<ValueOptions, stamp_codec::CodecError> {
+        Ok(ValueOptions { domain: DomainKind::dec(d)?, widen_delay: d.u32()?, small_set: d.u64()? })
+    }
+}
+
+impl stamp_codec::Codec for AccessInfo {
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        self.addrs.enc(e);
+        self.width.enc(e);
+        self.is_load.enc(e);
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<AccessInfo, stamp_codec::CodecError> {
+        Ok(AccessInfo {
+            addrs: SInt::dec(d)?,
+            width: stamp_codec::Codec::dec(d)?,
+            is_load: bool::dec(d)?,
+        })
+    }
+}
+
+impl stamp_codec::Codec for BranchOutcome {
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        e.u8(match self {
+            BranchOutcome::AlwaysTaken => 0,
+            BranchOutcome::NeverTaken => 1,
+            BranchOutcome::Unknown => 2,
+        });
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<BranchOutcome, stamp_codec::CodecError> {
+        match d.u8()? {
+            0 => Ok(BranchOutcome::AlwaysTaken),
+            1 => Ok(BranchOutcome::NeverTaken),
+            2 => Ok(BranchOutcome::Unknown),
+            _ => Err(stamp_codec::CodecError::Invalid("branch outcome")),
+        }
+    }
+}
+
+impl stamp_codec::Codec for FrozenState {
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        for r in &self.regs {
+            r.enc(e);
+        }
+        self.words.enc(e);
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<FrozenState, stamp_codec::CodecError> {
+        let mut regs = [SInt::top(); Reg::COUNT];
+        for r in regs.iter_mut() {
+            *r = SInt::dec(d)?;
+        }
+        Ok(FrozenState { regs, words: usize::dec(d)? })
+    }
+}
+
+impl stamp_codec::Codec for FrozenValueAnalysis {
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        self.thresholds.enc(e);
+        self.word_maps.enc(e);
+        self.ins.enc(e);
+        self.outs.enc(e);
+        self.infeasible_edges.enc(e);
+        self.accesses.enc(e);
+        self.branches.enc(e);
+        self.indirect_targets.enc(e);
+        self.unresolved.enc(e);
+        self.options.enc(e);
+        e.u64(self.evaluations);
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<FrozenValueAnalysis, stamp_codec::CodecError> {
+        let f = FrozenValueAnalysis {
+            thresholds: Vec::dec(d)?,
+            word_maps: Vec::dec(d)?,
+            ins: Vec::dec(d)?,
+            outs: Vec::dec(d)?,
+            infeasible_edges: Vec::dec(d)?,
+            accesses: Vec::dec(d)?,
+            branches: Vec::dec(d)?,
+            indirect_targets: BTreeMap::dec(d)?,
+            unresolved: Vec::dec(d)?,
+            options: ValueOptions::dec(d)?,
+            evaluations: d.u64()?,
+        };
+        // Word-map indices must stay inside the deduplicated pool, or
+        // `thaw` would panic on a corrupt artifact.
+        for s in f.ins.iter().chain(&f.outs).flatten() {
+            if s.words >= f.word_maps.len() {
+                return Err(stamp_codec::CodecError::Invalid("word-map index"));
+            }
+        }
+        Ok(f)
+    }
+}
+
 /// Builds the widening-threshold ladder: immediates appearing in the
 /// program (and their neighbours), section boundaries, and the stack top.
 /// Widened intervals jump onto this ladder instead of straight to ±∞,
@@ -624,6 +723,40 @@ mod tests {
             frozen.word_maps.len() <= 2,
             "untouched memory should freeze into a shared map, got {}",
             frozen.word_maps.len()
+        );
+    }
+
+    #[test]
+    fn frozen_analysis_round_trips_byte_exactly() {
+        let src = "\
+            .text
+            main: la r1, v
+                  li r2, 7
+                  sw r2, 0(r1)
+                  lw r3, 0(r1)
+                  li r4, 0
+            loop: addi r4, r4, 1
+                  slti r5, r4, 10
+                  bnez r5, loop
+                  halt
+            .data
+            v:    .space 8
+        ";
+        let (_p, _cfg, icfg, va) = analyze(src);
+        let frozen = va.freeze();
+        let bytes = stamp_codec::encode_value(&frozen);
+        let back: FrozenValueAnalysis = stamp_codec::decode_value(&bytes).unwrap();
+        assert_eq!(stamp_codec::encode_value(&back), bytes);
+        // A decoded artifact thaws into the same analysis.
+        let thawed = back.thaw();
+        assert_eq!(va.evaluations, thawed.evaluations);
+        assert_eq!(va.branches(), thawed.branches());
+        assert_eq!(va.precision_summary(), thawed.precision_summary());
+        for n in icfg.nodes() {
+            assert_eq!(va.entry_state(n.id).is_some(), thawed.entry_state(n.id).is_some());
+        }
+        assert!(
+            stamp_codec::decode_value::<FrozenValueAnalysis>(&bytes[..bytes.len() - 1]).is_err()
         );
     }
 

@@ -628,6 +628,44 @@ impl fmt::Display for SInt {
     }
 }
 
+impl stamp_codec::Codec for DomainKind {
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        e.u8(match self {
+            DomainKind::Const => 0,
+            DomainKind::Interval => 1,
+            DomainKind::Strided => 2,
+        });
+    }
+    fn dec(d: &mut stamp_codec::Dec) -> Result<DomainKind, stamp_codec::CodecError> {
+        match d.u8()? {
+            0 => Ok(DomainKind::Const),
+            1 => Ok(DomainKind::Interval),
+            2 => Ok(DomainKind::Strided),
+            _ => Err(stamp_codec::CodecError::Invalid("domain kind")),
+        }
+    }
+}
+
+impl stamp_codec::Codec for SInt {
+    fn enc(&self, e: &mut stamp_codec::Enc) {
+        e.u32(self.lo);
+        e.u32(self.hi);
+        e.u32(self.stride);
+    }
+    // Checks the type invariants explicitly so corrupt bytes yield a
+    // decode error rather than a panicking constructor call.
+    fn dec(d: &mut stamp_codec::Dec) -> Result<SInt, stamp_codec::CodecError> {
+        let (lo, hi, stride) = (d.u32()?, d.u32()?, d.u32()?);
+        let ok =
+            lo <= hi && ((stride == 0) == (lo == hi)) && (stride == 0 || (hi - lo) % stride == 0);
+        if ok {
+            Ok(SInt { lo, hi, stride })
+        } else {
+            Err(stamp_codec::CodecError::Invalid("strided interval"))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

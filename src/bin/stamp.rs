@@ -5,7 +5,7 @@
 //! stamp wcet   task.s [--no-cache|--ideal] [--loop-bound SYM=N]... [--json] [--dot out.dot]
 //! stamp stack  task.s [--entry SYM] [--recursion SYM=N]...
 //! stamp batch  manifest.json | --corpus  [--jobs N] [--out FILE] [--no-timing] [--check-pins]
-//!              [--no-artifact-cache] [--repeat N] [--dry-run]
+//!              [--no-artifact-cache] [--repeat N] [--dry-run] [--store DIR]
 //! stamp fuzz   [--iterations N] [--seed N] [--jobs N] [--rounds N] [--out FILE] [--no-timing]
 //!              [--no-shrink] [--repro-dir DIR] [--inject-fault KIND]
 //! stamp disasm task.s
@@ -64,7 +64,7 @@ fn usage() -> String {
      stamp wcet   <task.s> [--no-cache|--ideal] [--loop-bound SYM=N]... [--json] [--dot FILE]\n  \
      stamp stack  <task.s> [--entry SYM] [--recursion SYM=N]...\n  \
      stamp batch  <manifest.json> | --corpus  [--jobs N] [--out FILE] [--no-timing] [--check-pins]\n               \
-     [--no-artifact-cache] [--repeat N] [--dry-run]\n  \
+     [--no-artifact-cache] [--repeat N] [--dry-run] [--store DIR]\n  \
      stamp fuzz   [--iterations N] [--seed N] [--jobs N] [--rounds N] [--out FILE] [--no-timing]\n               \
      [--no-shrink] [--max-shrink-evals N] [--repro-dir DIR] [--inject-fault KIND]\n  \
      stamp disasm <task.s>\n  \
@@ -72,7 +72,10 @@ fn usage() -> String {
      batch flags:\n  \
      --no-artifact-cache  disable cross-job phase-artifact reuse (results are byte-identical)\n  \
      --repeat N           run the request N times against one artifact store (warm-cache passes)\n  \
-     --dry-run            print the job matrix and expected per-phase artifact reuse; run nothing\n\
+     --dry-run            print the job matrix and expected per-phase artifact reuse; run nothing\n  \
+     --store DIR          persist phase artifacts in DIR and reuse them across processes\n                       \
+     (results stay byte-identical; corrupt or truncated stores are\n                       \
+     repaired in place; ignored under --no-artifact-cache)\n\
      fuzz flags:\n  \
      --iterations N       fuzz jobs to run (default 256); each is a fresh generated program\n  \
      --seed N             campaign seed (default 0); reports are a pure function of it\n  \
@@ -85,7 +88,8 @@ fn usage() -> String {
      exit codes:\n  \
      0  success\n  \
      1  analysis failed (assembly error, missing annotation, failed batch job, pin drift)\n  \
-     2  bad arguments (unknown flag or command, unreadable input, malformed manifest)\n  \
+     2  bad arguments (unknown flag or command, unreadable input, malformed manifest,\n        \
+     unusable --store directory)\n  \
      3  soundness violation (stamp fuzz found a counterexample; see the reproducer file)"
         .to_string()
 }
@@ -209,6 +213,7 @@ fn batch(args: &[String]) -> Result<(), CliError> {
     let mut artifact_cache = true;
     let mut repeat: usize = 1;
     let mut dry_run = false;
+    let mut store_dir: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -217,6 +222,10 @@ fn batch(args: &[String]) -> Result<(), CliError> {
             "--no-timing" => no_timing = true,
             "--no-artifact-cache" => artifact_cache = false,
             "--dry-run" => dry_run = true,
+            "--store" => {
+                store_dir =
+                    Some(it.next().ok_or(Usage("--store needs a directory".into()))?.clone());
+            }
             "--jobs" => {
                 jobs = it
                     .next()
@@ -264,11 +273,27 @@ fn batch(args: &[String]) -> Result<(), CliError> {
         return Ok(());
     }
 
-    let store = if artifact_cache { ArtifactStore::new() } else { ArtifactStore::disabled() };
+    let store = if !artifact_cache {
+        // `--store` is a cache backend; with the cache off there is
+        // nothing to persist, so the flag is documented as ignored.
+        if store_dir.is_some() {
+            eprintln!("batch: --no-artifact-cache is set; ignoring --store");
+        }
+        ArtifactStore::disabled()
+    } else if let Some(dir) = &store_dir {
+        let (store, warnings) = ArtifactStore::with_disk(std::path::Path::new(dir))
+            .map_err(|e| Usage(format!("--store {dir}: {e}")))?;
+        for w in &warnings {
+            eprintln!("batch: store: {w}");
+        }
+        store
+    } else {
+        ArtifactStore::new()
+    };
     let mut report = stamp::analyzer::run_batch_with(&request, jobs, &store)
         .map_err(|e| Analysis(e.to_string()))?;
     for pass in 2..=repeat {
-        eprintln!("{}", batch_pass_summary(&report, pass - 1, repeat));
+        eprintln!("{}", batch_pass_summary(&report, &store, pass - 1, repeat));
         report = stamp::analyzer::run_batch_with(&request, jobs, &store)
             .map_err(|e| Analysis(e.to_string()))?;
     }
@@ -279,7 +304,7 @@ fn batch(args: &[String]) -> Result<(), CliError> {
         Some(path) => std::fs::write(path, &rendered).map_err(|e| Usage(format!("{path}: {e}")))?,
         None => print!("{rendered}"),
     }
-    eprintln!("{}", batch_pass_summary(&report, repeat, repeat));
+    eprintln!("{}", batch_pass_summary(&report, &store, repeat, repeat));
 
     let mut drift: Vec<String> = Vec::new();
     if check_pins {
@@ -406,8 +431,14 @@ fn fuzz(args: &[String]) -> Result<(), CliError> {
 }
 
 /// The one-line stderr summary of a batch pass, including the
-/// artifact-cache statistics when caching was on.
-fn batch_pass_summary(report: &stamp::BatchReport, pass: usize, passes: usize) -> String {
+/// artifact-cache statistics when caching was on and the durable-store
+/// statistics when `--store` was given.
+fn batch_pass_summary(
+    report: &stamp::BatchReport,
+    store: &ArtifactStore,
+    pass: usize,
+    passes: usize,
+) -> String {
     let mut line = format!(
         "batch{}: {} jobs on {} workers ({} cores) in {:.1} ms — {:.0} jobs/s, {} failed",
         if passes > 1 { format!(" pass {pass}/{passes}") } else { String::new() },
@@ -425,6 +456,14 @@ fn batch_pass_summary(report: &stamp::BatchReport, pass: usize, passes: usize) -
             report.artifacts.misses(),
             report.artifacts.hit_rate() * 100.0,
         ));
+        if store.disk_path().is_some() {
+            line.push_str(&format!(
+                "; disk store: {} disk hits ({:.0}% warm), {} artifacts on disk",
+                report.artifacts.hits_disk(),
+                report.artifacts.disk_hit_rate() * 100.0,
+                store.disk_artifact_count(),
+            ));
+        }
     }
     line
 }

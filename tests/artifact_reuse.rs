@@ -58,15 +58,15 @@ fn hardware_sweep_computes_one_value_fixpoint_per_target() {
     // the stack chain and all three hardware variants. fac is recursive
     // — its context phase fails (cached once) and no value artifact
     // exists for it.
-    assert_eq!(stats.phase("value").misses, 2, "{stats:?}");
-    assert_eq!(stats.phase("assemble").misses, 3);
-    assert_eq!(stats.phase("cfg").misses, 3);
+    assert_eq!(stats.phase("value").unwrap().misses, 2, "{stats:?}");
+    assert_eq!(stats.phase("assemble").unwrap().misses, 3);
+    assert_eq!(stats.phase("cfg").unwrap().misses, 3);
     // Cache analysis: per WCET target, one artifact for `default` and
     // one shared by `no-cache`/`ideal` (both cacheless).
-    assert_eq!(stats.phase("cache").misses, 4);
+    assert_eq!(stats.phase("cache").unwrap().misses, 4);
     // Pipeline and path never share across variants (timing differs).
-    assert_eq!(stats.phase("pipeline").misses, 6);
-    assert_eq!(stats.phase("pipeline").hits, 0);
+    assert_eq!(stats.phase("pipeline").unwrap().misses, 6);
+    assert_eq!(stats.phase("pipeline").unwrap().hits, 0);
     // Overall the cold matrix already reuses a majority of requests.
     assert!(stats.hit_rate() > 0.5, "cold hit rate {:.2}", stats.hit_rate());
 }
@@ -126,7 +126,7 @@ fn phase_errors_are_cached_and_replay_identically() {
     assert!(a.error.as_deref().unwrap().contains("wcet"), "{:?}", a.error);
     // The failing phase computed once, hit once.
     let stats = report.artifacts;
-    let failing = stats.phase("path");
+    let failing = stats.phase("path").unwrap();
     assert_eq!((failing.misses, failing.hits), (1, 1), "{stats:?}");
     // And the uncached run renders the same errors byte-for-byte.
     let uncached = run_batch_with(&request, 1, &ArtifactStore::disabled()).unwrap();
@@ -147,7 +147,7 @@ fn cached_assembly_errors_report_reused_provenance() {
     // artifact, the second reuses the cached error — and says so.
     assert_eq!(report.results[0].provenance, vec![(PhaseId::Assemble, false)]);
     assert_eq!(report.results[1].provenance, vec![(PhaseId::Assemble, true)]);
-    let assemble = report.artifacts.phase("assemble");
+    let assemble = report.artifacts.phase("assemble").unwrap();
     assert_eq!((assemble.misses, assemble.hits), (1, 1));
 }
 
@@ -190,8 +190,8 @@ fn recursive_stack_fallback_shares_through_the_store() {
     assert_eq!(first.mode, "callgraph");
     assert_eq!(first.bound, second.bound);
     assert_eq!(first.per_function, second.per_function);
-    let stack = store.stats().phase("stack");
+    let stack = store.stats().phase("stack").unwrap();
     assert_eq!((stack.misses, stack.hits), (1, 1));
-    let context = store.stats().phase("context");
+    let context = store.stats().phase("context").unwrap();
     assert_eq!((context.misses, context.hits), (1, 1), "the context error is cached too");
 }
