@@ -207,6 +207,11 @@ pub fn solve<T: Transfer>(icfg: &Icfg, transfer: &mut T, widen_delay: u32) -> Fi
     let mut edge_fired = vec![false; icfg.edges().len()];
 
     while let Some(node) = work.pop() {
+        // Cancellation point: a runaway fixpoint (pathological widening
+        // or a huge context product) must stay interruptible, so jobs
+        // running under a deadline can report `timeout` instead of
+        // wedging a worker. Throttled — a no-op on most iterations.
+        stamp_exec::cancel::checkpoint();
         if ins[node.index()].is_none() {
             // A node can only be scheduled after its entry state was
             // materialized, so this is unreachable — but were it taken,

@@ -53,6 +53,14 @@
 //! violations — a violation here is a soundness bug, not a perf
 //! regression) and on serial/parallel reports being byte-identical.
 //!
+//! The **serve engine** (`stamp serve`) is measured under a `serve`
+//! key: the corpus × 3-variant request mix pushed through an in-process
+//! daemon engine (admission queue + workers over one warm store), run
+//! by a cold engine versus a warm one, reported as sustained requests/s
+//! and the warm-pass artifact hit rate. `--check` gates on the warm hit
+//! rate (≥ 50%; structurally ~100%) and on every served result being
+//! byte-identical to `run_batch` over the same job matrix.
+//!
 //! The emitted JSON carries a `before` section: wall times recorded with
 //! this same harness at the pre-refactor kernel (commit 848c9d7, full
 //! `State::clone`-per-edge solver, `BTreeMap` cache sets), so the file
@@ -570,6 +578,103 @@ fn fuzz_rows(reps: usize) -> FuzzBench {
     }
 }
 
+/// The serve-engine workload: the corpus × 3-variant request mix as
+/// protocol lines through an in-process daemon [`Engine`], cold (fresh
+/// engine and store) versus warm (same engine, store primed by a full
+/// previous pass) — the steady state a long-lived daemon reaches.
+struct ServeBench {
+    workers: usize,
+    requests_total: usize,
+    cold_ms: f64,
+    warm_ms: f64,
+    /// Artifact statistics of the measured warm pass alone.
+    warm_stats: ArtifactStats,
+    /// Whether every served `result` was byte-identical to the
+    /// corresponding `run_batch` job — the `--check` identity gate.
+    identical_to_batch: bool,
+}
+
+impl ServeBench {
+    fn warm_requests_per_s(&self) -> f64 {
+        if self.warm_ms > 0.0 {
+            self.requests_total as f64 / (self.warm_ms / 1e3)
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+fn serve_rows(reps: usize) -> ServeBench {
+    use stamp_serve::{Engine, EngineConfig};
+
+    let request = batch_request();
+    let workers = 4;
+    let config = EngineConfig { workers, ..EngineConfig::default() };
+    // One protocol line per batch job, with the request id set to the
+    // job's display name so served results can be matched to `run_batch`
+    // results one-to-one.
+    let lines: Vec<String> = request
+        .jobs
+        .iter()
+        .map(|j| {
+            let variant = match j.variant.as_str() {
+                "default" => String::new(),
+                name => format!(r#", "variant": {{"name": "{name}", "hw": "{name}"}}"#),
+            };
+            format!(r#"{{"id": "{}", "job": {{"benchmark": "{}"}}{variant}}}"#, j.name(), j.target)
+        })
+        .collect();
+    let pump = |engine: &Engine| -> Vec<Json> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        for line in &lines {
+            engine.submit(line, "bench", tx.clone());
+        }
+        drop(tx);
+        rx.iter().collect()
+    };
+
+    // Cold: a fresh engine (and store) per rep, drained inside the
+    // measurement — daemon startup to last response.
+    let (cold_ms, _) = best_ms(reps, || {
+        let engine = Engine::new(ArtifactStore::new(), config.clone());
+        let responses = pump(&engine);
+        assert_eq!(responses.len(), lines.len(), "every request is answered");
+    });
+
+    // Warm: one long-lived engine primed by a full pass; each measured
+    // pass runs against the fully warm store.
+    let engine = Engine::new(ArtifactStore::new(), config.clone());
+    let served = pump(&engine);
+    let mut warm_stats = None;
+    let (warm_ms, _) = best_ms(reps, || {
+        let before = engine.store().stats();
+        let responses = pump(&engine);
+        assert_eq!(responses.len(), lines.len(), "every request is answered");
+        warm_stats = Some(engine.store().stats().since(&before));
+    });
+
+    // The identity reference: the same job matrix through `run_batch`.
+    let report = run_batch(&request, workers).expect("reference batch");
+    let reference: std::collections::BTreeMap<String, String> =
+        report.results.iter().map(|r| (r.name.clone(), r.result_json().to_string())).collect();
+    let identical_to_batch = served.len() == reference.len()
+        && served.iter().all(|resp| {
+            let id = resp.get("id").and_then(Json::as_str).unwrap_or("");
+            resp.get("status").and_then(Json::as_str) == Some("ok")
+                && resp.get("result").map(|r| r.to_string()).as_deref()
+                    == reference.get(id).map(String::as_str)
+        });
+
+    ServeBench {
+        workers,
+        requests_total: lines.len(),
+        cold_ms,
+        warm_ms,
+        warm_stats: warm_stats.expect("at least one warm rep"),
+        identical_to_batch,
+    }
+}
+
 /// The wall-time delta table: freshly measured numbers against a
 /// previously committed `BENCH_kernel.json`, as markdown on stdout.
 /// Purely informational — regressions warn, never fail.
@@ -583,6 +688,7 @@ fn print_diff_table(
     artifacts: &ArtifactBench,
     artifacts_disk: &ArtifactDiskBench,
     fuzz: &FuzzBench,
+    serve: &ServeBench,
 ) {
     let text = match std::fs::read_to_string(committed_path) {
         Ok(t) => t,
@@ -684,6 +790,10 @@ fn print_diff_table(
             .and_then(Json::as_f64);
         row(format!("fuzz/{}-workers", r.workers), committed, r.wall_ms);
     }
+    let committed_serve =
+        |key: &str| doc.get("serve").and_then(|s| s.get(key)).and_then(Json::as_f64);
+    row("serve/cold".to_string(), committed_serve("cold_ms"), serve.cold_ms);
+    row("serve/warm".to_string(), committed_serve("warm_ms"), serve.warm_ms);
 
     println!("### kernel bench wall-time delta (current vs committed)\n");
     println!("| workload | committed ms | current ms | ratio | |");
@@ -731,6 +841,8 @@ fn main() {
     let artifacts_disk = artifact_disk_rows(reps);
     eprintln!("kernel_bench: fuzz engine (48-program differential campaign at 1/4 workers)...");
     let fuzz = fuzz_rows(reps);
+    eprintln!("kernel_bench: serve engine (corpus request mix, cold vs warm daemon)...");
+    let serve = serve_rows(reps);
 
     if args.print_pins {
         println!("pub const CORPUS: &[CorpusPin] = &[");
@@ -822,6 +934,19 @@ fn main() {
         }
         if !fuzz.deterministic {
             drift.push("fuzz: parallel (4-worker) results differ from serial results".to_string());
+        }
+        // The serve-engine gates: a warm daemon must answer mostly from
+        // its artifact store (structurally ~100%; ≥50% is the acceptance
+        // floor) and every served result must be byte-identical to
+        // `run_batch` over the same job matrix.
+        if !serve.identical_to_batch {
+            drift.push("serve: served results differ from run_batch results".to_string());
+        }
+        if serve.warm_stats.hit_rate() < 0.5 {
+            drift.push(format!(
+                "serve: warm-daemon hit rate {:.0}% below the 50% floor",
+                serve.warm_stats.hit_rate() * 100.0
+            ));
         }
     }
 
@@ -1036,6 +1161,18 @@ fn main() {
                 ),
             ]),
         ),
+        (
+            "serve",
+            Json::obj([
+                ("workers", Json::int(serve.workers as u64)),
+                ("requests_total", Json::int(serve.requests_total as u64)),
+                ("cold_ms", Json::Num(serve.cold_ms)),
+                ("warm_ms", Json::Num(serve.warm_ms)),
+                ("warm_requests_per_s", Json::Num(serve.warm_requests_per_s())),
+                ("identical_to_batch", Json::Bool(serve.identical_to_batch)),
+                ("warm", serve.warm_stats.to_json()),
+            ]),
+        ),
         ("drift", Json::Arr(drift.iter().map(|d| Json::str(d.clone())).collect())),
     ]);
 
@@ -1050,6 +1187,7 @@ fn main() {
             &artifacts,
             &artifacts_disk,
             &fuzz,
+            &serve,
         );
     }
     eprintln!(
@@ -1073,6 +1211,16 @@ fn main() {
         fuzz.iterations,
         fuzz.rows.first().map(|r| r.programs_per_s).unwrap_or(0.0),
         fuzz.violations,
+    );
+    eprintln!(
+        "kernel_bench: serve engine: {} requests, cold {:.1} ms, warm {:.1} ms \
+         ({:.0} requests/s), warm hit rate {:.0}%, identical to batch: {}",
+        serve.requests_total,
+        serve.cold_ms,
+        serve.warm_ms,
+        serve.warm_requests_per_s(),
+        serve.warm_stats.hit_rate() * 100.0,
+        serve.identical_to_batch,
     );
     eprintln!(
         "kernel_bench: corpus {:.1} ms (before {:.1}), scaling {:.1} ms (before {:.1}), phases {:.1} ms (before {:.1})",

@@ -206,6 +206,11 @@ impl<'p> WcetAnalysis<'p> {
         let mut iteration = 0;
         let (cfg, icfg, va, value_fp) = loop {
             iteration += 1;
+            // Phase boundaries are cancellation points: a job running
+            // under a deadline is cut between phases (and inside the
+            // solver's own checkpoints), never mid-artifact. No store
+            // lock is held here, so the unwind cannot poison anything.
+            stamp_exec::cancel::checkpoint_now();
             let t = Instant::now();
             let cfg_fp = phase::cfg_fingerprint(program_fp, &extra);
             let (cfg, reused) = store.get_or_compute(PhaseId::Cfg, cfg_fp, || {
@@ -264,6 +269,7 @@ impl<'p> WcetAnalysis<'p> {
         };
 
         // ---- Phase 3: loop bounds.
+        stamp_exec::cancel::checkpoint_now();
         let t = Instant::now();
         let lb_opts = LoopBoundOptions {
             annotations: self.annotations.resolved_loop_bounds(program),
@@ -280,6 +286,7 @@ impl<'p> WcetAnalysis<'p> {
         });
 
         // ---- Phase 4: cache analysis.
+        stamp_exec::cancel::checkpoint_now();
         let t = Instant::now();
         let cache_fp = phase::cache_fingerprint(value_fp, &cfg_opts.hw);
         let (ca, reused) = store.get_or_compute(PhaseId::Cache, cache_fp, || {
@@ -292,6 +299,7 @@ impl<'p> WcetAnalysis<'p> {
         });
 
         // ---- Phase 5: pipeline analysis.
+        stamp_exec::cancel::checkpoint_now();
         let t = Instant::now();
         let pipeline_fp = phase::pipeline_fingerprint(cache_fp, &cfg_opts.hw);
         let (pa, reused) = store.get_or_compute(PhaseId::Pipeline, pipeline_fp, || {
@@ -304,6 +312,7 @@ impl<'p> WcetAnalysis<'p> {
         });
 
         // ---- Phase 6: path analysis (IPET).
+        stamp_exec::cancel::checkpoint_now();
         let t = Instant::now();
         let path_fp = phase::path_fingerprint(pipeline_fp, lb_fp, cfg_opts.use_infeasible);
         let (result, reused) = store.get_or_compute(PhaseId::Path, path_fp, || {

@@ -109,7 +109,7 @@ impl FillGuard<'_> {
     pub(crate) fn fulfill(self, value: Stored) {
         if let (Some(disk), Ok(any)) = (self.disk, &value) {
             if let Some(bytes) = store_disk::encode_artifact(self.phase, any.as_ref()) {
-                let _ = disk.append(self.phase, self.fp, &bytes);
+                disk.append(self.phase, self.fp, &bytes);
             }
         }
         self.inner.fulfill(value);
@@ -155,6 +155,28 @@ impl ArtifactStore {
     /// The durable log path, if this store has a disk backend.
     pub fn disk_path(&self) -> Option<&Path> {
         self.disk.as_ref().map(DiskStore::path)
+    }
+
+    /// Whether a mid-run write failure has degraded the durable backend
+    /// to in-memory-only operation (`false` without a backend).
+    pub fn disk_degraded(&self) -> bool {
+        self.disk.as_ref().is_some_and(DiskStore::is_degraded)
+    }
+
+    /// The degradation warning, if a disk write has failed since the
+    /// last call — delivered at most once, so callers (CLI, daemon) can
+    /// print exactly one line instead of one per lost artifact.
+    pub fn take_disk_warning(&self) -> Option<String> {
+        self.disk.as_ref().and_then(DiskStore::take_warning)
+    }
+
+    /// Flushes the durable backend, if any — the daemon's drain-time
+    /// sync. Appends are flushed record-by-record already, so this is
+    /// cheap.
+    pub fn flush_disk(&self) {
+        if let Some(disk) = &self.disk {
+            disk.flush();
+        }
     }
 
     /// A disabled store: every claim answers [`ArtifactClaim::Disabled`]
@@ -597,6 +619,60 @@ mod tests {
             .unwrap();
         assert_eq!(*v, vec![1, 2]);
         assert_eq!(store.disk_artifact_count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_write_failure_degrades_without_failing_jobs() {
+        struct FailingSink;
+        impl std::io::Write for FailingSink {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("no space left on device"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let dir = tmp_dir("degrade");
+        let (store, _) = ArtifactStore::with_disk(&dir).unwrap();
+        let (_, reused) = store
+            .get_or_compute(PhaseId::Stack, fp(1), || Ok::<_, AnalysisError>(sample_report(8)))
+            .unwrap();
+        assert!(!reused);
+        assert_eq!(store.disk_artifact_count(), 1);
+        assert!(!store.disk_degraded());
+
+        // The disk goes away mid-run: computations keep succeeding,
+        // write-through silently stops, one warning is queued.
+        store.disk.as_ref().unwrap().set_sink_for_tests(Box::new(FailingSink));
+        let (report, reused) = store
+            .get_or_compute(PhaseId::Stack, fp(2), || Ok::<_, AnalysisError>(sample_report(16)))
+            .unwrap();
+        assert!(!reused);
+        assert_eq!(report.bound, 16, "the job's result is unaffected");
+        assert!(store.disk_degraded());
+        let warning = store.take_disk_warning().expect("degradation surfaces one warning");
+        assert!(warning.contains("persistence disabled"), "{warning}");
+        assert!(store.take_disk_warning().is_none());
+
+        // In-memory reuse still works for both pre- and post-fault
+        // artifacts, and pre-fault disk contents still answer reads.
+        for (key, bound) in [(fp(1), 8), (fp(2), 16)] {
+            let (r, reused) = store
+                .get_or_compute(
+                    PhaseId::Stack,
+                    key,
+                    || -> Result<crate::stack_tool::StackReport, AnalysisError> {
+                        panic!("must be served from memory")
+                    },
+                )
+                .unwrap();
+            assert!(reused);
+            assert_eq!(r.bound, bound);
+        }
+        assert_eq!(store.disk_artifact_count(), 1, "only the pre-fault artifact is durable");
+        store.flush_disk(); // the drain-time flush must not panic when degraded
         let _ = std::fs::remove_dir_all(&dir);
     }
 

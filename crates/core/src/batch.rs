@@ -24,11 +24,12 @@
 //! are segregated so [`BatchReport::results_json`] is byte-comparable
 //! across runs while [`BatchReport::to_json`] adds the timing layer.
 
-use std::time::Instant;
-
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use stamp_exec::{Pool, PoolError};
+use stamp_exec::cancel::{self, CancelToken, Cancelled};
+use stamp_exec::{DeadlineOutcome, Pool, PoolError};
 use stamp_isa::Program;
 
 use crate::analyzer::{AnalysisConfig, WcetAnalysis};
@@ -213,8 +214,11 @@ impl JobResult {
         Json::Obj(by_phase)
     }
 
-    /// The deterministic JSON rendering (no wall time).
-    fn result_json(&self) -> Json {
+    /// The deterministic JSON rendering (no wall time). Public so the
+    /// serve layer can embed the exact same object in its `ok`
+    /// responses — byte-identity between served and batch results is a
+    /// tested invariant, not a coincidence.
+    pub fn result_json(&self) -> Json {
         Json::obj([
             ("name", Json::str(self.name.clone())),
             ("target", Json::str(self.target.clone())),
@@ -448,15 +452,68 @@ pub fn run_batch_with(
     workers: usize,
     store: &ArtifactStore,
 ) -> Result<BatchReport, BatchError> {
+    run_batch_deadline(request, workers, store, None)
+}
+
+/// The result recorded for a job whose deadline expired. The error
+/// string quotes the *configured* deadline, never the measured elapsed
+/// time: it lands in `results_json`, which must stay deterministic.
+fn deadline_result(job: &BatchJob, deadline: Duration) -> JobResult {
+    JobResult {
+        name: job.name(),
+        target: job.target.clone(),
+        variant: job.variant.clone(),
+        wcet: None,
+        stack: None,
+        evaluations: 0,
+        fetch: [0; 4],
+        data: [0; 4],
+        error: Some(format!("deadline of {} ms exceeded", deadline.as_millis())),
+        wall_ms: deadline.as_secs_f64() * 1e3,
+        provenance: Vec::new(),
+    }
+}
+
+/// [`run_batch_with`] with an optional per-job deadline (measured from
+/// each job's start). An over-deadline job is cancelled cooperatively
+/// at the next kernel checkpoint and recorded as a per-job error
+/// (`deadline of N ms exceeded`) — it never wedges a worker or sinks
+/// the rest of the matrix.
+///
+/// # Errors
+///
+/// As [`run_batch`] — deadlines are job-level outcomes, not batch
+/// errors.
+pub fn run_batch_deadline(
+    request: &BatchRequest,
+    workers: usize,
+    store: &ArtifactStore,
+    deadline: Option<Duration>,
+) -> Result<BatchReport, BatchError> {
     let t = Instant::now();
     let before = store.stats();
     let pool = Pool::new(workers);
-    let results = pool
-        .map_labeled(&request.jobs, |_, job| job.name(), |_, job| run_job(job, store))
+    let outcomes = pool
+        .map_labeled_deadline(
+            &request.jobs,
+            |_, job| job.name(),
+            deadline,
+            |_, job| run_job(job, store),
+        )
         .map_err(|e| {
             let PoolError::JobPanicked { label, message, .. } = e;
             BatchError::JobPanicked { job: label, message }
         })?;
+    let results = outcomes
+        .into_iter()
+        .zip(&request.jobs)
+        .map(|(outcome, job)| match outcome {
+            DeadlineOutcome::Done(result) => result,
+            DeadlineOutcome::DeadlineExceeded => {
+                deadline_result(job, deadline.expect("a job only times out under a deadline"))
+            }
+        })
+        .collect();
     Ok(BatchReport {
         results,
         workers: pool.workers(),
@@ -464,6 +521,50 @@ pub fn run_batch_with(
         wall_ms: t.elapsed().as_secs_f64() * 1e3,
         artifacts: store.stats().since(&before),
     })
+}
+
+/// The outcome of one guarded job: the serve layer's unit of work.
+#[derive(Clone, Debug)]
+pub enum JobOutcome {
+    /// The job ran to completion (possibly with a job-level analysis
+    /// error recorded inside).
+    Completed(JobResult),
+    /// The job's cancellation budget expired before it finished.
+    DeadlineExceeded,
+    /// The job panicked; the daemon isolates this to one response.
+    Panicked {
+        /// The panic message.
+        message: String,
+    },
+}
+
+/// Runs one job on the current thread with panic isolation and an
+/// optional cancellation budget (measured from now — callers that
+/// promise a deadline from admission subtract the queue wait first).
+/// This is the long-lived daemon's job runner: a panicking or runaway
+/// job becomes a structured outcome, never a dead worker.
+pub fn run_job_guarded(
+    job: &BatchJob,
+    store: &ArtifactStore,
+    budget: Option<Duration>,
+) -> JobOutcome {
+    let run = || match budget {
+        Some(budget) => {
+            let token = CancelToken::with_deadline(budget);
+            cancel::with_token(&token, || run_job(job, store))
+        }
+        None => run_job(job, store),
+    };
+    // AssertUnwindSafe: the job owns its analysis state; the shared
+    // artifact store is unwind-safe by design (an in-flight slot is
+    // released by its guard's Drop).
+    match catch_unwind(AssertUnwindSafe(run)) {
+        Ok(result) => JobOutcome::Completed(result),
+        Err(payload) if payload.is::<Cancelled>() => JobOutcome::DeadlineExceeded,
+        Err(payload) => {
+            JobOutcome::Panicked { message: stamp_exec::panic_message(payload.as_ref()) }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -569,5 +670,50 @@ v:      .space 4
         let report = run_batch(&BatchRequest::new(), 8).unwrap();
         assert!(report.results.is_empty());
         assert_eq!(report.errors(), 0);
+    }
+
+    #[test]
+    fn zero_deadline_becomes_a_deterministic_per_job_error() {
+        let req = BatchRequest::matrix([target("t", LOOP_TASK)], &[BatchVariant::default()]);
+        let report =
+            run_batch_deadline(&req, 1, &ArtifactStore::new(), Some(Duration::ZERO)).unwrap();
+        assert_eq!(report.results[0].error.as_deref(), Some("deadline of 0 ms exceeded"));
+        assert_eq!(report.results[0].name, "t");
+        assert_eq!(report.errors(), 1);
+        // The error string carries the configured deadline, not a
+        // measured time, so it is stable across runs.
+        let again =
+            run_batch_deadline(&req, 4, &ArtifactStore::new(), Some(Duration::ZERO)).unwrap();
+        assert_eq!(report.results_json().to_string(), again.results_json().to_string());
+    }
+
+    #[test]
+    fn generous_deadline_leaves_results_byte_identical() {
+        let req = BatchRequest::matrix([target("t", LOOP_TASK)], &[BatchVariant::default()]);
+        let plain = run_batch(&req, 2).unwrap();
+        let deadlined =
+            run_batch_deadline(&req, 2, &ArtifactStore::new(), Some(Duration::from_secs(3600)))
+                .unwrap();
+        assert_eq!(plain.results_json().to_string(), deadlined.results_json().to_string());
+    }
+
+    #[test]
+    fn guarded_job_reports_timeouts_and_completions() {
+        let store = ArtifactStore::new();
+        let job = &BatchRequest::matrix([target("t", LOOP_TASK)], &[BatchVariant::default()]).jobs
+            [0]
+        .clone();
+        match run_job_guarded(job, &store, Some(Duration::ZERO)) {
+            JobOutcome::DeadlineExceeded => {}
+            other => panic!("expected a timeout, got {other:?}"),
+        }
+        // The store survives the cancelled job and serves the next one.
+        match run_job_guarded(job, &store, None) {
+            JobOutcome::Completed(r) => {
+                assert!(r.is_ok(), "{:?}", r.error);
+                assert_eq!(r.stack, Some(32));
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
     }
 }

@@ -58,8 +58,8 @@ pub use analyzer::{AnalysisConfig, ValueArtifacts, WcetAnalysis};
 pub use annot::Annotations;
 pub use artifact::{ArtifactStats, ArtifactStore, PhaseStat};
 pub use batch::{
-    run_batch, run_batch_with, BatchError, BatchJob, BatchReport, BatchRequest, BatchTarget,
-    BatchVariant, JobResult,
+    run_batch, run_batch_deadline, run_batch_with, run_job_guarded, BatchError, BatchJob,
+    BatchReport, BatchRequest, BatchTarget, BatchVariant, JobOutcome, JobResult,
 };
 pub use error::AnalysisError;
 pub use fingerprint::{Fingerprint, Fp};

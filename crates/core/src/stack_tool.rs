@@ -171,6 +171,8 @@ impl<'p> StackAnalysis<'p> {
         let extra = self.annotations.resolved_indirects(program);
         let recursion = self.annotations.resolved_recursion(program);
 
+        // Phase boundary = cancellation point (see the WCET driver).
+        stamp_exec::cancel::checkpoint_now();
         let t = Instant::now();
         let cfg_fp = phase::cfg_fingerprint(program_fp, &extra);
         let (cfg, reused) = store.get_or_compute(PhaseId::Cfg, cfg_fp, || {
@@ -207,6 +209,7 @@ impl<'p> StackAnalysis<'p> {
                     reused,
                 });
 
+                stamp_exec::cancel::checkpoint_now();
                 let t = Instant::now();
                 let stack_fp = phase::stack_fingerprint(value_fp, &recursion);
                 let (report, reused) = store.get_or_compute(PhaseId::Stack, stack_fp, || {

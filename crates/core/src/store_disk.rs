@@ -20,7 +20,7 @@
 
 use std::any::Any;
 use std::collections::HashMap;
-use std::fs::{self, File, OpenOptions};
+use std::fs::{self, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
@@ -59,13 +59,33 @@ fn schema_fingerprint() -> Fingerprint {
     fp.finish()
 }
 
+/// The append-side sink of the log. Production is the log file;
+/// tests inject failing writers to exercise degradation.
+pub(crate) trait LogSink: Write + Send {}
+impl<T: Write + Send> LogSink for T {}
+
 struct Inner {
-    file: File,
+    sink: Box<dyn LogSink>,
     index: HashMap<(PhaseId, Fingerprint), Arc<Vec<u8>>>,
+    /// Set on the first write failure: persistence is off for the rest
+    /// of this process, reads keep serving from the in-memory index.
+    degraded: bool,
+    /// The degradation warning, waiting to be surfaced exactly once.
+    pending_warning: Option<String>,
 }
 
 /// A durable artifact log (see the module docs). One per
 /// `--store DIR`; shared behind the [`crate::ArtifactStore`].
+///
+/// # Fault tolerance
+///
+/// Writes are best-effort: the first append that fails (disk full,
+/// permission lost mid-run) flips the store into *degraded* mode — no
+/// further writes are attempted, one warning is queued for the caller
+/// to surface ([`DiskStore::take_warning`]), and every read keeps
+/// working, because the index holding previously-persisted artifacts
+/// is in memory. Analysis results are never affected; only durability
+/// of new artifacts is lost.
 pub(crate) struct DiskStore {
     path: PathBuf,
     inner: Mutex<Inner>,
@@ -104,9 +124,13 @@ impl DiskStore {
             file.write_all(&FORMAT_VERSION.to_le_bytes())?;
             file.write_all(&schema_fingerprint().to_bytes())?;
             file.flush()?;
-            let store =
-                DiskStore { path, inner: Mutex::new(Inner { file, index: HashMap::new() }) };
-            return Ok((store, warnings));
+            let inner = Inner {
+                sink: Box::new(file),
+                index: HashMap::new(),
+                degraded: false,
+                pending_warning: None,
+            };
+            return Ok((DiskStore { path, inner: Mutex::new(inner) }, warnings));
         }
 
         // Scan records; stop (and truncate) at the first invalid one.
@@ -133,7 +157,8 @@ impl DiskStore {
             file.set_len(valid_end as u64)?;
         }
         file.seek(SeekFrom::End(0))?;
-        Ok((DiskStore { path, inner: Mutex::new(Inner { file, index }) }, warnings))
+        let inner = Inner { sink: Box::new(file), index, degraded: false, pending_warning: None };
+        Ok((DiskStore { path, inner: Mutex::new(inner) }, warnings))
     }
 
     /// The log file's path (for warnings and reports).
@@ -159,15 +184,14 @@ impl DiskStore {
 
     /// Appends one artifact record and flushes it. A key already
     /// present is not rewritten (same fingerprint ⇒ same bytes).
-    pub(crate) fn append(
-        &self,
-        phase: PhaseId,
-        fp: Fingerprint,
-        artifact: &[u8],
-    ) -> io::Result<()> {
+    ///
+    /// Best-effort: a write failure degrades the store to in-memory
+    /// operation (see the type docs) instead of surfacing an error —
+    /// persistence problems must never fail an analysis job.
+    pub(crate) fn append(&self, phase: PhaseId, fp: Fingerprint, artifact: &[u8]) {
         let mut inner = self.inner.lock().unwrap();
-        if inner.index.contains_key(&(phase, fp)) {
-            return Ok(());
+        if inner.degraded || inner.index.contains_key(&(phase, fp)) {
+            return;
         }
         let mut payload = Vec::with_capacity(PAYLOAD_KEY_LEN + artifact.len());
         payload.push(phase.index() as u8);
@@ -177,10 +201,50 @@ impl DiskStore {
         record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         record.extend_from_slice(&crc32(&payload).to_le_bytes());
         record.extend_from_slice(&payload);
-        inner.file.write_all(&record)?;
-        inner.file.flush()?;
-        inner.index.insert((phase, fp), Arc::new(artifact.to_vec()));
-        Ok(())
+        let wrote = inner.sink.write_all(&record).and_then(|()| inner.sink.flush());
+        match wrote {
+            Ok(()) => {
+                inner.index.insert((phase, fp), Arc::new(artifact.to_vec()));
+            }
+            Err(e) => {
+                // A partial record may now sit at the log's tail; the
+                // CRC scan on the next open truncates it away.
+                inner.degraded = true;
+                inner.pending_warning = Some(format!(
+                    "artifact store {}: write failed ({e}); persistence disabled, \
+                     continuing in-memory",
+                    self.path.display()
+                ));
+            }
+        }
+    }
+
+    /// Whether a write failure has switched the store to in-memory-only
+    /// operation.
+    pub(crate) fn is_degraded(&self) -> bool {
+        self.inner.lock().unwrap().degraded
+    }
+
+    /// The degradation warning, delivered at most once (so callers can
+    /// surface it without spamming one line per lost artifact).
+    pub(crate) fn take_warning(&self) -> Option<String> {
+        self.inner.lock().unwrap().pending_warning.take()
+    }
+
+    /// Flushes the log sink (a no-op after degradation). Appends flush
+    /// record-by-record already; this is the explicit drain-time sync
+    /// for the daemon's shutdown path.
+    pub(crate) fn flush(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        if !inner.degraded {
+            let _ = inner.sink.flush();
+        }
+    }
+
+    /// Swaps the append sink — test hook for fault injection.
+    #[cfg(test)]
+    pub(crate) fn set_sink_for_tests(&self, sink: Box<dyn LogSink>) {
+        self.inner.lock().unwrap().sink = sink;
     }
 }
 
@@ -274,8 +338,8 @@ mod tests {
         {
             let (store, warnings) = DiskStore::open(&dir).unwrap();
             assert!(warnings.is_empty());
-            store.append(PhaseId::Cfg, fp(1), b"cfg-bytes").unwrap();
-            store.append(PhaseId::Value, fp(2), b"value-bytes").unwrap();
+            store.append(PhaseId::Cfg, fp(1), b"cfg-bytes");
+            store.append(PhaseId::Value, fp(2), b"value-bytes");
             assert_eq!(store.len(), 2);
         }
         let (store, warnings) = DiskStore::open(&dir).unwrap();
@@ -291,9 +355,9 @@ mod tests {
     fn duplicate_appends_are_idempotent() {
         let dir = tmp_dir("dedup");
         let (store, _) = DiskStore::open(&dir).unwrap();
-        store.append(PhaseId::Cfg, fp(1), b"once").unwrap();
+        store.append(PhaseId::Cfg, fp(1), b"once");
         let size_after_first = fs::metadata(store.path()).unwrap().len();
-        store.append(PhaseId::Cfg, fp(1), b"once").unwrap();
+        store.append(PhaseId::Cfg, fp(1), b"once");
         assert_eq!(fs::metadata(store.path()).unwrap().len(), size_after_first);
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -303,8 +367,8 @@ mod tests {
         let dir = tmp_dir("truncate");
         let path = {
             let (store, _) = DiskStore::open(&dir).unwrap();
-            store.append(PhaseId::Cfg, fp(1), b"kept").unwrap();
-            store.append(PhaseId::Value, fp(2), b"will-be-cut").unwrap();
+            store.append(PhaseId::Cfg, fp(1), b"kept");
+            store.append(PhaseId::Value, fp(2), b"will-be-cut");
             store.path().to_path_buf()
         };
         // Simulate a crash mid-append: cut the last record short.
@@ -319,7 +383,7 @@ mod tests {
         drop(store);
         let (store, warnings) = DiskStore::open(&dir).unwrap();
         assert!(warnings.is_empty(), "{warnings:?}");
-        store.append(PhaseId::Value, fp(2), b"recomputed").unwrap();
+        store.append(PhaseId::Value, fp(2), b"recomputed");
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -328,8 +392,8 @@ mod tests {
         let dir = tmp_dir("bitflip");
         let path = {
             let (store, _) = DiskStore::open(&dir).unwrap();
-            store.append(PhaseId::Cfg, fp(1), b"first").unwrap();
-            store.append(PhaseId::Value, fp(2), b"second").unwrap();
+            store.append(PhaseId::Cfg, fp(1), b"first");
+            store.append(PhaseId::Value, fp(2), b"second");
             store.path().to_path_buf()
         };
         // Flip one bit inside the second record's payload.
@@ -353,10 +417,59 @@ mod tests {
         assert_eq!(warnings.len(), 1);
         assert!(warnings[0].contains("incompatible header"), "{warnings:?}");
         assert_eq!(store.len(), 0);
-        store.append(PhaseId::Cfg, fp(1), b"fresh").unwrap();
+        store.append(PhaseId::Cfg, fp(1), b"fresh");
         drop(store);
         let (store, warnings) = DiskStore::open(&dir).unwrap();
         assert!(warnings.is_empty());
+        assert_eq!(store.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A sink whose every write fails — ENOSPC, a yanked volume, lost
+    /// permissions; the cause does not matter to the degradation path.
+    struct FailingSink;
+
+    impl Write for FailingSink {
+        fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+            Err(io::Error::other("no space left on device"))
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_failure_degrades_to_memory_with_one_warning() {
+        let dir = tmp_dir("degrade");
+        let (store, _) = DiskStore::open(&dir).unwrap();
+        store.append(PhaseId::Cfg, fp(1), b"persisted");
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_degraded());
+
+        store.set_sink_for_tests(Box::new(FailingSink));
+        store.append(PhaseId::Value, fp(2), b"lost");
+        assert!(store.is_degraded());
+        let warning = store.take_warning().expect("first failure queues a warning");
+        assert!(warning.contains("persistence disabled"), "{warning}");
+        assert!(store.take_warning().is_none(), "the warning is delivered once");
+
+        // Reads keep working: the pre-failure artifact is still served
+        // from the in-memory index, the lost one is simply absent.
+        assert!(store.get(PhaseId::Cfg, fp(1)).is_some());
+        assert!(store.get(PhaseId::Value, fp(2)).is_none());
+
+        // Further appends are skipped silently — no error, no second
+        // warning, no growth.
+        store.append(PhaseId::Stack, fp(3), b"also-lost");
+        assert!(store.take_warning().is_none());
+        assert_eq!(store.len(), 1);
+        store.flush(); // drain-time flush is a no-op when degraded
+
+        // The on-disk prefix written before the fault stays valid for
+        // the next process.
+        drop(store);
+        let (store, warnings) = DiskStore::open(&dir).unwrap();
+        assert!(warnings.is_empty(), "{warnings:?}");
         assert_eq!(store.len(), 1);
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -370,7 +483,7 @@ mod tests {
         let dir = tmp_dir("e2e");
         {
             let (store, _) = DiskStore::open(&dir).unwrap();
-            store.append(PhaseId::Assemble, fp(1), &bytes).unwrap();
+            store.append(PhaseId::Assemble, fp(1), &bytes);
         }
         let (store, _) = DiskStore::open(&dir).unwrap();
         let loaded = store.get(PhaseId::Assemble, fp(1)).unwrap();

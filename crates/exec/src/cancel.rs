@@ -1,0 +1,211 @@
+//! Cooperative cancellation: tokens, deadlines, and checkpoints.
+//!
+//! A [`CancelToken`] carries an optional deadline and a manual cancel
+//! flag. Long-running kernels call [`checkpoint`] from their hot loops;
+//! when the thread's installed token has expired (or been cancelled),
+//! the checkpoint unwinds with the [`Cancelled`] marker payload. The
+//! unwind is caught at the job boundary (the pool's deadline-aware
+//! entry points, or `stamp_core`'s guarded job runner) and turned into
+//! a structured timeout — it is never observable as an ordinary panic.
+//!
+//! Three design points keep this safe and cheap:
+//!
+//! 1. **Cooperative, not preemptive.** Nothing is interrupted mid-step;
+//!    cancellation only happens at checkpoints, which the analysis
+//!    kernels place between fixpoint iterations and phase boundaries —
+//!    points where no locks are held, so an unwind can never poison a
+//!    shared mutex. (The artifact store's in-flight slot is released by
+//!    its guard's `Drop`, which is the designed hand-off path.)
+//! 2. **Throttled clock reads.** [`checkpoint`] consults the token (and
+//!    the monotonic clock) only every 64th call, so a checkpoint in an
+//!    inner loop costs a thread-local counter bump, not a syscall.
+//! 3. **Scoped installation.** [`with_token`] installs the token in a
+//!    thread-local for the duration of one closure and restores the
+//!    previous token on the way out — including the unwinding way out —
+//!    so worker threads can run many differently-deadlined jobs without
+//!    leakage between them.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The panic payload used for cancellation unwinds. Code that catches
+/// job panics downcasts to this type to distinguish a deadline from a
+/// genuine crash.
+#[derive(Clone, Copy, Debug)]
+pub struct Cancelled;
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A shareable cancellation handle: a manual flag plus an optional
+/// deadline, fixed at construction. Clones share state.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token that never expires on its own (cancel it manually).
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that expires `budget` from now.
+    pub fn with_deadline(budget: Duration) -> CancelToken {
+        let deadline = Instant::now().checked_add(budget);
+        CancelToken { inner: Arc::new(Inner { cancelled: AtomicBool::new(false), deadline }) }
+    }
+
+    /// Requests cancellation; checkpoints observe it on their next
+    /// consultation.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has been cancelled or its deadline has passed.
+    /// Reads the clock, so callers in hot paths should throttle (as
+    /// [`checkpoint`] does).
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+}
+
+thread_local! {
+    /// The token governing the current job on this thread, if any.
+    static CURRENT: Cell<Option<CancelToken>> = const { Cell::new(None) };
+    /// Checkpoint throttle: only every 64th call consults the token.
+    static TICK: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Restores the previously-installed token when dropped — on normal
+/// return and on unwind alike.
+struct Restore(Option<CancelToken>);
+
+impl Drop for Restore {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.0.take()));
+    }
+}
+
+/// Runs `f` with `token` installed as the thread's current token, so
+/// every [`checkpoint`] inside observes it. Nesting is scoped: the
+/// previous token is restored afterwards, even if `f` unwinds.
+pub fn with_token<R>(token: &CancelToken, f: impl FnOnce() -> R) -> R {
+    let previous = CURRENT.with(|c| c.replace(Some(token.clone())));
+    let _restore = Restore(previous);
+    f()
+}
+
+/// A cancellation point for hot loops. Cheap (a counter bump) on most
+/// calls; every 64th call consults the installed token and unwinds with
+/// [`Cancelled`] if it has expired. A no-op when no token is installed.
+#[inline]
+pub fn checkpoint() {
+    let due = TICK.with(|t| {
+        let v = t.get().wrapping_add(1);
+        t.set(v);
+        v % 64 == 0
+    });
+    if due {
+        checkpoint_now();
+    }
+}
+
+/// An unthrottled cancellation point, for phase boundaries and other
+/// coarse-grained locations where one clock read per call is fine.
+pub fn checkpoint_now() {
+    let expired = CURRENT.with(|c| {
+        let token = c.take();
+        let expired = token.as_ref().is_some_and(CancelToken::is_cancelled);
+        c.set(token);
+        expired
+    });
+    if expired {
+        std::panic::panic_any(Cancelled);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn checkpoint_without_a_token_is_a_no_op() {
+        for _ in 0..1000 {
+            checkpoint();
+        }
+        checkpoint_now();
+    }
+
+    #[test]
+    fn manual_cancel_unwinds_with_the_marker() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        token.cancel();
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            with_token(&token, checkpoint_now);
+        }))
+        .unwrap_err();
+        assert!(payload.is::<Cancelled>(), "payload must be the Cancelled marker");
+    }
+
+    #[test]
+    fn expired_deadline_trips_a_throttled_checkpoint() {
+        let token = CancelToken::with_deadline(Duration::from_millis(0));
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            with_token(&token, || {
+                for _ in 0..10_000 {
+                    checkpoint();
+                }
+            })
+        }))
+        .unwrap_err();
+        assert!(payload.is::<Cancelled>());
+    }
+
+    #[test]
+    fn a_generous_deadline_does_not_fire() {
+        let token = CancelToken::with_deadline(Duration::from_secs(3600));
+        with_token(&token, || {
+            for _ in 0..1000 {
+                checkpoint();
+            }
+            checkpoint_now();
+        });
+    }
+
+    #[test]
+    fn tokens_are_scoped_and_restored_after_unwind() {
+        let outer = CancelToken::new();
+        let inner = CancelToken::new();
+        inner.cancel();
+        with_token(&outer, || {
+            let r = catch_unwind(AssertUnwindSafe(|| with_token(&inner, checkpoint_now)));
+            assert!(r.is_err(), "inner token was cancelled");
+            // The outer (uncancelled) token is back in force.
+            checkpoint_now();
+        });
+        // And outside, no token is installed at all.
+        checkpoint_now();
+    }
+
+    #[test]
+    fn clones_share_the_cancel_flag() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        token.cancel();
+        assert!(clone.is_cancelled());
+    }
+}

@@ -39,9 +39,12 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
+pub mod cancel;
 mod slot;
 
+pub use cancel::{CancelToken, Cancelled};
 pub use slot::{Slot, SlotClaim, SlotFillGuard};
 
 /// A failure of a pool run.
@@ -72,9 +75,29 @@ impl std::fmt::Display for PoolError {
 
 impl std::error::Error for PoolError {}
 
+/// The per-job result of [`Pool::map_labeled_deadline`]: the job's
+/// value, or a record that its deadline expired first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeadlineOutcome<T> {
+    /// The job completed within its deadline.
+    Done(T),
+    /// The job was cancelled at a checkpoint after its deadline passed.
+    DeadlineExceeded,
+}
+
+impl<T> DeadlineOutcome<T> {
+    /// The completed value, if the job finished in time.
+    pub fn into_done(self) -> Option<T> {
+        match self {
+            DeadlineOutcome::Done(v) => Some(v),
+            DeadlineOutcome::DeadlineExceeded => None,
+        }
+    }
+}
+
 /// Renders a panic payload (the `Box<dyn Any>` from `catch_unwind`) as
 /// text: `&str` and `String` payloads verbatim, anything else opaquely.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -130,6 +153,39 @@ impl Pool {
         L: Fn(usize, &I) -> String + Sync,
         F: Fn(usize, &I) -> T + Sync,
     {
+        let outcomes = self.map_labeled_deadline(items, label, None, f)?;
+        Ok(outcomes
+            .into_iter()
+            .map(|o| match o {
+                DeadlineOutcome::Done(v) => v,
+                DeadlineOutcome::DeadlineExceeded => {
+                    unreachable!("no deadline was set, so no job can exceed one")
+                }
+            })
+            .collect())
+    }
+
+    /// Like [`Pool::map_labeled`], but each job runs under its own
+    /// [`CancelToken`] carrying `deadline` (measured from that job's
+    /// start, not from the batch's). A job whose kernels reach a
+    /// [`cancel::checkpoint`] after its deadline unwinds with the
+    /// [`Cancelled`] marker and lands as
+    /// [`DeadlineOutcome::DeadlineExceeded`] in its result slot; the
+    /// rest of the batch keeps running. Genuine panics still poison the
+    /// pool exactly as in [`Pool::map_labeled`].
+    pub fn map_labeled_deadline<I, T, L, F>(
+        &self,
+        items: &[I],
+        label: L,
+        deadline: Option<Duration>,
+        f: F,
+    ) -> Result<Vec<DeadlineOutcome<T>>, PoolError>
+    where
+        I: Sync,
+        T: Send,
+        L: Fn(usize, &I) -> String + Sync,
+        F: Fn(usize, &I) -> T + Sync,
+    {
         if items.is_empty() {
             return Ok(Vec::new());
         }
@@ -148,7 +204,8 @@ impl Pool {
         // exactly L, independent of scheduling.
         let poisoned = AtomicBool::new(false);
         // One result slot per job, filled out of order, read in order.
-        let slots: Vec<Mutex<Option<T>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<DeadlineOutcome<T>>>> =
+            (0..items.len()).map(|_| Mutex::new(None)).collect();
         // The lowest-index panic seen so far.
         let first_panic: Mutex<Option<(usize, String)>> = Mutex::new(None);
 
@@ -165,8 +222,21 @@ impl Pool {
                     // AssertUnwindSafe: each job owns its state; a
                     // panicking job leaves nothing shared behind (its
                     // result slot simply stays empty).
-                    match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
-                        Ok(v) => *slots[i].lock().unwrap() = Some(v),
+                    let run = || match deadline {
+                        Some(budget) => {
+                            let token = CancelToken::with_deadline(budget);
+                            cancel::with_token(&token, || f(i, &items[i]))
+                        }
+                        None => f(i, &items[i]),
+                    };
+                    match catch_unwind(AssertUnwindSafe(run)) {
+                        Ok(v) => *slots[i].lock().unwrap() = Some(DeadlineOutcome::Done(v)),
+                        // A cancellation unwind is a per-job timeout,
+                        // not a crash: record it and keep the pool
+                        // healthy for the remaining jobs.
+                        Err(payload) if payload.is::<Cancelled>() => {
+                            *slots[i].lock().unwrap() = Some(DeadlineOutcome::DeadlineExceeded);
+                        }
                         Err(payload) => {
                             let msg = panic_message(payload.as_ref());
                             let mut slot = first_panic.lock().unwrap();
@@ -272,5 +342,72 @@ mod tests {
     #[test]
     fn default_workers_is_positive() {
         assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn deadline_map_times_out_slow_jobs_and_completes_fast_ones() {
+        // Job 1 spins through checkpoints against an already-expired
+        // deadline; jobs 0 and 2 never checkpoint and finish normally.
+        let got = Pool::new(2)
+            .map_labeled_deadline(
+                &[0u32, 1, 2],
+                |i, _| i.to_string(),
+                Some(Duration::from_millis(0)),
+                |_, &x| {
+                    if x == 1 {
+                        loop {
+                            cancel::checkpoint();
+                        }
+                    }
+                    x * 10
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            got,
+            vec![
+                DeadlineOutcome::Done(0),
+                DeadlineOutcome::DeadlineExceeded,
+                DeadlineOutcome::Done(20),
+            ]
+        );
+    }
+
+    #[test]
+    fn deadline_map_still_propagates_real_panics() {
+        let err = Pool::new(2)
+            .map_labeled_deadline(
+                &["fine", "crashes"],
+                |_, name| name.to_string(),
+                Some(Duration::from_secs(3600)),
+                |_, &name| {
+                    if name == "crashes" {
+                        panic!("genuine crash");
+                    }
+                    name.len()
+                },
+            )
+            .unwrap_err();
+        let PoolError::JobPanicked { label, message, .. } = err;
+        assert_eq!(label, "crashes");
+        assert!(message.contains("genuine crash"));
+    }
+
+    #[test]
+    fn no_deadline_means_no_token_and_no_timeouts() {
+        let got = Pool::new(2)
+            .map_labeled_deadline(
+                &[1u32, 2, 3],
+                |i, _| i.to_string(),
+                None,
+                |_, &x| {
+                    for _ in 0..1000 {
+                        cancel::checkpoint();
+                    }
+                    x
+                },
+            )
+            .unwrap();
+        assert!(got.iter().all(|o| o.into_done().is_some()));
     }
 }

@@ -1,0 +1,112 @@
+//! Stress tests for the [`Slot`] claim/fill hand-off when claimants
+//! panic: many concurrent waiters, a chain of dying producers, and the
+//! promises that matter to the artifact store — every waiter is served
+//! promptly, exactly one fulfill wins, and nothing deadlocks.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use stamp_exec::{Slot, SlotClaim};
+
+/// How long any single waiter may block before the test calls it a
+/// deadlock. Generous for CI; the hand-off itself is microseconds.
+const PROMPTLY: Duration = Duration::from_secs(20);
+
+#[test]
+fn a_chain_of_panicking_claimants_cannot_starve_the_waiters() {
+    const WAITERS: usize = 64;
+    const CRASHES: usize = 8;
+
+    let slot: Arc<Slot<Result<u32, String>>> = Arc::new(Slot::new());
+    let crashes_left = Arc::new(AtomicUsize::new(CRASHES));
+    let fulfills = Arc::new(AtomicUsize::new(0));
+    let (tx, rx) = mpsc::channel();
+
+    for id in 0..WAITERS {
+        let slot = Arc::clone(&slot);
+        let crashes_left = Arc::clone(&crashes_left);
+        let fulfills = Arc::clone(&fulfills);
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            // Claim until the value is readable. The first CRASHES
+            // guard-holders die mid-computation (the unwind drops the
+            // guard, vacating the slot and promoting a waiter); the
+            // next holder publishes the value. A thread that crashed
+            // as claimant re-claims as an ordinary waiter — exactly
+            // like a pool worker that caught a job panic and moved on.
+            let value = loop {
+                let attempt = catch_unwind(AssertUnwindSafe(|| match Slot::claim(&slot) {
+                    SlotClaim::Fill(guard) => {
+                        if crashes_left
+                            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                            != Err(0)
+                        {
+                            panic!("claimant died mid-computation");
+                        }
+                        fulfills.fetch_add(1, Ordering::SeqCst);
+                        guard.fulfill(Err("stack: analysis failed".to_string()));
+                        None
+                    }
+                    SlotClaim::Ready { value, .. } => Some(value),
+                }));
+                // Anything else means this thread fulfilled the slot
+                // or died as the claimant: either way, claim again to
+                // read the published value.
+                if let Ok(Some(value)) = attempt {
+                    break value;
+                }
+            };
+            tx.send((id, value)).unwrap();
+        });
+    }
+    drop(tx);
+
+    for seen in 0..WAITERS {
+        let (_, value) = rx
+            .recv_timeout(PROMPTLY)
+            .unwrap_or_else(|e| panic!("waiter starved after {seen}/{WAITERS} hand-offs: {e}"));
+        assert_eq!(value, Err("stack: analysis failed".to_string()));
+    }
+    assert_eq!(fulfills.load(Ordering::SeqCst), 1, "exactly one fulfill must win");
+    assert_eq!(crashes_left.load(Ordering::SeqCst), 0, "all scripted crashes happened");
+}
+
+#[test]
+fn hand_off_storm_over_many_slots_never_double_fulfills() {
+    // A smaller per-slot cast, repeated over many fresh slots, shakes
+    // out interleavings the single big run might miss.
+    const ROUNDS: usize = 50;
+    const THREADS: usize = 8;
+
+    for round in 0..ROUNDS {
+        let slot: Arc<Slot<u64>> = Arc::new(Slot::new());
+        let crashes_left = Arc::new(AtomicUsize::new(round % (THREADS - 1)));
+        let fulfills = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let slot = Arc::clone(&slot);
+                let crashes_left = Arc::clone(&crashes_left);
+                let fulfills = Arc::clone(&fulfills);
+                scope.spawn(move || {
+                    let _ = catch_unwind(AssertUnwindSafe(|| match Slot::claim(&slot) {
+                        SlotClaim::Fill(guard) => {
+                            if crashes_left.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                                n.checked_sub(1)
+                            }) != Err(0)
+                            {
+                                panic!("scripted crash");
+                            }
+                            fulfills.fetch_add(1, Ordering::SeqCst);
+                            guard.fulfill(round as u64);
+                        }
+                        SlotClaim::Ready { value, .. } => assert_eq!(value, round as u64),
+                    }));
+                });
+            }
+        });
+        assert_eq!(fulfills.load(Ordering::SeqCst), 1, "round {round}: one fulfill");
+        assert_eq!(slot.peek(), Some(round as u64), "round {round}: value published");
+    }
+}

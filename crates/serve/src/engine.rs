@@ -1,0 +1,476 @@
+//! The daemon's core: a bounded admission queue feeding a fixed worker
+//! pool, with per-client fairness caps, admission-measured deadlines,
+//! per-job panic isolation, and a drain protocol for shutdown.
+//!
+//! The engine is transport-agnostic: `submit` takes a raw request line
+//! and a reply channel, so the stdio and unix-socket front ends (and
+//! the in-process benchmark driver) share every robustness decision.
+
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use stamp_core::{run_job_guarded, ArtifactStore, BatchJob, JobOutcome, Json};
+
+use crate::protocol::{self, Request};
+
+/// Engine tuning knobs, one per CLI flag.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Admission queue capacity; a full queue rejects with `overloaded`.
+    pub queue: usize,
+    /// Max queued+running jobs per client (`0` = unlimited); exceeding
+    /// it rejects with `overloaded` so one client cannot starve others.
+    pub per_client: usize,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Deadline applied to requests that do not carry `deadline_ms`.
+    pub default_deadline: Option<Duration>,
+    /// Base directory for resolving relative `file` targets.
+    pub base: PathBuf,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            queue: 64,
+            per_client: 0,
+            workers: 2,
+            default_deadline: None,
+            base: PathBuf::from("."),
+        }
+    }
+}
+
+/// One admitted analysis job, parked in the queue until a worker picks
+/// it up.
+struct Admitted {
+    id: String,
+    client: String,
+    job: BatchJob,
+    deadline: Option<Duration>,
+    admitted_at: Instant,
+    reply: mpsc::Sender<Json>,
+}
+
+/// Queue state guarded by the engine mutex. `per_client` counts
+/// queued *and* running jobs, so the fairness cap bounds a client's
+/// total footprint, not just its backlog.
+#[derive(Default)]
+struct QueueState {
+    queue: VecDeque<Admitted>,
+    running: usize,
+    per_client: HashMap<String, usize>,
+    shutting_down: bool,
+}
+
+struct Shared {
+    store: ArtifactStore,
+    config: EngineConfig,
+    state: Mutex<QueueState>,
+    /// Wakes workers when work arrives or shutdown starts.
+    work_cv: Condvar,
+    /// Wakes the drainer when the last job finishes.
+    idle_cv: Condvar,
+}
+
+/// The long-lived analysis engine: warm artifact store + admission
+/// queue + worker pool.
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl Engine {
+    /// Starts the worker pool around a warm artifact store.
+    pub fn new(store: ArtifactStore, config: EngineConfig) -> Engine {
+        let shared = Arc::new(Shared {
+            store,
+            config,
+            state: Mutex::new(QueueState::default()),
+            work_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+        });
+        let count = shared.config.workers.max(1);
+        let workers = (0..count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("stamp-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a daemon worker thread")
+            })
+            .collect();
+        Engine { shared, workers: Mutex::new(workers) }
+    }
+
+    /// The warm artifact store (exposed for the benchmark driver's
+    /// hit-rate gate).
+    pub fn store(&self) -> &ArtifactStore {
+        &self.shared.store
+    }
+
+    /// Parses and admits one request line. Every line produces exactly
+    /// one response on `reply`: ping/stats/rejections immediately,
+    /// analysis results when a worker finishes the job. A dropped
+    /// receiver is tolerated (the client hung up; the work's artifacts
+    /// stay warm either way).
+    pub fn submit(&self, line: &str, default_client: &str, reply: mpsc::Sender<Json>) {
+        let request = match protocol::parse_request(line, &self.shared.config.base) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ =
+                    reply.send(protocol::error_response(e.id.as_deref(), "bad_request", &e.error));
+                return;
+            }
+        };
+        let analyze = match request {
+            Request::Ping { id } => {
+                let _ = reply.send(Json::obj([("id", Json::str(id)), ("status", Json::str("ok"))]));
+                return;
+            }
+            Request::Stats { id } => {
+                let stats = self.shared.store.stats();
+                let _ = reply.send(Json::obj([
+                    ("id", Json::str(id)),
+                    ("status", Json::str("ok")),
+                    ("stats", stats.to_json()),
+                ]));
+                return;
+            }
+            Request::Analyze(a) => a,
+        };
+
+        let client = analyze.client.unwrap_or_else(|| default_client.to_string());
+        let deadline = match analyze.deadline_ms {
+            Some(ms) => Some(Duration::from_millis(ms)),
+            None => self.shared.config.default_deadline,
+        };
+        let admitted = Admitted {
+            id: analyze.id,
+            client,
+            job: analyze.job,
+            deadline,
+            admitted_at: Instant::now(),
+            reply,
+        };
+
+        let mut state = self.shared.state.lock().expect("engine state lock");
+        if state.shutting_down {
+            let _ = admitted.reply.send(protocol::error_response(
+                Some(&admitted.id),
+                "overloaded",
+                "daemon is draining; not accepting new jobs",
+            ));
+            return;
+        }
+        if state.queue.len() >= self.shared.config.queue {
+            let _ = admitted.reply.send(protocol::error_response(
+                Some(&admitted.id),
+                "overloaded",
+                &format!("admission queue full ({} jobs)", self.shared.config.queue),
+            ));
+            return;
+        }
+        let cap = self.shared.config.per_client;
+        let in_flight = state.per_client.get(&admitted.client).copied().unwrap_or(0);
+        if cap != 0 && in_flight >= cap {
+            let _ = admitted.reply.send(protocol::error_response(
+                Some(&admitted.id),
+                "overloaded",
+                &format!("client `{}` already has {in_flight} jobs in flight", admitted.client),
+            ));
+            return;
+        }
+        *state.per_client.entry(admitted.client.clone()).or_insert(0) += 1;
+        state.queue.push_back(admitted);
+        self.shared.work_cv.notify_one();
+    }
+
+    /// Blocking convenience wrapper: submit one line, wait for its
+    /// response. Used by the benchmark driver and tests.
+    pub fn request(&self, line: &str) -> Json {
+        let (tx, rx) = mpsc::channel();
+        self.submit(line, "local", tx);
+        rx.recv().expect("the engine always sends exactly one response")
+    }
+
+    /// Stops admission, completes every queued and running job, flushes
+    /// the disk store, and joins the workers. Idempotent.
+    pub fn shutdown_and_drain(&self) {
+        {
+            let mut state = self.shared.state.lock().expect("engine state lock");
+            state.shutting_down = true;
+            self.shared.work_cv.notify_all();
+            while !state.queue.is_empty() || state.running > 0 {
+                state = self.shared.idle_cv.wait(state).expect("engine state lock");
+            }
+        }
+        self.shared.store.flush_disk();
+        let handles = std::mem::take(&mut *self.workers.lock().expect("worker handle lock"));
+        for handle in handles {
+            handle.join().expect("daemon workers exit cleanly on drain");
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown_and_drain();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let admitted = {
+            let mut state = shared.state.lock().expect("engine state lock");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    state.running += 1;
+                    break job;
+                }
+                if state.shutting_down {
+                    return;
+                }
+                state = shared.work_cv.wait(state).expect("engine state lock");
+            }
+        };
+
+        let response = run_admitted(shared, &admitted);
+        let _ = admitted.reply.send(response);
+
+        let mut state = shared.state.lock().expect("engine state lock");
+        state.running -= 1;
+        let count = state
+            .per_client
+            .get_mut(&admitted.client)
+            .expect("admission incremented this client's count");
+        *count -= 1;
+        if *count == 0 {
+            state.per_client.remove(&admitted.client);
+        }
+        if state.queue.is_empty() && state.running == 0 {
+            shared.idle_cv.notify_all();
+        }
+    }
+}
+
+/// Runs one admitted job to a response. The deadline is measured from
+/// *admission*, so time spent queued counts against the budget — a
+/// request that waited out its whole deadline in the queue reports
+/// `timeout` without ever running.
+fn run_admitted(shared: &Shared, admitted: &Admitted) -> Json {
+    let queued = admitted.admitted_at.elapsed();
+    let queue_ms = queued.as_secs_f64() * 1e3;
+    let configured_ms = admitted.deadline.map(|d| d.as_millis() as u64);
+
+    let budget = match admitted.deadline {
+        Some(deadline) => {
+            let remaining = deadline.saturating_sub(queued);
+            if remaining.is_zero() {
+                return protocol::timeout_response(
+                    &admitted.id,
+                    configured_ms.expect("deadline is set on this arm"),
+                    queue_ms,
+                    0.0,
+                );
+            }
+            Some(remaining)
+        }
+        None => None,
+    };
+
+    let started = Instant::now();
+    let outcome = run_job_guarded(&admitted.job, &shared.store, budget);
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    // A disk fault mid-job degrades the store to in-memory-only; the
+    // daemon keeps serving and reports the (single) warning on stderr.
+    if let Some(warning) = shared.store.take_disk_warning() {
+        eprintln!("serve: {warning}");
+    }
+    match outcome {
+        JobOutcome::Completed(result) => {
+            protocol::ok_response(&admitted.id, result.result_json(), queue_ms, wall_ms)
+        }
+        JobOutcome::DeadlineExceeded => protocol::timeout_response(
+            &admitted.id,
+            configured_ms.expect("only deadline jobs can exceed a deadline"),
+            queue_ms,
+            wall_ms,
+        ),
+        JobOutcome::Panicked { message } => protocol::error_response(
+            Some(&admitted.id),
+            "job_panicked",
+            &format!("job `{}` panicked: {message}", admitted.job.name()),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(config: EngineConfig) -> Engine {
+        Engine::new(ArtifactStore::new(), config)
+    }
+
+    fn analyze_line(id: &str, benchmark: &str, extra: &str) -> String {
+        format!(r#"{{"id": "{id}", "job": {{"benchmark": "{benchmark}"}}{extra}}}"#)
+    }
+
+    #[test]
+    fn serves_analysis_results_and_pings() {
+        let engine = engine(EngineConfig::default());
+        let pong = engine.request(r#"{"id": "p", "op": "ping"}"#);
+        assert_eq!(pong.get("status").and_then(Json::as_str), Some("ok"));
+
+        let resp = engine.request(&analyze_line("a1", "crc", ""));
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"), "{resp}");
+        let result = resp.get("result").expect("ok responses carry a result");
+        assert!(result.get("wcet").is_some(), "{result}");
+
+        let stats = engine.request(r#"{"id": "st", "op": "stats"}"#);
+        assert!(stats.get("stats").is_some(), "{stats}");
+    }
+
+    #[test]
+    fn served_results_are_byte_identical_to_batch() {
+        let engine = engine(EngineConfig::default());
+        let served = engine.request(&analyze_line("b1", "fir", ""));
+        let served_result = served.get("result").expect("result").to_string();
+
+        let request = stamp_suite::manifest::parse_manifest(
+            r#"{"targets": [{"benchmark": "fir"}]}"#,
+            std::path::Path::new("."),
+        )
+        .unwrap();
+        let report = stamp_core::run_batch(&request, 1).unwrap();
+        assert_eq!(served_result, report.results[0].result_json().to_string());
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overloaded_and_recovers() {
+        // One worker wedged behind real jobs, queue depth 1: the third
+        // concurrent submission must be rejected, not buffered.
+        let engine = engine(EngineConfig { queue: 1, workers: 1, ..EngineConfig::default() });
+        let (tx, rx) = mpsc::channel();
+        for i in 0..8 {
+            engine.submit(&analyze_line(&format!("q{i}"), "crc", ""), "burst", tx.clone());
+        }
+        drop(tx);
+        let responses: Vec<Json> = rx.iter().collect();
+        assert_eq!(responses.len(), 8, "every submission gets exactly one response");
+        let overloaded = responses
+            .iter()
+            .filter(|r| r.get("status").and_then(Json::as_str) == Some("overloaded"))
+            .count();
+        assert!(overloaded > 0, "a burst past queue capacity must shed load");
+        assert!(overloaded < 8, "the queue still serves what it admitted");
+        for r in &responses {
+            if r.get("status").and_then(Json::as_str) == Some("overloaded") {
+                assert!(
+                    r.get("error").and_then(Json::as_str).unwrap().contains("queue full"),
+                    "{r}"
+                );
+            }
+        }
+        // The daemon recovers once the burst drains.
+        let after = engine.request(&analyze_line("after", "crc", ""));
+        assert_eq!(after.get("status").and_then(Json::as_str), Some("ok"), "{after}");
+    }
+
+    #[test]
+    fn per_client_cap_protects_other_clients() {
+        let engine = engine(EngineConfig {
+            queue: 64,
+            per_client: 1,
+            workers: 1,
+            ..EngineConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        // Two jobs from the same client: the cap of one rejects the second
+        // (the first may be queued or already running).
+        engine.submit(&analyze_line("g1", "crc", ""), "greedy", tx.clone());
+        engine.submit(&analyze_line("g2", "crc", ""), "greedy", tx.clone());
+        // A different client is unaffected.
+        engine.submit(&analyze_line("m1", "crc", ""), "modest", tx.clone());
+        drop(tx);
+        let responses: Vec<Json> = rx.iter().collect();
+        let status_of = |id: &str| {
+            responses
+                .iter()
+                .find(|r| r.get("id").and_then(Json::as_str) == Some(id))
+                .and_then(|r| r.get("status"))
+                .and_then(Json::as_str)
+                .map(str::to_string)
+        };
+        assert_eq!(status_of("g1").as_deref(), Some("ok"));
+        assert_eq!(status_of("g2").as_deref(), Some("overloaded"));
+        assert_eq!(status_of("m1").as_deref(), Some("ok"));
+    }
+
+    #[test]
+    fn zero_deadline_times_out_and_later_requests_still_complete() {
+        let engine = engine(EngineConfig::default());
+        let resp = engine.request(&analyze_line("t1", "crc", r#", "deadline_ms": 0"#));
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("timeout"), "{resp}");
+        assert_eq!(
+            resp.get("error").and_then(Json::as_str),
+            Some("deadline of 0 ms exceeded"),
+            "the error quotes the configured deadline, not measured time"
+        );
+        let after = engine.request(&analyze_line("t2", "crc", ""));
+        assert_eq!(after.get("status").and_then(Json::as_str), Some("ok"), "{after}");
+    }
+
+    #[test]
+    fn default_deadline_applies_when_the_request_names_none() {
+        let engine = engine(EngineConfig {
+            default_deadline: Some(Duration::ZERO),
+            ..EngineConfig::default()
+        });
+        let resp = engine.request(&analyze_line("d1", "crc", ""));
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("timeout"), "{resp}");
+        // An explicit (generous) per-request deadline overrides the default.
+        let resp = engine.request(&analyze_line("d2", "crc", r#", "deadline_ms": 60000"#));
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"), "{resp}");
+    }
+
+    #[test]
+    fn bad_requests_answer_immediately_without_touching_the_queue() {
+        let engine = engine(EngineConfig { workers: 1, ..EngineConfig::default() });
+        let resp = engine.request(r#"{"id": "x", "job": {"benchmark": "no-such"}}"#);
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("bad_request"), "{resp}");
+        let resp = engine.request("garbage");
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("bad_request"), "{resp}");
+        assert_eq!(resp.get("id"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn drain_completes_admitted_work_then_rejects_new_jobs() {
+        let engine = engine(EngineConfig { workers: 2, ..EngineConfig::default() });
+        let (tx, rx) = mpsc::channel();
+        for i in 0..4 {
+            engine.submit(&analyze_line(&format!("w{i}"), "crc", ""), "drain", tx.clone());
+        }
+        engine.shutdown_and_drain();
+        // All four admitted jobs completed during the drain.
+        let mut ok = 0;
+        for _ in 0..4 {
+            let r = rx.try_recv().expect("drained jobs have already replied");
+            assert_eq!(r.get("status").and_then(Json::as_str), Some("ok"), "{r}");
+            ok += 1;
+        }
+        assert_eq!(ok, 4);
+        // Post-drain submissions are refused, not queued forever.
+        engine.submit(&analyze_line("late", "crc", ""), "drain", tx.clone());
+        let late = rx.try_recv().expect("rejections are immediate");
+        assert_eq!(late.get("status").and_then(Json::as_str), Some("overloaded"), "{late}");
+        assert!(late.get("error").and_then(Json::as_str).unwrap().contains("draining"));
+        // Idempotent: a second drain (and the Drop drain) are no-ops.
+        engine.shutdown_and_drain();
+    }
+}

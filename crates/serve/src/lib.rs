@@ -1,0 +1,45 @@
+//! # stamp-serve — the fault-tolerant long-lived analysis daemon
+//!
+//! `stamp serve` keeps one warm [`stamp_core::ArtifactStore`] (optionally
+//! disk-backed) alive across many analysis requests, amortizing process
+//! startup and artifact computation the way an aiT-style certification
+//! service would be deployed: as a daemon fed by build and CI jobs, not
+//! as a per-task process.
+//!
+//! The robustness layer is the point of this crate. An industrial
+//! analyzer must degrade *predictably* — reject or bound work, never
+//! hang or crash:
+//!
+//! * **Backpressure.** Admission is a bounded queue; a full queue
+//!   rejects with a structured `overloaded` response instead of growing
+//!   without bound ([`EngineConfig::queue`]).
+//! * **Fairness.** Per-client in-flight caps keep one chatty client
+//!   from monopolizing the queue ([`EngineConfig::per_client`]).
+//! * **Deadlines.** Each request may carry `deadline_ms`, measured from
+//!   admission; the budget is threaded through the phase DAG as a
+//!   cooperative cancellation token (`stamp_exec::cancel`), so a
+//!   runaway fixpoint reports `timeout` instead of wedging a worker.
+//! * **Panic isolation.** A job that panics yields one `job_panicked`
+//!   response; the daemon keeps serving.
+//! * **Graceful drain.** SIGTERM or EOF stops admission, completes every
+//!   admitted job, flushes the disk store, and exits 0.
+//! * **Storage degradation.** Disk-store write faults degrade to
+//!   in-memory-only operation with a single warning (`stamp_core`'s
+//!   store handles this; the daemon surfaces the warning once).
+//!
+//! Served results are **byte-identical** to `stamp batch` over the same
+//! jobs: an `ok` response embeds the exact deterministic
+//! `JobResult::result_json()` object, and everything the daemon adds —
+//! queue waits, wall times, rejections, timeouts — lives strictly in
+//! the timing layer of the protocol, never inside `result`.
+//!
+//! See `protocol` for the request/response schema, `engine` for the
+//! queue and workers, and `server` for the stdio/unix-socket
+//! transports.
+
+mod engine;
+pub mod protocol;
+mod server;
+
+pub use engine::{Engine, EngineConfig};
+pub use server::{serve_stdio, serve_unix, term_requested};

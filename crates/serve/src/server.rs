@@ -1,0 +1,255 @@
+//! Transports: line-delimited JSON over stdio or a unix socket, plus
+//! SIGTERM-driven graceful drain.
+//!
+//! Both transports poll a process-wide termination flag at a short
+//! interval instead of blocking indefinitely, so a SIGTERM (or stdin
+//! EOF) always reaches the same orderly path: stop admission, finish
+//! every admitted job, flush the disk store, exit 0.
+
+use std::io::{self, BufRead, BufReader, BufWriter, ErrorKind, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+use stamp_core::Json;
+
+use crate::Engine;
+
+/// How often blocked transports wake to check the termination flag.
+const POLL: Duration = Duration::from_millis(50);
+
+static TERM: AtomicBool = AtomicBool::new(false);
+
+/// Whether a SIGTERM has been received. Once set, transports stop
+/// admitting work and drain.
+pub fn term_requested() -> bool {
+    TERM.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+pub(crate) fn request_term_for_tests() {
+    TERM.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGTERM handler. The handler only stores to an
+/// `AtomicBool` (async-signal-safe); the transports observe the flag
+/// on their next poll. Raw `signal(2)` via the C runtime keeps the
+/// daemon free of any ffi dependency.
+#[cfg(unix)]
+fn install_term_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_term as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_term_handler() {}
+
+/// Serves requests from stdin, one JSON object per line, writing one
+/// response line to stdout per request (completion order, matched by
+/// `id`). Returns the process exit code: `0` after a graceful drain on
+/// EOF or SIGTERM.
+pub fn serve_stdio(engine: &Engine) -> i32 {
+    install_term_handler();
+
+    let (reply_tx, reply_rx) = mpsc::channel::<Json>();
+    let writer = thread::spawn(move || {
+        let stdout = io::stdout();
+        for response in reply_rx {
+            let mut out = stdout.lock();
+            let _ = writeln!(out, "{response}");
+            let _ = out.flush();
+        }
+    });
+
+    // A blocking stdin read cannot be interrupted portably, so the
+    // reader thread is detached: on SIGTERM the main loop drains and the
+    // process exits without waiting for it.
+    let (line_tx, line_rx) = mpsc::channel::<String>();
+    thread::spawn(move || {
+        for line in io::stdin().lock().lines() {
+            let Ok(line) = line else { break };
+            if line_tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+
+    loop {
+        if term_requested() {
+            break;
+        }
+        match line_rx.recv_timeout(POLL) {
+            Ok(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                engine.submit(&line, "stdin", reply_tx.clone());
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => break, // EOF
+        }
+    }
+
+    engine.shutdown_and_drain();
+    drop(reply_tx);
+    writer.join().expect("stdout writer exits once the last reply is written");
+    0
+}
+
+/// Serves requests over a unix socket at `path`, accepting any number
+/// of concurrent connections; each connection speaks the same
+/// line-delimited protocol as stdio. Returns the exit code (`0` after
+/// a SIGTERM drain).
+///
+/// # Errors
+///
+/// Binding the socket can fail; everything after that degrades
+/// per-connection instead of killing the daemon.
+#[cfg(unix)]
+pub fn serve_unix(engine: &Engine, path: &std::path::Path) -> io::Result<i32> {
+    use std::os::unix::net::UnixListener;
+
+    install_term_handler();
+    // A stale socket file from an unclean previous shutdown would make
+    // bind fail; replacing it is the daemon-restart behavior operators
+    // expect.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+
+    thread::scope(|scope| {
+        let mut next_conn = 0u64;
+        while !term_requested() {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    let conn_id = next_conn;
+                    next_conn += 1;
+                    scope.spawn(move || handle_connection(engine, stream, conn_id));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(POLL),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => {
+                    // Accept faults are transient (fd pressure, aborted
+                    // connects): log and keep serving.
+                    eprintln!("serve: accept failed: {e}");
+                    thread::sleep(POLL);
+                }
+            }
+        }
+        engine.shutdown_and_drain();
+        // Leaving the scope joins the connection threads; they observe
+        // the termination flag on their next read timeout.
+    });
+    let _ = std::fs::remove_file(path);
+    Ok(0)
+}
+
+#[cfg(not(unix))]
+pub fn serve_unix(_engine: &Engine, _path: &std::path::Path) -> io::Result<i32> {
+    Err(io::Error::other("unix sockets are not available on this platform"))
+}
+
+#[cfg(unix)]
+fn handle_connection(engine: &Engine, stream: std::os::unix::net::UnixStream, conn_id: u64) {
+    let client = format!("conn-{conn_id}");
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    // The read timeout doubles as the termination-flag poll interval.
+    let _ = stream.set_read_timeout(Some(POLL));
+
+    let (reply_tx, reply_rx) = mpsc::channel::<Json>();
+    let writer = thread::spawn(move || {
+        let mut out = BufWriter::new(write_half);
+        for response in reply_rx {
+            let _ = writeln!(out, "{response}");
+            let _ = out.flush();
+        }
+    });
+
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if term_requested() {
+            break;
+        }
+        // On timeout `read_line` keeps any partial line in `line`; the
+        // next call appends to it, so slow writers are never corrupted.
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // client closed the connection
+            Ok(_) => {
+                let text = line.trim();
+                if !text.is_empty() {
+                    engine.submit(text, &client, reply_tx.clone());
+                }
+                line.clear();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) => {}
+            Err(_) => break, // connection reset: drop the client, keep the daemon
+        }
+    }
+    // In-flight jobs hold their own reply senders; the writer exits
+    // after the last of them completes, so nothing this client admitted
+    // is lost to the disconnect.
+    drop(reply_tx);
+    let _ = writer.join();
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use crate::EngineConfig;
+    use stamp_core::ArtifactStore;
+    use std::os::unix::net::UnixStream;
+
+    /// One end-to-end pass over the unix transport: connect, analyze,
+    /// ping, then terminate and observe exit code 0. (The stdio
+    /// transport and real SIGTERM delivery are covered by the
+    /// `serve_daemon` integration tests against the built binary.)
+    #[test]
+    fn unix_socket_serves_and_drains_on_term() {
+        let path =
+            std::env::temp_dir().join(format!("stamp-serve-test-{}.sock", std::process::id()));
+        let engine = Engine::new(ArtifactStore::new(), EngineConfig::default());
+        let code = thread::scope(|scope| {
+            let server = scope.spawn(|| serve_unix(&engine, &path).unwrap());
+
+            let mut stream = loop {
+                match UnixStream::connect(&path) {
+                    Ok(s) => break s,
+                    Err(_) => thread::sleep(Duration::from_millis(10)),
+                }
+            };
+            stream
+                .write_all(b"{\"id\": \"u1\", \"job\": {\"benchmark\": \"crc\"}}\n{\"id\": \"u2\", \"op\": \"ping\"}\n")
+                .unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut statuses = Vec::new();
+            for _ in 0..2 {
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                let resp = Json::parse(line.trim()).unwrap();
+                statuses.push(resp.get("status").and_then(Json::as_str).unwrap().to_string());
+            }
+            assert_eq!(statuses, ["ok", "ok"]);
+
+            request_term_for_tests();
+            server.join().expect("server thread exits cleanly")
+        });
+        assert_eq!(code, 0);
+        assert!(!path.exists(), "the socket file is removed on shutdown");
+    }
+}

@@ -5,7 +5,9 @@
 //! stamp wcet   task.s [--no-cache|--ideal] [--loop-bound SYM=N]... [--json] [--dot out.dot]
 //! stamp stack  task.s [--entry SYM] [--recursion SYM=N]...
 //! stamp batch  manifest.json | --corpus  [--jobs N] [--out FILE] [--no-timing] [--check-pins]
-//!              [--no-artifact-cache] [--repeat N] [--dry-run] [--store DIR]
+//!              [--no-artifact-cache] [--repeat N] [--dry-run] [--store DIR] [--deadline-ms N]
+//! stamp serve  [--socket PATH] [--store DIR] [--queue N] [--per-client N] [--jobs N]
+//!              [--default-deadline-ms N]
 //! stamp fuzz   [--iterations N] [--seed N] [--jobs N] [--rounds N] [--out FILE] [--no-timing]
 //!              [--no-shrink] [--repro-dir DIR] [--inject-fault KIND]
 //! stamp disasm task.s
@@ -64,7 +66,9 @@ fn usage() -> String {
      stamp wcet   <task.s> [--no-cache|--ideal] [--loop-bound SYM=N]... [--json] [--dot FILE]\n  \
      stamp stack  <task.s> [--entry SYM] [--recursion SYM=N]...\n  \
      stamp batch  <manifest.json> | --corpus  [--jobs N] [--out FILE] [--no-timing] [--check-pins]\n               \
-     [--no-artifact-cache] [--repeat N] [--dry-run] [--store DIR]\n  \
+     [--no-artifact-cache] [--repeat N] [--dry-run] [--store DIR] [--deadline-ms N]\n  \
+     stamp serve  [--socket PATH] [--store DIR] [--queue N] [--per-client N] [--jobs N]\n               \
+     [--default-deadline-ms N]\n  \
      stamp fuzz   [--iterations N] [--seed N] [--jobs N] [--rounds N] [--out FILE] [--no-timing]\n               \
      [--no-shrink] [--max-shrink-evals N] [--repro-dir DIR] [--inject-fault KIND]\n  \
      stamp disasm <task.s>\n  \
@@ -75,7 +79,18 @@ fn usage() -> String {
      --dry-run            print the job matrix and expected per-phase artifact reuse; run nothing\n  \
      --store DIR          persist phase artifacts in DIR and reuse them across processes\n                       \
      (results stay byte-identical; corrupt or truncated stores are\n                       \
-     repaired in place; ignored under --no-artifact-cache)\n\
+     repaired in place; ignored under --no-artifact-cache)\n  \
+     --deadline-ms N      per-job wall-clock budget; an over-deadline job becomes a per-job\n                       \
+     error (`deadline of N ms exceeded`) and the batch exits 1\n\
+     serve flags (a long-lived daemon; one JSON request per line, one JSON response per line):\n  \
+     --socket PATH        listen on a unix socket instead of stdin/stdout\n  \
+     --store DIR          keep the warm artifact store durable in DIR (write faults degrade\n                       \
+     to in-memory with one warning; the daemon keeps serving)\n  \
+     --queue N            admission-queue capacity; a full queue answers `overloaded` (default 64)\n  \
+     --per-client N       max queued+running jobs per client, 0 = unlimited (default 0)\n  \
+     --default-deadline-ms N  deadline for requests that do not carry `deadline_ms`\n                       \
+     (measured from admission; expiry answers `timeout`)\n                       \
+     SIGTERM or EOF drains admitted jobs, flushes the store, exits 0\n\
      fuzz flags:\n  \
      --iterations N       fuzz jobs to run (default 256); each is a fresh generated program\n  \
      --seed N             campaign seed (default 0); reports are a pure function of it\n  \
@@ -100,6 +115,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "wcet" => wcet(rest),
         "stack" => stack(rest),
         "batch" => batch(rest),
+        "serve" => serve(rest),
         "fuzz" => fuzz(rest),
         "disasm" => disasm(rest),
         "run" => simulate(rest),
@@ -214,6 +230,7 @@ fn batch(args: &[String]) -> Result<(), CliError> {
     let mut repeat: usize = 1;
     let mut dry_run = false;
     let mut store_dir: Option<String> = None;
+    let mut deadline: Option<std::time::Duration> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -225,6 +242,14 @@ fn batch(args: &[String]) -> Result<(), CliError> {
             "--store" => {
                 store_dir =
                     Some(it.next().ok_or(Usage("--store needs a directory".into()))?.clone());
+            }
+            "--deadline-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .ok_or(Usage("--deadline-ms needs a number".into()))?
+                    .parse()
+                    .map_err(|_| Usage("bad --deadline-ms value".into()))?;
+                deadline = Some(std::time::Duration::from_millis(ms));
             }
             "--jobs" => {
                 jobs = it
@@ -290,12 +315,17 @@ fn batch(args: &[String]) -> Result<(), CliError> {
     } else {
         ArtifactStore::new()
     };
-    let mut report = stamp::analyzer::run_batch_with(&request, jobs, &store)
+    let mut report = stamp::analyzer::run_batch_deadline(&request, jobs, &store, deadline)
         .map_err(|e| Analysis(e.to_string()))?;
     for pass in 2..=repeat {
         eprintln!("{}", batch_pass_summary(&report, &store, pass - 1, repeat));
-        report = stamp::analyzer::run_batch_with(&request, jobs, &store)
+        report = stamp::analyzer::run_batch_deadline(&request, jobs, &store, deadline)
             .map_err(|e| Analysis(e.to_string()))?;
+    }
+    // A disk fault during any pass degrades the store to in-memory-only;
+    // surface its single warning rather than failing the batch.
+    if let Some(w) = store.take_disk_warning() {
+        eprintln!("batch: store: {w}");
     }
 
     let json = if no_timing { report.results_json() } else { report.to_json() };
@@ -335,6 +365,73 @@ fn batch(args: &[String]) -> Result<(), CliError> {
         return Err(Analysis(format!("{} batch job(s) failed", report.errors())));
     }
     Ok(())
+}
+
+/// `stamp serve`: the fault-tolerant long-lived analysis daemon. One
+/// warm artifact store (optionally disk-backed) lives across requests;
+/// a bounded queue rejects overload, per-request deadlines cancel
+/// runaway fixpoints, a panicking job yields one `job_panicked`
+/// response, and SIGTERM/EOF drains gracefully. See `stamp_serve` for
+/// the protocol.
+fn serve(args: &[String]) -> Result<(), CliError> {
+    use stamp::serve::{serve_stdio, serve_unix, Engine, EngineConfig};
+
+    let mut socket: Option<String> = None;
+    let mut store_dir: Option<String> = None;
+    let mut config = EngineConfig { workers: stamp::exec::default_workers(), ..Default::default() };
+    let mut it = args.iter();
+    let parse = |name: &str, v: Option<&String>| -> Result<u64, CliError> {
+        v.ok_or(Usage(format!("{name} needs a number")))?
+            .parse()
+            .map_err(|_| Usage(format!("bad {name} value")))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => {
+                socket = Some(it.next().ok_or(Usage("--socket needs a path".into()))?.clone());
+            }
+            "--store" => {
+                store_dir =
+                    Some(it.next().ok_or(Usage("--store needs a directory".into()))?.clone());
+            }
+            "--queue" => {
+                config.queue = parse(a, it.next())? as usize;
+                if config.queue == 0 {
+                    return Err(Usage("--queue must be at least 1".into()));
+                }
+            }
+            "--per-client" => config.per_client = parse(a, it.next())? as usize,
+            "--jobs" => config.workers = parse(a, it.next())? as usize,
+            "--default-deadline-ms" => {
+                config.default_deadline =
+                    Some(std::time::Duration::from_millis(parse(a, it.next())?));
+            }
+            other => return Err(Usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+
+    let store = match &store_dir {
+        Some(dir) => {
+            let (store, warnings) = ArtifactStore::with_disk(std::path::Path::new(dir))
+                .map_err(|e| Usage(format!("--store {dir}: {e}")))?;
+            for w in &warnings {
+                eprintln!("serve: store: {w}");
+            }
+            store
+        }
+        None => ArtifactStore::new(),
+    };
+    let engine = Engine::new(store, config);
+    let code = match &socket {
+        Some(path) => serve_unix(&engine, std::path::Path::new(path))
+            .map_err(|e| Usage(format!("--socket {path}: {e}")))?,
+        None => serve_stdio(&engine),
+    };
+    if code == 0 {
+        Ok(())
+    } else {
+        Err(Analysis(format!("serve exited with code {code}")))
+    }
 }
 
 /// `stamp fuzz`: a differential soundness campaign — thousands of

@@ -54,6 +54,7 @@ pub use stamp_isa as isa;
 pub use stamp_loopbound as loopbound;
 pub use stamp_path as path;
 pub use stamp_pipeline as pipeline;
+pub use stamp_serve as serve;
 pub use stamp_sim as sim;
 pub use stamp_stack as stack;
 pub use stamp_suite as suite;

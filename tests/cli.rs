@@ -156,6 +156,7 @@ fn usage_text_documents_exit_codes_and_every_flag() {
     assert!(stdout.contains("bad arguments"), "{stdout}");
     assert!(stdout.contains("soundness violation"), "{stdout}");
     assert!(stdout.contains("stamp batch"), "{stdout}");
+    assert!(stdout.contains("stamp serve"), "{stdout}");
     assert!(stdout.contains("stamp fuzz"), "{stdout}");
     for flag in [
         "--no-cache",
@@ -173,6 +174,12 @@ fn usage_text_documents_exit_codes_and_every_flag() {
         "--no-artifact-cache",
         "--repeat",
         "--dry-run",
+        "--store",
+        "--deadline-ms",
+        "--socket",
+        "--queue",
+        "--per-client",
+        "--default-deadline-ms",
         "--max-insns",
         "--iterations",
         "--seed",
@@ -225,6 +232,20 @@ fn exit_code_table_covers_every_documented_flag() {
         (&["batch", &manifest, "--dry-run"], 0),
         (&["batch", &manifest, "--check-pins"], 2),
         (&["batch", "--corpus", "--dry-run"], 0),
+        // a generous deadline passes every job; a zero deadline turns
+        // each job into a per-job analysis error (exit 1, not a hang)
+        (&["batch", &manifest, "--deadline-ms", "60000"], 0),
+        (&["batch", &manifest, "--deadline-ms", "0"], 1),
+        (&["batch", &manifest, "--deadline-ms", "x"], 2),
+        (&["batch", &manifest, "--deadline-ms"], 2),
+        // serve: bad invocations exit 2 without starting the daemon
+        // (healthy daemon lifecycles are covered in tests/serve_daemon.rs)
+        (&["serve", "--queue", "x"], 2),
+        (&["serve", "--queue", "0"], 2),
+        (&["serve", "--per-client", "x"], 2),
+        (&["serve", "--default-deadline-ms", "x"], 2),
+        (&["serve", "--socket"], 2),
+        (&["serve", "--frobnicate"], 2),
         // fuzz: a green micro-campaign exits 0; bad numbers and unknown
         // fault kinds are usage errors (2); an injected-fault campaign
         // finds violations and exits 3 — the soundness exit code.
@@ -377,6 +398,27 @@ fn fuzz_injected_fault_writes_minimized_reproducer_and_exits_3() {
     assert!(text.starts_with("; stamp fuzz reproducer"), "{text}");
     assert!(text.contains("div"), "{text}");
     let _ = std::fs::remove_dir_all(&repro);
+}
+
+#[test]
+fn batch_deadline_turns_slow_jobs_into_per_job_errors() {
+    let manifest = write_task(
+        "cli_deadline.json",
+        r#"{"targets": [{"benchmark": "fibcall"}, {"benchmark": "crc"}]}"#,
+    );
+    let (code, stdout, stderr) =
+        stamp_coded(&["batch", &manifest, "--no-timing", "--deadline-ms", "0"]);
+    assert_eq!(code, Some(1), "over-deadline jobs take the failed-job exit path: {stderr}");
+    assert!(stdout.contains("deadline of 0 ms exceeded"), "{stdout}");
+    assert!(stderr.contains("2 batch job(s) failed"), "{stderr}");
+    // The deadline never rewrites results that make it: a generous
+    // budget is byte-identical to no budget at all.
+    let (code, with, stderr) =
+        stamp_coded(&["batch", &manifest, "--no-timing", "--deadline-ms", "60000"]);
+    assert_eq!(code, Some(0), "{stderr}");
+    let (code, without, stderr) = stamp_coded(&["batch", &manifest, "--no-timing"]);
+    assert_eq!(code, Some(0), "{stderr}");
+    assert_eq!(with, without);
 }
 
 #[test]
