@@ -53,6 +53,17 @@
 //! violations — a violation here is a soundness bug, not a perf
 //! regression) and on serial/parallel reports being byte-identical.
 //!
+//! The **sampling engine** (`stamp sample`) is measured under a
+//! `sampling` key: the corpus with every WCET job walking 64
+//! seed-pinned loop-bound-weighted paths, run cold (fresh store)
+//! versus artifact-warm (store primed by a *plain* batch pass — the
+//! sampler reuses the batch's value/cache/pipeline artifacts and only
+//! adds the walks), reported as completed samples/s. `--check` gates
+//! on serial/4-worker sampling reports being byte-identical, on every
+//! observed-max staying ≤ its job's WCET bound (the soundness
+//! invariant the sampler shares with `stamp fuzz`), and on the warm
+//! hit rate (≥ 50%).
+//!
 //! The **serve engine** (`stamp serve`) is measured under a `serve`
 //! key: the corpus × 3-variant request mix pushed through an in-process
 //! daemon engine (admission queue + workers over one warm store), run
@@ -73,7 +84,7 @@ use rand::SeedableRng;
 use stamp_bench::pins::{self, CorpusPin};
 use stamp_core::{
     run_batch, run_batch_with, AnalysisConfig, ArtifactStats, ArtifactStore, BatchVariant, Json,
-    StackAnalysis, WcetAnalysis, WcetReport,
+    SampleParams, StackAnalysis, WcetAnalysis, WcetReport,
 };
 use stamp_hw::HwConfig;
 use stamp_isa::asm::assemble;
@@ -314,10 +325,12 @@ fn batch_request() -> stamp_core::BatchRequest {
         BatchVariant {
             name: "no-cache".to_string(),
             config: AnalysisConfig { hw: HwConfig::no_cache(), ..AnalysisConfig::default() },
+            sampling: None,
         },
         BatchVariant {
             name: "ideal".to_string(),
             config: AnalysisConfig { hw: HwConfig::ideal(), ..AnalysisConfig::default() },
+            sampling: None,
         },
     ])
 }
@@ -578,6 +591,107 @@ fn fuzz_rows(reps: usize) -> FuzzBench {
     }
 }
 
+/// The sampling-engine workload (`stamp sample`): the single-variant
+/// corpus with every WCET job walking 64 seed-pinned paths, cold
+/// (fresh store) versus artifact-warm (store primed by a *plain*
+/// batch pass — the walks ride on the batch's phase artifacts).
+struct SamplingBench {
+    workers: usize,
+    samples: usize,
+    cold_ms: f64,
+    warm_ms: f64,
+    /// Completed walks across the matrix (one measured pass).
+    walks_total: u64,
+    /// Whether the serial run's deterministic results were
+    /// byte-identical to the warm 4-worker run's — the `--check`
+    /// determinism gate (covers worker count *and* cache state).
+    deterministic: bool,
+    /// Whether every sampled observed-max stayed ≤ its job's WCET
+    /// bound — the `--check` soundness gate.
+    sound: bool,
+    /// Artifact statistics of the measured warm pass alone.
+    warm_stats: ArtifactStats,
+}
+
+impl SamplingBench {
+    fn warm_speedup(&self) -> f64 {
+        if self.warm_ms > 0.0 {
+            self.cold_ms / self.warm_ms
+        } else {
+            f64::NAN
+        }
+    }
+
+    fn warm_samples_per_s(&self) -> f64 {
+        if self.warm_ms > 0.0 {
+            self.walks_total as f64 / (self.warm_ms / 1e3)
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+fn sampling_request(samples: usize) -> stamp_core::BatchRequest {
+    let mut request = corpus_matrix(&[BatchVariant::default()]);
+    for job in &mut request.jobs {
+        if job.wcet {
+            job.sampling = Some(SampleParams { samples, seed: 0 });
+        }
+    }
+    request
+}
+
+fn sampling_rows(reps: usize) -> SamplingBench {
+    let samples = 64;
+    let request = sampling_request(samples);
+    let workers = 4;
+
+    // Cold: a fresh store per rep — phases computed, then walked.
+    let (cold_ms, _) = best_ms(reps, || {
+        run_batch_with(&request, workers, &ArtifactStore::new()).expect("cold sampling batch")
+    });
+
+    // Warm: the store primed by a *plain* (non-sampling) batch pass —
+    // the measured pass must answer every phase request from the store
+    // and spend its time on the walks alone.
+    let store = ArtifactStore::new();
+    run_batch_with(&corpus_matrix(&[BatchVariant::default()]), workers, &store)
+        .expect("priming batch");
+    let mut warm_stats = None;
+    let mut warm_results = String::new();
+    let mut walks_total = 0u64;
+    let mut sound = true;
+    let (warm_ms, _) = best_ms(reps, || {
+        let report = run_batch_with(&request, workers, &store).expect("warm sampling batch");
+        warm_stats = Some(report.artifacts);
+        warm_results = report.results_json().to_string();
+        walks_total = 0;
+        sound = true;
+        for r in &report.results {
+            if let Some(s) = &r.sampling {
+                walks_total += s.completed as u64;
+                if let (Some(observed), Some(bound)) = (s.observed_max, r.wcet) {
+                    sound &= observed <= bound;
+                }
+            }
+        }
+    });
+
+    // The determinism reference: serial workers, fresh in-memory store.
+    let serial = run_batch(&request, 1).expect("serial sampling batch");
+
+    SamplingBench {
+        workers,
+        samples,
+        cold_ms,
+        warm_ms,
+        walks_total,
+        deterministic: serial.results_json().to_string() == warm_results,
+        sound,
+        warm_stats: warm_stats.expect("at least one warm rep"),
+    }
+}
+
 /// The serve-engine workload: the corpus × 3-variant request mix as
 /// protocol lines through an in-process daemon [`Engine`], cold (fresh
 /// engine and store) versus warm (same engine, store primed by a full
@@ -688,6 +802,7 @@ fn print_diff_table(
     artifacts: &ArtifactBench,
     artifacts_disk: &ArtifactDiskBench,
     fuzz: &FuzzBench,
+    sampling: &SamplingBench,
     serve: &ServeBench,
 ) {
     let text = match std::fs::read_to_string(committed_path) {
@@ -790,6 +905,10 @@ fn print_diff_table(
             .and_then(Json::as_f64);
         row(format!("fuzz/{}-workers", r.workers), committed, r.wall_ms);
     }
+    let committed_sampling =
+        |key: &str| doc.get("sampling").and_then(|s| s.get(key)).and_then(Json::as_f64);
+    row("sampling/cold".to_string(), committed_sampling("cold_ms"), sampling.cold_ms);
+    row("sampling/warm".to_string(), committed_sampling("warm_ms"), sampling.warm_ms);
     let committed_serve =
         |key: &str| doc.get("serve").and_then(|s| s.get(key)).and_then(Json::as_f64);
     row("serve/cold".to_string(), committed_serve("cold_ms"), serve.cold_ms);
@@ -841,6 +960,8 @@ fn main() {
     let artifacts_disk = artifact_disk_rows(reps);
     eprintln!("kernel_bench: fuzz engine (48-program differential campaign at 1/4 workers)...");
     let fuzz = fuzz_rows(reps);
+    eprintln!("kernel_bench: sampling engine (corpus × 64 walks, cold vs artifact-warm)...");
+    let sampling = sampling_rows(reps);
     eprintln!("kernel_bench: serve engine (corpus request mix, cold vs warm daemon)...");
     let serve = serve_rows(reps);
 
@@ -934,6 +1055,26 @@ fn main() {
         }
         if !fuzz.deterministic {
             drift.push("fuzz: parallel (4-worker) results differ from serial results".to_string());
+        }
+        // The sampling-engine gates: seed-pinned walks must be
+        // byte-identical across worker counts and cache states, every
+        // observed-max must stay under its job's WCET bound (a sampled
+        // path above the bound is a soundness counterexample), and the
+        // artifact-warm pass must reuse the plain batch's phases
+        // (structurally ~100%; ≥50% is the acceptance floor).
+        if !sampling.deterministic {
+            drift.push(
+                "sampling: warm 4-worker results differ from serial cold-store results".to_string(),
+            );
+        }
+        if !sampling.sound {
+            drift.push("sampling: an observed-max exceeded its job's WCET bound".to_string());
+        }
+        if sampling.warm_stats.hit_rate() < 0.5 {
+            drift.push(format!(
+                "sampling: artifact-warm hit rate {:.0}% below the 50% floor",
+                sampling.warm_stats.hit_rate() * 100.0
+            ));
         }
         // The serve-engine gates: a warm daemon must answer mostly from
         // its artifact store (structurally ~100%; ≥50% is the acceptance
@@ -1162,6 +1303,21 @@ fn main() {
             ]),
         ),
         (
+            "sampling",
+            Json::obj([
+                ("workers", Json::int(sampling.workers as u64)),
+                ("samples_per_job", Json::int(sampling.samples as u64)),
+                ("walks_total", Json::int(sampling.walks_total)),
+                ("cold_ms", Json::Num(sampling.cold_ms)),
+                ("warm_ms", Json::Num(sampling.warm_ms)),
+                ("warm_speedup", Json::Num(sampling.warm_speedup())),
+                ("warm_samples_per_s", Json::Num(sampling.warm_samples_per_s())),
+                ("deterministic", Json::Bool(sampling.deterministic)),
+                ("sound", Json::Bool(sampling.sound)),
+                ("warm", sampling.warm_stats.to_json()),
+            ]),
+        ),
+        (
             "serve",
             Json::obj([
                 ("workers", Json::int(serve.workers as u64)),
@@ -1187,6 +1343,7 @@ fn main() {
             &artifacts,
             &artifacts_disk,
             &fuzz,
+            &sampling,
             &serve,
         );
     }
@@ -1211,6 +1368,17 @@ fn main() {
         fuzz.iterations,
         fuzz.rows.first().map(|r| r.programs_per_s).unwrap_or(0.0),
         fuzz.violations,
+    );
+    eprintln!(
+        "kernel_bench: sampling engine: {} walks, cold {:.1} ms, artifact-warm {:.1} ms \
+         ({:.1}x, {:.0} samples/s), deterministic: {}, sound: {}",
+        sampling.walks_total,
+        sampling.cold_ms,
+        sampling.warm_ms,
+        sampling.warm_speedup(),
+        sampling.warm_samples_per_s(),
+        sampling.deterministic,
+        sampling.sound,
     );
     eprintln!(
         "kernel_bench: serve engine: {} requests, cold {:.1} ms, warm {:.1} ms \

@@ -21,7 +21,7 @@ use stamp_cfg::{Cfg, CfgBuilder};
 use stamp_hw::HwConfig;
 use stamp_isa::Program;
 use stamp_loopbound::{LoopBoundAnalysis, LoopBoundOptions};
-use stamp_path::PathOptions;
+use stamp_path::{PathOptions, WcetResult};
 use stamp_pipeline::PipelineAnalysis;
 use stamp_value::{FrozenValueAnalysis, ValueAnalysis, ValueOptions};
 
@@ -101,6 +101,29 @@ pub struct ValueArtifacts {
     pub icfg: Arc<Icfg>,
     /// The value-analysis fixpoint over `icfg`.
     pub va: ValueAnalysis,
+}
+
+/// Every phase artifact behind a [`WcetReport`], exactly as the report
+/// was assembled from them. Returned by [`WcetAnalysis::run_full`] so
+/// downstream consumers — the probabilistic path sampler, the
+/// differential oracle — can run *on top of* a finished analysis
+/// without recomputing any phase: the loop bounds, pipeline times and
+/// ILP witness are shared `Arc`s straight out of the phase DAG.
+pub struct PhaseArtifacts {
+    /// The control-flow graph (with resolved indirect targets).
+    pub cfg: Arc<Cfg>,
+    /// The interprocedural supergraph.
+    pub icfg: Arc<Icfg>,
+    /// The value-analysis fixpoint over `icfg`.
+    pub va: ValueAnalysis,
+    /// The loop-bound analysis (per-instance iteration bounds).
+    pub lb: Arc<LoopBoundAnalysis>,
+    /// The cache analysis (hit/miss/persistence classifications).
+    pub ca: Arc<CacheAnalysis>,
+    /// The pipeline analysis (per-node times, penalties).
+    pub pa: Arc<PipelineAnalysis>,
+    /// The ILP result: the WCET bound and its witness counts.
+    pub path: Arc<WcetResult>,
 }
 
 /// The WCET analyzer. Build with [`WcetAnalysis::new`], configure with
@@ -193,6 +216,23 @@ impl<'p> WcetAnalysis<'p> {
         &self,
         store: &ArtifactStore,
     ) -> Result<(WcetReport, ValueArtifacts), AnalysisError> {
+        self.run_full(store)
+            .map(|(report, a)| (report, ValueArtifacts { cfg: a.cfg, icfg: a.icfg, va: a.va }))
+    }
+
+    /// Like [`WcetAnalysis::run_with_artifacts`], but hands back *every*
+    /// phase artifact ([`PhaseArtifacts`]), not just the value-analysis
+    /// front half. This is the entry point for consumers layered on a
+    /// finished analysis — the probabilistic path sampler walks the
+    /// supergraph against `lb`/`pa` without re-running any phase.
+    ///
+    /// # Errors
+    ///
+    /// As [`WcetAnalysis::run`].
+    pub fn run_full(
+        &self,
+        store: &ArtifactStore,
+    ) -> Result<(WcetReport, PhaseArtifacts), AnalysisError> {
         let program = self.program;
         let cfg_opts = &self.config;
         let program_fp = phase::program_fingerprint(program);
@@ -327,6 +367,6 @@ impl<'p> WcetAnalysis<'p> {
 
         let report =
             WcetReport::assemble(program, &cfg, &icfg, &va, &lb, &ca, &pa, &result, phases);
-        Ok((report, ValueArtifacts { cfg, icfg, va }))
+        Ok((report, PhaseArtifacts { cfg, icfg, va, lb, ca, pa, path: result }))
     }
 }

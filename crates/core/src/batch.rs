@@ -57,6 +57,11 @@ pub struct BatchJob {
     /// Attempt the WCET analysis (`false` for recursive, stack-only
     /// tasks, which aiT rejects without annotations).
     pub wcet: bool,
+    /// Probabilistic path sampling on top of the WCET analysis: draw
+    /// the configured number of seed-pinned weighted walks through the
+    /// finished phase artifacts and report the observed distribution
+    /// (`None` skips sampling; ignored for stack-only jobs).
+    pub sampling: Option<SampleParams>,
 }
 
 impl BatchJob {
@@ -102,6 +107,7 @@ impl BatchRequest {
                     config: v.config.clone(),
                     annotations: t.annotations.clone(),
                     wcet: t.wcet,
+                    sampling: v.sampling,
                 });
             }
         }
@@ -129,11 +135,51 @@ pub struct BatchVariant {
     pub name: String,
     /// The configuration.
     pub config: AnalysisConfig,
+    /// Probabilistic path sampling for every job of this variant (see
+    /// [`BatchJob::sampling`]).
+    pub sampling: Option<SampleParams>,
 }
 
 impl Default for BatchVariant {
     fn default() -> BatchVariant {
-        BatchVariant { name: "default".to_string(), config: AnalysisConfig::default() }
+        BatchVariant {
+            name: "default".to_string(),
+            config: AnalysisConfig::default(),
+            sampling: None,
+        }
+    }
+}
+
+/// Parameters of the probabilistic path-sampling pass a job runs after
+/// a successful WCET analysis. The walk count and rng seed are the
+/// whole deterministic identity of a sampling run — the remaining
+/// sampler options ([`stamp_sample::SampleOptions`]) are derived from
+/// the job's [`AnalysisConfig`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SampleParams {
+    /// Number of path walks to draw.
+    pub samples: usize,
+    /// Seed of the walk rng.
+    pub seed: u64,
+}
+
+impl Default for SampleParams {
+    fn default() -> SampleParams {
+        SampleParams { samples: 64, seed: 0 }
+    }
+}
+
+impl SampleParams {
+    /// The sampler options for a job under `config`: the E4
+    /// `use_infeasible` ablation switch must flip the sampler and the
+    /// ILP together, or sampled paths leave the ILP's polytope.
+    fn options(&self, config: &AnalysisConfig) -> stamp_sample::SampleOptions {
+        stamp_sample::SampleOptions {
+            samples: self.samples,
+            seed: self.seed,
+            use_infeasible: config.use_infeasible,
+            ..stamp_sample::SampleOptions::default()
+        }
     }
 }
 
@@ -159,6 +205,11 @@ pub struct JobResult {
     pub fetch: [usize; 4],
     /// D-cache classifications, same order.
     pub data: [usize; 4],
+    /// The sampled WCET distribution, when the job requested sampling
+    /// and the WCET analysis succeeded. Deterministic (seed-pinned
+    /// walks over deterministic artifacts), so it lives in
+    /// `results_json` like every other analysis result.
+    pub sampling: Option<stamp_sample::SampleSummary>,
     /// The analysis error, if any part of the job failed.
     pub error: Option<String>,
     /// Wall time of this job in milliseconds (excluded from the
@@ -219,7 +270,7 @@ impl JobResult {
     /// responses — byte-identity between served and batch results is a
     /// tested invariant, not a coincidence.
     pub fn result_json(&self) -> Json {
-        Json::obj([
+        let mut obj = Json::obj([
             ("name", Json::str(self.name.clone())),
             ("target", Json::str(self.target.clone())),
             ("variant", Json::str(self.variant.clone())),
@@ -229,8 +280,32 @@ impl JobResult {
             ("fetch", Json::Arr(self.fetch.iter().map(|&v| Json::int(v as u64)).collect())),
             ("data", Json::Arr(self.data.iter().map(|&v| Json::int(v as u64)).collect())),
             ("error", self.error.as_ref().map(|e| Json::str(e.clone())).unwrap_or(Json::Null)),
-        ])
+        ]);
+        // The sampling key appears only on jobs that sampled, so
+        // non-sampling reports keep their exact pre-sampling shape.
+        if let (Json::Obj(o), Some(s)) = (&mut obj, &self.sampling) {
+            o.insert("sampling".to_string(), sampling_json(s));
+        }
+        obj
     }
+}
+
+/// The deterministic JSON rendering of a sampled WCET distribution.
+fn sampling_json(s: &stamp_sample::SampleSummary) -> Json {
+    let opt = |v: Option<u64>| v.map(Json::int).unwrap_or(Json::Null);
+    Json::obj([
+        ("samples", Json::int(s.samples as u64)),
+        ("seed", Json::int(s.seed)),
+        ("completed", Json::int(s.completed as u64)),
+        ("dead_ends", Json::int(s.dead_ends as u64)),
+        ("observed_max", opt(s.observed_max)),
+        ("observed_min", opt(s.observed_min)),
+        ("mean", opt(s.mean)),
+        ("p50", opt(s.p50)),
+        ("p90", opt(s.p90)),
+        ("p99", opt(s.p99)),
+        ("total_cycles", Json::int(s.total_cycles)),
+    ])
 }
 
 /// The merged report of a batch run: per-job results in request order,
@@ -347,6 +422,7 @@ fn run_job(job: &BatchJob, store: &ArtifactStore) -> JobResult {
         evaluations: 0,
         fetch: [0; 4],
         data: [0; 4],
+        sampling: None,
         error: None,
         wall_ms: 0.0,
         provenance: Vec::new(),
@@ -397,15 +473,27 @@ fn run_job(job: &BatchJob, store: &ArtifactStore) -> JobResult {
                 match WcetAnalysis::new(&program)
                     .config(job.config.clone())
                     .annotations(job.annotations.clone())
-                    .run_with(store)
+                    .run_full(store)
                 {
-                    Ok(report) => {
+                    Ok((report, artifacts)) => {
                         result.wcet = Some(report.wcet);
                         result.evaluations = report.evaluations;
                         let (f, d) = (report.fetch_stats, report.data_stats);
                         result.fetch = [f.hit, f.miss, f.persistent, f.unclassified];
                         result.data = [d.hit, d.miss, d.persistent, d.unclassified];
                         note(&report.phases, &mut result);
+                        // Sampling rides on the finished phase DAG: no
+                        // phase is recomputed, only walked.
+                        if let Some(params) = &job.sampling {
+                            result.sampling = Some(stamp_sample::sample_paths(
+                                &artifacts.cfg,
+                                &artifacts.icfg,
+                                &artifacts.va,
+                                &artifacts.lb,
+                                &artifacts.pa,
+                                &params.options(&job.config),
+                            ));
+                        }
                     }
                     Err(e) => errors.push(format!("wcet: {e}")),
                 }
@@ -468,6 +556,7 @@ fn deadline_result(job: &BatchJob, deadline: Duration) -> JobResult {
         evaluations: 0,
         fetch: [0; 4],
         data: [0; 4],
+        sampling: None,
         error: Some(format!("deadline of {} ms exceeded", deadline.as_millis())),
         wall_ms: deadline.as_secs_f64() * 1e3,
         provenance: Vec::new(),
@@ -528,7 +617,7 @@ pub fn run_batch_deadline(
 pub enum JobOutcome {
     /// The job ran to completion (possibly with a job-level analysis
     /// error recorded inside).
-    Completed(JobResult),
+    Completed(Box<JobResult>),
     /// The job's cancellation budget expired before it finished.
     DeadlineExceeded,
     /// The job panicked; the daemon isolates this to one response.
@@ -559,7 +648,7 @@ pub fn run_job_guarded(
     // artifact store is unwind-safe by design (an in-flight slot is
     // released by its guard's Drop).
     match catch_unwind(AssertUnwindSafe(run)) {
-        Ok(result) => JobOutcome::Completed(result),
+        Ok(result) => JobOutcome::Completed(Box::new(result)),
         Err(payload) if payload.is::<Cancelled>() => JobOutcome::DeadlineExceeded,
         Err(payload) => {
             JobOutcome::Panicked { message: stamp_exec::panic_message(payload.as_ref()) }
@@ -602,6 +691,7 @@ loop:   addi r1, r1, -1
                         hw: stamp_hw::HwConfig::no_cache(),
                         ..AnalysisConfig::default()
                     },
+                    sampling: None,
                 },
             ],
         );
@@ -618,6 +708,36 @@ loop:   addi r1, r1, -1
         assert!(serial.results[0].wcet.is_some());
         assert_eq!(serial.results[0].stack, Some(32));
         assert_eq!(serial.errors(), 0);
+    }
+
+    #[test]
+    fn sampling_jobs_report_a_distribution_under_the_wcet() {
+        let variant = BatchVariant {
+            name: "sampled".to_string(),
+            config: AnalysisConfig::default(),
+            sampling: Some(SampleParams { samples: 16, seed: 3 }),
+        };
+        let req = BatchRequest::matrix([target("t", LOOP_TASK)], &[variant]);
+        let serial = run_batch(&req, 1).unwrap();
+        let parallel = run_batch(&req, 4).unwrap();
+        // The sampling summary is part of the deterministic core.
+        assert_eq!(serial.results_json().to_string(), parallel.results_json().to_string());
+        let r = &serial.results[0];
+        let s = r.sampling.as_ref().expect("sampling ran");
+        assert_eq!(s.samples, 16);
+        assert_eq!(s.seed, 3);
+        assert!(s.completed > 0);
+        assert!(s.observed_max.unwrap() <= r.wcet.unwrap(), "sampled max must stay under WCET");
+        let json = r.result_json().to_string();
+        assert!(json.contains("\"sampling\":{"), "{json}");
+        assert!(json.contains("\"observed_max\":"), "{json}");
+        // Jobs without sampling keep the pre-sampling JSON shape.
+        let plain = run_batch(
+            &BatchRequest::matrix([target("t", LOOP_TASK)], &[BatchVariant::default()]),
+            1,
+        )
+        .unwrap();
+        assert!(!plain.results[0].result_json().to_string().contains("sampling"));
     }
 
     #[test]
@@ -644,6 +764,7 @@ v:      .space 4
             config: AnalysisConfig::default(),
             annotations: Annotations::new(),
             wcet: true,
+            sampling: None,
         });
         let report = run_batch(&req, 2).unwrap();
         assert_eq!(report.results.len(), 3);

@@ -54,12 +54,12 @@ mod report;
 mod stack_tool;
 mod store_disk;
 
-pub use analyzer::{AnalysisConfig, ValueArtifacts, WcetAnalysis};
+pub use analyzer::{AnalysisConfig, PhaseArtifacts, ValueArtifacts, WcetAnalysis};
 pub use annot::Annotations;
 pub use artifact::{ArtifactStats, ArtifactStore, PhaseStat};
 pub use batch::{
     run_batch, run_batch_deadline, run_batch_with, run_job_guarded, BatchError, BatchJob,
-    BatchReport, BatchRequest, BatchTarget, BatchVariant, JobOutcome, JobResult,
+    BatchReport, BatchRequest, BatchTarget, BatchVariant, JobOutcome, JobResult, SampleParams,
 };
 pub use error::AnalysisError;
 pub use fingerprint::{Fingerprint, Fp};

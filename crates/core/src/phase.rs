@@ -413,6 +413,7 @@ mod tests {
             config,
             annotations: Annotations::new(),
             wcet: true,
+            sampling: None,
         }
     }
 

@@ -391,8 +391,11 @@ mod tests {
             ..EngineConfig::default()
         });
         let (tx, rx) = mpsc::channel();
-        // Two jobs from the same client: the cap of one rejects the second
-        // (the first may be queued or already running).
+        // Wedge the single worker behind a third client's job first, so
+        // the greedy client's g1 is necessarily still queued — not
+        // racing the worker to completion — when g2 arrives.
+        engine.submit(&analyze_line("w0", "crc", ""), "wedge", tx.clone());
+        // Two jobs from the same client: the cap of one rejects the second.
         engine.submit(&analyze_line("g1", "crc", ""), "greedy", tx.clone());
         engine.submit(&analyze_line("g2", "crc", ""), "greedy", tx.clone());
         // A different client is unaffected.
@@ -407,6 +410,7 @@ mod tests {
                 .and_then(Json::as_str)
                 .map(str::to_string)
         };
+        assert_eq!(status_of("w0").as_deref(), Some("ok"));
         assert_eq!(status_of("g1").as_deref(), Some("ok"));
         assert_eq!(status_of("g2").as_deref(), Some("overloaded"));
         assert_eq!(status_of("m1").as_deref(), Some("ok"));

@@ -17,9 +17,9 @@
 //! `benchmark` / `file` / `source`+`name`, plus `loop_bounds`,
 //! `recursion`, `wcet`), and `variant` (a manifest *variant* object:
 //! `hw`, `peel`, `max_call_depth`, `max_contexts`, `domain`,
-//! `widen_delay`, `small_set`, `use_infeasible`; `name` defaults to
-//! `"default"`). The job vocabulary *is* the `stamp batch` manifest
-//! vocabulary — requests are parsed through the same
+//! `widen_delay`, `small_set`, `use_infeasible`, `sampling`; `name`
+//! defaults to `"default"`). The job vocabulary *is* the `stamp batch`
+//! manifest vocabulary — requests are parsed through the same
 //! `stamp_suite::manifest` code path, so unknown keys are rejected
 //! identically and a served job can never drift from its batch twin.
 //!
@@ -228,6 +228,25 @@ mod tests {
         assert_eq!(a.deadline_ms, Some(250));
         assert_eq!(a.job.name(), "crc", "variant name defaults to `default`");
         assert!(a.job.config.hw.icache.is_none());
+    }
+
+    #[test]
+    fn sampling_variants_reach_the_served_job() {
+        let req = parse_request(
+            r#"{"id": "r1", "job": {"benchmark": "crc"},
+                "variant": {"sampling": {"samples": 16, "seed": 3}}}"#,
+            base(),
+        )
+        .unwrap();
+        let Request::Analyze(a) = req else { panic!("expected analyze") };
+        assert_eq!(a.job.sampling, Some(stamp_core::SampleParams { samples: 16, seed: 3 }));
+        let e = parse_request(
+            r#"{"id": "r2", "job": {"benchmark": "crc"},
+                "variant": {"sampling": {"walks": 1}}}"#,
+            base(),
+        )
+        .unwrap_err();
+        assert!(e.error.contains("unknown sampling key"), "{}", e.error);
     }
 
     #[test]

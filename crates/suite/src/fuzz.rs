@@ -83,6 +83,9 @@ pub struct FuzzConfig {
     pub seed: u64,
     /// Random-input simulation rounds per program.
     pub rounds: usize,
+    /// Path-sampling walks per program for the oracle's sampling leg
+    /// (observed-max ≤ ILP bound); `0` skips it.
+    pub samples: usize,
     /// Minimize counterexamples with the delta debugger.
     pub shrink: bool,
     /// Evaluation budget per shrink (assemble + oracle runs).
@@ -102,6 +105,7 @@ impl Default for FuzzConfig {
             iterations: 256,
             seed: 0,
             rounds: 3,
+            samples: 32,
             shrink: true,
             max_shrink_evals: 500,
             fault: None,
@@ -162,6 +166,9 @@ pub struct FuzzReport {
     /// Sum of all WCET bounds (a determinism checksum over the whole
     /// analysis side).
     pub wcet_sum: u64,
+    /// Total completed path-sampling walks (the sampling leg's
+    /// determinism checksum; every one passed observed-max ≤ bound).
+    pub sampled_paths: u64,
     /// Largest stack bound seen.
     pub max_stack_bound: u32,
     /// Counterexamples, in job order.
@@ -217,6 +224,7 @@ impl FuzzReport {
             ("sim_runs", Json::int(self.sim_runs)),
             ("cycles_total", Json::int(self.cycles_total)),
             ("wcet_sum", Json::int(self.wcet_sum)),
+            ("sampled_paths", Json::int(self.sampled_paths)),
             ("max_stack_bound", Json::int(self.max_stack_bound as u64)),
             ("violation_count", Json::int(self.findings.len() as u64)),
             ("violations", Json::Arr(self.findings.iter().map(Self::finding_json).collect())),
@@ -343,6 +351,7 @@ struct JobOutcome {
     cycles: u64,
     wcet: u64,
     stack_bound: u32,
+    sampled_paths: u64,
     finding: Option<FuzzFinding>,
 }
 
@@ -357,14 +366,22 @@ fn run_job(cfg: &FuzzConfig, index: usize) -> JobOutcome {
         hw: variant.hw,
         value: variant.value.clone(),
         rounds: cfg.rounds,
+        samples: cfg.samples,
         fault: cfg.fault.clone(),
         ..OracleConfig::default()
     };
     let annotations = Annotations::new();
     let input = Some(("scratch", gen_cfg.scratch_bytes()));
 
-    let mut outcome =
-        JobOutcome { lines, sim_runs: 0, cycles: 0, wcet: 0, stack_bound: 0, finding: None };
+    let mut outcome = JobOutcome {
+        lines,
+        sim_runs: 0,
+        cycles: 0,
+        wcet: 0,
+        stack_bound: 0,
+        sampled_paths: 0,
+        finding: None,
+    };
     // The oracle consumes `rng` exactly where generation left off, so
     // a job is replayable from (campaign seed, index) alone. The state
     // at this point is snapshotted for the shrinker: every candidate
@@ -381,6 +398,7 @@ fn run_job(cfg: &FuzzConfig, index: usize) -> JobOutcome {
                 outcome.cycles = report.total_cycles;
                 outcome.wcet = report.wcet.unwrap_or(0);
                 outcome.stack_bound = report.stack_bound;
+                outcome.sampled_paths = report.sampled_paths as u64;
                 return outcome;
             }
             Err(v) => v,
@@ -481,6 +499,7 @@ pub fn run_campaign(cfg: &FuzzConfig, workers: usize) -> Result<FuzzReport, Fuzz
         sim_runs: 0,
         cycles_total: 0,
         wcet_sum: 0,
+        sampled_paths: 0,
         max_stack_bound: 0,
         findings: Vec::new(),
         workers: pool.workers(),
@@ -492,6 +511,7 @@ pub fn run_campaign(cfg: &FuzzConfig, workers: usize) -> Result<FuzzReport, Fuzz
         report.sim_runs += o.sim_runs;
         report.cycles_total += o.cycles;
         report.wcet_sum = report.wcet_sum.wrapping_add(o.wcet);
+        report.sampled_paths += o.sampled_paths;
         report.max_stack_bound = report.max_stack_bound.max(o.stack_bound);
         if let Some(finding) = o.finding {
             report.findings.push(finding);
@@ -544,6 +564,8 @@ mod tests {
         assert_eq!(serial.programs, 8);
         assert!(serial.sim_runs >= 16);
         assert!(serial.wcet_sum > 0);
+        assert!(serial.sampled_paths > 0, "oracle sampling leg must run in campaigns");
+        assert!(serial.results_json().to_string().contains("\"sampled_paths\":"));
     }
 
     #[test]

@@ -29,14 +29,17 @@
 //! `"no-cache"`, `"ideal"` or `{"cache_bytes": N}`), `peel`,
 //! `max_call_depth`, `max_contexts` (VIVU), `domain` (`"const"`,
 //! `"interval"`, `"strided"`), `widen_delay`, `small_set` (value
-//! analysis), `use_infeasible` (bool, ILP).
+//! analysis), `use_infeasible` (bool, ILP), `sampling` (probabilistic
+//! path sampling: `{}` for the defaults or `{"samples": N, "seed": N}`).
 //!
 //! Unknown keys are rejected everywhere: a misspelled knob must fail
 //! the parse, not silently run the default configuration.
 
 use std::path::Path;
 
-use stamp_core::{AnalysisConfig, Annotations, BatchRequest, BatchTarget, BatchVariant, Json};
+use stamp_core::{
+    AnalysisConfig, Annotations, BatchRequest, BatchTarget, BatchVariant, Json, SampleParams,
+};
 use stamp_hw::HwConfig;
 
 use crate::benchmarks;
@@ -241,6 +244,7 @@ fn parse_variant(v: &Json) -> Result<BatchVariant, ManifestError> {
             "widen_delay",
             "small_set",
             "use_infeasible",
+            "sampling",
         ],
     )?;
     let name = v
@@ -310,7 +314,23 @@ fn parse_variant(v: &Json) -> Result<BatchVariant, ManifestError> {
         config.use_infeasible =
             u.as_bool().ok_or(ManifestError("`use_infeasible` must be a boolean".into()))?;
     }
-    Ok(BatchVariant { name, config })
+    let mut sampling = None;
+    if let Some(s) = v.get("sampling") {
+        if s.as_obj().is_none() {
+            return err("`sampling` must be an object ({\"samples\": N, \"seed\": N})");
+        }
+        check_keys(s, "sampling", &["samples", "seed"])?;
+        let mut params = SampleParams::default();
+        if let Some(n) = s.get("samples") {
+            params.samples =
+                n.as_u64().ok_or(ManifestError("`samples` must be an integer".into()))? as usize;
+        }
+        if let Some(n) = s.get("seed") {
+            params.seed = n.as_u64().ok_or(ManifestError("`seed` must be an integer".into()))?;
+        }
+        sampling = Some(params);
+    }
+    Ok(BatchVariant { name, config, sampling })
 }
 
 #[cfg(test)]
@@ -417,6 +437,21 @@ mod tests {
                     "variants": [{"name": "a", "domain": "octagon"}]}"#,
                 "domain",
             ),
+            (
+                r#"{"targets": [{"benchmark": "crc"}],
+                    "variants": [{"name": "a", "sampling": 64}]}"#,
+                "`sampling` must be an object",
+            ),
+            (
+                r#"{"targets": [{"benchmark": "crc"}],
+                    "variants": [{"name": "a", "sampling": {"walks": 1}}]}"#,
+                "unknown sampling key `walks`",
+            ),
+            (
+                r#"{"targets": [{"benchmark": "crc"}],
+                    "variants": [{"name": "a", "sampling": {"samples": "many"}}]}"#,
+                "`samples` must be an integer",
+            ),
         ];
         for (text, needle) in cases {
             let e = parse_manifest(text, base).unwrap_err().to_string();
@@ -442,6 +477,21 @@ mod tests {
             report.results[0].wcet.unwrap()
         };
         assert!(wcet(8) > wcet(3), "larger annotated bound must raise the WCET");
+    }
+
+    #[test]
+    fn sampling_variant_parses_with_defaults_and_overrides() {
+        let req = parse_manifest(
+            r#"{"targets": [{"benchmark": "crc"}],
+                "variants": [{"name": "plain"},
+                             {"name": "walk", "sampling": {"samples": 16, "seed": 3}},
+                             {"name": "default-walk", "sampling": {}}]}"#,
+            Path::new("."),
+        )
+        .unwrap();
+        assert_eq!(req.jobs[0].sampling, None);
+        assert_eq!(req.jobs[1].sampling, Some(SampleParams { samples: 16, seed: 3 }));
+        assert_eq!(req.jobs[2].sampling, Some(SampleParams::default()));
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //!   contexts);
 //! * **termination** — the simulation halts within its instruction
 //!   budget and without faulting (the analyses only accept programs
-//!   they can prove terminating, so a hang or fault contradicts them).
+//!   they can prove terminating, so a hang or fault contradicts them);
+//! * **sampling** — the probabilistic path sampler's observed maximum
+//!   over `samples` seed-pinned iCFG walks never exceeds the ILP
+//!   bound (every sampled path is a feasible point of the ILP, so its
+//!   cost is bounded by the ILP optimum — see `stamp_sample`).
 //!
 //! Any discrepancy is a [`Violation`]; the fuzz campaign treats it as a
 //! counterexample and hands it to the shrinker. A *failure of the
@@ -32,7 +36,7 @@
 
 use rand::Rng;
 use stamp_core::{
-    AnalysisConfig, Annotations, ArtifactStore, StackAnalysis, ValueArtifacts, WcetAnalysis,
+    AnalysisConfig, Annotations, ArtifactStore, PhaseArtifacts, StackAnalysis, WcetAnalysis,
 };
 use stamp_hw::HwConfig;
 use stamp_isa::{Program, Reg};
@@ -59,6 +63,9 @@ pub struct OracleConfig {
     pub wcet: bool,
     /// Simulator instruction budget per round.
     pub max_insns: u64,
+    /// Probabilistic path-sampling walks per program (seed-pinned to 0
+    /// so the check is deterministic); `0` skips the sampling leg.
+    pub samples: usize,
     /// Deliberate oracle corruption, for testing the detection and
     /// shrinking machinery itself. `None` in every real campaign.
     pub fault: Option<FaultInjection>,
@@ -74,6 +81,7 @@ impl Default for OracleConfig {
             check_values: true,
             wcet: true,
             max_insns: 5_000_000,
+            samples: 32,
             fault: None,
         }
     }
@@ -89,6 +97,14 @@ pub enum FaultInjection {
     TightenWcet(u64),
     /// Report only `percent`% of the true stack bound.
     TightenStack(u64),
+    /// Compare the sampler's observed maximum against only `percent`%
+    /// of the true WCET bound, so the sampling leg reports a (fake)
+    /// soundness violation. Independent of [`TightenWcet`], which only
+    /// tightens the bound the *simulator* is compared against — the
+    /// two legs are testable in isolation.
+    ///
+    /// [`TightenWcet`]: FaultInjection::TightenWcet
+    TightenSample(u64),
     /// Report a violation whenever the program contains this mnemonic
     /// (a predicate fault with a crisp minimal reproducer, ideal for
     /// exercising the shrinker).
@@ -132,6 +148,16 @@ pub enum Violation {
         /// The (possibly fault-tightened) static bound.
         bound: u64,
     },
+    /// The path sampler's observed maximum exceeded the WCET bound —
+    /// a feasible ILP point costlier than the claimed ILP optimum.
+    SampleExceeded {
+        /// Completed sampled walks behind the observation.
+        samples: usize,
+        /// The costliest sampled path, in cycles.
+        observed: u64,
+        /// The (possibly fault-tightened) static bound.
+        bound: u64,
+    },
     /// Simulated stack watermark exceeded the stack bound.
     StackExceeded {
         /// Input round.
@@ -167,6 +193,7 @@ impl Violation {
             Violation::SimFault { .. } => "sim-fault",
             Violation::NoHalt { .. } => "no-halt",
             Violation::WcetExceeded { .. } => "wcet",
+            Violation::SampleExceeded { .. } => "sample",
             Violation::StackExceeded { .. } => "stack",
             Violation::ValueEscape { .. } => "value",
             Violation::Injected { .. } => "injected",
@@ -190,6 +217,11 @@ impl std::fmt::Display for Violation {
             Violation::WcetExceeded { round, observed, bound } => write!(
                 f,
                 "round {round}: UNSOUND WCET — simulated {observed} cycles > bound {bound}"
+            ),
+            Violation::SampleExceeded { samples, observed, bound } => write!(
+                f,
+                "UNSOUND sampling — costliest of {samples} sampled paths is {observed} cycles \
+                 > bound {bound}"
             ),
             Violation::StackExceeded { round, observed, bound } => write!(
                 f,
@@ -223,6 +255,11 @@ pub struct OracleReport {
     pub total_cycles: u64,
     /// Simulation rounds executed.
     pub rounds: usize,
+    /// The sampler's observed maximum (`None` when the sampling leg
+    /// was skipped or no walk completed).
+    pub sampled_max: Option<u64>,
+    /// Completed sampled walks.
+    pub sampled_paths: usize,
 }
 
 /// `true` when any decoded instruction's mnemonic equals `mnemonic`.
@@ -264,8 +301,8 @@ pub fn check(
         }
     }
 
-    // ---- The static side: bounds plus the value-analysis artifacts.
-    let (wcet_bound, artifacts): (Option<u64>, Option<ValueArtifacts>) = if cfg.wcet {
+    // ---- The static side: bounds plus the full phase artifacts.
+    let (wcet_bound, artifacts): (Option<u64>, Option<PhaseArtifacts>) = if cfg.wcet {
         let run = WcetAnalysis::new(program)
             .config(AnalysisConfig {
                 hw: cfg.hw,
@@ -273,7 +310,7 @@ pub fn check(
                 ..AnalysisConfig::default()
             })
             .annotations(annotations.clone())
-            .run_with_artifacts(&ArtifactStore::disabled());
+            .run_full(&ArtifactStore::disabled());
         match run {
             Ok((report, artifacts)) => (Some(report.wcet), Some(artifacts)),
             Err(e) => {
@@ -290,6 +327,7 @@ pub fn check(
         .map_err(|e| Violation::Analysis { stage: "stack", message: e.to_string() })?
         .bound;
 
+    let raw_wcet = wcet_bound;
     let wcet_bound = match (&cfg.fault, wcet_bound) {
         (Some(FaultInjection::TightenWcet(percent)), Some(b)) => Some(b * percent / 100),
         _ => wcet_bound,
@@ -298,6 +336,41 @@ pub fn check(
         Some(FaultInjection::TightenStack(percent)) => (stack_bound as u64 * percent / 100) as u32,
         _ => stack_bound,
     };
+
+    // ---- The sampling leg: the sampler's observed maximum is a lower
+    // bound on the true worst case, so it must stay under the ILP
+    // optimum. Compared against the raw bound (tightened only by
+    // `TightenSample`), so `TightenWcet` self-tests keep exercising
+    // the *simulator* leg alone.
+    let mut sampled_max = None;
+    let mut sampled_paths = 0;
+    if cfg.samples > 0 {
+        if let (Some(arts), Some(bound)) = (&artifacts, raw_wcet) {
+            let bound = match &cfg.fault {
+                Some(FaultInjection::TightenSample(percent)) => bound * percent / 100,
+                _ => bound,
+            };
+            let options = stamp_sample::SampleOptions {
+                samples: cfg.samples,
+                seed: 0,
+                ..stamp_sample::SampleOptions::default()
+            };
+            let summary = stamp_sample::sample_paths(
+                &arts.cfg, &arts.icfg, &arts.va, &arts.lb, &arts.pa, &options,
+            );
+            if let Some(observed) = summary.observed_max {
+                if observed > bound {
+                    return Err(Box::new(Violation::SampleExceeded {
+                        samples: summary.completed,
+                        observed,
+                        bound,
+                    }));
+                }
+            }
+            sampled_max = summary.observed_max;
+            sampled_paths = summary.completed;
+        }
+    }
 
     // ---- The input plan: random rounds, then adversarial patterns.
     let input_region = match input {
@@ -343,6 +416,8 @@ pub fn check(
         worst_stack: 0,
         total_cycles: 0,
         rounds: inputs.len(),
+        sampled_max,
+        sampled_paths,
     };
     for (round, bytes) in inputs.into_iter().enumerate() {
         let mut sim = Simulator::new(program, &cfg.hw);
@@ -388,7 +463,7 @@ pub fn check(
 /// the halt block.
 fn check_exit_values(
     sim: &mut Simulator,
-    artifacts: &ValueArtifacts,
+    artifacts: &PhaseArtifacts,
     round: usize,
 ) -> Result<(), Box<Violation>> {
     let halt_block = artifacts.cfg.block_containing(sim.pc()).ok_or_else(|| {
@@ -441,6 +516,37 @@ mod tests {
         assert!(report.wcet.unwrap() >= report.worst_cycles);
         assert!(report.stack_bound >= report.worst_stack);
         assert_eq!(report.rounds, 3);
+        assert!(report.sampled_paths > 0, "sampling leg must run by default");
+        assert!(report.sampled_max.unwrap() <= report.wcet.unwrap());
+    }
+
+    #[test]
+    fn tightened_sample_bound_is_detected_as_a_sample_violation() {
+        let program = generated(2, &GenConfig::default());
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = OracleConfig {
+            fault: Some(FaultInjection::TightenSample(1)),
+            ..OracleConfig::default()
+        };
+        let v = check(&program, &Annotations::new(), Some(("scratch", 128)), &cfg, &mut rng)
+            .expect_err("tightened sampling bound must be violated");
+        assert_eq!(v.kind(), "sample", "{v}");
+        assert!(v.to_string().contains("UNSOUND sampling"), "{v}");
+    }
+
+    #[test]
+    fn sampling_leg_can_be_disabled() {
+        let program = generated(2, &GenConfig::default());
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = OracleConfig {
+            samples: 0,
+            fault: Some(FaultInjection::TightenSample(1)),
+            ..OracleConfig::default()
+        };
+        let report = check(&program, &Annotations::new(), Some(("scratch", 128)), &cfg, &mut rng)
+            .unwrap_or_else(|v| panic!("unexpected violation: {v}"));
+        assert_eq!(report.sampled_paths, 0);
+        assert_eq!(report.sampled_max, None);
     }
 
     #[test]

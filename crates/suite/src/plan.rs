@@ -176,10 +176,12 @@ mod tests {
             BatchVariant {
                 name: "no-cache".into(),
                 config: AnalysisConfig { hw: HwConfig::no_cache(), ..Default::default() },
+                sampling: None,
             },
             BatchVariant {
                 name: "ideal".into(),
                 config: AnalysisConfig { hw: HwConfig::ideal(), ..Default::default() },
+                sampling: None,
             },
         ]);
         let plan = plan(&request);

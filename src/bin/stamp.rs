@@ -6,10 +6,12 @@
 //! stamp stack  task.s [--entry SYM] [--recursion SYM=N]...
 //! stamp batch  manifest.json | --corpus  [--jobs N] [--out FILE] [--no-timing] [--check-pins]
 //!              [--no-artifact-cache] [--repeat N] [--dry-run] [--store DIR] [--deadline-ms N]
+//! stamp sample manifest.json | --corpus  [--samples N] [--seed N] [--jobs N] [--out FILE]
+//!              [--no-timing] [--store DIR]
 //! stamp serve  [--socket PATH] [--store DIR] [--queue N] [--per-client N] [--jobs N]
 //!              [--default-deadline-ms N]
-//! stamp fuzz   [--iterations N] [--seed N] [--jobs N] [--rounds N] [--out FILE] [--no-timing]
-//!              [--no-shrink] [--repro-dir DIR] [--inject-fault KIND]
+//! stamp fuzz   [--iterations N] [--seed N] [--jobs N] [--rounds N] [--samples N] [--out FILE]
+//!              [--no-timing] [--no-shrink] [--repro-dir DIR] [--inject-fault KIND]
 //! stamp disasm task.s
 //! stamp run    task.s [--max-insns N]
 //! ```
@@ -67,10 +69,12 @@ fn usage() -> String {
      stamp stack  <task.s> [--entry SYM] [--recursion SYM=N]...\n  \
      stamp batch  <manifest.json> | --corpus  [--jobs N] [--out FILE] [--no-timing] [--check-pins]\n               \
      [--no-artifact-cache] [--repeat N] [--dry-run] [--store DIR] [--deadline-ms N]\n  \
+     stamp sample <manifest.json> | --corpus  [--samples N] [--seed N] [--jobs N] [--out FILE]\n               \
+     [--no-timing] [--store DIR]\n  \
      stamp serve  [--socket PATH] [--store DIR] [--queue N] [--per-client N] [--jobs N]\n               \
      [--default-deadline-ms N]\n  \
-     stamp fuzz   [--iterations N] [--seed N] [--jobs N] [--rounds N] [--out FILE] [--no-timing]\n               \
-     [--no-shrink] [--max-shrink-evals N] [--repro-dir DIR] [--inject-fault KIND]\n  \
+     stamp fuzz   [--iterations N] [--seed N] [--jobs N] [--rounds N] [--samples N] [--out FILE]\n               \
+     [--no-timing] [--no-shrink] [--max-shrink-evals N] [--repro-dir DIR] [--inject-fault KIND]\n  \
      stamp disasm <task.s>\n  \
      stamp run    <task.s> [--max-insns N]\n\
      batch flags:\n  \
@@ -82,6 +86,15 @@ fn usage() -> String {
      repaired in place; ignored under --no-artifact-cache)\n  \
      --deadline-ms N      per-job wall-clock budget; an over-deadline job becomes a per-job\n                       \
      error (`deadline of N ms exceeded`) and the batch exits 1\n\
+     sample flags (probabilistic path sampling: every WCET job also walks the iCFG and reports\n\
+     an observed-max / mean / percentile distribution under the sound ILP bound):\n  \
+     --samples N          loop-bound-weighted path walks per job (default 64)\n  \
+     --seed N             sampling seed (default 0); results are a pure function of\n                       \
+     (manifest, --samples, --seed) — byte-identical across --jobs values\n  \
+     --store DIR          reuse phase artifacts from DIR (sampling never recomputes\n                       \
+     value/cache/pipeline phases a batch already produced)\n                       \
+     an observed maximum above a job's WCET bound is a soundness\n                       \
+     counterexample: the offending jobs are listed and the exit code is 3\n\
      serve flags (a long-lived daemon; one JSON request per line, one JSON response per line):\n  \
      --socket PATH        listen on a unix socket instead of stdin/stdout\n  \
      --store DIR          keep the warm artifact store durable in DIR (write faults degrade\n                       \
@@ -95,17 +108,20 @@ fn usage() -> String {
      --iterations N       fuzz jobs to run (default 256); each is a fresh generated program\n  \
      --seed N             campaign seed (default 0); reports are a pure function of it\n  \
      --rounds N           random-input simulation rounds per program (default 3)\n  \
+     --samples N          path-sampling walks per program for the oracle's observed-max ≤ bound\n                       \
+     leg (default 32; 0 disables it)\n  \
      --no-shrink          keep counterexamples unminimized\n  \
      --max-shrink-evals N delta-debugging budget per counterexample (default 500)\n  \
      --repro-dir DIR      where reproducers are written (default proptest-regressions/fuzz)\n  \
      --inject-fault KIND  deliberately corrupt the oracle to test the harness:\n                       \
-     tight-wcet | tight-stack | contains-div\n\
+     tight-wcet | tight-stack | tight-sample | contains-div\n\
      exit codes:\n  \
      0  success\n  \
      1  analysis failed (assembly error, missing annotation, failed batch job, pin drift)\n  \
      2  bad arguments (unknown flag or command, unreadable input, malformed manifest,\n        \
-     unusable --store directory)\n  \
-     3  soundness violation (stamp fuzz found a counterexample; see the reproducer file)"
+     unusable --store directory, bad --samples/--seed value)\n  \
+     3  soundness violation (stamp fuzz found a counterexample, or stamp sample observed a\n        \
+     path costlier than its job's WCET bound)"
         .to_string()
 }
 
@@ -115,6 +131,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "wcet" => wcet(rest),
         "stack" => stack(rest),
         "batch" => batch(rest),
+        "sample" => sample(rest),
         "serve" => serve(rest),
         "fuzz" => fuzz(rest),
         "disasm" => disasm(rest),
@@ -273,23 +290,7 @@ fn batch(args: &[String]) -> Result<(), CliError> {
         }
     }
 
-    let request = match (&manifest, corpus) {
-        (Some(_), true) | (None, false) => {
-            return Err(Usage(format!(
-                "batch needs a manifest file or --corpus (not both)\n{}",
-                usage()
-            )))
-        }
-        (None, true) => stamp::suite::corpus_request(),
-        (Some(path), false) => {
-            let text = std::fs::read_to_string(path).map_err(|e| Usage(format!("{path}: {e}")))?;
-            let base = std::path::Path::new(path)
-                .parent()
-                .filter(|p| !p.as_os_str().is_empty())
-                .unwrap_or(std::path::Path::new("."));
-            stamp::suite::parse_manifest(&text, base).map_err(|e| Usage(e.to_string()))?
-        }
-    };
+    let request = load_request("batch", &manifest, corpus)?;
     if check_pins && !corpus {
         return Err(Usage("--check-pins requires --corpus (pins cover the corpus)".into()));
     }
@@ -363,6 +364,152 @@ fn batch(args: &[String]) -> Result<(), CliError> {
     }
     if report.errors() > 0 {
         return Err(Analysis(format!("{} batch job(s) failed", report.errors())));
+    }
+    Ok(())
+}
+
+/// Resolves a job matrix for `stamp batch` / `stamp sample`: a JSON
+/// manifest file or (with `--corpus`) the built-in EVA32 corpus.
+fn load_request(
+    cmd: &str,
+    manifest: &Option<String>,
+    corpus: bool,
+) -> Result<stamp::BatchRequest, CliError> {
+    match (manifest, corpus) {
+        (Some(_), true) | (None, false) => {
+            Err(Usage(format!("{cmd} needs a manifest file or --corpus (not both)\n{}", usage())))
+        }
+        (None, true) => Ok(stamp::suite::corpus_request()),
+        (Some(path), false) => {
+            let text = std::fs::read_to_string(path).map_err(|e| Usage(format!("{path}: {e}")))?;
+            let base = std::path::Path::new(path)
+                .parent()
+                .filter(|p| !p.as_os_str().is_empty())
+                .unwrap_or(std::path::Path::new("."));
+            stamp::suite::parse_manifest(&text, base).map_err(|e| Usage(e.to_string()))
+        }
+    }
+}
+
+/// `stamp sample`: the probabilistic path-sampling backend. Every WCET
+/// job of the matrix additionally walks the iCFG `--samples` times —
+/// loop-bound-weighted, seed-pinned — through the same cache/pipeline
+/// cost model the ILP priced, and reports the observed-max / mean /
+/// percentile WCET distribution next to the sound bound. Every sampled
+/// path is a feasible ILP point, so `observed-max > WCET` is a
+/// soundness counterexample (exit 3).
+fn sample(args: &[String]) -> Result<(), CliError> {
+    let mut manifest: Option<String> = None;
+    let mut corpus = false;
+    let mut jobs = stamp::exec::default_workers();
+    let mut out: Option<String> = None;
+    let mut no_timing = false;
+    let mut store_dir: Option<String> = None;
+    let mut samples: usize = 64;
+    let mut seed: u64 = 0;
+    let mut it = args.iter();
+    let parse = |name: &str, v: Option<&String>| -> Result<u64, CliError> {
+        v.ok_or(Usage(format!("{name} needs a number")))?
+            .parse()
+            .map_err(|_| Usage(format!("bad {name} value")))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--corpus" => corpus = true,
+            "--no-timing" => no_timing = true,
+            "--samples" => samples = parse(a, it.next())? as usize,
+            "--seed" => seed = parse(a, it.next())?,
+            "--jobs" => jobs = parse(a, it.next())? as usize,
+            "--store" => {
+                store_dir =
+                    Some(it.next().ok_or(Usage("--store needs a directory".into()))?.clone());
+            }
+            "--out" => out = Some(it.next().ok_or(Usage("--out needs a file".into()))?.clone()),
+            f if !f.starts_with('-') && manifest.is_none() => manifest = Some(f.to_string()),
+            other => return Err(Usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+
+    let mut request = load_request("sample", &manifest, corpus)?;
+    // The CLI's knobs apply uniformly: every WCET job samples with
+    // (--samples, --seed), overriding any per-variant manifest
+    // `sampling` block (use `stamp batch` for mixed matrices).
+    for job in &mut request.jobs {
+        if job.wcet {
+            job.sampling = Some(stamp::analyzer::SampleParams { samples, seed });
+        }
+    }
+
+    let store = match &store_dir {
+        Some(dir) => {
+            let (store, warnings) = ArtifactStore::with_disk(std::path::Path::new(dir))
+                .map_err(|e| Usage(format!("--store {dir}: {e}")))?;
+            for w in &warnings {
+                eprintln!("sample: store: {w}");
+            }
+            store
+        }
+        None => ArtifactStore::new(),
+    };
+    let report = stamp::analyzer::run_batch_deadline(&request, jobs, &store, None)
+        .map_err(|e| Analysis(e.to_string()))?;
+    if let Some(w) = store.take_disk_warning() {
+        eprintln!("sample: store: {w}");
+    }
+
+    let json = if no_timing { report.results_json() } else { report.to_json() };
+    let rendered = format!("{json}\n");
+    match &out {
+        Some(path) => std::fs::write(path, &rendered).map_err(|e| Usage(format!("{path}: {e}")))?,
+        None => print!("{rendered}"),
+    }
+
+    let sampled: Vec<_> = report.results.iter().filter(|r| r.sampling.is_some()).collect();
+    let walks: usize = sampled.iter().map(|r| r.sampling.as_ref().unwrap().completed).sum();
+    // Tightness: how close the sampled observed-max comes to the sound
+    // bound, at its worst across the matrix (sampling is a lower bound,
+    // so ≤ 100% unless the analyzer is broken).
+    let tightness = sampled
+        .iter()
+        .filter_map(|r| {
+            let s = r.sampling.as_ref().unwrap();
+            Some((s.observed_max? as f64 / r.wcet? as f64) * 100.0)
+        })
+        .fold(f64::NAN, f64::max);
+    eprintln!(
+        "sample: {} jobs ({} sampled) × {samples} walks (seed {seed}) on {} workers in {:.1} ms \
+         — {walks} completed walks, worst observed/WCET {:.0}%",
+        report.results.len(),
+        sampled.len(),
+        report.workers,
+        report.wall_ms,
+        tightness,
+    );
+
+    let violations: Vec<String> = sampled
+        .iter()
+        .filter_map(|r| {
+            let s = r.sampling.as_ref().unwrap();
+            match (s.observed_max, r.wcet) {
+                (Some(observed), Some(bound)) if observed > bound => Some(format!(
+                    "{}: sampled path of {observed} cycles exceeds the WCET bound {bound}",
+                    r.name
+                )),
+                _ => None,
+            }
+        })
+        .collect();
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("sample: UNSOUND {v}");
+        }
+        return Err(Violation(format!(
+            "{} job(s) sampled a path above the WCET bound",
+            violations.len()
+        )));
+    }
+    if report.errors() > 0 {
+        return Err(Analysis(format!("{} sample job(s) failed", report.errors())));
     }
     Ok(())
 }
@@ -459,6 +606,7 @@ fn fuzz(args: &[String]) -> Result<(), CliError> {
             "--iterations" => cfg.iterations = parse(a, it.next())? as usize,
             "--seed" => cfg.seed = parse(a, it.next())?,
             "--rounds" => cfg.rounds = parse(a, it.next())? as usize,
+            "--samples" => cfg.samples = parse(a, it.next())? as usize,
             "--jobs" => jobs = parse(a, it.next())? as usize,
             "--max-shrink-evals" => cfg.max_shrink_evals = parse(a, it.next())? as usize,
             "--no-shrink" => cfg.shrink = false,
@@ -472,10 +620,12 @@ fn fuzz(args: &[String]) -> Result<(), CliError> {
                 cfg.fault = Some(match kind.as_str() {
                     "tight-wcet" => FaultInjection::TightenWcet(50),
                     "tight-stack" => FaultInjection::TightenStack(50),
+                    "tight-sample" => FaultInjection::TightenSample(1),
                     "contains-div" => FaultInjection::FlagMnemonic("div".to_string()),
                     other => {
                         return Err(Usage(format!(
-                            "unknown fault `{other}` (tight-wcet | tight-stack | contains-div)"
+                            "unknown fault `{other}` (tight-wcet | tight-stack | tight-sample | \
+                             contains-div)"
                         )))
                     }
                 });

@@ -54,6 +54,7 @@ pub use stamp_isa as isa;
 pub use stamp_loopbound as loopbound;
 pub use stamp_path as path;
 pub use stamp_pipeline as pipeline;
+pub use stamp_sample as sample;
 pub use stamp_serve as serve;
 pub use stamp_sim as sim;
 pub use stamp_stack as stack;
@@ -68,5 +69,6 @@ pub use stamp_core::{
 pub use stamp_hw::HwConfig;
 pub use stamp_isa::asm::assemble;
 pub use stamp_isa::Program;
+pub use stamp_sample::{sample_paths, SampleOptions, SampleSummary};
 pub use stamp_sim::Simulator;
 pub use stamp_stack::{OsekSystem, Task};
