@@ -72,6 +72,18 @@
 //! rate (≥ 50%; structurally ~100%) and on every served result being
 //! byte-identical to `run_batch` over the same job matrix.
 //!
+//! The **procedure-summary path solver** is measured under a
+//! `summaries` key: the E6 scaling series (extended to 640 constructs)
+//! analyzed twice per size — once with the monolithic whole-iCFG ILP
+//! (`summaries: false`) and once with the per-segment summary solver —
+//! comparing the path-phase wall time alone. `--check` gates on the
+//! WCET bounds being identical in both modes at every size (the
+//! summary decomposition is exact, not an approximation), on the
+//! summarized solver beating the monolithic one by ≥ 25× at the
+//! largest size, and on its wall time growing no faster than the ILP
+//! itself across the 64 → 640 decade (sub-linear in solver terms —
+//! the monolithic solve grows super-linearly over the same span).
+//!
 //! The emitted JSON carries a `before` section: wall times recorded with
 //! this same harness at the pre-refactor kernel (commit 848c9d7, full
 //! `State::clone`-per-edge solver, `BTreeMap` cache sets), so the file
@@ -84,7 +96,7 @@ use rand::SeedableRng;
 use stamp_bench::pins::{self, CorpusPin};
 use stamp_core::{
     run_batch, run_batch_with, AnalysisConfig, ArtifactStats, ArtifactStore, BatchVariant, Json,
-    SampleParams, StackAnalysis, WcetAnalysis, WcetReport,
+    PhaseId, SampleParams, StackAnalysis, WcetAnalysis, WcetReport,
 };
 use stamp_hw::HwConfig;
 use stamp_isa::asm::assemble;
@@ -231,11 +243,18 @@ struct ScalingRow {
     best_ms: f64,
 }
 
+/// The E6 scaling series sizes. The tail past 64 exists because the
+/// procedure-summary path solver made the whole-series run affordable —
+/// the monolithic ILP alone took ~21 s at 640 constructs. The prefix
+/// draws of the shared rng are unchanged by appending sizes, so the
+/// pinned evaluations for the original sizes stay valid.
+const SCALING_SIZES: &[usize] = &[2, 4, 8, 16, 32, 64, 128, 256, 640];
+
 fn scaling_rows(reps: usize) -> Vec<ScalingRow> {
     // Same seed discipline as experiment E6: one rng across the series.
     let mut rng = StdRng::seed_from_u64(0xE6);
     let mut rows = Vec::new();
-    for constructs in [2usize, 4, 8, 16, 32, 64] {
+    for &constructs in SCALING_SIZES {
         let cfg = GenConfig { constructs, functions: 2, ..GenConfig::default() };
         let src = generate(&mut rng, &cfg);
         let program = assemble(&src).expect("generated");
@@ -246,6 +265,74 @@ fn scaling_rows(reps: usize) -> Vec<ScalingRow> {
             nodes: report.nodes,
             evaluations: report.evaluations,
             best_ms: best,
+        });
+    }
+    rows
+}
+
+/// One E6 program analyzed in both path-solver modes: the monolithic
+/// whole-iCFG ILP versus the per-segment procedure-summary solver.
+struct SummaryRow {
+    constructs: usize,
+    nodes: usize,
+    ilp_vars: usize,
+    inlined_path_ms: f64,
+    summarized_path_ms: f64,
+    inlined_wcet: u64,
+    summarized_wcet: u64,
+    summaries_computed: u64,
+    summaries_reused: u64,
+}
+
+/// Best-of-`reps` *path-phase* wall time in milliseconds, plus the last
+/// report. Unlike [`best_ms`] this keys the minimum on the phase timer
+/// inside the report, so jitter in the other phases cannot pick a rep
+/// with a slow path solve.
+fn best_path_ms(reps: usize, mut f: impl FnMut() -> WcetReport) -> (f64, WcetReport) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let report = f();
+        let ms: f64 = report
+            .phases
+            .iter()
+            .filter(|p| p.phase == PhaseId::Path)
+            .map(|p| p.seconds * 1e3)
+            .sum();
+        best = best.min(ms);
+        last = Some(report);
+    }
+    (best, last.expect("at least one rep"))
+}
+
+/// The procedure-summary workload: the E6 series (same rng discipline
+/// as [`scaling_rows`], so the programs are identical) with the path
+/// phase timed in both modes. The monolithic solve is super-linear —
+/// at 640 constructs it runs for ~21 s — so past 64 constructs it is
+/// measured once instead of `reps` times.
+fn summaries_rows(reps: usize) -> Vec<SummaryRow> {
+    let mut rng = StdRng::seed_from_u64(0xE6);
+    let mut rows = Vec::new();
+    for &constructs in SCALING_SIZES {
+        let cfg = GenConfig { constructs, functions: 2, ..GenConfig::default() };
+        let src = generate(&mut rng, &cfg);
+        let program = assemble(&src).expect("generated");
+        let (summarized_path_ms, summarized) =
+            best_path_ms(reps, || WcetAnalysis::new(&program).run().expect("summarized analysis"));
+        let inlined_reps = if constructs > 64 { 1 } else { reps };
+        let (inlined_path_ms, inlined) = best_path_ms(inlined_reps, || {
+            WcetAnalysis::new(&program).summaries(false).run().expect("inlined analysis")
+        });
+        rows.push(SummaryRow {
+            constructs,
+            nodes: summarized.nodes,
+            ilp_vars: summarized.ilp_size.0,
+            inlined_path_ms,
+            summarized_path_ms,
+            inlined_wcet: inlined.wcet,
+            summarized_wcet: summarized.wcet,
+            summaries_computed: summarized.summaries_computed,
+            summaries_reused: summarized.summaries_reused,
         });
     }
     rows
@@ -797,6 +884,7 @@ fn print_diff_table(
     committed_path: &str,
     corpus: &[CorpusRow],
     scaling: &[ScalingRow],
+    summaries: &[SummaryRow],
     phases: &[(&'static str, f64)],
     batch: &BatchBench,
     artifacts: &ArtifactBench,
@@ -867,6 +955,20 @@ fn print_diff_table(
             .and_then(|e| e.get("best_ms"))
             .and_then(Json::as_f64);
         row(format!("scaling/{}", r.constructs), committed, r.best_ms);
+    }
+    for r in summaries {
+        let committed = doc
+            .get("summaries")
+            .and_then(|s| s.get("series"))
+            .and_then(Json::as_arr)
+            .and_then(|arr| {
+                arr.iter().find(|e| {
+                    e.get("constructs").and_then(Json::as_u64) == Some(r.constructs as u64)
+                })
+            })
+            .and_then(|e| e.get("summarized_path_ms"))
+            .and_then(Json::as_f64);
+        row(format!("summaries/{}", r.constructs), committed, r.summarized_path_ms);
     }
     for (name, ms) in phases {
         row(format!("phases/{name}"), committed_ms(&["phases_ms", name]), *ms);
@@ -950,6 +1052,8 @@ fn main() {
     let corpus: Vec<CorpusRow> = benchmarks().iter().map(|b| corpus_row(b.name, reps)).collect();
     eprintln!("kernel_bench: scaling series...");
     let scaling = scaling_rows(reps);
+    eprintln!("kernel_bench: procedure summaries (monolithic vs summarized path solver)...");
+    let summaries = summaries_rows(reps);
     eprintln!("kernel_bench: matmult phase breakdown...");
     let phases = phase_rows(reps);
     eprintln!("kernel_bench: batch engine (corpus × 3 variants at 1/2/4/8 workers)...");
@@ -982,6 +1086,15 @@ fn main() {
         println!("];");
     }
 
+    // ---- Derived procedure-summary figures (shared by the gates, the
+    // JSON and the stderr summary). The series endpoints frame the
+    // 64 → 640 decade the tentpole claims.
+    let sum_base = summaries.iter().find(|r| r.constructs == 64).expect("64 in series");
+    let sum_top = summaries.last().expect("nonempty series");
+    let endpoint_speedup = sum_top.inlined_path_ms / sum_top.summarized_path_ms.max(1e-9);
+    let summarized_growth = sum_top.summarized_path_ms / sum_base.summarized_path_ms.max(1e-9);
+    let ilp_growth = sum_top.ilp_vars as f64 / sum_base.ilp_vars as f64;
+
     // ---- Drift check against the pinned corpus (CI bench-smoke gate).
     let mut drift = Vec::new();
     if args.check {
@@ -1006,6 +1119,36 @@ fn main() {
                 None => drift.push(format!("scaling/{}: no pin recorded", r.constructs)),
                 _ => {}
             }
+        }
+        // The procedure-summary gates: the segment decomposition must be
+        // exact — the summarized WCET bound byte-identical to the
+        // monolithic one at every size — must beat the monolithic
+        // solver by ≥ 25× at the largest size (measured ~2000×), and
+        // its wall time must grow no faster than the ILP itself across
+        // the 64 → 640 decade (3× slack for timer noise on the sub-ms
+        // base; the monolithic solve grows ~20× faster than its ILP
+        // over the same span).
+        for r in &summaries {
+            if r.inlined_wcet != r.summarized_wcet {
+                drift.push(format!(
+                    "summaries/{}: summarized WCET {} != monolithic WCET {}",
+                    r.constructs, r.summarized_wcet, r.inlined_wcet
+                ));
+            }
+        }
+        if endpoint_speedup < 25.0 {
+            drift.push(format!(
+                "summaries: summarized path solve only {endpoint_speedup:.1}x faster than \
+                 monolithic at {} constructs (floor 25x)",
+                sum_top.constructs
+            ));
+        }
+        if summarized_growth > 3.0 * ilp_growth {
+            drift.push(format!(
+                "summaries: path wall time grew {summarized_growth:.1}x over 64→{} constructs \
+                 while the ILP grew {ilp_growth:.1}x (super-linear; ceiling is 3x the ILP growth)",
+                sum_top.constructs
+            ));
         }
         // The batch determinism gate: the 4-worker merged report must be
         // bit-identical to the serial one.
@@ -1098,7 +1241,14 @@ fn main() {
         .map(|r| r.best_ms)
         .sum();
     let sum_before_corpus: f64 = baseline::CORPUS_MS.iter().map(|(_, ms)| ms).sum();
-    let sum_current_scaling: f64 = scaling.iter().map(|r| r.best_ms).sum();
+    // Only the sizes the pre-refactor baseline measured — the series
+    // has since been extended to 640 constructs, and summing the new
+    // sizes against the old six would fabricate a slowdown.
+    let sum_current_scaling: f64 = scaling
+        .iter()
+        .filter(|r| baseline::SCALING_MS.iter().any(|(c, _)| *c == r.constructs))
+        .map(|r| r.best_ms)
+        .sum();
     let sum_before_scaling: f64 = baseline::SCALING_MS.iter().map(|(_, ms)| ms).sum();
     let sum_current_phases: f64 = phases.iter().map(|(_, ms)| ms).sum();
     let sum_before_phases: f64 = baseline::PHASES_MS.iter().map(|(_, ms)| ms).sum();
@@ -1208,6 +1358,37 @@ fn main() {
                 ("corpus", ratio(sum_before_corpus, sum_current_corpus)),
                 ("scaling", ratio(sum_before_scaling, sum_current_scaling)),
                 ("phases", ratio(sum_before_phases, sum_current_phases)),
+            ]),
+        ),
+        (
+            "summaries",
+            Json::obj([
+                (
+                    "series",
+                    Json::Arr(
+                        summaries
+                            .iter()
+                            .map(|r| {
+                                Json::obj([
+                                    ("constructs", Json::int(r.constructs as u64)),
+                                    ("nodes", Json::int(r.nodes as u64)),
+                                    ("ilp_vars", Json::int(r.ilp_vars as u64)),
+                                    ("inlined_path_ms", Json::Num(r.inlined_path_ms)),
+                                    ("summarized_path_ms", Json::Num(r.summarized_path_ms)),
+                                    (
+                                        "wcet_identical",
+                                        Json::Bool(r.inlined_wcet == r.summarized_wcet),
+                                    ),
+                                    ("summaries_computed", Json::int(r.summaries_computed)),
+                                    ("summaries_reused", Json::int(r.summaries_reused)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("endpoint_speedup", Json::Num(endpoint_speedup)),
+                ("summarized_growth_64_to_max", Json::Num(summarized_growth)),
+                ("ilp_growth_64_to_max", Json::Num(ilp_growth)),
             ]),
         ),
         (
@@ -1338,6 +1519,7 @@ fn main() {
             committed,
             &corpus,
             &scaling,
+            &summaries,
             &phases,
             &batch,
             &artifacts,
@@ -1389,6 +1571,17 @@ fn main() {
         serve.warm_requests_per_s(),
         serve.warm_stats.hit_rate() * 100.0,
         serve.identical_to_batch,
+    );
+    eprintln!(
+        "kernel_bench: procedure summaries: path solve at {} constructs {:.1} ms monolithic vs \
+         {:.2} ms summarized ({:.0}x); wall grew {:.1}x over 64→{} vs ILP {:.1}x",
+        sum_top.constructs,
+        sum_top.inlined_path_ms,
+        sum_top.summarized_path_ms,
+        endpoint_speedup,
+        summarized_growth,
+        sum_top.constructs,
+        ilp_growth,
     );
     eprintln!(
         "kernel_bench: corpus {:.1} ms (before {:.1}), scaling {:.1} ms (before {:.1}), phases {:.1} ms (before {:.1})",

@@ -57,8 +57,17 @@ pub const CORPUS: &[CorpusPin] = &[
 
 /// Pinned solver evaluations of the E6 scaling series
 /// `(constructs, evaluations)`.
-pub const SCALING_EVALS: &[(usize, u64)] =
-    &[(2, 84), (4, 42), (8, 133), (16, 124), (32, 538), (64, 824)];
+pub const SCALING_EVALS: &[(usize, u64)] = &[
+    (2, 84),
+    (4, 42),
+    (8, 133),
+    (16, 124),
+    (32, 538),
+    (64, 824),
+    (128, 2042),
+    (256, 4423),
+    (640, 10418),
+];
 
 /// One task's measured invariants, in pin-comparable form. `stack` is
 /// an `Option` because a failed stack analysis measures as "absent"

@@ -1,14 +1,17 @@
 //! The must/may/persistence abstract cache domains.
 //!
-//! Every abstract cache set is a [`LineSet`]: a fixed inline array of
-//! `(line, age)` pairs sized for the associativities we model (assoc ≤ 8
-//! in every configuration), with a heap spill for the rare larger sets a
-//! may/persistence analysis can accumulate. All updates are single
+//! Each must/may abstract cache set is a [`LineSet`]: a fixed inline
+//! array of `(line, age)` pairs sized for the associativities we model
+//! (assoc ≤ 8 in every configuration), with a heap spill for the rare
+//! larger sets a may analysis can accumulate. All updates are single
 //! in-place passes — the hot `access` path performs no allocation, where
 //! the previous `BTreeMap` representation allocated a key vector (plus
-//! tree nodes) on every must/may/persistence update. The per-cache set
-//! vectors are shared copy-on-write (`Rc`), so cloning a [`CacheState`]
-//! through an unchanged block or edge is six pointer bumps.
+//! tree nodes) on every update. The persistence domain instead maps each
+//! line to its *conflict set* — the distinct other lines possibly
+//! accessed since the line's last access (see [`PersCache`]); age-based
+//! persistence is unsound. The per-cache set vectors are shared
+//! copy-on-write (`Rc`), so cloning a [`CacheState`] through an
+//! unchanged block or edge is six pointer bumps.
 
 use std::rc::Rc;
 
@@ -380,47 +383,136 @@ impl MayCache {
     }
 }
 
-/// The **persistence** cache: like the must cache, but evicted lines
-/// saturate at the associativity instead of disappearing, so "was loaded
-/// and never evicted since" is visible.
+/// The conflict record of one line in the persistence cache: the set of
+/// *distinct* other lines that may have been accessed in the same cache
+/// set since this line's last access. Under LRU a line's stack position
+/// equals the number of distinct lines accessed since its last use, so
+/// the line is provably resident while this set stays below the
+/// associativity. Once it can reach the associativity the line may have
+/// been evicted and the record saturates ([`Conflicts::Sat`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Conflicts {
+    /// At most these distinct conflicting lines since the last access
+    /// (`len` live entries, sorted). `len` is strictly below the
+    /// associativity — reaching it saturates instead.
+    Among { len: u8, lines: [u32; INLINE_LINES] },
+    /// The line may have been evicted since its last access.
+    Sat,
+}
+
+impl Conflicts {
+    fn none() -> Conflicts {
+        Conflicts::Among { len: 0, lines: [0; INLINE_LINES] }
+    }
+
+    /// Adds one conflicting line, saturating at `assoc` distinct
+    /// conflicts (at which point the line may be evicted).
+    fn add(&mut self, line: u32, assoc: u8) {
+        if let Conflicts::Among { len, lines } = self {
+            let n = *len as usize;
+            if lines[..n].contains(&line) {
+                return;
+            }
+            if n + 1 >= assoc as usize {
+                *self = Conflicts::Sat;
+            } else {
+                let pos = lines[..n].partition_point(|&l| l < line);
+                lines.copy_within(pos..n, pos + 1);
+                lines[pos] = line;
+                *len += 1;
+            }
+        }
+    }
+
+    /// Set union, saturating at `assoc`.
+    fn union(&mut self, other: &Conflicts, assoc: u8) {
+        match other {
+            Conflicts::Sat => *self = Conflicts::Sat,
+            Conflicts::Among { len, lines } => {
+                for &l in &lines[..*len as usize] {
+                    self.add(l, assoc);
+                }
+            }
+        }
+    }
+
+    /// `self ⊆ other` (with `Sat` as ⊤).
+    fn subset_of(&self, other: &Conflicts) -> bool {
+        match (self, other) {
+            (_, Conflicts::Sat) => true,
+            (Conflicts::Sat, Conflicts::Among { .. }) => false,
+            (Conflicts::Among { len: sl, lines: sv }, Conflicts::Among { len: ol, lines: ov }) => {
+                sv[..*sl as usize].iter().all(|l| ov[..*ol as usize].contains(l))
+            }
+        }
+    }
+}
+
+/// One persistence set: `line → conflicts`, sorted by line.
+type PersSet = Vec<(u32, Conflicts)>;
+
+/// The **persistence** cache, in the conflict-set formulation: for each
+/// line ever accessed it tracks the distinct other lines that may have
+/// hit the same cache set since the line's last access.
+///
+/// The classical age-based persistence update (aging only lines whose
+/// bound lies below the accessed line's bound) is unsound here: in the
+/// persistence domain, presence of the accessed line says nothing about
+/// whether it is concretely cached, and a concrete *miss* ages every
+/// resident line. Tracking the conflict set sidesteps ages entirely —
+/// under LRU a line is resident iff fewer than `assoc` distinct lines
+/// were accessed in its set since its last access, which is exactly what
+/// the record bounds from above.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PersCache {
     config: CacheConfig,
-    sets: Rc<Vec<LineSet>>,
+    sets: Rc<Vec<PersSet>>,
 }
 
 impl PersCache {
-    /// An empty persistence cache.
+    /// An empty persistence cache (no line accessed yet).
     pub fn new(config: CacheConfig) -> PersCache {
-        PersCache { config, sets: Rc::new(vec![LineSet::default(); config.sets() as usize]) }
+        assert!(
+            config.assoc() as usize <= INLINE_LINES,
+            "persistence conflict records hold at most {INLINE_LINES} lines"
+        );
+        PersCache { config, sets: Rc::new(vec![PersSet::new(); config.sets() as usize]) }
     }
 
-    /// Returns `true` if the line was loaded before and has provably
-    /// never been evicted (age bound below associativity).
+    fn get(set: &PersSet, line: u32) -> Option<&Conflicts> {
+        set.binary_search_by_key(&line, |&(l, _)| l).ok().map(|i| &set[i].1)
+    }
+
+    /// Returns `true` if every execution in which the line was accessed
+    /// before leaves it resident now: fewer than `assoc` distinct
+    /// conflicting lines since its last access. A first access may still
+    /// miss — hence "persistent", not "always hit".
     pub fn persistent(&self, addr: u32) -> bool {
         let line = self.config.line_addr(addr);
-        self.sets[self.config.set_index(addr) as usize]
-            .get(line)
-            .is_some_and(|a| a < self.config.assoc() as u8)
+        matches!(
+            PersCache::get(&self.sets[self.config.set_index(addr) as usize], line),
+            Some(Conflicts::Among { .. })
+        )
     }
 
-    /// Applies one access (must-style update with saturation), in place.
+    /// Applies one access: the accessed line's conflict record resets,
+    /// every other line in the set gains it as a conflict.
     pub fn access(&mut self, addr: u32) {
         let a = self.config.assoc() as u8;
         let line = self.config.line_addr(addr);
         let set = &mut Rc::make_mut(&mut self.sets)[self.config.set_index(addr) as usize];
-        let z_age = set.get(line).unwrap_or(a);
-        set.update_retain(|y, age| {
-            if y != line && age < z_age {
-                Some((age + 1).min(a))
-            } else {
-                Some(age)
+        for (l, c) in set.iter_mut() {
+            if *l != line {
+                c.add(line, a);
             }
-        });
-        set.insert(line, 0);
+        }
+        match set.binary_search_by_key(&line, |&(l, _)| l) {
+            Ok(i) => set[i].1 = Conflicts::none(),
+            Err(i) => set.insert(i, (line, Conflicts::none())),
+        }
     }
 
-    /// Access with several candidate lines.
+    /// Access with several candidate lines (join over the possibilities).
     pub fn access_any(&mut self, lines: &[u32]) {
         match lines {
             [] => {}
@@ -443,51 +535,52 @@ impl PersCache {
         }
     }
 
-    /// Unbounded access: saturate everything in the touched sets.
+    /// Unbounded access: every line in the touched sets may have gained
+    /// arbitrarily many conflicts.
     pub fn clobber(&mut self, set_indices: Option<&[u32]>) {
-        let a = self.config.assoc() as u8;
         let sets = Rc::make_mut(&mut self.sets);
         for_sets(self.config.sets(), set_indices, |si| {
-            sets[si].update_retain(|_, _| Some(a));
+            for (_, c) in sets[si].iter_mut() {
+                *c = Conflicts::Sat;
+            }
         });
     }
 
-    /// Lattice join (union, maximum ages — absence means "never loaded",
-    /// which is *below* any recorded age).
+    /// Lattice join (pointwise conflict-set union; absence means "never
+    /// accessed", which is *below* any record).
     pub fn join_from(&mut self, other: &PersCache) -> bool {
         if Rc::ptr_eq(&self.sets, &other.sets) {
             return false;
         }
         let grows = self.sets.iter().zip(other.sets.iter()).any(|(s, o)| {
-            o.iter().any(|(k, oa)| match s.get(k) {
+            o.iter().any(|(k, oc)| match PersCache::get(s, *k) {
                 None => true,
-                Some(sa) => oa > sa,
+                Some(sc) => !oc.subset_of(sc),
             })
         });
         if !grows {
             return false;
         }
+        let a = self.config.assoc() as u8;
         let sets = Rc::make_mut(&mut self.sets);
         for (s, o) in sets.iter_mut().zip(other.sets.iter()) {
-            for (k, oa) in o.iter() {
-                match s.get(k) {
-                    None => s.insert(k, oa),
-                    Some(sa) if oa > sa => s.insert(k, oa),
-                    _ => {}
+            for (k, oc) in o.iter() {
+                match s.binary_search_by_key(k, |&(l, _)| l) {
+                    Ok(i) => s[i].1.union(oc, a),
+                    Err(i) => s.insert(i, (*k, *oc)),
                 }
             }
         }
         true
     }
 
-    /// Partial order.
+    /// Partial order: fewer recorded lines / smaller conflict sets ⊑
+    /// more.
     pub fn le(&self, other: &PersCache) -> bool {
         Rc::ptr_eq(&self.sets, &other.sets)
-            || self
-                .sets
-                .iter()
-                .zip(other.sets.iter())
-                .all(|(s, o)| s.iter().all(|(k, sa)| o.get(k).is_some_and(|oa| sa <= oa)))
+            || self.sets.iter().zip(other.sets.iter()).all(|(s, o)| {
+                s.iter().all(|(k, sc)| PersCache::get(o, *k).is_some_and(|oc| sc.subset_of(oc)))
+            })
     }
 }
 

@@ -70,6 +70,13 @@ pub struct WcetReport {
     pub ilp_size: (usize, usize),
     /// Per-phase durations.
     pub phases: Vec<PhaseStats>,
+    /// Path-segment summaries this run solved (provenance, timing
+    /// layer only — like [`PhaseStats::reused`] it depends on what the
+    /// shared store already held, so it is kept out of every
+    /// deterministic rendering).
+    pub summaries_computed: u64,
+    /// Path-segment summaries recalled from a memo or the store.
+    pub summaries_reused: u64,
     /// Per-block worst-case profile: `(block start, count, cycles)`.
     pub block_profile: Vec<(u32, u64, u64)>,
     /// Block start addresses on the worst-case path prefix.
@@ -91,6 +98,7 @@ impl WcetReport {
         pa: &PipelineAnalysis,
         result: &WcetResult,
         phases: Vec<PhaseStats>,
+        summaries: (u64, u64),
     ) -> WcetReport {
         // Per-block worst-case cycle attribution.
         let mut profile: BTreeMap<BlockId, (u64, u64)> = BTreeMap::new();
@@ -154,6 +162,8 @@ impl WcetReport {
             loop_bounds,
             ilp_size: result.ilp_size,
             phases,
+            summaries_computed: summaries.0,
+            summaries_reused: summaries.1,
             block_profile,
             worst_path,
             evaluations: va.evaluations + ca.evaluations + pa.evaluations,
@@ -258,6 +268,13 @@ impl WcetReport {
             );
         }
         let _ = writeln!(out, "{:<24} {:>9.3} ms", "total", self.analysis_seconds() * 1e3);
+        if self.summaries_computed + self.summaries_reused > 0 {
+            let _ = writeln!(
+                out,
+                "{:<24} {} computed, {} reused",
+                "procedure summaries", self.summaries_computed, self.summaries_reused
+            );
+        }
         out
     }
 

@@ -289,6 +289,7 @@ pub(crate) fn encode_artifact(phase: PhaseId, any: &(dyn Any + Send + Sync)) -> 
         PhaseId::Pipeline => enc::<stamp_pipeline::PipelineAnalysis>(any),
         PhaseId::Path => enc::<stamp_path::WcetResult>(any),
         PhaseId::Stack => enc::<crate::stack_tool::StackReport>(any),
+        PhaseId::Summary => enc::<stamp_path::SegmentSummary>(any),
     }
 }
 
@@ -313,6 +314,7 @@ pub(crate) fn decode_artifact(
         PhaseId::Pipeline => dec::<stamp_pipeline::PipelineAnalysis>(bytes),
         PhaseId::Path => dec::<stamp_path::WcetResult>(bytes),
         PhaseId::Stack => dec::<crate::stack_tool::StackReport>(bytes),
+        PhaseId::Summary => dec::<stamp_path::SegmentSummary>(bytes),
     }
 }
 

@@ -34,6 +34,10 @@ use stamp_loopbound::LoopBoundAnalysis;
 use stamp_pipeline::PipelineAnalysis;
 use stamp_value::ValueAnalysis;
 
+mod summary;
+
+pub use summary::{LocalMemo, NoMemo, SegmentSummary, SummaryMemo};
+
 /// Errors from the path analysis.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PathError {
@@ -81,11 +85,16 @@ pub struct PathOptions {
     /// Pin value-analysis-infeasible edges to zero (disable for the E4
     /// ablation).
     pub use_infeasible: bool,
+    /// Decompose the ILP at series cut points and solve memoized
+    /// per-segment summaries (see [`SummaryMemo`]); the composed
+    /// optimum is exactly the monolithic one. Disable to force the
+    /// single whole-supergraph solve.
+    pub summaries: bool,
 }
 
 impl Default for PathOptions {
     fn default() -> PathOptions {
-        PathOptions { use_infeasible: true }
+        PathOptions { use_infeasible: true, summaries: true }
     }
 }
 
@@ -158,7 +167,49 @@ impl stamp_codec::Codec for WcetResult {
     }
 }
 
+/// How one loop instance constrains its edge counts.
+enum InstanceRule {
+    /// `Σ backs − (bound−1) · Σ entries ≤ 0`.
+    Bound(u64),
+    /// The instance is provably never entered: every edge pinned to 0.
+    PinUnreachable,
+}
+
+/// One loop instance's edges together with its constraint rule,
+/// recorded so the summarized solve can re-emit the same constraints
+/// per segment.
+struct Instance {
+    entries: Vec<IEdgeId>,
+    backs: Vec<IEdgeId>,
+    rule: InstanceRule,
+}
+
+/// The fully constructed IPET ILP plus the structure the summarized
+/// solve needs: per-edge objective coefficients, loop instances, and
+/// infeasibility pins. The monolithic problem is always built — its
+/// construction is linear and it pins down `ilp_size` identically in
+/// both modes — but in summarized mode only the segments are solved.
+struct Formula {
+    lp: LpProblem,
+    /// ILP variable per supergraph edge, dense by edge index.
+    evar: Vec<VarId>,
+    /// Objective coefficient per supergraph edge, dense by edge index.
+    coeff: Vec<i64>,
+    /// Objective coefficient of the virtual source (entry node time).
+    entry_time: i64,
+    instances: Vec<Instance>,
+    /// Infeasible edges pinned to zero (empty when ablated).
+    pins: Vec<IEdgeId>,
+    size: (usize, usize),
+}
+
 /// Runs the IPET path analysis.
+///
+/// With `options.summaries` set (the default) the ILP is decomposed at
+/// series cut points and solved per segment with an analysis-local
+/// memo, so repeated procedure bodies are solved once; the result is
+/// exactly the monolithic optimum. Use [`analyze_with_memo`] to share
+/// segment summaries beyond a single call.
 ///
 /// # Errors
 ///
@@ -172,22 +223,93 @@ pub fn analyze(
     pa: &PipelineAnalysis,
     options: &PathOptions,
 ) -> Result<WcetResult, PathError> {
+    analyze_with_memo(cfg, icfg, va, lb, pa, options, &LocalMemo::default())
+}
+
+/// [`analyze`] with an explicit segment-summary memo, letting callers
+/// share summaries across programs, jobs, and processes (ignored when
+/// `options.summaries` is off).
+pub fn analyze_with_memo(
+    cfg: &Cfg,
+    icfg: &Icfg,
+    va: &ValueAnalysis,
+    lb: &LoopBoundAnalysis,
+    pa: &PipelineAnalysis,
+    options: &PathOptions,
+    memo: &dyn SummaryMemo,
+) -> Result<WcetResult, PathError> {
     if let Some(&addr) = cfg.unresolved_indirects().first() {
         return Err(PathError::UnresolvedIndirect { addr });
     }
 
+    let formula = prepare(cfg, icfg, va, lb, pa, options)?;
+    let summarized =
+        if options.summaries { summary::solve_summarized(icfg, &formula, memo)? } else { None };
+    let (objective, edge_values) = match summarized {
+        Some(composed) => composed,
+        None => {
+            let sol = formula.lp.maximize_integer()?;
+            let values = formula.evar.iter().map(|v| sol.values[v.0]).collect();
+            (sol.objective, values)
+        }
+    };
+
+    let mut edge_counts = HashMap::new();
+    for (e, &v) in icfg.edges().iter().zip(edge_values.iter()) {
+        let c = v.max(0) as u64;
+        if c > 0 {
+            edge_counts.insert(e.id, c);
+        }
+    }
+    let mut node_counts: HashMap<NodeId, u64> = HashMap::new();
+    for nd in icfg.nodes() {
+        let mut c: u64 = 0;
+        for e in icfg.preds(nd.id) {
+            c += edge_counts.get(&e.id).copied().unwrap_or(0);
+        }
+        if nd.id == icfg.entry() {
+            c += 1; // the source edge
+        }
+        if c > 0 {
+            node_counts.insert(nd.id, c);
+        }
+    }
+
+    Ok(WcetResult {
+        // Persistent lines may each miss once over the whole task; the
+        // pipeline analysis priced those accesses as hits and exposes
+        // the one-time budget here.
+        wcet: objective.max(0) as u64 + pa.ps_extra_cycles(),
+        edge_counts,
+        node_counts,
+        ilp_size: formula.size,
+    })
+}
+
+/// Builds the IPET ILP and the summarization structure.
+fn prepare(
+    cfg: &Cfg,
+    icfg: &Icfg,
+    va: &ValueAnalysis,
+    lb: &LoopBoundAnalysis,
+    pa: &PipelineAnalysis,
+    options: &PathOptions,
+) -> Result<Formula, PathError> {
     let mut lp = LpProblem::new();
 
     // One variable per supergraph edge, plus a virtual source and one
     // sink per exit node.
-    let mut evar: HashMap<IEdgeId, VarId> = HashMap::new();
+    let mut evar: Vec<VarId> = Vec::with_capacity(icfg.edges().len());
+    let mut coeffs: Vec<i64> = Vec::with_capacity(icfg.edges().len());
     for e in icfg.edges() {
         // Objective: entering a node costs the node's time; traversing a
         // taken transfer costs the penalty.
         let t = pa.time(e.to).unwrap_or(0);
-        let coeff = t + pa.edge_penalty(cfg, icfg, e);
-        let v = lp.add_var(format!("e{}", e.id.index()), coeff as i64);
-        evar.insert(e.id, v);
+        let coeff = (t + pa.edge_penalty(cfg, icfg, e)) as i64;
+        let v = lp.add_var(format!("e{}", e.id.index()), coeff);
+        debug_assert_eq!(evar.len(), e.id.index());
+        evar.push(v);
+        coeffs.push(coeff);
     }
     let entry_time = pa.time(icfg.entry()).unwrap_or(0);
     let source = lp.add_var("source", entry_time as i64);
@@ -203,13 +325,13 @@ pub fn analyze(
     for nd in icfg.nodes() {
         let mut terms: Vec<(VarId, i64)> = Vec::new();
         for e in icfg.preds(nd.id) {
-            terms.push((evar[&e.id], 1));
+            terms.push((evar[e.id.index()], 1));
         }
         if nd.id == icfg.entry() {
             terms.push((source, 1));
         }
         for e in icfg.succs(nd.id) {
-            terms.push((evar[&e.id], -1));
+            terms.push((evar[e.id.index()], -1));
         }
         if let Some(&sink) = sinks.get(&nd.id) {
             terms.push((sink, -1));
@@ -254,12 +376,29 @@ pub fn analyze(
     }
     let infeasible_set: std::collections::HashSet<IEdgeId> =
         va.infeasible_edges().iter().copied().collect();
-    for ((header, frames), (entries, backs)) in &instances {
+    // Deterministic instance order (HashMap iteration is not): sorted
+    // by (header, stripped context).
+    let mut instances: Vec<(LoopInstanceKey, LoopInstanceEdges)> = instances.into_iter().collect();
+    instances.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut recorded: Vec<Instance> = Vec::new();
+    for ((header, frames), (entries, backs)) in instances {
         if backs.is_empty() {
             continue;
         }
-        let bound = match lb.bound(*header, frames) {
-            Some(b) => b,
+        let rule = match lb.bound(header, &frames) {
+            Some(bound) => {
+                // Σ backs − (bound−1) · Σ entries ≤ 0.
+                let mut terms: Vec<(VarId, i64)> = Vec::new();
+                for b in &backs {
+                    terms.push((evar[b.index()], 1));
+                }
+                let k = (bound.saturating_sub(1)).min(i64::MAX as u64) as i64;
+                for en in &entries {
+                    terms.push((evar[en.index()], -k));
+                }
+                lp.add_constraint(terms, CmpOp::Le, 0);
+                InstanceRule::Bound(bound)
+            }
             None => {
                 // A bound is unnecessary when the instance is provably
                 // never entered: pin its flow to zero instead. (This is
@@ -268,66 +407,38 @@ pub fn analyze(
                 let unreachable = entries.iter().all(|e| {
                     infeasible_set.contains(e) || va.entry_state(icfg.edge(*e).from).is_none()
                 });
-                if unreachable {
-                    for e in entries.iter().chain(backs.iter()) {
-                        lp.add_constraint([(evar[e], 1)], CmpOp::Le, 0);
-                    }
-                    continue;
+                if !unreachable {
+                    return Err(PathError::MissingLoopBound {
+                        header_addr: cfg.block(header).start,
+                    });
                 }
-                return Err(PathError::MissingLoopBound { header_addr: cfg.block(*header).start });
+                for e in entries.iter().chain(backs.iter()) {
+                    lp.add_constraint([(evar[e.index()], 1)], CmpOp::Le, 0);
+                }
+                InstanceRule::PinUnreachable
             }
         };
-        // Σ backs − (bound−1) · Σ entries ≤ 0.
-        let mut terms: Vec<(VarId, i64)> = Vec::new();
-        for b in backs {
-            terms.push((evar[b], 1));
-        }
-        let k = (bound.saturating_sub(1)).min(i64::MAX as u64) as i64;
-        for en in entries {
-            terms.push((evar[en], -k));
-        }
-        lp.add_constraint(terms, CmpOp::Le, 0);
+        recorded.push(Instance { entries, backs, rule });
     }
 
     // Infeasible edges.
+    let mut pins: Vec<IEdgeId> = Vec::new();
     if options.use_infeasible {
         for &e in va.infeasible_edges() {
-            lp.add_constraint([(evar[&e], 1)], CmpOp::Le, 0);
+            lp.add_constraint([(evar[e.index()], 1)], CmpOp::Le, 0);
+            pins.push(e);
         }
     }
 
     let size = (lp.num_vars(), lp.num_constraints());
-    let sol = lp.maximize_integer()?;
-
-    let mut edge_counts = HashMap::new();
-    for (eid, var) in &evar {
-        let c = sol.values[var.0].max(0) as u64;
-        if c > 0 {
-            edge_counts.insert(*eid, c);
-        }
-    }
-    let mut node_counts: HashMap<NodeId, u64> = HashMap::new();
-    for nd in icfg.nodes() {
-        let mut c: u64 = 0;
-        for e in icfg.preds(nd.id) {
-            c += edge_counts.get(&e.id).copied().unwrap_or(0);
-        }
-        if nd.id == icfg.entry() {
-            c += 1; // the source edge
-        }
-        if c > 0 {
-            node_counts.insert(nd.id, c);
-        }
-    }
-
-    Ok(WcetResult {
-        // Persistent lines may each miss once over the whole task; the
-        // pipeline analysis priced those accesses as hits and exposes
-        // the one-time budget here.
-        wcet: sol.objective.max(0) as u64 + pa.ps_extra_cycles(),
-        edge_counts,
-        node_counts,
-        ilp_size: size,
+    Ok(Formula {
+        lp,
+        evar,
+        coeff: coeffs,
+        entry_time: entry_time as i64,
+        instances: recorded,
+        pins,
+        size,
     })
 }
 
@@ -445,8 +556,15 @@ mod tests {
         let lb = LoopBoundAnalysis::run(&p, &cfg, &icfg, &va, &LoopBoundOptions::default());
         let ca = CacheAnalysis::run(&hw, &cfg, &icfg, &va);
         let pa = PipelineAnalysis::run(&hw, &cfg, &icfg, &ca, &va);
-        let loose =
-            analyze(&cfg, &icfg, &va, &lb, &pa, &PathOptions { use_infeasible: false }).unwrap();
+        let loose = analyze(
+            &cfg,
+            &icfg,
+            &va,
+            &lb,
+            &pa,
+            &PathOptions { use_infeasible: false, ..PathOptions::default() },
+        )
+        .unwrap();
         assert!(loose.wcet > res.wcet);
     }
 
@@ -507,6 +625,110 @@ mod tests {
         let pa = PipelineAnalysis::run(&hw, &cfg, &icfg, &ca, &va);
         let err = analyze(&cfg, &icfg, &va, &lb, &pa, &PathOptions::default()).unwrap_err();
         assert!(matches!(err, PathError::MissingLoopBound { .. }));
+    }
+
+    /// All phases for `src` under `hw`, for tests that need to call
+    /// [`analyze`] with non-default options.
+    fn phases_of(
+        src: &str,
+        hw: &HwConfig,
+    ) -> (stamp_isa::Program, Cfg, Icfg, ValueAnalysis, LoopBoundAnalysis, PipelineAnalysis) {
+        let p = assemble(src).expect("assembles");
+        let cfg = CfgBuilder::new(&p).build().expect("builds");
+        let icfg = Icfg::build(&cfg, &VivuConfig::default()).expect("expands");
+        let va = ValueAnalysis::run(&p, hw, &cfg, &icfg, &ValueOptions::default());
+        let lb = LoopBoundAnalysis::run(&p, &cfg, &icfg, &va, &LoopBoundOptions::default());
+        let ca = CacheAnalysis::run(hw, &cfg, &icfg, &va);
+        let pa = PipelineAnalysis::run(hw, &cfg, &icfg, &ca, &va);
+        (p, cfg, icfg, va, lb, pa)
+    }
+
+    #[test]
+    fn summarized_equals_monolithic_on_all_shapes() {
+        // Every shape exercised above, both hardware models: the
+        // summarized solve must reproduce the monolithic optimum (and
+        // report the same ILP size) or fall back to it.
+        let programs = [
+            ".text\nmain: li r1, 3\nmul r2, r1, r1\nhalt\n",
+            ".text\nmain: li r1, 10\nloop: addi r1, r1, -1\nbnez r1, loop\nhalt\n",
+            ".text\nmain: beq r2, r0, cheap\ndiv r3, r4, r5\nhalt\ncheap: addi r3, r0, 1\nhalt\n",
+            ".text\nmain: li r1, 3\nbne r1, r0, cheap\ndiv r3, r4, r5\nhalt\ncheap: addi r3, r0, 1\nhalt\n",
+            ".text\nmain: li r1, 3\nouter: li r2, 4\ninner: addi r2, r2, -1\nbnez r2, inner\naddi r1, r1, -1\nbnez r1, outer\nhalt\n",
+            ".text\nmain: call f\ncall f\nhalt\nf: div r1, r2, r3\nret\n",
+            ".text\nmain: call f\nli r4, 7\ncall g\nhalt\nf: div r1, r2, r3\nret\ng: call f\nret\n",
+        ];
+        for src in programs {
+            for hw in [HwConfig::ideal(), HwConfig::default()] {
+                let (_, cfg, icfg, va, lb, pa) = phases_of(src, &hw);
+                let on = analyze(&cfg, &icfg, &va, &lb, &pa, &PathOptions::default()).unwrap();
+                let off = analyze(
+                    &cfg,
+                    &icfg,
+                    &va,
+                    &lb,
+                    &pa,
+                    &PathOptions { summaries: false, ..PathOptions::default() },
+                )
+                .unwrap();
+                assert_eq!(on.wcet, off.wcet, "src {src:?} hw {hw:?}");
+                assert_eq!(on.ilp_size, off.ilp_size, "src {src:?} hw {hw:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_calls_reuse_segment_summaries() {
+        use std::cell::Cell;
+
+        /// A [`LocalMemo`] that counts lookups and actual solves.
+        #[derive(Default)]
+        struct CountingMemo {
+            inner: LocalMemo,
+            lookups: Cell<usize>,
+            solves: Cell<usize>,
+        }
+        impl SummaryMemo for CountingMemo {
+            fn summarize(
+                &self,
+                canonical: &[u8],
+                solve: &mut dyn FnMut() -> Result<SegmentSummary, PathError>,
+            ) -> Result<std::sync::Arc<SegmentSummary>, PathError> {
+                self.lookups.set(self.lookups.get() + 1);
+                self.inner.summarize(canonical, &mut || {
+                    self.solves.set(self.solves.get() + 1);
+                    solve()
+                })
+            }
+        }
+
+        // Three identical call sites expand to isomorphic supergraph
+        // segments; under uniform (ideal) timing their canonical forms
+        // coincide, so the memo must solve strictly fewer segments than
+        // it serves.
+        let src = "\
+            .text
+            main: call f
+                  call f
+                  call f
+                  halt
+            f:    div r1, r2, r3
+                  ret
+        ";
+        let hw = HwConfig::ideal();
+        let (p, cfg, icfg, va, lb, pa) = phases_of(src, &hw);
+        let memo = CountingMemo::default();
+        let opts = PathOptions::default();
+        let res = analyze_with_memo(&cfg, &icfg, &va, &lb, &pa, &opts, &memo).unwrap();
+        let mut sim = Simulator::new(&p, &hw);
+        let c = sim.run(1000).unwrap().cycles;
+        assert_eq!(res.wcet, c);
+        assert!(memo.lookups.get() > 0, "no decomposition happened");
+        assert!(
+            memo.solves.get() < memo.lookups.get(),
+            "no reuse: {} solves for {} segments",
+            memo.solves.get(),
+            memo.lookups.get()
+        );
     }
 
     #[test]

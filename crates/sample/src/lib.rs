@@ -328,7 +328,8 @@ mod tests {
         let lb = LoopBoundAnalysis::run(&p, &cfg, &icfg, &va, &LoopBoundOptions::default());
         let ca = CacheAnalysis::run(hw, &cfg, &icfg, &va);
         let pa = PipelineAnalysis::run(hw, &cfg, &icfg, &ca, &va);
-        let path_opts = PathOptions { use_infeasible: options.use_infeasible };
+        let path_opts =
+            PathOptions { use_infeasible: options.use_infeasible, ..PathOptions::default() };
         let res = stamp_path::analyze(&cfg, &icfg, &va, &lb, &pa, &path_opts).expect("ilp");
         let summary = sample_paths(&cfg, &icfg, &va, &lb, &pa, options);
         (res.wcet, summary)

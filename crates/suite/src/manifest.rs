@@ -29,8 +29,10 @@
 //! `"no-cache"`, `"ideal"` or `{"cache_bytes": N}`), `peel`,
 //! `max_call_depth`, `max_contexts` (VIVU), `domain` (`"const"`,
 //! `"interval"`, `"strided"`), `widen_delay`, `small_set` (value
-//! analysis), `use_infeasible` (bool, ILP), `sampling` (probabilistic
-//! path sampling: `{}` for the defaults or `{"samples": N, "seed": N}`).
+//! analysis), `use_infeasible` (bool, ILP), `summaries` (bool, solve
+//! the path ILP via memoized per-segment summaries; default true),
+//! `sampling` (probabilistic path sampling: `{}` for the defaults or
+//! `{"samples": N, "seed": N}`).
 //!
 //! Unknown keys are rejected everywhere: a misspelled knob must fail
 //! the parse, not silently run the default configuration.
@@ -244,6 +246,7 @@ fn parse_variant(v: &Json) -> Result<BatchVariant, ManifestError> {
             "widen_delay",
             "small_set",
             "use_infeasible",
+            "summaries",
             "sampling",
         ],
     )?;
@@ -313,6 +316,10 @@ fn parse_variant(v: &Json) -> Result<BatchVariant, ManifestError> {
     if let Some(u) = v.get("use_infeasible") {
         config.use_infeasible =
             u.as_bool().ok_or(ManifestError("`use_infeasible` must be a boolean".into()))?;
+    }
+    if let Some(u) = v.get("summaries") {
+        config.summaries =
+            u.as_bool().ok_or(ManifestError("`summaries` must be a boolean".into()))?;
     }
     let mut sampling = None;
     if let Some(s) = v.get("sampling") {

@@ -1,0 +1,22 @@
+; stamp fuzz reproducer (minimized by delta debugging)
+; campaign seed: 11  job: 255  job seed: 13912687873446176717
+; variant: small-cache  shape: branchy
+; violation: round 0: UNSOUND WCET — simulated 1481 cycles > bound 1431
+; replay: stamp fuzz --iterations 256 --seed 11
+        li   r10, 7
+loop_3:
+        li   r11, 5
+loop_4:
+        xor  r2, r7, r3
+        xor  r4, r2, r4
+        andi r7, r4, 0xfe
+        la   r9, scratch
+        add  r9, r9, r7
+        lh   r7, 0(r9)
+        addi r11, r11, -1
+        bnez r11, loop_4
+        addi r10, r10, -1
+        bnez r10, loop_3
+        halt
+        .data
+scratch: .space 256

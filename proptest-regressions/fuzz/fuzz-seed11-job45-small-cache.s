@@ -1,0 +1,41 @@
+; stamp fuzz reproducer (minimized by delta debugging)
+; campaign seed: 11  job: 45  job seed: 10921670782967001239
+; variant: small-cache  shape: legacy
+; violation: round 0: UNSOUND WCET — simulated 1289 cycles > bound 1171
+; replay: stamp fuzz --iterations 46 --seed 11
+        li   r10, 10
+loop_6:
+        addi r1, r6, 1
+        add  r5, r5, r3
+        andi r5, r2, 0x7c
+        la   r9, scratch
+        add  r9, r9, r5
+        lw   r5, 0(r9)
+        andi r4, r3, 0x7c
+        la   r9, scratch
+        add  r9, r9, r4
+        lw   r4, 0(r9)
+        beq r3, r7, then_7
+        andi r3, r7, 0x7c
+        la   r9, scratch
+        add  r9, r9, r3
+        sw   r5, 0(r9)
+        and  r2, r4, r3
+        sub  r4, r5, r2
+        j    join_8
+then_7:
+        andi r5, r3, 0x7c
+        la   r9, scratch
+        add  r9, r9, r5
+        lw   r5, 0(r9)
+        andi r7, r5, 0x7c
+        la   r9, scratch
+        add  r9, r9, r7
+        lw   r7, 0(r9)
+        sub  r3, r6, r1
+join_8:
+        addi r10, r10, -1
+        bnez r10, loop_6
+        halt
+        .data
+scratch: .space 128

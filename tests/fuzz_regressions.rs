@@ -1,0 +1,61 @@
+//! Replays every committed fuzz reproducer under its original variant.
+//!
+//! `stamp fuzz` persists minimized counterexamples as ready-to-commit
+//! `.s` files whose header comments name the (HwConfig × ValueOptions)
+//! variant that exposed the violation. This test walks
+//! `proptest-regressions/fuzz/` and runs the full differential oracle
+//! on each file under that variant, so a fixed unsoundness stays fixed:
+//! any regression turns the committed counterexample red again.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stamp_core::Annotations;
+use stamp_isa::asm::assemble;
+use stamp_suite::fuzz::default_variants;
+use stamp_suite::oracle::{check, OracleConfig};
+
+/// The `variant:` name from a reproducer's header comments.
+fn variant_of(source: &str) -> Option<String> {
+    source.lines().find_map(|l| {
+        let rest = l.strip_prefix("; variant:")?;
+        rest.split_whitespace().next().map(str::to_string)
+    })
+}
+
+#[test]
+fn committed_reproducers_stay_green() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("proptest-regressions/fuzz");
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("proptest-regressions/fuzz exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "s"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "no committed reproducers under {}", dir.display());
+
+    let variants = default_variants();
+    for path in entries {
+        let src = std::fs::read_to_string(&path).expect("readable reproducer");
+        let name = variant_of(&src)
+            .unwrap_or_else(|| panic!("{}: missing `; variant:` header", path.display()));
+        let variant = variants
+            .iter()
+            .find(|v| v.name == name)
+            .unwrap_or_else(|| panic!("{}: unknown variant `{name}`", path.display()));
+        let program = assemble(&src).expect("reproducer assembles");
+        let cfg = OracleConfig {
+            hw: variant.hw,
+            value: variant.value.clone(),
+            rounds: 8,
+            adversarial: true,
+            ..OracleConfig::default()
+        };
+        // Reproducers read the `scratch` region when the program has
+        // one; randomized + adversarial inputs sharpen the replay.
+        let input = program.symbols.addr_of("scratch").map(|_| ("scratch", 256u32));
+        let mut rng = StdRng::seed_from_u64(11);
+        if let Err(v) = check(&program, &Annotations::new(), input, &cfg, &mut rng) {
+            panic!("{} regressed: {v}", path.display());
+        }
+    }
+}
