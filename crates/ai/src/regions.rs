@@ -1,0 +1,648 @@
+//! Carving procedure-body regions out of the supergraph and solving
+//! around them.
+//!
+//! A *region* is the set of nodes a single virtual-inlining call
+//! instance contributed to the supergraph: the callee body expanded
+//! under one `Call` frame, including any nested callees and loop
+//! contexts it contains. When a region is single-entry (only the call
+//! edge enters it), acyclic, RPO-contiguous and leaves only through
+//! return edges to one continuation, the worklist solver evaluates its
+//! nodes exactly once per entry state, in local RPO order, with no
+//! interleaving from outside — so the whole region behaves like one big
+//! transfer function. [`solve_with_regions`] exploits that: it mirrors
+//! [`solve`](crate::solve) for every inline node but treats each carved
+//! region as an atom whose effect is produced by a caller-supplied
+//! summary callback (memoizable across structurally identical
+//! instances).
+//!
+//! Everything here is *advisory*: [`carve_regions`] only emits regions
+//! whose static shape guarantees the once-per-entry-state property, and
+//! the driver still aborts (returns `None`) if an entry state grows
+//! after its region was evaluated — the caller then falls back to the
+//! monolithic solver, so soundness never depends on the decomposition.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::context::Frame;
+use crate::domain::Domain;
+use crate::icfg::{IEdgeId, IEdgeKind, Icfg, NodeId};
+use crate::solver::{widening_points, Fixpoint, RpoWorklist, Transfer};
+
+/// Upper bound on region size in nodes. Larger call bodies stay inline:
+/// their summaries would be too large to pay for themselves.
+const MAX_REGION_NODES: usize = 512;
+
+/// One carved call-instance region. `nodes` are in ascending RPO order
+/// (entry first); `edges` and `exits` refer to positions in `nodes`.
+#[derive(Clone, Debug)]
+pub struct RegionSpec {
+    /// The callee entry node (lowest RPO in the region).
+    pub entry: NodeId,
+    /// All region nodes, ascending by RPO.
+    pub nodes: Vec<NodeId>,
+    /// The unique call edge entering the region.
+    pub call_edge: IEdgeId,
+    /// Feasible region-internal edges as `(local_from, local_to, id)`
+    /// with `local_from < local_to` (the region is acyclic and
+    /// topologically ordered by construction).
+    pub edges: Vec<(u32, u32, IEdgeId)>,
+    /// Feasible return edges leaving the region: `(local_from, id)`.
+    pub exits: Vec<(u32, IEdgeId)>,
+    /// The caller-side continuation every exit edge targets (`None` when
+    /// the body never returns, e.g. it halts).
+    pub cont: Option<NodeId>,
+}
+
+/// A set of disjoint regions plus the node → region index map.
+#[derive(Clone, Debug, Default)]
+pub struct RegionPlan {
+    /// Carved regions, ordered by entry RPO.
+    pub regions: Vec<RegionSpec>,
+    /// Per node index: position in `regions`, or [`RegionPlan::INLINE`].
+    pub node_region: Vec<u32>,
+}
+
+impl RegionPlan {
+    /// Marker in [`RegionPlan::node_region`] for nodes outside every
+    /// region (solved inline).
+    pub const INLINE: u32 = u32::MAX;
+
+    /// Returns `true` if no regions were carved.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Drops regions not satisfying `keep` (phases use this to discard
+    /// regions they cannot summarize, e.g. bodies with unresolvable
+    /// stores) and rebuilds the node map. Dropped regions' nodes are
+    /// solved inline, which is always sound.
+    pub fn retain(&mut self, mut keep: impl FnMut(&RegionSpec) -> bool) {
+        self.regions.retain(|r| keep(r));
+        for slot in &mut self.node_region {
+            *slot = RegionPlan::INLINE;
+        }
+        for (i, r) in self.regions.iter().enumerate() {
+            for n in &r.nodes {
+                self.node_region[n.index()] = i as u32;
+            }
+        }
+    }
+}
+
+/// The effect of one region evaluation, produced by the summary
+/// callback of [`solve_with_regions`].
+///
+/// `reached` drives the edge bookkeeping: a feasible internal edge fired
+/// iff its source was locally reachable, and `exit_outs[i]` must be
+/// `Some` exactly when the corresponding exit node was reached.
+#[derive(Clone, Debug)]
+pub struct RegionOutcome<S> {
+    /// Out-state at each exit, aligned with [`RegionSpec::exits`].
+    pub exit_outs: Vec<Option<S>>,
+    /// Locally reachable nodes, aligned with [`RegionSpec::nodes`].
+    pub reached: Vec<bool>,
+    /// Node evaluations the monolithic solver would have performed
+    /// inside the region (the count of reached nodes).
+    pub evaluations: u64,
+}
+
+/// Carves every summarizable call-instance region of `icfg`.
+///
+/// `infeasible` must be exactly the edge set the phase's
+/// [`Transfer::edge`] rejects (for the microarchitectural phases, the
+/// value analysis' infeasible edges): the carver ignores those edges
+/// when checking region boundaries, which is only sound if the solver
+/// ignores them too.
+pub fn carve_regions(icfg: &Icfg, infeasible: &HashSet<IEdgeId>) -> RegionPlan {
+    let ctxs = icfg.ctxs();
+    // Group nodes by the prefix of their context up to (and including)
+    // the first `Call` frame: all nodes of one outermost call instance —
+    // nested callee bodies included — share that prefix.
+    let mut groups: HashMap<&[Frame], Vec<NodeId>> = HashMap::new();
+    for nd in icfg.nodes() {
+        let frames = ctxs.get(nd.ctx).frames();
+        if let Some(i) = frames.iter().position(|f| matches!(f, Frame::Call { .. })) {
+            groups.entry(&frames[..=i]).or_default().push(nd.id);
+        }
+    }
+    let mut regions = Vec::new();
+    for ci in icfg.call_instances() {
+        let inner = ctxs.get(ci.inner).frames();
+        // Outermost instances only (one `Call` frame): nested instances
+        // are interior to their outer region. A call site under a loop
+        // is skipped — the call edge can re-fire with refined states,
+        // which would break the once-per-entry-state property.
+        if inner.iter().filter(|f| matches!(f, Frame::Call { .. })).count() != 1 {
+            continue;
+        }
+        if inner.iter().any(|f| matches!(f, Frame::Loop { .. })) {
+            continue;
+        }
+        let Some(group) = groups.get(inner) else { continue };
+        if let Some(spec) = validate(icfg, infeasible, ci.site, group) {
+            regions.push(spec);
+        }
+    }
+    regions.sort_by_key(|r| icfg.rpo_index(r.entry));
+    let mut node_region = vec![RegionPlan::INLINE; icfg.nodes().len()];
+    for (i, r) in regions.iter().enumerate() {
+        for n in &r.nodes {
+            node_region[n.index()] = i as u32;
+        }
+    }
+    RegionPlan { regions, node_region }
+}
+
+/// Checks the atomicity conditions for one candidate node group and
+/// builds its [`RegionSpec`]; `None` means the group stays inline.
+fn validate(
+    icfg: &Icfg,
+    infeasible: &HashSet<IEdgeId>,
+    site: u32,
+    group: &[NodeId],
+) -> Option<RegionSpec> {
+    if group.is_empty() || group.len() > MAX_REGION_NODES {
+        return None;
+    }
+    let mut nodes = group.to_vec();
+    if nodes.iter().any(|&n| icfg.rpo_index(n) == u32::MAX) {
+        return None; // unreachable clone: leave inline (it costs nothing)
+    }
+    nodes.sort_by_key(|&n| icfg.rpo_index(n));
+    let lo = icfg.rpo_index(nodes[0]);
+    let hi = icfg.rpo_index(*nodes.last().expect("non-empty"));
+    // RPO contiguity: with a bijective RPO this means no outside node
+    // sits between two region nodes, so the bucket queue cannot
+    // interleave foreign work into an episode.
+    if (hi - lo) as usize + 1 != nodes.len() {
+        return None;
+    }
+    let entry = nodes[0];
+    let local: HashMap<NodeId, u32> =
+        nodes.iter().enumerate().map(|(i, &n)| (n, i as u32)).collect();
+
+    // Single entry: the only feasible edge from outside is one call
+    // edge of this instance's site, targeting the entry node.
+    let mut call_edge = None;
+    for &n in &nodes {
+        for e in icfg.preds(n) {
+            if infeasible.contains(&e.id) || local.contains_key(&e.from) {
+                continue;
+            }
+            if n != entry || !matches!(e.kind, IEdgeKind::Call { site: s } if s == site) {
+                return None;
+            }
+            if call_edge.replace(e.id).is_some() {
+                return None;
+            }
+        }
+    }
+    let call_edge = call_edge?;
+    if icfg.rpo_index(icfg.edge(call_edge).from) >= lo {
+        return None; // retreating call edge: the site could re-fire
+    }
+
+    // Internal edges strictly forward (acyclic); everything else leaving
+    // the region must be a return edge of this site to one continuation
+    // strictly after the region.
+    let mut edges = Vec::new();
+    let mut exits = Vec::new();
+    let mut cont: Option<NodeId> = None;
+    for (li, &n) in nodes.iter().enumerate() {
+        let li = li as u32;
+        for e in icfg.succs(n) {
+            if infeasible.contains(&e.id) {
+                continue;
+            }
+            if let Some(&lt) = local.get(&e.to) {
+                if lt <= li {
+                    return None;
+                }
+                edges.push((li, lt, e.id));
+            } else {
+                if !matches!(e.kind, IEdgeKind::Return { site: s } if s == site) {
+                    return None;
+                }
+                if icfg.rpo_index(e.to) <= hi {
+                    return None;
+                }
+                match cont {
+                    None => cont = Some(e.to),
+                    Some(c) if c == e.to => {}
+                    Some(_) => return None,
+                }
+                exits.push((li, e.id));
+            }
+        }
+    }
+    Some(RegionSpec { entry, nodes, call_edge, edges, exits, cont })
+}
+
+/// Runs the worklist solver with carved regions treated as atoms.
+///
+/// Inline nodes are processed exactly as in [`solve`](crate::solve)
+/// (same schedule, same evaluation counting, same edge bookkeeping).
+/// When a region's entry is popped, `region_eval(region_index,
+/// entry_state)` supplies the whole region's effect; its exit states are
+/// propagated along the region's return edges and its evaluation count
+/// is added to the total, so the resulting [`Fixpoint`] carries the
+/// same `evaluations` and `infeasible_edges` the monolithic solver
+/// would report. Region nodes keep `None` entry/exit states in the
+/// returned fixpoint — their per-node results live in the summaries the
+/// callback consulted.
+///
+/// Returns `None` — and the caller must fall back to the monolithic
+/// solver — if `region_eval` declines, or if a region entry state grows
+/// after the region was already evaluated (a second episode, which a
+/// single summary application cannot reproduce).
+pub fn solve_with_regions<T, F>(
+    icfg: &Icfg,
+    transfer: &mut T,
+    plan: &RegionPlan,
+    widen_delay: u32,
+    mut region_eval: F,
+) -> Option<Fixpoint<T::State>>
+where
+    T: Transfer,
+    F: FnMut(usize, &T::State) -> Option<RegionOutcome<T::State>>,
+{
+    let n = icfg.nodes().len();
+    let mut ins: Vec<Option<T::State>> = vec![None; n];
+    let mut outs: Vec<Option<T::State>> = vec![None; n];
+    let mut join_count: Vec<u32> = vec![0; n];
+    let mut evaluations: u64 = 0;
+    let widen_at = widening_points(icfg);
+
+    let mut work = RpoWorklist::new(icfg);
+    let entry = icfg.entry();
+    ins[entry.index()] = Some(transfer.boundary());
+    work.insert(icfg.rpo_index(entry));
+
+    let mut edge_fired = vec![false; icfg.edges().len()];
+    let mut region_done = vec![false; plan.regions.len()];
+    // Reachability of region nodes (whose `outs` stay `None`), needed to
+    // report never-fired edges out of reached nodes as infeasible.
+    let mut region_reached = vec![false; n];
+
+    while let Some(node) = work.pop() {
+        stamp_exec::cancel::checkpoint();
+        let ni = node.index();
+        if ins[ni].is_none() {
+            join_count[ni] = 0;
+            continue;
+        }
+        let r = plan.node_region[ni];
+        if r != RegionPlan::INLINE {
+            let spec = &plan.regions[r as usize];
+            debug_assert_eq!(spec.entry, node, "region interior node scheduled");
+            if spec.entry != node || region_done[r as usize] {
+                return None;
+            }
+            region_done[r as usize] = true;
+            let outcome = {
+                let input = ins[ni].as_ref().expect("checked above");
+                region_eval(r as usize, input)?
+            };
+            debug_assert_eq!(outcome.reached.len(), spec.nodes.len());
+            debug_assert_eq!(outcome.exit_outs.len(), spec.exits.len());
+            evaluations += outcome.evaluations;
+            for (i, &reach) in outcome.reached.iter().enumerate() {
+                if reach {
+                    region_reached[spec.nodes[i].index()] = true;
+                }
+            }
+            // A feasible internal edge fires exactly when its source is
+            // locally reachable.
+            for &(lf, _, eid) in &spec.edges {
+                if outcome.reached[lf as usize] {
+                    edge_fired[eid.index()] = true;
+                }
+            }
+            for (&(_, eid), out) in spec.exits.iter().zip(&outcome.exit_outs) {
+                let Some(out) = out else { continue };
+                let e = icfg.edge(eid);
+                let propagated = match transfer.edge(icfg, &e, out) {
+                    Some(s) => s,
+                    None => continue,
+                };
+                edge_fired[eid.index()] = true;
+                let ti = e.to.index();
+                let changed = match &mut ins[ti] {
+                    Some(prev) => {
+                        join_count[ti] += 1;
+                        if widen_at[ti] && join_count[ti] > widen_delay {
+                            prev.widen_from(&propagated)
+                        } else {
+                            prev.join_from(&propagated)
+                        }
+                    }
+                    slot @ None => {
+                        *slot = Some(propagated.into_owned());
+                        true
+                    }
+                };
+                if changed {
+                    work.insert(icfg.rpo_index(e.to));
+                }
+            }
+            continue;
+        }
+        evaluations += 1;
+        let out = {
+            let input = ins[ni].as_ref().expect("checked above");
+            transfer.transfer(icfg, node, input)
+        };
+        let out_changed = match &mut outs[ni] {
+            Some(prev) => prev.join_from(&out),
+            slot @ None => {
+                *slot = Some(out);
+                true
+            }
+        };
+        if !out_changed && evaluations > 1 {
+            continue;
+        }
+        let out_state = outs[ni].as_ref().expect("just set");
+        for e in icfg.succs(node) {
+            let propagated = match transfer.edge(icfg, &e, out_state) {
+                Some(s) => s,
+                None => continue,
+            };
+            edge_fired[e.id.index()] = true;
+            let ti = e.to.index();
+            let changed = match &mut ins[ti] {
+                Some(prev) => {
+                    join_count[ti] += 1;
+                    if widen_at[ti] && join_count[ti] > widen_delay {
+                        prev.widen_from(&propagated)
+                    } else {
+                        prev.join_from(&propagated)
+                    }
+                }
+                slot @ None => {
+                    *slot = Some(propagated.into_owned());
+                    true
+                }
+            };
+            if changed {
+                let tr = plan.node_region[ti];
+                if tr != RegionPlan::INLINE {
+                    let tspec = &plan.regions[tr as usize];
+                    // The carver only admits edges into a region through
+                    // its entry; a grown entry state after the region
+                    // ran means a second episode — abort to monolithic.
+                    if tspec.entry != e.to || region_done[tr as usize] {
+                        return None;
+                    }
+                }
+                work.insert(icfg.rpo_index(e.to));
+            }
+        }
+    }
+
+    // Region entries held their joined in-state for the callback; clear
+    // them so downstream per-node passes (classification replay) treat
+    // all region nodes uniformly as summary-covered.
+    for spec in &plan.regions {
+        ins[spec.entry.index()] = None;
+    }
+
+    let infeasible_edges = icfg
+        .edges()
+        .iter()
+        .filter(|e| {
+            !edge_fired[e.id.index()]
+                && (outs[e.from.index()].is_some() || region_reached[e.from.index()])
+        })
+        .map(|e| e.id)
+        .collect();
+
+    Some(Fixpoint::from_parts(ins, outs, infeasible_edges, evaluations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::VivuConfig;
+    use crate::domain::tests::Bits;
+    use crate::icfg::Icfg;
+    use crate::solver::solve;
+    use stamp_cfg::CfgBuilder;
+    use stamp_isa::asm::assemble;
+    use std::borrow::Cow;
+
+    struct Reach;
+
+    impl Transfer for Reach {
+        type State = Bits;
+
+        fn boundary(&self) -> Bits {
+            Bits(1)
+        }
+
+        fn transfer(&mut self, icfg: &Icfg, node: NodeId, input: &Bits) -> Bits {
+            let _ = icfg;
+            Bits(input.0 | (1 << (node.index() + 1).min(63)))
+        }
+    }
+
+    fn build(src: &str) -> (stamp_cfg::Cfg, Icfg) {
+        let p = assemble(src).unwrap();
+        let cfg = CfgBuilder::new(&p).build().unwrap();
+        let icfg = Icfg::build(&cfg, &VivuConfig::default()).unwrap();
+        (cfg, icfg)
+    }
+
+    /// Evaluates one region by locally re-running the transfer — the
+    /// "trivial summary" that must make the composed driver agree with
+    /// the monolithic solver exactly.
+    fn eval_locally<T: Transfer>(
+        icfg: &Icfg,
+        transfer: &mut T,
+        spec: &RegionSpec,
+        entry: &T::State,
+    ) -> RegionOutcome<T::State> {
+        let k = spec.nodes.len();
+        let mut ins: Vec<Option<T::State>> = vec![None; k];
+        let mut outs: Vec<Option<T::State>> = vec![None; k];
+        ins[0] = Some(entry.clone());
+        let mut evaluations = 0;
+        for i in 0..k {
+            let Some(input) = ins[i].as_ref() else { continue };
+            evaluations += 1;
+            let out = transfer.transfer(icfg, spec.nodes[i], input);
+            for &(lf, lt, eid) in &spec.edges {
+                if lf as usize != i {
+                    continue;
+                }
+                let e = icfg.edge(eid);
+                if let Some(p) = transfer.edge(icfg, &e, &out) {
+                    match &mut ins[lt as usize] {
+                        Some(prev) => {
+                            prev.join_from(&p);
+                        }
+                        slot @ None => *slot = Some(p.into_owned()),
+                    }
+                }
+            }
+            outs[i] = Some(out);
+        }
+        let reached: Vec<bool> = outs.iter().map(Option::is_some).collect();
+        let exit_outs = spec.exits.iter().map(|&(lf, _)| outs[lf as usize].clone()).collect();
+        RegionOutcome { exit_outs, reached, evaluations }
+    }
+
+    const CALL_PAIR: &str = ".text
+main: li r1, 1
+      call f
+      add r2, r1, r1
+      call f
+      halt
+f:    addi r1, r1, 1
+      beq r1, r0, g
+      ret
+g:    ret
+";
+
+    #[test]
+    fn carves_one_region_per_call_instance() {
+        let (_cfg, icfg) = build(CALL_PAIR);
+        let plan = carve_regions(&icfg, &HashSet::new());
+        assert_eq!(plan.regions.len(), 2, "two instances of f");
+        for spec in &plan.regions {
+            assert_eq!(spec.nodes.len(), 3, "f = three blocks");
+            assert!(spec.cont.is_some());
+            assert!(!spec.exits.is_empty());
+            for w in spec.nodes.windows(2) {
+                assert!(icfg.rpo_index(w[0]) < icfg.rpo_index(w[1]));
+            }
+        }
+        // The two regions are disjoint.
+        let mut seen = HashSet::new();
+        for spec in &plan.regions {
+            for n in &spec.nodes {
+                assert!(seen.insert(*n));
+            }
+        }
+    }
+
+    #[test]
+    fn call_under_loop_is_not_carved() {
+        let src = ".text
+main: li r1, 4
+loop: call f
+      addi r1, r1, -1
+      bnez r1, loop
+      halt
+f:    ret
+";
+        let (_cfg, icfg) = build(src);
+        let plan = carve_regions(&icfg, &HashSet::new());
+        assert!(plan.is_empty(), "call sites under loops stay inline");
+    }
+
+    #[test]
+    fn composed_driver_matches_monolithic_solver() {
+        for src in [
+            CALL_PAIR,
+            // Call followed by a loop in the caller.
+            ".text
+main: call f
+      li r1, 3
+loop: addi r1, r1, -1
+      bnez r1, loop
+      halt
+f:    li r2, 7
+      ret
+",
+            // Nested call: g's body is interior to f's region.
+            ".text
+main: call f
+      halt
+f:    call g
+      ret
+g:    li r3, 9
+      ret
+",
+        ] {
+            let (_cfg, icfg) = build(src);
+            let plan = carve_regions(&icfg, &HashSet::new());
+            assert!(!plan.is_empty(), "no region carved for {src}");
+            let mono = solve(&icfg, &mut Reach, u32::MAX);
+            let fp = solve_with_regions(&icfg, &mut Reach, &plan, u32::MAX, |r, entry| {
+                Some(eval_locally(&icfg, &mut Reach, &plan.regions[r], entry))
+            })
+            .expect("no abort on carved regions");
+            assert_eq!(fp.evaluations, mono.evaluations);
+            assert_eq!(fp.infeasible_edges, mono.infeasible_edges);
+            for nd in icfg.nodes() {
+                if plan.node_region[nd.id.index()] == RegionPlan::INLINE {
+                    assert_eq!(fp.input(nd.id).is_some(), mono.input(nd.id).is_some());
+                    if let (Some(a), Some(b)) = (fp.input(nd.id), mono.input(nd.id)) {
+                        assert_eq!(a.0, b.0);
+                    }
+                    if let (Some(a), Some(b)) = (fp.output(nd.id), mono.output(nd.id)) {
+                        assert_eq!(a.0, b.0);
+                    }
+                } else {
+                    assert!(fp.input(nd.id).is_none(), "region nodes carry no states");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn declined_region_eval_aborts() {
+        let (_cfg, icfg) = build(CALL_PAIR);
+        let plan = carve_regions(&icfg, &HashSet::new());
+        let fp = solve_with_regions(&icfg, &mut Reach, &plan, u32::MAX, |_, _| {
+            None::<RegionOutcome<Bits>>
+        });
+        assert!(fp.is_none());
+    }
+
+    #[test]
+    fn infeasible_call_edge_rejects_region() {
+        // If the only way into a region is infeasible, there is no call
+        // edge left and the group stays inline.
+        let (_cfg, icfg) = build(CALL_PAIR);
+        let call_edges: HashSet<IEdgeId> = icfg
+            .edges()
+            .iter()
+            .filter(|e| matches!(e.kind, IEdgeKind::Call { .. }))
+            .map(|e| e.id)
+            .collect();
+        let plan = carve_regions(&icfg, &call_edges);
+        assert!(plan.is_empty());
+
+        // And the composed solver with an empty plan degenerates to the
+        // monolithic result (edge feasibility handled by the transfer).
+        struct KillCalls;
+        impl Transfer for KillCalls {
+            type State = Bits;
+            fn boundary(&self) -> Bits {
+                Bits(1)
+            }
+            fn transfer(&mut self, _i: &Icfg, _n: NodeId, s: &Bits) -> Bits {
+                s.clone()
+            }
+            fn edge<'s>(
+                &mut self,
+                _i: &Icfg,
+                e: &crate::icfg::IEdge,
+                s: &'s Bits,
+            ) -> Option<Cow<'s, Bits>> {
+                match e.kind {
+                    IEdgeKind::Call { .. } => None,
+                    _ => Some(Cow::Borrowed(s)),
+                }
+            }
+        }
+        let mono = solve(&icfg, &mut KillCalls, u32::MAX);
+        let fp = solve_with_regions(&icfg, &mut KillCalls, &plan, u32::MAX, |_, _| {
+            unreachable!("empty plan never evaluates a region")
+        })
+        .expect("empty plan cannot abort");
+        assert!(fp.equivalent(&mono));
+    }
+}

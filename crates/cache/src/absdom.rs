@@ -9,9 +9,13 @@
 //! tree nodes) on every update. The persistence domain instead maps each
 //! line to its *conflict set* — the distinct other lines possibly
 //! accessed since the line's last access (see [`PersCache`]); age-based
-//! persistence is unsound. The per-cache set vectors are shared
-//! copy-on-write (`Rc`), so cloning a [`CacheState`] through an
-//! unchanged block or edge is six pointer bumps.
+//! persistence is unsound. Sharing is copy-on-write at *two*
+//! granularities: the per-domain set vector is an `Rc`, and every
+//! individual cache set inside it is its own `Rc`. Cloning a
+//! [`CacheState`] through an unchanged block or edge is six pointer
+//! bumps, and a transfer that touches one cache set deep-copies only
+//! that set — not the whole vector — which keeps the per-node cost of
+//! the fixpoint proportional to the lines the block actually touches.
 
 use std::rc::Rc;
 
@@ -20,7 +24,7 @@ use stamp_hw::CacheConfig;
 /// Inline capacity of one abstract cache set. Covers every modeled
 /// associativity; a must set can never exceed the associativity, and
 /// may/persistence sets only spill under heavy address-set joins.
-const INLINE_LINES: usize = 8;
+pub(crate) const INLINE_LINES: usize = 8;
 
 /// One abstract cache set: `(line address, age bound)` pairs sorted by
 /// line, stored inline with a heap spill.
@@ -143,13 +147,19 @@ fn for_sets(sets_len: u32, set_indices: Option<&[u32]>, mut f: impl FnMut(usize)
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MustCache {
     config: CacheConfig,
-    sets: Rc<Vec<LineSet>>,
+    sets: Rc<Vec<Rc<LineSet>>>,
 }
 
 impl MustCache {
     /// An empty must cache (nothing guaranteed).
+    // Every slot deliberately shares one empty-set allocation;
+    // `Rc::make_mut` un-shares a set on its first write.
+    #[allow(clippy::rc_clone_in_vec_init)]
     pub fn new(config: CacheConfig) -> MustCache {
-        MustCache { config, sets: Rc::new(vec![LineSet::default(); config.sets() as usize]) }
+        MustCache {
+            config,
+            sets: Rc::new(vec![Rc::new(LineSet::default()); config.sets() as usize]),
+        }
     }
 
     /// Returns `true` if the line containing `addr` hits in every
@@ -164,7 +174,8 @@ impl MustCache {
     pub fn access(&mut self, addr: u32) {
         let a = self.config.assoc() as u8;
         let line = self.config.line_addr(addr);
-        let set = &mut Rc::make_mut(&mut self.sets)[self.config.set_index(addr) as usize];
+        let set =
+            Rc::make_mut(&mut Rc::make_mut(&mut self.sets)[self.config.set_index(addr) as usize]);
         let z_age = set.get(line).unwrap_or(a);
         set.update_retain(|y, age| {
             if y != line && age < z_age {
@@ -211,41 +222,64 @@ impl MustCache {
         let a = self.config.assoc() as u8;
         let sets = Rc::make_mut(&mut self.sets);
         for_sets(self.config.sets(), set_indices, |si| {
-            sets[si].update_retain(|_, age| if age + 1 >= a { None } else { Some(age + 1) });
+            if sets[si].iter().next().is_none() {
+                return;
+            }
+            Rc::make_mut(&mut sets[si]).update_retain(|_, age| {
+                if age + 1 >= a {
+                    None
+                } else {
+                    Some(age + 1)
+                }
+            });
         });
     }
 
     /// Lattice join (set intersection, maximum ages). Returns `true` if
-    /// `self` changed.
+    /// `self` changed. Copy-on-write is per cache set: only sets that
+    /// actually change are un-shared and rewritten.
     pub fn join_from(&mut self, other: &MustCache) -> bool {
         if Rc::ptr_eq(&self.sets, &other.sets) {
             return false;
         }
-        let grows = self.sets.iter().zip(other.sets.iter()).any(|(s, o)| {
-            s.iter().any(|(k, sa)| match o.get(k) {
-                None => true,
-                Some(oa) => oa > sa,
-            })
-        });
-        if !grows {
-            return false;
+        let mut changed = false;
+        for si in 0..other.sets.len() {
+            let o = &other.sets[si];
+            let grows = {
+                let s = &self.sets[si];
+                !Rc::ptr_eq(s, o)
+                    && s.iter().any(|(k, sa)| match o.get(k) {
+                        None => true,
+                        Some(oa) => oa > sa,
+                    })
+            };
+            if !grows {
+                continue;
+            }
+            let slot = &mut Rc::make_mut(&mut self.sets)[si];
+            Rc::make_mut(slot).update_retain(|k, sa| o.get(k).map(|oa| sa.max(oa)));
+            changed = true;
         }
-        let sets = Rc::make_mut(&mut self.sets);
-        for (s, o) in sets.iter_mut().zip(other.sets.iter()) {
-            s.update_retain(|k, sa| o.get(k).map(|oa| sa.max(oa)));
-        }
-        true
+        changed
     }
 
     /// Partial order: `self ⊑ other` iff `self` guarantees everything
     /// `other` does.
     pub fn le(&self, other: &MustCache) -> bool {
         Rc::ptr_eq(&self.sets, &other.sets)
-            || self
-                .sets
-                .iter()
-                .zip(other.sets.iter())
-                .all(|(s, o)| o.iter().all(|(k, oa)| s.get(k).is_some_and(|sa| sa <= oa)))
+            || self.sets.iter().zip(other.sets.iter()).all(|(s, o)| {
+                Rc::ptr_eq(s, o) || o.iter().all(|(k, oa)| s.get(k).is_some_and(|sa| sa <= oa))
+            })
+    }
+
+    /// Direct read access to one cache set (procedure summaries).
+    pub(crate) fn set(&self, si: usize) -> &LineSet {
+        &self.sets[si]
+    }
+
+    /// Direct write access to one cache set (procedure summaries).
+    pub(crate) fn set_mut(&mut self, si: usize) -> &mut LineSet {
+        Rc::make_mut(&mut Rc::make_mut(&mut self.sets)[si])
     }
 }
 
@@ -254,22 +288,24 @@ impl MustCache {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MayCache {
     config: CacheConfig,
-    sets: Rc<Vec<SetState>>,
+    sets: Rc<Vec<Rc<SetState>>>,
 }
 
 impl MayCache {
     /// An empty may cache (everything is a guaranteed miss initially).
+    // Slots share one empty-set allocation; un-shared on first write.
+    #[allow(clippy::rc_clone_in_vec_init)]
     pub fn new(config: CacheConfig) -> MayCache {
         MayCache {
             config,
-            sets: Rc::new(vec![SetState::Map(LineSet::default()); config.sets() as usize]),
+            sets: Rc::new(vec![Rc::new(SetState::Map(LineSet::default())); config.sets() as usize]),
         }
     }
 
     /// Returns `true` if the line containing `addr` may be cached.
     pub fn possibly_cached(&self, addr: u32) -> bool {
         let line = self.config.line_addr(addr);
-        match &self.sets[self.config.set_index(addr) as usize] {
+        match &*self.sets[self.config.set_index(addr) as usize] {
             SetState::Map(m) => m.contains(line),
             SetState::Top => true,
         }
@@ -280,10 +316,10 @@ impl MayCache {
         let a = self.config.assoc() as u8;
         let line = self.config.line_addr(addr);
         let si = self.config.set_index(addr) as usize;
-        if matches!(self.sets[si], SetState::Top) {
+        if matches!(*self.sets[si], SetState::Top) {
             return; // stays ⊤ (still sound)
         }
-        let SetState::Map(m) = &mut Rc::make_mut(&mut self.sets)[si] else {
+        let SetState::Map(m) = Rc::make_mut(&mut Rc::make_mut(&mut self.sets)[si]) else {
             unreachable!("checked above")
         };
         let z_age = m.get(line).unwrap_or(a);
@@ -331,32 +367,60 @@ impl MayCache {
     pub fn clobber(&mut self, set_indices: Option<&[u32]>) {
         let sets = Rc::make_mut(&mut self.sets);
         for_sets(self.config.sets(), set_indices, |si| {
-            sets[si] = SetState::Top;
+            if matches!(*sets[si], SetState::Top) {
+                return;
+            }
+            sets[si] = Rc::new(SetState::Top);
         });
     }
 
-    /// Lattice join (set union, minimum ages).
+    /// Lattice join (set union, minimum ages). Copy-on-write is per
+    /// cache set; a set that becomes exactly `other`'s is shared rather
+    /// than copied.
     pub fn join_from(&mut self, other: &MayCache) -> bool {
         if Rc::ptr_eq(&self.sets, &other.sets) {
             return false;
         }
-        let grows = self.sets.iter().zip(other.sets.iter()).any(|(s, o)| match (s, o) {
-            (SetState::Top, _) => false,
-            (SetState::Map(_), SetState::Top) => true,
-            (SetState::Map(sm), SetState::Map(om)) => om.iter().any(|(k, oa)| match sm.get(k) {
-                None => true,
-                Some(sa) => oa < sa,
-            }),
-        });
-        if !grows {
-            return false;
-        }
-        let sets = Rc::make_mut(&mut self.sets);
-        for (s, o) in sets.iter_mut().zip(other.sets.iter()) {
-            match (&mut *s, o) {
-                (SetState::Top, _) => {}
-                (slot @ SetState::Map(_), SetState::Top) => *slot = SetState::Top,
-                (SetState::Map(sm), SetState::Map(om)) => {
+        let mut changed = false;
+        for si in 0..other.sets.len() {
+            let o = &other.sets[si];
+            enum Plan {
+                Skip,
+                Share,
+                Merge,
+            }
+            let plan = {
+                let s = &self.sets[si];
+                if Rc::ptr_eq(s, o) {
+                    Plan::Skip
+                } else {
+                    match (&**s, &**o) {
+                        (SetState::Top, _) => Plan::Skip,
+                        (SetState::Map(_), SetState::Top) => Plan::Share,
+                        (SetState::Map(sm), SetState::Map(om)) => {
+                            if sm.entries().is_empty() && !om.entries().is_empty() {
+                                Plan::Share
+                            } else if om.iter().any(|(k, oa)| match sm.get(k) {
+                                None => true,
+                                Some(sa) => oa < sa,
+                            }) {
+                                Plan::Merge
+                            } else {
+                                Plan::Skip
+                            }
+                        }
+                    }
+                }
+            };
+            match plan {
+                Plan::Skip => continue,
+                Plan::Share => {
+                    Rc::make_mut(&mut self.sets)[si] = Rc::clone(o);
+                }
+                Plan::Merge => {
+                    let slot = Rc::make_mut(&mut Rc::make_mut(&mut self.sets)[si]);
+                    let SetState::Map(sm) = slot else { unreachable!("merge plan is map/map") };
+                    let SetState::Map(om) = &**o else { unreachable!("merge plan is map/map") };
                     for (k, oa) in om.iter() {
                         match sm.get(k) {
                             None => sm.insert(k, oa),
@@ -366,19 +430,33 @@ impl MayCache {
                     }
                 }
             }
+            changed = true;
         }
-        true
+        changed
+    }
+
+    /// Direct read access to one cache set (procedure summaries).
+    pub(crate) fn set(&self, si: usize) -> &SetState {
+        &self.sets[si]
+    }
+
+    /// Direct write access to one cache set (procedure summaries).
+    pub(crate) fn set_mut(&mut self, si: usize) -> &mut SetState {
+        Rc::make_mut(&mut Rc::make_mut(&mut self.sets)[si])
     }
 
     /// Partial order: fewer possibilities ⊑ more possibilities.
     pub fn le(&self, other: &MayCache) -> bool {
         Rc::ptr_eq(&self.sets, &other.sets)
-            || self.sets.iter().zip(other.sets.iter()).all(|(s, o)| match (s, o) {
-                (_, SetState::Top) => true,
-                (SetState::Top, SetState::Map(_)) => false,
-                (SetState::Map(sm), SetState::Map(om)) => {
-                    sm.iter().all(|(k, sa)| om.get(k).is_some_and(|oa| oa <= sa))
-                }
+            || self.sets.iter().zip(other.sets.iter()).all(|(s, o)| {
+                Rc::ptr_eq(s, o)
+                    || match (&**s, &**o) {
+                        (_, SetState::Top) => true,
+                        (SetState::Top, SetState::Map(_)) => false,
+                        (SetState::Map(sm), SetState::Map(om)) => {
+                            sm.iter().all(|(k, sa)| om.get(k).is_some_and(|oa| oa <= sa))
+                        }
+                    }
             })
     }
 }
@@ -391,7 +469,7 @@ impl MayCache {
 /// associativity. Once it can reach the associativity the line may have
 /// been evicted and the record saturates ([`Conflicts::Sat`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Conflicts {
+pub(crate) enum Conflicts {
     /// At most these distinct conflicting lines since the last access
     /// (`len` live entries, sorted). `len` is strictly below the
     /// associativity — reaching it saturates instead.
@@ -401,13 +479,13 @@ enum Conflicts {
 }
 
 impl Conflicts {
-    fn none() -> Conflicts {
+    pub(crate) fn none() -> Conflicts {
         Conflicts::Among { len: 0, lines: [0; INLINE_LINES] }
     }
 
     /// Adds one conflicting line, saturating at `assoc` distinct
     /// conflicts (at which point the line may be evicted).
-    fn add(&mut self, line: u32, assoc: u8) {
+    pub(crate) fn add(&mut self, line: u32, assoc: u8) {
         if let Conflicts::Among { len, lines } = self {
             let n = *len as usize;
             if lines[..n].contains(&line) {
@@ -425,7 +503,7 @@ impl Conflicts {
     }
 
     /// Set union, saturating at `assoc`.
-    fn union(&mut self, other: &Conflicts, assoc: u8) {
+    pub(crate) fn union(&mut self, other: &Conflicts, assoc: u8) {
         match other {
             Conflicts::Sat => *self = Conflicts::Sat,
             Conflicts::Among { len, lines } => {
@@ -449,7 +527,7 @@ impl Conflicts {
 }
 
 /// One persistence set: `line → conflicts`, sorted by line.
-type PersSet = Vec<(u32, Conflicts)>;
+pub(crate) type PersSet = Vec<(u32, Conflicts)>;
 
 /// The **persistence** cache, in the conflict-set formulation: for each
 /// line ever accessed it tracks the distinct other lines that may have
@@ -466,17 +544,19 @@ type PersSet = Vec<(u32, Conflicts)>;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PersCache {
     config: CacheConfig,
-    sets: Rc<Vec<PersSet>>,
+    sets: Rc<Vec<Rc<PersSet>>>,
 }
 
 impl PersCache {
     /// An empty persistence cache (no line accessed yet).
+    // Slots share one empty-set allocation; un-shared on first write.
+    #[allow(clippy::rc_clone_in_vec_init)]
     pub fn new(config: CacheConfig) -> PersCache {
         assert!(
             config.assoc() as usize <= INLINE_LINES,
             "persistence conflict records hold at most {INLINE_LINES} lines"
         );
-        PersCache { config, sets: Rc::new(vec![PersSet::new(); config.sets() as usize]) }
+        PersCache { config, sets: Rc::new(vec![Rc::new(PersSet::new()); config.sets() as usize]) }
     }
 
     fn get(set: &PersSet, line: u32) -> Option<&Conflicts> {
@@ -500,7 +580,8 @@ impl PersCache {
     pub fn access(&mut self, addr: u32) {
         let a = self.config.assoc() as u8;
         let line = self.config.line_addr(addr);
-        let set = &mut Rc::make_mut(&mut self.sets)[self.config.set_index(addr) as usize];
+        let set =
+            Rc::make_mut(&mut Rc::make_mut(&mut self.sets)[self.config.set_index(addr) as usize]);
         for (l, c) in set.iter_mut() {
             if *l != line {
                 c.add(line, a);
@@ -540,38 +621,62 @@ impl PersCache {
     pub fn clobber(&mut self, set_indices: Option<&[u32]>) {
         let sets = Rc::make_mut(&mut self.sets);
         for_sets(self.config.sets(), set_indices, |si| {
-            for (_, c) in sets[si].iter_mut() {
+            if sets[si].iter().all(|(_, c)| matches!(c, Conflicts::Sat)) {
+                return;
+            }
+            for (_, c) in Rc::make_mut(&mut sets[si]).iter_mut() {
                 *c = Conflicts::Sat;
             }
         });
     }
 
     /// Lattice join (pointwise conflict-set union; absence means "never
-    /// accessed", which is *below* any record).
+    /// accessed", which is *below* any record). Copy-on-write is per
+    /// cache set; an empty set joining a non-empty one shares the other
+    /// side's `Rc` instead of copying it.
     pub fn join_from(&mut self, other: &PersCache) -> bool {
         if Rc::ptr_eq(&self.sets, &other.sets) {
             return false;
         }
-        let grows = self.sets.iter().zip(other.sets.iter()).any(|(s, o)| {
-            o.iter().any(|(k, oc)| match PersCache::get(s, *k) {
-                None => true,
-                Some(sc) => !oc.subset_of(sc),
-            })
-        });
-        if !grows {
-            return false;
-        }
         let a = self.config.assoc() as u8;
-        let sets = Rc::make_mut(&mut self.sets);
-        for (s, o) in sets.iter_mut().zip(other.sets.iter()) {
-            for (k, oc) in o.iter() {
-                match s.binary_search_by_key(k, |&(l, _)| l) {
-                    Ok(i) => s[i].1.union(oc, a),
-                    Err(i) => s.insert(i, (*k, *oc)),
+        let mut changed = false;
+        for si in 0..other.sets.len() {
+            let o = &other.sets[si];
+            let grows = {
+                let s = &self.sets[si];
+                !Rc::ptr_eq(s, o)
+                    && o.iter().any(|(k, oc)| match PersCache::get(s, *k) {
+                        None => true,
+                        Some(sc) => !oc.subset_of(sc),
+                    })
+            };
+            if !grows {
+                continue;
+            }
+            if self.sets[si].is_empty() {
+                Rc::make_mut(&mut self.sets)[si] = Rc::clone(o);
+            } else {
+                let s = Rc::make_mut(&mut Rc::make_mut(&mut self.sets)[si]);
+                for (k, oc) in o.iter() {
+                    match s.binary_search_by_key(k, |&(l, _)| l) {
+                        Ok(i) => s[i].1.union(oc, a),
+                        Err(i) => s.insert(i, (*k, *oc)),
+                    }
                 }
             }
+            changed = true;
         }
-        true
+        changed
+    }
+
+    /// Direct read access to one cache set (procedure summaries).
+    pub(crate) fn set(&self, si: usize) -> &PersSet {
+        &self.sets[si]
+    }
+
+    /// Direct write access to one cache set (procedure summaries).
+    pub(crate) fn set_mut(&mut self, si: usize) -> &mut PersSet {
+        Rc::make_mut(&mut Rc::make_mut(&mut self.sets)[si])
     }
 
     /// Partial order: fewer recorded lines / smaller conflict sets ⊑
@@ -579,7 +684,9 @@ impl PersCache {
     pub fn le(&self, other: &PersCache) -> bool {
         Rc::ptr_eq(&self.sets, &other.sets)
             || self.sets.iter().zip(other.sets.iter()).all(|(s, o)| {
-                s.iter().all(|(k, sc)| PersCache::get(o, *k).is_some_and(|oc| sc.subset_of(oc)))
+                Rc::ptr_eq(s, o)
+                    || s.iter()
+                        .all(|(k, sc)| PersCache::get(o, *k).is_some_and(|oc| sc.subset_of(oc)))
             })
     }
 }

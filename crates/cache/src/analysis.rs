@@ -33,7 +33,7 @@ pub struct CacheState {
 }
 
 impl CacheState {
-    fn new(icache: Option<CacheConfig>, dcache: Option<CacheConfig>) -> CacheState {
+    pub(crate) fn new(icache: Option<CacheConfig>, dcache: Option<CacheConfig>) -> CacheState {
         CacheState {
             imust: icache.map(crate::MustCache::new),
             imay: icache.map(crate::MayCache::new),
@@ -119,14 +119,14 @@ impl ClassStats {
 /// Results of the cache analysis: per-(instruction, context)
 /// classifications for fetches and data accesses.
 pub struct CacheAnalysis {
-    classes: HashMap<(u32, CtxId), AccessClass>,
-    icache: Option<CacheConfig>,
-    dcache: Option<CacheConfig>,
+    pub(crate) classes: HashMap<(u32, CtxId), AccessClass>,
+    pub(crate) icache: Option<CacheConfig>,
+    pub(crate) dcache: Option<CacheConfig>,
     /// Distinct I-cache lines behind persistent fetches: each can miss
     /// at most once over the whole task.
-    ps_fetch_lines: std::collections::BTreeSet<u32>,
+    pub(crate) ps_fetch_lines: std::collections::BTreeSet<u32>,
     /// Distinct D-cache lines behind persistent loads.
-    ps_data_lines: std::collections::BTreeSet<u32>,
+    pub(crate) ps_data_lines: std::collections::BTreeSet<u32>,
     /// Solver node evaluations (scaling experiment).
     pub evaluations: u64,
 }
@@ -135,20 +135,32 @@ pub struct CacheAnalysis {
 /// falling back to the sound clobber treatment.
 const MAX_LINES: usize = 64;
 
-struct CacheTransfer<'a> {
-    cfg: &'a Cfg,
-    va: &'a ValueAnalysis,
-    icache: Option<CacheConfig>,
-    dcache: Option<CacheConfig>,
+/// Precomputed effect of one data access on the D-cache domains.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum DataAccess {
+    /// Bounded candidate line set (possibly a single line).
+    Lines(Vec<u32>),
+    /// Too many candidates: clobber the given sets (`None` = all).
+    Clobber(Option<Vec<u32>>),
+}
+
+pub(crate) struct CacheTransfer<'a> {
+    pub(crate) cfg: &'a Cfg,
+    pub(crate) icache: Option<CacheConfig>,
+    pub(crate) dcache: Option<CacheConfig>,
     /// Supergraph edges the value analysis proved infeasible: the cache
     /// analysis must not propagate along them, both for precision and so
     /// that every visited node has value-analysis access information.
-    infeasible: std::collections::HashSet<stamp_ai::IEdgeId>,
+    pub(crate) infeasible: std::collections::HashSet<stamp_ai::IEdgeId>,
+    /// Candidate-line information per load instance, precomputed once so
+    /// neither the fixpoint nor the classification replay re-enumerates
+    /// value-analysis address sets.
+    pub(crate) data: HashMap<(u32, CtxId), DataAccess>,
 }
 
 /// The candidate line addresses of a data access, or `None` when too
 /// many to enumerate.
-fn lines_of(cfg: CacheConfig, addrs: &SInt, width: MemWidth) -> Option<Vec<u32>> {
+pub(crate) fn lines_of(cfg: CacheConfig, addrs: &SInt, width: MemWidth) -> Option<Vec<u32>> {
     if addrs.count() > 4 * MAX_LINES as u64 {
         return None;
     }
@@ -166,9 +178,36 @@ fn lines_of(cfg: CacheConfig, addrs: &SInt, width: MemWidth) -> Option<Vec<u32>>
     Some(lines)
 }
 
+/// Precomputes the D-cache effect of every load instance in the
+/// supergraph, so the fixpoint and the classification replay both read
+/// the same table instead of re-enumerating address sets per visit.
+pub(crate) fn data_accesses(
+    dcache: Option<CacheConfig>,
+    cfg: &Cfg,
+    icfg: &Icfg,
+    va: &ValueAnalysis,
+) -> HashMap<(u32, CtxId), DataAccess> {
+    let mut data = HashMap::new();
+    let Some(dc) = dcache else { return data };
+    for nd in icfg.nodes() {
+        for &(addr, insn) in &cfg.block(nd.block).insns {
+            if !insn.is_load() {
+                continue;
+            }
+            let info = va.access(addr, nd.ctx);
+            let da = match info.and_then(|i| lines_of(dc, &i.addrs, i.width)) {
+                Some(lines) => DataAccess::Lines(lines),
+                None => DataAccess::Clobber(info.and_then(|i| sets_of(dc, &i.addrs))),
+            };
+            data.insert((addr, nd.ctx), da);
+        }
+    }
+    data
+}
+
 /// The cache sets an unenumerable access might touch, if its range at
 /// least bounds the set index; `None` means all sets.
-fn sets_of(cfg: CacheConfig, addrs: &SInt) -> Option<Vec<u32>> {
+pub(crate) fn sets_of(cfg: CacheConfig, addrs: &SInt) -> Option<Vec<u32>> {
     let span = addrs.hi() as u64 - addrs.lo() as u64;
     if span >= (cfg.sets() * cfg.line_bytes()) as u64 {
         return None;
@@ -192,37 +231,46 @@ impl CacheTransfer<'_> {
     fn apply_block(&self, icfg: &Icfg, node: NodeId, state: &mut CacheState) {
         let n = icfg.node(node);
         let block = self.cfg.block(n.block);
+        let mut prev_line = None;
         for &(addr, insn) in &block.insns {
-            // Instruction fetch.
-            if let Some(m) = state.imust.as_mut() {
-                m.access(addr);
-            }
-            if let Some(m) = state.imay.as_mut() {
-                m.access(addr);
-            }
-            if let Some(m) = state.ipers.as_mut() {
-                m.access(addr);
+            // Instruction fetch. A fetch from the line just fetched is an
+            // exact no-op in all three i-domains (the line is MRU with an
+            // empty conflict record), so consecutive same-line fetches —
+            // the common case with multiple instructions per line — are
+            // skipped. Data accesses never touch the i-domains, so the
+            // skip is valid across intervening loads.
+            let line = self.icache.map(|ic| ic.line_addr(addr));
+            if line != prev_line || line.is_none() {
+                prev_line = line;
+                if let Some(m) = state.imust.as_mut() {
+                    m.access(addr);
+                }
+                if let Some(m) = state.imay.as_mut() {
+                    m.access(addr);
+                }
+                if let Some(m) = state.ipers.as_mut() {
+                    m.access(addr);
+                }
             }
             // Data access: loads allocate; stores are write-around and
             // do not touch the cache.
             if insn.is_load() {
-                let Some(dc) = self.dcache else { continue };
-                let info = self.va.access(addr, n.ctx);
-                let lines = info.and_then(|i| lines_of(dc, &i.addrs, i.width));
-                match lines {
-                    Some(lines) => {
+                if self.dcache.is_none() {
+                    continue;
+                }
+                match self.data.get(&(addr, n.ctx)).expect("load effect precomputed") {
+                    DataAccess::Lines(lines) => {
                         if let Some(m) = state.dmust.as_mut() {
-                            m.access_any(&lines);
+                            m.access_any(lines);
                         }
                         if let Some(m) = state.dmay.as_mut() {
-                            m.access_any(&lines);
+                            m.access_any(lines);
                         }
                         if let Some(m) = state.dpers.as_mut() {
-                            m.access_any(&lines);
+                            m.access_any(lines);
                         }
                     }
-                    None => {
-                        let sets = info.and_then(|i| sets_of(dc, &i.addrs));
+                    DataAccess::Clobber(sets) => {
                         if let Some(m) = state.dmust.as_mut() {
                             m.clobber(sets.as_deref());
                         }
@@ -237,28 +285,30 @@ impl CacheTransfer<'_> {
             }
         }
     }
+}
 
-    fn classify(&self, state: &CacheState, lines: &[u32], data: bool) -> Classification {
-        let (must, may, pers) = if data {
-            (&state.dmust, &state.dmay, &state.dpers)
-        } else {
-            (&state.imust, &state.imay, &state.ipers)
-        };
-        match (must, may, pers) {
-            (Some(must), Some(may), Some(pers)) => {
-                if !lines.is_empty() && lines.iter().all(|&l| must.definitely_cached(l)) {
-                    Classification::AlwaysHit
-                } else if lines.iter().all(|&l| !may.possibly_cached(l)) {
-                    Classification::AlwaysMiss
-                } else if !lines.is_empty() && lines.iter().all(|&l| pers.persistent(l)) {
-                    Classification::Persistent
-                } else {
-                    Classification::NotClassified
-                }
+/// Classifies one reference against the current abstract state (shared
+/// by the monolithic replay and the per-region summary replay).
+pub(crate) fn classify(state: &CacheState, lines: &[u32], data: bool) -> Classification {
+    let (must, may, pers) = if data {
+        (&state.dmust, &state.dmay, &state.dpers)
+    } else {
+        (&state.imust, &state.imay, &state.ipers)
+    };
+    match (must, may, pers) {
+        (Some(must), Some(may), Some(pers)) => {
+            if !lines.is_empty() && lines.iter().all(|&l| must.definitely_cached(l)) {
+                Classification::AlwaysHit
+            } else if lines.iter().all(|&l| !may.possibly_cached(l)) {
+                Classification::AlwaysMiss
+            } else if !lines.is_empty() && lines.iter().all(|&l| pers.persistent(l)) {
+                Classification::Persistent
+            } else {
+                Classification::NotClassified
             }
-            // No cache configured: every access is a (flat-latency) miss.
-            _ => Classification::AlwaysMiss,
         }
+        // No cache configured: every access is a (flat-latency) miss.
+        _ => Classification::AlwaysMiss,
     }
 }
 
@@ -293,69 +343,38 @@ impl CacheAnalysis {
     /// Runs the must/may/persistence analyses over the supergraph and
     /// classifies every instruction fetch and data load.
     pub fn run(hw: &HwConfig, cfg: &Cfg, icfg: &Icfg, va: &ValueAnalysis) -> CacheAnalysis {
+        CacheAnalysis::run_impl(hw, cfg, icfg, va)
+    }
+
+    /// The executable-specification analysis: naive `BTreeMap` domains
+    /// driven by the naive reference solver
+    /// ([`stamp_ai::solve_reference`]), with per-visit address
+    /// enumeration and no same-line fetch skip (see [`crate::refdom`]).
+    /// The differential tests and the `uarch` bench section compare
+    /// against it.
+    pub fn run_reference(
+        hw: &HwConfig,
+        cfg: &Cfg,
+        icfg: &Icfg,
+        va: &ValueAnalysis,
+    ) -> CacheAnalysis {
+        crate::refdom::run_reference(hw, cfg, icfg, va)
+    }
+
+    fn run_impl(hw: &HwConfig, cfg: &Cfg, icfg: &Icfg, va: &ValueAnalysis) -> CacheAnalysis {
         let mut transfer = CacheTransfer {
             cfg,
-            va,
             icache: hw.icache,
             dcache: hw.dcache,
             infeasible: va.infeasible_edges().iter().copied().collect(),
+            data: data_accesses(hw.dcache, cfg, icfg, va),
         };
         // Cache domains have finite ascending chains; plain join suffices
         // (widening = join), so the delay value is irrelevant.
         let fixpoint = solve(icfg, &mut transfer, u32::MAX);
 
-        let mut classes = HashMap::new();
-        let mut ps_fetch_lines = std::collections::BTreeSet::new();
-        let mut ps_data_lines = std::collections::BTreeSet::new();
-        for nd in icfg.nodes() {
-            let Some(input) = fixpoint.input(nd.id) else { continue };
-            let mut s = input.clone();
-            let block = cfg.block(nd.block);
-            for &(addr, insn) in &block.insns {
-                let fetch = match hw.icache {
-                    Some(ic) => {
-                        let c = transfer.classify(&s, &[ic.line_addr(addr)], false);
-                        if c == Classification::Persistent {
-                            ps_fetch_lines.insert(ic.line_addr(addr));
-                        }
-                        c
-                    }
-                    None => Classification::AlwaysMiss,
-                };
-                let data = if insn.is_load() {
-                    Some(match hw.dcache {
-                        Some(dc) => {
-                            let info = va.access(addr, nd.ctx);
-                            match info.and_then(|i| lines_of(dc, &i.addrs, i.width)) {
-                                Some(lines) => {
-                                    let c = transfer.classify(&s, &lines, true);
-                                    if c == Classification::Persistent {
-                                        ps_data_lines.extend(lines.iter().copied());
-                                    }
-                                    c
-                                }
-                                None => Classification::NotClassified,
-                            }
-                        }
-                        None => Classification::AlwaysMiss,
-                    })
-                } else {
-                    None
-                };
-                classes.insert((addr, nd.ctx), AccessClass { fetch, data });
-                // Advance the state through this instruction.
-                let mut tmp = CacheState {
-                    imust: s.imust.take(),
-                    imay: s.imay.take(),
-                    ipers: s.ipers.take(),
-                    dmust: s.dmust.take(),
-                    dmay: s.dmay.take(),
-                    dpers: s.dpers.take(),
-                };
-                apply_one(&transfer, &mut tmp, addr, &insn, nd.ctx);
-                s = tmp;
-            }
-        }
+        let (classes, ps_fetch_lines, ps_data_lines) =
+            replay_classes(&transfer, hw, cfg, icfg, &fixpoint);
 
         CacheAnalysis {
             classes,
@@ -421,6 +440,70 @@ impl CacheAnalysis {
     }
 }
 
+/// Replays every solved node's abstract state through its block,
+/// classifying each fetch and load and collecting the persistent lines
+/// (shared by the monolithic run and the summarized run's inline nodes).
+type ReplayOut = (
+    HashMap<(u32, CtxId), AccessClass>,
+    std::collections::BTreeSet<u32>,
+    std::collections::BTreeSet<u32>,
+);
+
+pub(crate) fn replay_classes(
+    transfer: &CacheTransfer<'_>,
+    hw: &HwConfig,
+    cfg: &Cfg,
+    icfg: &Icfg,
+    fixpoint: &stamp_ai::Fixpoint<CacheState>,
+) -> ReplayOut {
+    let mut classes = HashMap::new();
+    let mut ps_fetch_lines = std::collections::BTreeSet::new();
+    let mut ps_data_lines = std::collections::BTreeSet::new();
+    for nd in icfg.nodes() {
+        let Some(input) = fixpoint.input(nd.id) else { continue };
+        let mut s = input.clone();
+        let block = cfg.block(nd.block);
+        let mut prev_line = None;
+        for &(addr, insn) in &block.insns {
+            let fetch = match hw.icache {
+                Some(ic) => {
+                    let c = classify(&s, &[ic.line_addr(addr)], false);
+                    if c == Classification::Persistent {
+                        ps_fetch_lines.insert(ic.line_addr(addr));
+                    }
+                    c
+                }
+                None => Classification::AlwaysMiss,
+            };
+            let data = if insn.is_load() {
+                Some(match hw.dcache {
+                    Some(_) => match transfer.data.get(&(addr, nd.ctx)) {
+                        Some(DataAccess::Lines(lines)) => {
+                            let c = classify(&s, lines, true);
+                            if c == Classification::Persistent {
+                                ps_data_lines.extend(lines.iter().copied());
+                            }
+                            c
+                        }
+                        _ => Classification::NotClassified,
+                    },
+                    None => Classification::AlwaysMiss,
+                })
+            } else {
+                None
+            };
+            classes.insert((addr, nd.ctx), AccessClass { fetch, data });
+            // Advance the state through this instruction (same
+            // same-line fetch skip as `apply_block`).
+            let line = hw.icache.map(|ic| ic.line_addr(addr));
+            let fetch_is_noop = line == prev_line && line.is_some();
+            prev_line = line;
+            apply_one(transfer, &mut s, addr, &insn, nd.ctx, fetch_is_noop);
+        }
+    }
+    (classes, ps_fetch_lines, ps_data_lines)
+}
+
 /// Applies one instruction's cache effects (helper for the
 /// classification replay).
 fn apply_one(
@@ -429,33 +512,36 @@ fn apply_one(
     addr: u32,
     insn: &stamp_isa::Insn,
     ctx: CtxId,
+    fetch_is_noop: bool,
 ) {
-    if let Some(m) = state.imust.as_mut() {
-        m.access(addr);
-    }
-    if let Some(m) = state.imay.as_mut() {
-        m.access(addr);
-    }
-    if let Some(m) = state.ipers.as_mut() {
-        m.access(addr);
+    if !fetch_is_noop {
+        if let Some(m) = state.imust.as_mut() {
+            m.access(addr);
+        }
+        if let Some(m) = state.imay.as_mut() {
+            m.access(addr);
+        }
+        if let Some(m) = state.ipers.as_mut() {
+            m.access(addr);
+        }
     }
     if insn.is_load() {
-        let Some(dc) = t.dcache else { return };
-        let info = t.va.access(addr, ctx);
-        match info.and_then(|i| lines_of(dc, &i.addrs, i.width)) {
-            Some(lines) => {
+        if t.dcache.is_none() {
+            return;
+        }
+        match t.data.get(&(addr, ctx)).expect("load effect precomputed") {
+            DataAccess::Lines(lines) => {
                 if let Some(m) = state.dmust.as_mut() {
-                    m.access_any(&lines);
+                    m.access_any(lines);
                 }
                 if let Some(m) = state.dmay.as_mut() {
-                    m.access_any(&lines);
+                    m.access_any(lines);
                 }
                 if let Some(m) = state.dpers.as_mut() {
-                    m.access_any(&lines);
+                    m.access_any(lines);
                 }
             }
-            None => {
-                let sets = info.and_then(|i| sets_of(dc, &i.addrs));
+            DataAccess::Clobber(sets) => {
                 if let Some(m) = state.dmust.as_mut() {
                     m.clobber(sets.as_deref());
                 }

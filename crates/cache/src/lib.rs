@@ -53,6 +53,9 @@
 
 mod absdom;
 mod analysis;
+mod refdom;
+mod summary;
 
 pub use absdom::{MayCache, MustCache, PersCache};
 pub use analysis::{AccessClass, CacheAnalysis, CacheState, ClassStats, Classification};
+pub use summary::{LocalUarchMemo, UarchMemo, UarchSummaryStats};

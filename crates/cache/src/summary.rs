@@ -1,0 +1,1012 @@
+//! Per-procedure cache summaries.
+//!
+//! One call-instance region (carved by [`stamp_ai::carve_regions`]) is
+//! analyzed *once per entry-state class* instead of once per context
+//! clone: the region's instruction stream plus the projection of the
+//! entry cache state onto the lines the region touches determine the
+//! fixpoint inside the region exactly, so the result — per-access
+//! classifications, persistent lines, and the exit transformation of
+//! the caller's cache state — is memoized under a key built from those
+//! bytes and replayed on every later instance.
+//!
+//! The exit transformation is exact, not an approximation. Lines the
+//! region never touches evolve independently of each other: in the
+//! must/may domains an untouched line's aging depends only on its own
+//! age and the accessed lines' ages, and in the persistence domain its
+//! conflict record gains exactly the distinct accessed lines. The local
+//! pass therefore seeds each touched cache set with `assoc` *ghost
+//! lines* — addresses no region line can collide with — at entry ages
+//! `0..assoc`, and reads off their exit ages as a transformer table
+//! `entry age → exit age | evicted` valid for any caller line.
+//!
+//! Regions whose loads clobber (unenumerable address sets) are not
+//! summarized; their nodes are solved inline. If no region survives, or
+//! the composed solve declines (e.g. a region entered twice), the
+//! caller falls back to the monolithic fixpoint — fallback is always
+//! available and always sound.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::rc::Rc;
+
+use stamp_ai::{carve_regions, solve_with_regions, Domain, Icfg, RegionOutcome, RegionSpec};
+use stamp_cfg::Cfg;
+use stamp_codec::{Codec, CodecError, Dec, Enc};
+use stamp_hw::{CacheConfig, HwConfig};
+use stamp_value::ValueAnalysis;
+
+use crate::absdom::{Conflicts, PersSet, SetState, INLINE_LINES};
+use crate::analysis::{
+    classify, data_accesses, replay_classes, CacheState, CacheTransfer, DataAccess,
+};
+use crate::{AccessClass, CacheAnalysis, Classification, MayCache, MustCache, PersCache};
+
+/// Bumped whenever the summary key or payload layout changes.
+const SUMMARY_VERSION: u8 = 1;
+
+/// Bytes-level memo for encoded summaries, shared by the cache and
+/// pipeline summary passes. The local tier lives here; `stamp-core`
+/// layers the artifact broker and the durable store on top.
+pub trait UarchMemo {
+    /// Returns the summary bytes for `key`, invoking `compute` on miss.
+    /// Implementations must return exactly the bytes `compute` produced
+    /// for this key (possibly in an earlier run).
+    fn recall(&mut self, key: &[u8], compute: &mut dyn FnMut() -> Vec<u8>) -> Rc<Vec<u8>>;
+}
+
+/// In-memory memo: shares summaries between the call instances of one
+/// analysis run.
+#[derive(Default)]
+pub struct LocalUarchMemo {
+    map: HashMap<Vec<u8>, Rc<Vec<u8>>>,
+}
+
+impl UarchMemo for LocalUarchMemo {
+    fn recall(&mut self, key: &[u8], compute: &mut dyn FnMut() -> Vec<u8>) -> Rc<Vec<u8>> {
+        if let Some(v) = self.map.get(key) {
+            return Rc::clone(v);
+        }
+        let v = Rc::new(compute());
+        self.map.insert(key.to_vec(), Rc::clone(&v));
+        v
+    }
+}
+
+/// Reuse counters of one summarized run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UarchSummaryStats {
+    /// Regions carved and summarizable.
+    pub regions: usize,
+    /// Summaries computed fresh this run.
+    pub computed: usize,
+    /// Region evaluations answered from the memo.
+    pub reused: usize,
+}
+
+/// One reference inside a region: the fetch address and, for loads with
+/// a configured D-cache, the candidate line set.
+#[derive(Clone, Debug)]
+struct InsnInfo {
+    addr: u32,
+    is_load: bool,
+    lines: Option<Vec<u32>>,
+}
+
+/// The canonical, instance-independent description of one region.
+#[derive(Clone, Debug)]
+struct RegionInfo {
+    /// Per region node (ascending local index): the block's references.
+    nodes: Vec<Vec<InsnInfo>>,
+    /// Feasible internal edges as local index pairs (`from < to`).
+    edges: Vec<(u32, u32)>,
+    /// Local index of each exit edge's source node.
+    exit_froms: Vec<u32>,
+    /// Touched I-cache sets: `(set index, sorted distinct lines)`.
+    ifoot: Vec<(u32, Vec<u32>)>,
+    /// Touched D-cache sets.
+    dfoot: Vec<(u32, Vec<u32>)>,
+    /// Ghost lines per footprint entry (`assoc` each), aligned with
+    /// `ifoot` / `dfoot`.
+    ighosts: Vec<Vec<u32>>,
+    dghosts: Vec<Vec<u32>>,
+    /// Canonical structure + configuration bytes: the memo key prefix.
+    bytes: Vec<u8>,
+}
+
+/// The exit transformation of one touched cache set.
+#[derive(Clone, Debug)]
+struct SetEffect {
+    /// Footprint lines present in the must set at exit, with ages.
+    must_lines: Vec<(u32, u8)>,
+    /// Non-footprint transformer: entry age → exit age (`None` =
+    /// evicted), read off the ghost lines.
+    must_table: Vec<Option<u8>>,
+    /// The may set was ⊤ at entry (and therefore still is at exit).
+    may_top: bool,
+    may_lines: Vec<(u32, u8)>,
+    may_table: Vec<Option<u8>>,
+    /// Footprint lines' conflict records at exit.
+    pers_lines: Vec<(u32, Conflicts)>,
+    /// Conflicts every non-footprint line gained (the ghost's record).
+    pers_add: Conflicts,
+}
+
+/// The exit transformation of the whole cache state, aligned with
+/// `ifoot` / `dfoot`.
+#[derive(Clone, Debug)]
+struct ExitEffect {
+    isets: Vec<SetEffect>,
+    dsets: Vec<SetEffect>,
+}
+
+/// A memoized region summary: everything the composed solve and the
+/// classification replay need, independent of the concrete instance.
+#[derive(Clone, Debug)]
+struct CacheSummary {
+    /// Node evaluations the monolithic solver would perform inside.
+    evaluations: u64,
+    /// Locally reachable nodes.
+    reached: Vec<bool>,
+    /// Per node, per instruction: the classification (empty when
+    /// unreached).
+    classes: Vec<Vec<AccessClass>>,
+    /// Persistent I-cache lines contributed by reached region nodes.
+    ps_fetch: Vec<u32>,
+    /// Persistent D-cache lines contributed by reached region nodes.
+    ps_data: Vec<u32>,
+    /// Exit transformation per exit edge (`None` = exit unreached).
+    exits: Vec<Option<ExitEffect>>,
+}
+
+impl Codec for Conflicts {
+    fn enc(&self, e: &mut Enc) {
+        match self {
+            Conflicts::Sat => e.u8(u8::MAX),
+            Conflicts::Among { len, lines } => {
+                e.u8(*len);
+                for &l in &lines[..*len as usize] {
+                    e.u32(l);
+                }
+            }
+        }
+    }
+    fn dec(d: &mut Dec) -> Result<Conflicts, CodecError> {
+        match d.u8()? {
+            u8::MAX => Ok(Conflicts::Sat),
+            len if (len as usize) < INLINE_LINES => {
+                let mut lines = [0u32; INLINE_LINES];
+                for slot in &mut lines[..len as usize] {
+                    *slot = d.u32()?;
+                }
+                Ok(Conflicts::Among { len, lines })
+            }
+            _ => Err(CodecError::Invalid("conflict record")),
+        }
+    }
+}
+
+impl Codec for SetEffect {
+    fn enc(&self, e: &mut Enc) {
+        self.must_lines.enc(e);
+        self.must_table.enc(e);
+        self.may_top.enc(e);
+        self.may_lines.enc(e);
+        self.may_table.enc(e);
+        self.pers_lines.enc(e);
+        self.pers_add.enc(e);
+    }
+    fn dec(d: &mut Dec) -> Result<SetEffect, CodecError> {
+        Ok(SetEffect {
+            must_lines: Codec::dec(d)?,
+            must_table: Codec::dec(d)?,
+            may_top: Codec::dec(d)?,
+            may_lines: Codec::dec(d)?,
+            may_table: Codec::dec(d)?,
+            pers_lines: Codec::dec(d)?,
+            pers_add: Codec::dec(d)?,
+        })
+    }
+}
+
+impl Codec for ExitEffect {
+    fn enc(&self, e: &mut Enc) {
+        self.isets.enc(e);
+        self.dsets.enc(e);
+    }
+    fn dec(d: &mut Dec) -> Result<ExitEffect, CodecError> {
+        Ok(ExitEffect { isets: Codec::dec(d)?, dsets: Codec::dec(d)? })
+    }
+}
+
+impl Codec for CacheSummary {
+    fn enc(&self, e: &mut Enc) {
+        e.u64(self.evaluations);
+        self.reached.enc(e);
+        self.classes.enc(e);
+        self.ps_fetch.enc(e);
+        self.ps_data.enc(e);
+        self.exits.enc(e);
+    }
+    fn dec(d: &mut Dec) -> Result<CacheSummary, CodecError> {
+        Ok(CacheSummary {
+            evaluations: d.u64()?,
+            reached: Codec::dec(d)?,
+            classes: Codec::dec(d)?,
+            ps_fetch: Codec::dec(d)?,
+            ps_data: Codec::dec(d)?,
+            exits: Codec::dec(d)?,
+        })
+    }
+}
+
+/// Groups the lines a region touches by cache set.
+fn footprint(
+    config: Option<CacheConfig>,
+    addrs: impl Iterator<Item = u32>,
+) -> Vec<(u32, Vec<u32>)> {
+    let Some(c) = config else { return Vec::new() };
+    let mut per_set: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+    for a in addrs {
+        per_set.entry(c.set_index(a)).or_default().insert(c.line_addr(a));
+    }
+    per_set.into_iter().map(|(si, lines)| (si, lines.into_iter().collect())).collect()
+}
+
+/// `assoc` line addresses mapping to set `si` that collide with no line
+/// in `avoid` (the footprint): the ghost lines whose exit ages encode
+/// the non-footprint transformer. Tags count down from the top of the
+/// address space, far from any program line.
+fn ghost_lines(c: CacheConfig, si: u32, avoid: &[u32]) -> Vec<u32> {
+    let stride = u64::from(c.sets() * c.line_bytes());
+    let off = u64::from(si * c.line_bytes());
+    let mut out = Vec::with_capacity(c.assoc() as usize);
+    let mut tag = u64::from(u32::MAX) / stride;
+    while out.len() < c.assoc() as usize {
+        let v = tag * stride + off;
+        if v <= u64::from(u32::MAX) {
+            let line = v as u32;
+            if avoid.binary_search(&line).is_err() {
+                out.push(line);
+            }
+        }
+        tag = tag.checked_sub(1).expect("address space exhausted for ghost lines");
+    }
+    out
+}
+
+/// Builds the canonical region description, or `None` when the region
+/// is not summarizable (a load with an unenumerable address set).
+fn build_info(spec: &RegionSpec, icfg: &Icfg, transfer: &CacheTransfer<'_>) -> Option<RegionInfo> {
+    let mut nodes = Vec::with_capacity(spec.nodes.len());
+    for &n in &spec.nodes {
+        let nd = icfg.node(n);
+        let block = transfer.cfg.block(nd.block);
+        let mut insns = Vec::with_capacity(block.insns.len());
+        for &(addr, insn) in &block.insns {
+            let is_load = insn.is_load();
+            let lines = if is_load && transfer.dcache.is_some() {
+                match transfer.data.get(&(addr, nd.ctx))? {
+                    DataAccess::Lines(l) => Some(l.clone()),
+                    DataAccess::Clobber(_) => return None,
+                }
+            } else {
+                None
+            };
+            insns.push(InsnInfo { addr, is_load, lines });
+        }
+        nodes.push(insns);
+    }
+    let edges: Vec<(u32, u32)> = spec.edges.iter().map(|&(f, t, _)| (f, t)).collect();
+    let exit_froms: Vec<u32> = spec.exits.iter().map(|&(f, _)| f).collect();
+
+    let ifoot = footprint(transfer.icache, nodes.iter().flatten().map(|i| i.addr));
+    let dfoot = footprint(
+        transfer.dcache,
+        nodes.iter().flatten().flat_map(|i| i.lines.iter().flatten().copied()),
+    );
+    let ighosts = match transfer.icache {
+        Some(c) => ifoot.iter().map(|(si, lines)| ghost_lines(c, *si, lines)).collect(),
+        None => Vec::new(),
+    };
+    let dghosts = match transfer.dcache {
+        Some(c) => dfoot.iter().map(|(si, lines)| ghost_lines(c, *si, lines)).collect(),
+        None => Vec::new(),
+    };
+
+    let mut e = Enc::new();
+    e.u8(SUMMARY_VERSION);
+    transfer.icache.enc(&mut e);
+    transfer.dcache.enc(&mut e);
+    e.len_prefix(nodes.len());
+    for insns in &nodes {
+        e.len_prefix(insns.len());
+        for i in insns {
+            e.u32(i.addr);
+            i.is_load.enc(&mut e);
+            i.lines.enc(&mut e);
+        }
+    }
+    edges.enc(&mut e);
+    exit_froms.enc(&mut e);
+
+    Some(RegionInfo {
+        nodes,
+        edges,
+        exit_froms,
+        ifoot,
+        dfoot,
+        ighosts,
+        dghosts,
+        bytes: e.into_bytes(),
+    })
+}
+
+fn pers_get(set: &PersSet, line: u32) -> Option<Conflicts> {
+    set.binary_search_by_key(&line, |&(l, _)| l).ok().map(|i| set[i].1)
+}
+
+fn pers_insert(set: &mut PersSet, line: u32, c: Conflicts) {
+    match set.binary_search_by_key(&line, |&(l, _)| l) {
+        Ok(i) => set[i].1 = c,
+        Err(i) => set.insert(i, (line, c)),
+    }
+}
+
+/// Projects the entry must sets onto the footprint (into the key) and
+/// seeds the local state: projected footprint lines plus ghosts at ages
+/// `0..assoc`.
+fn project_must(
+    e: &mut Enc,
+    entry: &MustCache,
+    seed: &mut MustCache,
+    foot: &[(u32, Vec<u32>)],
+    ghosts: &[Vec<u32>],
+) {
+    for ((si, lines), gs) in foot.iter().zip(ghosts) {
+        let set = entry.set(*si as usize);
+        let present: Vec<(u32, u8)> =
+            lines.iter().filter_map(|&l| set.get(l).map(|a| (l, a))).collect();
+        present.enc(e);
+        let out = seed.set_mut(*si as usize);
+        for &(l, a) in &present {
+            out.insert(l, a);
+        }
+        for (k, &g) in gs.iter().enumerate() {
+            out.insert(g, k as u8);
+        }
+    }
+}
+
+fn project_may(
+    e: &mut Enc,
+    entry: &MayCache,
+    seed: &mut MayCache,
+    foot: &[(u32, Vec<u32>)],
+    ghosts: &[Vec<u32>],
+) {
+    for ((si, lines), gs) in foot.iter().zip(ghosts) {
+        match entry.set(*si as usize) {
+            SetState::Top => {
+                e.u8(1);
+                *seed.set_mut(*si as usize) = SetState::Top;
+            }
+            SetState::Map(m) => {
+                e.u8(0);
+                let present: Vec<(u32, u8)> =
+                    lines.iter().filter_map(|&l| m.get(l).map(|a| (l, a))).collect();
+                present.enc(e);
+                let SetState::Map(out) = seed.set_mut(*si as usize) else {
+                    unreachable!("fresh may set is a map")
+                };
+                for &(l, a) in &present {
+                    out.insert(l, a);
+                }
+                for (k, &g) in gs.iter().enumerate() {
+                    out.insert(g, k as u8);
+                }
+            }
+        }
+    }
+}
+
+fn project_pers(
+    e: &mut Enc,
+    entry: &PersCache,
+    seed: &mut PersCache,
+    foot: &[(u32, Vec<u32>)],
+    ghosts: &[Vec<u32>],
+) {
+    for ((si, lines), gs) in foot.iter().zip(ghosts) {
+        let set = entry.set(*si as usize);
+        let present: Vec<(u32, Conflicts)> =
+            lines.iter().filter_map(|&l| pers_get(set, l).map(|c| (l, c))).collect();
+        present.enc(e);
+        let out = seed.set_mut(*si as usize);
+        for &(l, c) in &present {
+            pers_insert(out, l, c);
+        }
+        pers_insert(out, gs[0], Conflicts::none());
+    }
+}
+
+/// Builds the entry-class key bytes and the seeded local entry state.
+fn project(
+    entry: &CacheState,
+    info: &RegionInfo,
+    icache: Option<CacheConfig>,
+    dcache: Option<CacheConfig>,
+) -> (Vec<u8>, CacheState) {
+    let mut e = Enc::new();
+    let mut seed = CacheState::new(icache, dcache);
+    if icache.is_some() {
+        let x = "icache domains present";
+        project_must(
+            &mut e,
+            entry.imust.as_ref().expect(x),
+            seed.imust.as_mut().expect(x),
+            &info.ifoot,
+            &info.ighosts,
+        );
+        project_may(
+            &mut e,
+            entry.imay.as_ref().expect(x),
+            seed.imay.as_mut().expect(x),
+            &info.ifoot,
+            &info.ighosts,
+        );
+        project_pers(
+            &mut e,
+            entry.ipers.as_ref().expect(x),
+            seed.ipers.as_mut().expect(x),
+            &info.ifoot,
+            &info.ighosts,
+        );
+    }
+    if dcache.is_some() {
+        let x = "dcache domains present";
+        project_must(
+            &mut e,
+            entry.dmust.as_ref().expect(x),
+            seed.dmust.as_mut().expect(x),
+            &info.dfoot,
+            &info.dghosts,
+        );
+        project_may(
+            &mut e,
+            entry.dmay.as_ref().expect(x),
+            seed.dmay.as_mut().expect(x),
+            &info.dfoot,
+            &info.dghosts,
+        );
+        project_pers(
+            &mut e,
+            entry.dpers.as_ref().expect(x),
+            seed.dpers.as_mut().expect(x),
+            &info.dfoot,
+            &info.dghosts,
+        );
+    }
+    (e.into_bytes(), seed)
+}
+
+/// Reads one touched set's exit transformation off the local exit
+/// state: footprint entries directly, ghost entries as the table.
+fn extract_set(
+    must: &MustCache,
+    may: &MayCache,
+    pers: &PersCache,
+    si: usize,
+    ghosts: &[u32],
+    assoc: usize,
+) -> SetEffect {
+    let mut must_lines = Vec::new();
+    let mut must_table = vec![None; assoc];
+    for (l, a) in must.set(si).iter() {
+        match ghosts.iter().position(|&g| g == l) {
+            Some(k) => must_table[k] = Some(a),
+            None => must_lines.push((l, a)),
+        }
+    }
+    let (may_top, may_lines, may_table) = match may.set(si) {
+        SetState::Top => (true, Vec::new(), vec![None; assoc]),
+        SetState::Map(m) => {
+            let mut lines = Vec::new();
+            let mut table = vec![None; assoc];
+            for (l, a) in m.iter() {
+                match ghosts.iter().position(|&g| g == l) {
+                    Some(k) => table[k] = Some(a),
+                    None => lines.push((l, a)),
+                }
+            }
+            (false, lines, table)
+        }
+    };
+    let mut pers_lines = Vec::new();
+    let mut pers_add = Conflicts::none();
+    for &(l, c) in pers.set(si).iter() {
+        if l == ghosts[0] {
+            pers_add = c;
+        } else {
+            pers_lines.push((l, c));
+        }
+    }
+    SetEffect { must_lines, must_table, may_top, may_lines, may_table, pers_lines, pers_add }
+}
+
+fn extract_exit(
+    s: &CacheState,
+    info: &RegionInfo,
+    icache: Option<CacheConfig>,
+    dcache: Option<CacheConfig>,
+) -> ExitEffect {
+    let mut isets = Vec::with_capacity(info.ifoot.len());
+    if let Some(c) = icache {
+        let x = "icache domains present";
+        for ((si, _), gs) in info.ifoot.iter().zip(&info.ighosts) {
+            isets.push(extract_set(
+                s.imust.as_ref().expect(x),
+                s.imay.as_ref().expect(x),
+                s.ipers.as_ref().expect(x),
+                *si as usize,
+                gs,
+                c.assoc() as usize,
+            ));
+        }
+    }
+    let mut dsets = Vec::with_capacity(info.dfoot.len());
+    if let Some(c) = dcache {
+        let x = "dcache domains present";
+        for ((si, _), gs) in info.dfoot.iter().zip(&info.dghosts) {
+            dsets.push(extract_set(
+                s.dmust.as_ref().expect(x),
+                s.dmay.as_ref().expect(x),
+                s.dpers.as_ref().expect(x),
+                *si as usize,
+                gs,
+                c.assoc() as usize,
+            ));
+        }
+    }
+    ExitEffect { isets, dsets }
+}
+
+/// Runs the region's fixpoint locally on the seeded entry state. The
+/// region is acyclic and topologically ordered, so a single forward
+/// pass visits every node exactly as the monolithic solver would.
+fn compute_summary(
+    info: &RegionInfo,
+    icache: Option<CacheConfig>,
+    dcache: Option<CacheConfig>,
+    seed: CacheState,
+) -> CacheSummary {
+    let k = info.nodes.len();
+    let mut ins: Vec<Option<CacheState>> = vec![None; k];
+    ins[0] = Some(seed);
+    let mut reached = vec![false; k];
+    let mut classes: Vec<Vec<AccessClass>> = vec![Vec::new(); k];
+    let mut ps_fetch = BTreeSet::new();
+    let mut ps_data = BTreeSet::new();
+    let mut exit_states: Vec<Option<CacheState>> = vec![None; info.exit_froms.len()];
+    let mut evaluations = 0u64;
+    for i in 0..k {
+        let Some(mut s) = ins[i].take() else { continue };
+        reached[i] = true;
+        evaluations += 1;
+        let mut cls = Vec::with_capacity(info.nodes[i].len());
+        let mut prev_line = None;
+        for insn in &info.nodes[i] {
+            // Classify against the state *before* the access, exactly
+            // like the monolithic classification replay.
+            let fetch = match icache {
+                Some(ic) => {
+                    let c = classify(&s, &[ic.line_addr(insn.addr)], false);
+                    if c == Classification::Persistent {
+                        ps_fetch.insert(ic.line_addr(insn.addr));
+                    }
+                    c
+                }
+                None => Classification::AlwaysMiss,
+            };
+            let data = if insn.is_load {
+                Some(match &insn.lines {
+                    Some(lines) => {
+                        let c = classify(&s, lines, true);
+                        if c == Classification::Persistent {
+                            ps_data.extend(lines.iter().copied());
+                        }
+                        c
+                    }
+                    None => Classification::AlwaysMiss,
+                })
+            } else {
+                None
+            };
+            cls.push(AccessClass { fetch, data });
+            // Apply the access (same same-line fetch skip as the
+            // monolithic transfer).
+            let line = icache.map(|ic| ic.line_addr(insn.addr));
+            if line != prev_line || line.is_none() {
+                prev_line = line;
+                if let Some(m) = s.imust.as_mut() {
+                    m.access(insn.addr);
+                }
+                if let Some(m) = s.imay.as_mut() {
+                    m.access(insn.addr);
+                }
+                if let Some(m) = s.ipers.as_mut() {
+                    m.access(insn.addr);
+                }
+            }
+            if let Some(lines) = &insn.lines {
+                if let Some(m) = s.dmust.as_mut() {
+                    m.access_any(lines);
+                }
+                if let Some(m) = s.dmay.as_mut() {
+                    m.access_any(lines);
+                }
+                if let Some(m) = s.dpers.as_mut() {
+                    m.access_any(lines);
+                }
+            }
+        }
+        classes[i] = cls;
+        for (x, &lf) in info.exit_froms.iter().enumerate() {
+            if lf as usize == i {
+                exit_states[x] = Some(s.clone());
+            }
+        }
+        for &(lf, lt) in &info.edges {
+            if lf as usize != i {
+                continue;
+            }
+            match &mut ins[lt as usize] {
+                Some(prev) => {
+                    prev.join_from(&s);
+                }
+                slot @ None => *slot = Some(s.clone()),
+            }
+        }
+    }
+    let exits = exit_states
+        .iter()
+        .map(|o| o.as_ref().map(|s| extract_exit(s, info, icache, dcache)))
+        .collect();
+    CacheSummary {
+        evaluations,
+        reached,
+        classes,
+        ps_fetch: ps_fetch.into_iter().collect(),
+        ps_data: ps_data.into_iter().collect(),
+        exits,
+    }
+}
+
+fn apply_must(must: &mut MustCache, si: usize, foot: &[u32], se: &SetEffect) {
+    let set = must.set_mut(si);
+    set.update_retain(|l, a| {
+        if foot.binary_search(&l).is_ok() {
+            None // footprint lines are replaced by their exit entries
+        } else {
+            se.must_table.get(a as usize).copied().flatten()
+        }
+    });
+    for &(l, a) in &se.must_lines {
+        set.insert(l, a);
+    }
+}
+
+fn apply_may(may: &mut MayCache, si: usize, foot: &[u32], se: &SetEffect) {
+    if se.may_top {
+        // ⊤ at entry (part of the key) stays ⊤: nothing to rewrite.
+        return;
+    }
+    let SetState::Map(m) = may.set_mut(si) else {
+        unreachable!("entry ⊤ is recorded in the summary key")
+    };
+    m.update_retain(|l, a| {
+        if foot.binary_search(&l).is_ok() {
+            None
+        } else {
+            se.may_table.get(a as usize).copied().flatten()
+        }
+    });
+    for &(l, a) in &se.may_lines {
+        m.insert(l, a);
+    }
+}
+
+fn apply_pers(pers: &mut PersCache, si: usize, foot: &[u32], se: &SetEffect, assoc: u8) {
+    let set = pers.set_mut(si);
+    set.retain(|&(l, _)| foot.binary_search(&l).is_err());
+    for (_, c) in set.iter_mut() {
+        c.union(&se.pers_add, assoc);
+    }
+    for &(l, c) in &se.pers_lines {
+        pers_insert(set, l, c);
+    }
+}
+
+/// Applies a region's exit transformation to a concrete entry state.
+fn apply_exit(
+    entry: &CacheState,
+    eff: &ExitEffect,
+    info: &RegionInfo,
+    icache: Option<CacheConfig>,
+    dcache: Option<CacheConfig>,
+) -> CacheState {
+    let mut s = entry.clone();
+    if let Some(c) = icache {
+        let x = "icache domains present";
+        for ((si, lines), se) in info.ifoot.iter().zip(&eff.isets) {
+            apply_must(s.imust.as_mut().expect(x), *si as usize, lines, se);
+            apply_may(s.imay.as_mut().expect(x), *si as usize, lines, se);
+            apply_pers(s.ipers.as_mut().expect(x), *si as usize, lines, se, c.assoc() as u8);
+        }
+    }
+    if let Some(c) = dcache {
+        let x = "dcache domains present";
+        for ((si, lines), se) in info.dfoot.iter().zip(&eff.dsets) {
+            apply_must(s.dmust.as_mut().expect(x), *si as usize, lines, se);
+            apply_may(s.dmay.as_mut().expect(x), *si as usize, lines, se);
+            apply_pers(s.dpers.as_mut().expect(x), *si as usize, lines, se, c.assoc() as u8);
+        }
+    }
+    s
+}
+
+impl CacheAnalysis {
+    /// Runs the cache analysis with per-procedure summaries: carved
+    /// call-body regions are evaluated through the byte-level memo (one
+    /// fixpoint per entry-state class) and composed over the supergraph
+    /// by [`stamp_ai::solve_with_regions`].
+    ///
+    /// Returns `None` when nothing is summarizable (no carvable region,
+    /// a region declined mid-solve, or corrupt memo bytes); the caller
+    /// must then fall back to [`CacheAnalysis::run`], which is always
+    /// sound. On success the result is bit-identical to the monolithic
+    /// analysis: same classifications, persistent lines, and evaluation
+    /// count.
+    pub fn run_summarized(
+        hw: &HwConfig,
+        cfg: &Cfg,
+        icfg: &Icfg,
+        va: &ValueAnalysis,
+        memo: &mut dyn UarchMemo,
+    ) -> Option<(CacheAnalysis, UarchSummaryStats)> {
+        let mut transfer = CacheTransfer {
+            cfg,
+            icache: hw.icache,
+            dcache: hw.dcache,
+            infeasible: va.infeasible_edges().iter().copied().collect(),
+            data: data_accesses(hw.dcache, cfg, icfg, va),
+        };
+        let mut plan = carve_regions(icfg, &transfer.infeasible);
+        if plan.is_empty() {
+            return None;
+        }
+        let infos_all: Vec<Option<RegionInfo>> =
+            plan.regions.iter().map(|spec| build_info(spec, icfg, &transfer)).collect();
+        {
+            let mut it = infos_all.iter();
+            plan.retain(|_| it.next().expect("one flag per region").is_some());
+        }
+        let infos: Vec<RegionInfo> = infos_all.into_iter().flatten().collect();
+        if plan.is_empty() {
+            return None;
+        }
+
+        let mut applied: Vec<Option<Rc<CacheSummary>>> = vec![None; plan.regions.len()];
+        let mut computed = 0usize;
+        let mut reused = 0usize;
+        let (icache, dcache) = (hw.icache, hw.dcache);
+        let fixpoint = solve_with_regions(icfg, &mut transfer, &plan, u32::MAX, |r, entry| {
+            let info = &infos[r];
+            let (proj, seed) = project(entry, info, icache, dcache);
+            let mut key = Vec::with_capacity(info.bytes.len() + proj.len());
+            key.extend_from_slice(&info.bytes);
+            key.extend_from_slice(&proj);
+            let mut fresh = false;
+            let bytes = memo.recall(&key, &mut || {
+                fresh = true;
+                stamp_codec::encode_value(&compute_summary(info, icache, dcache, seed.clone()))
+            });
+            if fresh {
+                computed += 1;
+            } else {
+                reused += 1;
+            }
+            let summary: CacheSummary = stamp_codec::decode_value(&bytes).ok()?;
+            if summary.reached.len() != info.nodes.len()
+                || summary.exits.len() != info.exit_froms.len()
+            {
+                return None; // foreign bytes under our key: fall back
+            }
+            let outcome = RegionOutcome {
+                exit_outs: summary
+                    .exits
+                    .iter()
+                    .map(|eff| eff.as_ref().map(|e| apply_exit(entry, e, info, icache, dcache)))
+                    .collect(),
+                reached: summary.reached.clone(),
+                evaluations: summary.evaluations,
+            };
+            applied[r] = Some(Rc::new(summary));
+            Some(outcome)
+        })?;
+
+        let (mut classes, mut ps_fetch_lines, mut ps_data_lines) =
+            replay_classes(&transfer, hw, cfg, icfg, &fixpoint);
+        for (r, spec) in plan.regions.iter().enumerate() {
+            let Some(summary) = &applied[r] else { continue };
+            let info = &infos[r];
+            for (i, &node) in spec.nodes.iter().enumerate() {
+                if !summary.reached[i] {
+                    continue;
+                }
+                let ctx = icfg.node(node).ctx;
+                for (insn, class) in info.nodes[i].iter().zip(&summary.classes[i]) {
+                    classes.insert((insn.addr, ctx), *class);
+                }
+            }
+            ps_fetch_lines.extend(summary.ps_fetch.iter().copied());
+            ps_data_lines.extend(summary.ps_data.iter().copied());
+        }
+        let stats = UarchSummaryStats { regions: plan.regions.len(), computed, reused };
+        Some((
+            CacheAnalysis {
+                classes,
+                icache: hw.icache,
+                dcache: hw.dcache,
+                ps_fetch_lines,
+                ps_data_lines,
+                evaluations: fixpoint.evaluations,
+            },
+            stats,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stamp_ai::VivuConfig;
+    use stamp_cfg::CfgBuilder;
+    use stamp_isa::asm::assemble;
+    use stamp_value::ValueOptions;
+
+    /// Runs both modes and checks bit-identity of every observable.
+    fn check(src: &str, hw: &HwConfig) -> Option<UarchSummaryStats> {
+        let p = assemble(src).expect("assembles");
+        let cfg = CfgBuilder::new(&p).build().expect("builds");
+        let icfg = Icfg::build(&cfg, &VivuConfig::default()).expect("expands");
+        let va = ValueAnalysis::run(&p, hw, &cfg, &icfg, &ValueOptions::default());
+        let mono = CacheAnalysis::run(hw, &cfg, &icfg, &va);
+        let mut memo = LocalUarchMemo::default();
+        let (sum, stats) = CacheAnalysis::run_summarized(hw, &cfg, &icfg, &va, &mut memo)?;
+        assert_eq!(sum.classes(), mono.classes(), "classifications differ for {src}");
+        assert_eq!(sum.ps_fetch_lines(), mono.ps_fetch_lines(), "ps fetch lines for {src}");
+        assert_eq!(sum.ps_data_lines(), mono.ps_data_lines(), "ps data lines for {src}");
+        assert_eq!(sum.evaluations, mono.evaluations, "evaluations for {src}");
+        Some(stats)
+    }
+
+    #[test]
+    fn repeated_calls_reuse_the_summary() {
+        let src = ".text
+main: call f
+      call f
+      call f
+      halt
+f:    li r1, 1
+      ret
+";
+        let stats = check(src, &HwConfig::default()).expect("regions carved");
+        assert_eq!(stats.regions, 3);
+        // Call 1 enters cold, call 2 with f's line hot — two classes.
+        // Call 3 repeats call 2's entry class and hits the memo.
+        assert_eq!(stats.computed, 2, "{stats:?}");
+        assert_eq!(stats.reused, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn summarized_matches_monolithic_with_loads_and_branches() {
+        let srcs = [
+            // Data loads inside the callee.
+            ".text
+main: la r1, v
+      call f
+      call f
+      call f
+      halt
+f:    lw r2, 0(r1)
+      ret
+.data
+v:    .word 7
+",
+            // Branchy callee (the regions.rs CALL_PAIR shape).
+            ".text
+main: li r1, 1
+      call f
+      add r2, r1, r1
+      call f
+      halt
+f:    addi r1, r1, 1
+      beq r1, r0, g
+      ret
+g:    ret
+",
+            // Nested call: g's body is interior to f's region.
+            ".text
+main: call f
+      halt
+f:    call g
+      ret
+g:    li r3, 9
+      ret
+",
+        ];
+        for src in srcs {
+            let stats = check(src, &HwConfig::default()).expect("regions carved");
+            assert!(stats.computed + stats.reused > 0, "{stats:?}");
+        }
+    }
+
+    #[test]
+    fn small_cache_forces_eviction_through_the_transformer() {
+        // 2 sets × 2 ways × 16B: the callee's footprint collides with
+        // the caller's lines, exercising the ghost transformer tables.
+        let hw = HwConfig {
+            icache: Some(CacheConfig::new(2, 2, 16)),
+            dcache: Some(CacheConfig::new(2, 2, 16)),
+            ..HwConfig::default()
+        };
+        let src = ".text
+main: la r1, v
+      lw r2, 0(r1)
+      call f
+      lw r3, 0(r1)
+      call f
+      halt
+f:    lw r4, 4(r1)
+      lw r5, 8(r1)
+      ret
+.data
+v:    .word 1
+      .word 2
+      .word 3
+";
+        check(src, &hw).expect("regions carved");
+    }
+
+    #[test]
+    fn straight_line_code_has_no_regions() {
+        let hw = HwConfig::default();
+        assert!(check(".text\nmain: li r1, 2\nhalt\n", &hw).is_none());
+    }
+
+    #[test]
+    fn clobbering_callee_is_not_summarized() {
+        // The load target is unknown, so the callee clobbers the
+        // D-cache: its region is rejected and (being the only one) the
+        // whole run falls back.
+        let hw = HwConfig::default();
+        let src = ".text
+main: call f
+      halt
+f:    lw r2, 0(r2)
+      ret
+";
+        assert!(check(src, &hw).is_none());
+    }
+
+    #[test]
+    fn conflicts_codec_roundtrips() {
+        let mut c = Conflicts::none();
+        c.add(0x40, 8);
+        c.add(0x10, 8);
+        for v in [Conflicts::Sat, Conflicts::none(), c] {
+            let bytes = stamp_codec::encode_value(&v);
+            let back: Conflicts = stamp_codec::decode_value(&bytes).expect("roundtrips");
+            assert_eq!(v, back);
+        }
+    }
+}

@@ -21,6 +21,7 @@
 
 mod analysis;
 mod state;
+mod summary;
 
 pub use analysis::PipelineAnalysis;
 pub use state::{PipeSet, PipeState};

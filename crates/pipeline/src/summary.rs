@@ -1,0 +1,358 @@
+//! Per-procedure pipeline summaries.
+//!
+//! The pipeline phase's analogue of the cache summaries
+//! (`stamp_cache::summary`): each carved call-body region is walked
+//! once per *entry class* and the result memoized. The key is what the
+//! block walk actually consumes — the instruction stream, each
+//! reference's cache classification, the walk-relevant timing
+//! parameters, and the entry [`PipeSet`]. Unlike the cache domains the
+//! pipeline state is absolute (a set of pending-load windows), so the
+//! payload stores exit sets directly; no transformer tables are needed.
+//!
+//! The memoized payload also carries the per-node worst-case cycle
+//! bounds, so the post-fixpoint timing pass reads reached region nodes
+//! from the summary. Nodes of *unreached* regions are timed inline from
+//! the universe set, exactly like monolithic dead code.
+
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use stamp_ai::{
+    carve_regions, solve_with_regions, Domain, Icfg, RegionOutcome, RegionPlan, RegionSpec,
+};
+use stamp_cache::{CacheAnalysis, UarchMemo, UarchSummaryStats};
+use stamp_cfg::Cfg;
+use stamp_codec::{Codec, CodecError, Dec, Enc};
+use stamp_hw::{HwConfig, Timing};
+use stamp_value::ValueAnalysis;
+
+use crate::analysis::{PipeTransfer, PipelineAnalysis};
+use crate::state::{PipeSet, PipeState};
+
+/// Bumped whenever the summary key or payload layout changes.
+const SUMMARY_VERSION: u8 = 1;
+
+impl Codec for PipeState {
+    fn enc(&self, e: &mut Enc) {
+        self.pending_load.enc(e);
+    }
+    fn dec(d: &mut Dec) -> Result<PipeState, CodecError> {
+        Ok(PipeState { pending_load: Codec::dec(d)? })
+    }
+}
+
+/// A memoized region summary of the pipeline phase.
+#[derive(Clone, Debug)]
+struct PipeSummary {
+    /// Node evaluations the monolithic solver would perform inside.
+    evaluations: u64,
+    /// Locally reachable nodes.
+    reached: Vec<bool>,
+    /// Worst-case cycle bound per node (meaningful when reached).
+    times: Vec<u64>,
+    /// Exit pipeline-state sets per exit edge (`None` = unreached).
+    exits: Vec<Option<Vec<PipeState>>>,
+}
+
+impl Codec for PipeSummary {
+    fn enc(&self, e: &mut Enc) {
+        e.u64(self.evaluations);
+        self.reached.enc(e);
+        self.times.enc(e);
+        self.exits.enc(e);
+    }
+    fn dec(d: &mut Dec) -> Result<PipeSummary, CodecError> {
+        Ok(PipeSummary {
+            evaluations: d.u64()?,
+            reached: Codec::dec(d)?,
+            times: Codec::dec(d)?,
+            exits: Codec::dec(d)?,
+        })
+    }
+}
+
+/// The canonical key prefix of one region: everything the block walk
+/// reads except the entry state. Two call instances whose bodies carry
+/// the same classifications share the prefix.
+fn region_bytes(
+    spec: &RegionSpec,
+    icfg: &Icfg,
+    cfg: &Cfg,
+    ca: &CacheAnalysis,
+    t: Timing,
+) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u8(SUMMARY_VERSION);
+    e.u32(t.i_miss_penalty);
+    e.u32(t.d_miss_penalty);
+    e.u32(t.mul_latency);
+    e.u32(t.div_latency);
+    t.load_use_hazard.enc(&mut e);
+    e.len_prefix(spec.nodes.len());
+    for &n in &spec.nodes {
+        let nd = icfg.node(n);
+        let block = cfg.block(nd.block);
+        e.len_prefix(block.insns.len());
+        for &(addr, insn) in &block.insns {
+            insn.enc(&mut e);
+            ca.class(addr, nd.ctx).enc(&mut e);
+        }
+    }
+    let edges: Vec<(u32, u32)> = spec.edges.iter().map(|&(f, to, _)| (f, to)).collect();
+    edges.enc(&mut e);
+    let exit_froms: Vec<u32> = spec.exits.iter().map(|&(f, _)| f).collect();
+    exit_froms.enc(&mut e);
+    e.into_bytes()
+}
+
+/// Runs the region's fixpoint locally: a single forward pass over the
+/// acyclic, topologically ordered body, mirroring the monolithic
+/// transfer (including the clean-state fallback for empty out-sets).
+fn compute_summary(
+    t: &PipeTransfer<'_>,
+    icfg: &Icfg,
+    spec: &RegionSpec,
+    entry: &PipeSet,
+) -> PipeSummary {
+    let k = spec.nodes.len();
+    let mut ins: Vec<Option<PipeSet>> = vec![None; k];
+    ins[0] = Some(entry.clone());
+    let mut reached = vec![false; k];
+    let mut times = vec![0u64; k];
+    let mut exit_outs: Vec<Option<PipeSet>> = vec![None; spec.exits.len()];
+    let mut evaluations = 0u64;
+    for i in 0..k {
+        let Some(input) = ins[i].take() else { continue };
+        reached[i] = true;
+        evaluations += 1;
+        let mut out = PipeSet::empty();
+        let mut tmax = 0u64;
+        for s in input.iter() {
+            let (c, exit) = t.walk(icfg, spec.nodes[i], *s);
+            tmax = tmax.max(c);
+            out.insert(exit);
+        }
+        if out.is_empty() {
+            out.insert(PipeState::clean());
+        }
+        times[i] = tmax;
+        for (x, &(lf, _)) in spec.exits.iter().enumerate() {
+            if lf as usize == i {
+                exit_outs[x] = Some(out.clone());
+            }
+        }
+        for &(lf, lt, _) in &spec.edges {
+            if lf as usize != i {
+                continue;
+            }
+            match &mut ins[lt as usize] {
+                Some(prev) => {
+                    prev.join_from(&out);
+                }
+                slot @ None => *slot = Some(out.clone()),
+            }
+        }
+    }
+    let exits = exit_outs.iter().map(|o| o.as_ref().map(|s| s.iter().copied().collect())).collect();
+    PipeSummary { evaluations, reached, times, exits }
+}
+
+impl PipelineAnalysis {
+    /// Runs the pipeline analysis with per-procedure summaries (see
+    /// [`CacheAnalysis::run_summarized`] for the contract). Returns
+    /// `None` when nothing is summarizable; the caller must then fall
+    /// back to [`PipelineAnalysis::run`]. On success the result is
+    /// bit-identical to the monolithic analysis.
+    pub fn run_summarized(
+        hw: &HwConfig,
+        cfg: &Cfg,
+        icfg: &Icfg,
+        ca: &CacheAnalysis,
+        va: &ValueAnalysis,
+        memo: &mut dyn UarchMemo,
+    ) -> Option<(PipelineAnalysis, UarchSummaryStats)> {
+        let infeasible: HashSet<stamp_ai::IEdgeId> =
+            va.infeasible_edges().iter().copied().collect();
+        let plan = carve_regions(icfg, &infeasible);
+        if plan.is_empty() {
+            return None;
+        }
+        // A second transfer for the summary walks: `walk` never
+        // consults the infeasible set, and the solver holds the
+        // mutable borrow of the primary transfer.
+        let local = PipeTransfer { cfg, hw, ca, infeasible: HashSet::new() };
+        let mut transfer = PipeTransfer { cfg, hw, ca, infeasible };
+        let struct_bytes: Vec<Vec<u8>> =
+            plan.regions.iter().map(|s| region_bytes(s, icfg, cfg, ca, hw.timing)).collect();
+
+        let mut applied: Vec<Option<Rc<PipeSummary>>> = vec![None; plan.regions.len()];
+        let mut computed = 0usize;
+        let mut reused = 0usize;
+        let fixpoint = solve_with_regions(icfg, &mut transfer, &plan, u32::MAX, |r, entry| {
+            let spec = &plan.regions[r];
+            let mut key = struct_bytes[r].clone();
+            let mut e = Enc::new();
+            let states: Vec<PipeState> = entry.iter().copied().collect();
+            states.enc(&mut e);
+            key.extend_from_slice(&e.into_bytes());
+            let mut fresh = false;
+            let bytes = memo.recall(&key, &mut || {
+                fresh = true;
+                stamp_codec::encode_value(&compute_summary(&local, icfg, spec, entry))
+            });
+            if fresh {
+                computed += 1;
+            } else {
+                reused += 1;
+            }
+            let summary: PipeSummary = stamp_codec::decode_value(&bytes).ok()?;
+            if summary.reached.len() != spec.nodes.len()
+                || summary.times.len() != spec.nodes.len()
+                || summary.exits.len() != spec.exits.len()
+            {
+                return None; // foreign bytes under our key: fall back
+            }
+            let outcome = RegionOutcome {
+                exit_outs: summary
+                    .exits
+                    .iter()
+                    .map(|o| {
+                        o.as_ref().map(|states| {
+                            let mut set = PipeSet::empty();
+                            for s in states {
+                                set.insert(*s);
+                            }
+                            set
+                        })
+                    })
+                    .collect(),
+                reached: summary.reached.clone(),
+                evaluations: summary.evaluations,
+            };
+            applied[r] = Some(Rc::new(summary));
+            Some(outcome)
+        })?;
+
+        let mut times = HashMap::new();
+        let universe = PipeSet::universe();
+        for nd in icfg.nodes() {
+            let r = plan.node_region[nd.id.index()];
+            if r != RegionPlan::INLINE {
+                let spec = &plan.regions[r as usize];
+                let i = spec.nodes.iter().position(|&n| n == nd.id).expect("node in its region");
+                if let Some(s) = &applied[r as usize] {
+                    if s.reached[i] {
+                        times.insert(nd.id, s.times[i]);
+                        continue;
+                    }
+                }
+                // Unreached region node: the same sound universe bound
+                // the monolithic pass gives dead code.
+                let t = universe.iter().map(|s| local.walk(icfg, nd.id, *s).0).max().unwrap_or(0);
+                times.insert(nd.id, t);
+            } else {
+                let input = fixpoint.input(nd.id).unwrap_or(&universe);
+                let t = input.iter().map(|s| local.walk(icfg, nd.id, *s).0).max().unwrap_or(0);
+                times.insert(nd.id, t);
+            }
+        }
+        let ps_extra = ca.ps_fetch_lines().len() as u64 * hw.timing.i_miss_penalty as u64
+            + ca.ps_data_lines().len() as u64 * hw.timing.d_miss_penalty as u64;
+        let stats = UarchSummaryStats { regions: plan.regions.len(), computed, reused };
+        Some((
+            PipelineAnalysis::from_parts(
+                times,
+                hw.timing.branch_penalty as u64,
+                ps_extra,
+                fixpoint.evaluations,
+            ),
+            stats,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stamp_ai::VivuConfig;
+    use stamp_cache::LocalUarchMemo;
+    use stamp_cfg::CfgBuilder;
+    use stamp_isa::asm::assemble;
+    use stamp_value::ValueOptions;
+
+    /// Runs both modes and checks bit-identity of every observable.
+    fn check(src: &str, hw: &HwConfig) -> Option<UarchSummaryStats> {
+        let p = assemble(src).expect("assembles");
+        let cfg = CfgBuilder::new(&p).build().expect("builds");
+        let icfg = Icfg::build(&cfg, &VivuConfig::default()).expect("expands");
+        let va = ValueAnalysis::run(&p, hw, &cfg, &icfg, &ValueOptions::default());
+        let ca = CacheAnalysis::run(hw, &cfg, &icfg, &va);
+        let mono = PipelineAnalysis::run(hw, &cfg, &icfg, &ca, &va);
+        let mut memo = LocalUarchMemo::default();
+        let (sum, stats) = PipelineAnalysis::run_summarized(hw, &cfg, &icfg, &ca, &va, &mut memo)?;
+        assert_eq!(sum.times(), mono.times(), "node times differ for {src}");
+        assert_eq!(sum.ps_extra_cycles(), mono.ps_extra_cycles());
+        assert_eq!(sum.evaluations, mono.evaluations, "evaluations for {src}");
+        Some(stats)
+    }
+
+    #[test]
+    fn summarized_matches_monolithic() {
+        let srcs = [
+            // Loads, hazards, and multi-cycle EX inside the callee.
+            ".text
+main: la r1, v
+      call f
+      call f
+      call f
+      halt
+f:    lw r2, 0(r1)
+      add r3, r2, r2
+      mul r4, r3, r3
+      ret
+.data
+v:    .word 7
+",
+            // Branchy callee.
+            ".text
+main: li r1, 1
+      call f
+      add r2, r1, r1
+      call f
+      halt
+f:    addi r1, r1, 1
+      beq r1, r0, g
+      ret
+g:    ret
+",
+        ];
+        for src in srcs {
+            for hw in [HwConfig::ideal(), HwConfig::default(), HwConfig::no_cache()] {
+                let stats = check(src, &hw).expect("regions carved");
+                assert!(stats.computed + stats.reused > 0, "{stats:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_calls_reuse_the_summary() {
+        // Once the callee's classifications stabilize (hot cache), later
+        // instances share both the key prefix and the entry set.
+        let src = ".text
+main: call f
+      call f
+      call f
+      halt
+f:    li r1, 1
+      ret
+";
+        let stats = check(src, &HwConfig::default()).expect("regions carved");
+        assert_eq!(stats.regions, 3);
+        assert!(stats.reused >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn straight_line_code_has_no_regions() {
+        assert!(check(".text\nmain: li r1, 2\nhalt\n", &HwConfig::default()).is_none());
+    }
+}

@@ -75,6 +75,11 @@ struct Shared {
     work_cv: Condvar,
     /// Wakes the drainer when the last job finishes.
     idle_cv: Condvar,
+    /// Test-only fault injection: a worker that dequeues a job with
+    /// this id panics on the spot, simulating a worker-thread bug
+    /// outside the per-job panic guard.
+    #[cfg(test)]
+    kill_worker_on: Mutex<Option<String>>,
 }
 
 /// The long-lived analysis engine: warm artifact store + admission
@@ -93,6 +98,8 @@ impl Engine {
             state: Mutex::new(QueueState::default()),
             work_cv: Condvar::new(),
             idle_cv: Condvar::new(),
+            #[cfg(test)]
+            kill_worker_on: Mutex::new(None),
         });
         let count = shared.config.workers.max(1);
         let workers = (0..count)
@@ -212,7 +219,12 @@ impl Engine {
         self.shared.store.flush_disk();
         let handles = std::mem::take(&mut *self.workers.lock().expect("worker handle lock"));
         for handle in handles {
-            handle.join().expect("daemon workers exit cleanly on drain");
+            // A dead worker is a degraded daemon, not a failed drain:
+            // the surviving workers finished the queue above, so losing
+            // a thread costs one warning line — never the exit status.
+            if handle.join().is_err() {
+                eprintln!("serve: a worker thread panicked; its in-flight job was lost");
+            }
         }
     }
 }
@@ -239,21 +251,51 @@ fn worker_loop(shared: &Shared) {
             }
         };
 
+        // The guard restores the queue accounting even if the execution
+        // path panics outside the per-job guard in `run_job_guarded`: a
+        // dying worker must not leave `running` stuck above zero, or
+        // `shutdown_and_drain` would wait on it forever.
+        let _finish = FinishGuard { shared, client: admitted.client.clone() };
+
+        #[cfg(test)]
+        {
+            // Bind the verdict first so the lock guard is released
+            // before the panic — a poisoned hook would kill every
+            // *later* worker at this check, not just this one.
+            let kill = shared.kill_worker_on.lock().expect("fault injection lock").as_deref()
+                == Some(admitted.id.as_str());
+            if kill {
+                panic!("injected worker fault for job `{}`", admitted.id);
+            }
+        }
+
         let response = run_admitted(shared, &admitted);
         let _ = admitted.reply.send(response);
+    }
+}
 
-        let mut state = shared.state.lock().expect("engine state lock");
+/// Decrements one job's queue accounting on scope exit — including
+/// panic unwinding, so a worker dying mid-job still releases its
+/// `running` slot and its client's fairness count.
+struct FinishGuard<'a> {
+    shared: &'a Shared,
+    client: String,
+}
+
+impl Drop for FinishGuard<'_> {
+    fn drop(&mut self) {
+        // Recover from poisoning: the panic that poisoned the lock is
+        // exactly the situation this guard exists to clean up after.
+        let mut state = self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         state.running -= 1;
-        let count = state
-            .per_client
-            .get_mut(&admitted.client)
-            .expect("admission incremented this client's count");
-        *count -= 1;
-        if *count == 0 {
-            state.per_client.remove(&admitted.client);
+        if let Some(count) = state.per_client.get_mut(&self.client) {
+            *count -= 1;
+            if *count == 0 {
+                state.per_client.remove(&self.client);
+            }
         }
         if state.queue.is_empty() && state.running == 0 {
-            shared.idle_cv.notify_all();
+            self.shared.idle_cv.notify_all();
         }
     }
 }
@@ -476,5 +518,22 @@ mod tests {
         assert!(late.get("error").and_then(Json::as_str).unwrap().contains("draining"));
         // Idempotent: a second drain (and the Drop drain) are no-ops.
         engine.shutdown_and_drain();
+    }
+
+    #[test]
+    fn a_dying_worker_degrades_the_daemon_instead_of_killing_it() {
+        let engine = engine(EngineConfig { workers: 2, ..EngineConfig::default() });
+        *engine.shared.kill_worker_on.lock().unwrap() = Some("boom".into());
+        let (tx, rx) = mpsc::channel();
+        engine.submit(&analyze_line("boom", "crc", ""), "faulty", tx.clone());
+        engine.submit(&analyze_line("ok1", "crc", ""), "fine", tx.clone());
+        drop(tx);
+        // The drain must terminate (the dead worker released its
+        // `running` slot) and must not panic on the failed join.
+        engine.shutdown_and_drain();
+        let responses: Vec<Json> = rx.iter().collect();
+        assert_eq!(responses.len(), 1, "the poisoned job died with its worker: {responses:?}");
+        assert_eq!(responses[0].get("id").and_then(Json::as_str), Some("ok1"));
+        assert_eq!(responses[0].get("status").and_then(Json::as_str), Some("ok"));
     }
 }

@@ -1,0 +1,91 @@
+//! Differential property suite for per-procedure microarchitectural
+//! summaries: on random generated programs, an analysis composed from
+//! cache/pipeline region summaries must reproduce the monolithic
+//! analysis's deterministic results *exactly* — same WCET, same
+//! evaluation counts, same per-class fetch/data classification
+//! histograms, byte-identical `result_json`. The comparison runs the
+//! real batch pipeline, so any summarization bug that survives the
+//! validating fallback turns this red.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stamp_core::{run_batch, Json, PhaseId};
+use stamp_suite::manifest::parse_manifest;
+use stamp_suite::{generate, GenConfig};
+
+/// The generator shapes under test: procedure-heavy configurations
+/// (where summaries engage) plus the plain default.
+fn shape(round: usize) -> GenConfig {
+    match round % 3 {
+        0 => GenConfig::rich(),
+        1 => GenConfig {
+            functions: 4,
+            call_depth: 4,
+            frame_traffic: true,
+            calls_in_loops: true,
+            ..GenConfig::default()
+        },
+        _ => GenConfig::default(),
+    }
+}
+
+/// `result_json` minus the `name`/`variant` identity keys — everything
+/// that must be equal between summarized and monolithic runs.
+fn comparable(result: &Json) -> String {
+    match result.clone() {
+        Json::Obj(mut o) => {
+            o.remove("name");
+            o.remove("variant");
+            Json::Obj(o).to_string()
+        }
+        other => other.to_string(),
+    }
+}
+
+#[test]
+fn summarized_results_match_monolithic_on_random_programs() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    let mut engaged = 0usize;
+    for round in 0..9 {
+        let gcfg = GenConfig { constructs: rng.gen_range(4..=8), ..shape(round) };
+        let src = generate(&mut rng, &gcfg);
+        // Four variants: (summarized, monolithic) × (default hw, small
+        // cache). The small 128-byte geometry stresses eviction
+        // boundaries where a summary transformer has the most room to
+        // disagree with the direct fixpoint.
+        let manifest = format!(
+            r#"{{"targets": [{{"name": "p{round}", "source": {src}}}],
+                "variants": [
+                  {{"name": "sum"}},
+                  {{"name": "mono", "uarch_summaries": false}},
+                  {{"name": "sum-small", "hw": {{"cache_bytes": 128}}}},
+                  {{"name": "mono-small", "hw": {{"cache_bytes": 128}},
+                    "uarch_summaries": false}}
+                ]}}"#,
+            src = Json::str(src),
+        );
+        let request = parse_manifest(&manifest, std::path::Path::new(".")).unwrap();
+        let report = run_batch(&request, 1).unwrap();
+        assert_eq!(report.results.len(), 4);
+        for (sum, mono) in [(0, 1), (2, 3)] {
+            let sum = &report.results[sum];
+            let mono = &report.results[mono];
+            assert!(sum.error.is_none(), "round {round}: {:?}", sum.error);
+            assert_eq!(
+                comparable(&sum.result_json()),
+                comparable(&mono.result_json()),
+                "round {round}: summarized `{}` diverged from monolithic `{}`",
+                sum.variant,
+                mono.variant,
+            );
+            engaged += sum.provenance.iter().filter(|(p, _)| *p == PhaseId::Uarch).count();
+            assert!(
+                !mono.provenance.iter().any(|(p, _)| *p == PhaseId::Uarch),
+                "round {round}: monolithic mode must not touch the uarch memo",
+            );
+        }
+    }
+    // Equality alone would also hold if every program quietly fell back
+    // to the monolithic path; require that summaries actually engaged.
+    assert!(engaged > 0, "no random program ever exercised the summarized path");
+}
